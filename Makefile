@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
+	$(GO) test -fuzz=FuzzLoadWeights -fuzztime=30s ./internal/topo/
+
+# Regenerate every paper table/figure at quick scale (seconds). Use
+# SCALE=medium or SCALE=paper for the larger runs.
+SCALE ?= quick
+experiments:
+	$(GO) run ./cmd/experiments -run all -scale $(SCALE)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/linkinference
+	$(GO) run ./examples/monitoring
+	$(GO) run ./examples/lossinference
+	$(GO) run ./examples/agents
+	$(GO) run ./examples/closedloop
+	$(GO) run ./examples/learning
+
+clean:
+	$(GO) clean ./...

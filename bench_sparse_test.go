@@ -1,0 +1,37 @@
+package robusttomo
+
+// Ablation bench: dense vs sparse incremental basis on genuine candidate
+// paths (AS1239-scale). Real path rows are tree-structured with limited
+// elimination fill-in, where the sparse representation wins ~2×; on
+// random-support rows the dense basis wins instead (see the linalg
+// package benches), which is why both implementations exist.
+
+import (
+	"testing"
+
+	"robusttomo/internal/experiments"
+	"robusttomo/internal/linalg"
+)
+
+func BenchmarkAblationSparseVsDenseBasis(b *testing.B) {
+	in, err := experiments.BuildInstance(experiments.Workload{Preset: "AS1239", CandidatePaths: 2500}, experiments.QuickScale(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			basis := linalg.NewBasis(in.PM.NumLinks())
+			for r := 0; r < in.PM.NumPaths(); r++ {
+				basis.Add(in.PM.Row(r))
+			}
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			basis := linalg.NewSparseBasis(in.PM.NumLinks())
+			for r := 0; r < in.PM.NumPaths(); r++ {
+				basis.Add(in.PM.Row(r))
+			}
+		}
+	})
+}

@@ -1,0 +1,386 @@
+package robusttomo
+
+// One benchmark per table/figure of the paper (DESIGN.md §3). Each bench
+// runs the corresponding experiment at a reduced but faithful scale (the
+// same runners cmd/experiments uses at paper scale) and reports the
+// figure's headline quantities as custom metrics, so `go test -bench=.`
+// regenerates the shape of every result in one command.
+
+import (
+	"testing"
+
+	"robusttomo/internal/experiments"
+	"robusttomo/internal/topo"
+)
+
+// benchWorkload mirrors the paper's setup at bench scale: an ISP-like
+// topology with a deterministic seed.
+func benchWorkload() experiments.Workload {
+	return experiments.Workload{
+		CandidatePaths: 100,
+		Custom:         &topo.Config{Name: "bench", Nodes: 60, Links: 130, PoPs: 5, Seed: 4242},
+	}
+}
+
+func benchScale() experiments.Scale {
+	return experiments.Scale{MonitorSets: 2, Scenarios: 50, MonteCarloRuns: 25, ExpectedFailures: 2, Seed: 2014}
+}
+
+func BenchmarkTableITopologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig3RankUnderFailures(b *testing.B) {
+	cfg := experiments.Fig3Config{Workload: benchWorkload(), MaxFailures: 5, Trials: 40}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Fig3(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	all, _ := fig.SeriesByName("AllPaths")
+	basis, _ := fig.SeriesByName("Basis-1")
+	b.ReportMetric(all.FinalMean(), "allpaths-rank")
+	b.ReportMetric(basis.FinalMean(), "basis-rank")
+}
+
+func BenchmarkFig4ERBound(b *testing.B) {
+	cfg := experiments.Fig4Config{
+		Workload:      benchWorkload(),
+		MaxDependent:  8,
+		ReferenceRuns: 2000,
+		SmallRuns:     50,
+	}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Fig4(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ref, _ := fig.SeriesByName("MC-2000")
+	bound, _ := fig.SeriesByName("ProbBound")
+	b.ReportMetric(ref.FinalMean(), "mc-ref-er")
+	b.ReportMetric(bound.FinalMean(), "probbound-er")
+}
+
+func BenchmarkFig5RankVsBudget(b *testing.B) {
+	cfg := experiments.BudgetSweepConfig{
+		Workload:   benchWorkload(),
+		Multiplier: []float64{0.5, 1.0},
+	}
+	var res experiments.BudgetSweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.BudgetSweep(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	prob, _ := res.Rank.SeriesByName(experiments.AlgProbRoMe)
+	monte, _ := res.Rank.SeriesByName(experiments.AlgMonteRoMe)
+	sp, _ := res.Rank.SeriesByName(experiments.AlgSelectPath)
+	pr, _ := prob.MeanAt(0.5)
+	mr, _ := monte.MeanAt(0.5)
+	sr, _ := sp.MeanAt(0.5)
+	b.ReportMetric(pr, "probrome-rank")
+	b.ReportMetric(mr, "monterome-rank")
+	b.ReportMetric(sr, "selectpath-rank")
+}
+
+func BenchmarkFig6RankCDF(b *testing.B) {
+	cfg := experiments.RankCDFConfig{Workload: benchWorkload(), Multiplier: 0.75}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.RankCDF(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Median rank per algorithm: the x where the CDF crosses 0.5.
+	for _, s := range fig.Series {
+		median := 0.0
+		for _, p := range s.Points {
+			if p.Mean >= 0.5 {
+				median = p.X
+				break
+			}
+		}
+		switch s.Name {
+		case experiments.AlgProbRoMe:
+			b.ReportMetric(median, "probrome-median")
+		case experiments.AlgSelectPath:
+			b.ReportMetric(median, "selectpath-median")
+		}
+	}
+}
+
+func BenchmarkFig7Identifiability(b *testing.B) {
+	cfg := experiments.BudgetSweepConfig{
+		Workload:            benchWorkload(),
+		Multiplier:          []float64{0.75},
+		Algorithms:          []string{experiments.AlgProbRoMe, experiments.AlgSelectPath},
+		WithIdentifiability: true,
+	}
+	var res experiments.BudgetSweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.BudgetSweep(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	prob, _ := res.Ident.SeriesByName(experiments.AlgProbRoMe)
+	sp, _ := res.Ident.SeriesByName(experiments.AlgSelectPath)
+	b.ReportMetric(prob.FinalMean(), "probrome-ident")
+	b.ReportMetric(sp.FinalMean(), "selectpath-ident")
+}
+
+func BenchmarkFig8RankLoss(b *testing.B) {
+	cfg := experiments.MatroidLossConfig{
+		Base:       benchWorkload(),
+		PathCounts: []int{50, 100},
+	}
+	var res experiments.MatroidLossResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.MatroidLoss(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mat, _ := res.RankLoss.SeriesByName(experiments.AlgMatRoMe)
+	sp, _ := res.RankLoss.SeriesByName(experiments.AlgSelectPath)
+	b.ReportMetric(mat.FinalMean(), "matrome-rankloss")
+	b.ReportMetric(sp.FinalMean(), "selectpath-rankloss")
+}
+
+func BenchmarkFig9IdentifiabilityLoss(b *testing.B) {
+	cfg := experiments.MatroidLossConfig{
+		Base:       benchWorkload(),
+		PathCounts: []int{50, 100},
+	}
+	var res experiments.MatroidLossResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.MatroidLoss(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mat, _ := res.IdentLoss.SeriesByName(experiments.AlgMatRoMe)
+	sp, _ := res.IdentLoss.SeriesByName(experiments.AlgSelectPath)
+	b.ReportMetric(mat.FinalMean(), "matrome-identloss")
+	b.ReportMetric(sp.FinalMean(), "selectpath-identloss")
+}
+
+func BenchmarkFig10LSR(b *testing.B) {
+	cfg := experiments.LearningConfig{
+		Workload:   benchWorkload(),
+		Multiplier: []float64{0.75},
+		Epochs:     []int{100, 300},
+	}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Learning(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lsr, _ := fig.SeriesByName("LSR-300")
+	prob, _ := fig.SeriesByName(experiments.AlgProbRoMe)
+	sp, _ := fig.SeriesByName(experiments.AlgSelectPath)
+	b.ReportMetric(lsr.FinalMean(), "lsr-rank")
+	b.ReportMetric(prob.FinalMean(), "probrome-rank")
+	b.ReportMetric(sp.FinalMean(), "selectpath-rank")
+}
+
+// Ablation benches (DESIGN.md §6).
+
+func BenchmarkAblationLazyGreedy(b *testing.B) {
+	var res experiments.LazyAblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.LazyAblation(benchWorkload(), benchScale(), 0.75)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.LazyEvaluations), "lazy-evals")
+	b.ReportMetric(float64(res.NaiveEvaluations), "naive-evals")
+	b.ReportMetric(res.Speedup, "speedup")
+}
+
+func BenchmarkAblationOracleQuality(b *testing.B) {
+	var res experiments.OracleQualityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.OracleQuality(benchWorkload(), benchScale(), 0.75, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ProbBoundER, "probbound-er")
+	b.ReportMetric(res.MonteCarloER, "montecarlo-er")
+}
+
+// Extension benches (beyond the paper's figures).
+
+func BenchmarkExtCorrelated(b *testing.B) {
+	cfg := experiments.CorrelatedConfig{
+		Workload: benchWorkload(), Multiplier: 0.75, GroupProb: 0.15, MaxGroup: 4,
+	}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Correlated(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	blind, _ := fig.SeriesByName("ProbRoMe-marginals")
+	aware, _ := fig.SeriesByName("MonteRoMe-joint")
+	sp, _ := fig.SeriesByName(experiments.AlgSelectPath)
+	b.ReportMetric(blind.FinalMean(), "blind-rank")
+	b.ReportMetric(aware.FinalMean(), "aware-rank")
+	b.ReportMetric(sp.FinalMean(), "selectpath-rank")
+}
+
+func BenchmarkExtMultipath(b *testing.B) {
+	cfg := experiments.MultipathConfig{
+		Workload: benchWorkload(), Multiplier: 0.75, K: []int{1, 2},
+	}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Multipath(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	s, _ := fig.SeriesByName(experiments.AlgProbRoMe)
+	k1, _ := s.MeanAt(1)
+	k2, _ := s.MeanAt(2)
+	b.ReportMetric(k1, "k1-rank")
+	b.ReportMetric(k2, "k2-rank")
+}
+
+func BenchmarkExtClosedLoop(b *testing.B) {
+	cfg := experiments.ClosedLoopConfig{
+		Workload: benchWorkload(), Multiplier: 0.6, Horizon: 120, Windows: 4,
+	}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.ClosedLoop(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	static, _ := fig.SeriesByName("Static")
+	learning, _ := fig.SeriesByName("Learning")
+	b.ReportMetric(static.FinalMean(), "static-rank")
+	b.ReportMetric(learning.FinalMean(), "learning-rank")
+}
+
+func BenchmarkExtLearnerDuel(b *testing.B) {
+	cfg := experiments.LearnerDuelConfig{
+		Workload: benchWorkload(), Multiplier: 0.5, Horizon: 150, Windows: 3,
+	}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.LearnerDuel(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lsr, _ := fig.SeriesByName("LSR")
+	eg, _ := fig.SeriesByName("eps-greedy-0.2")
+	b.ReportMetric(lsr.FinalMean(), "lsr-reward")
+	b.ReportMetric(eg.FinalMean(), "egreedy-reward")
+}
+
+func BenchmarkExtRegret(b *testing.B) {
+	cfg := experiments.RegretConfig{
+		Workload: benchWorkload(), Multiplier: 0.5, Horizon: 500, Checkpoints: 5,
+	}
+	var curve experiments.RegretCurve
+	var err error
+	for i := 0; i < b.N; i++ {
+		curve, err = experiments.Regret(cfg, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(curve.Regret[len(curve.Regret)-1], "final-regret")
+	b.ReportMetric(curve.PerLog[len(curve.PerLog)-1], "regret-per-log")
+}
+
+// Micro-benchmarks of the hot kernels.
+
+func BenchmarkKernelRank(b *testing.B) {
+	in, err := experiments.BuildInstance(benchWorkload(), benchScale(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if in.PM.Rank() == 0 {
+			b.Fatal("zero rank")
+		}
+	}
+}
+
+func BenchmarkKernelProbRoMeSelection(b *testing.B) {
+	in, err := experiments.BuildInstance(benchWorkload(), benchScale(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := 0.75 * benchBasisCost(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Select(experiments.AlgProbRoMe, budget, benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelMonteRoMeSelection(b *testing.B) {
+	in, err := experiments.BuildInstance(benchWorkload(), benchScale(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := 0.75 * benchBasisCost(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Select(experiments.AlgMonteRoMe, budget, benchScale(), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBasisCost(in *experiments.Instance) float64 {
+	order := make([]int, in.PM.NumPaths())
+	for i := range order {
+		order[i] = i
+	}
+	total := 0.0
+	for _, q := range in.PM.SelectBasisIndices(order) {
+		total += in.Costs[q]
+	}
+	return total
+}

@@ -1,0 +1,329 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all -scale quick
+//	experiments -run fig5 -scale paper -workload AS3257:1600
+//	experiments -run tableI,fig3,fig4
+//
+// Output is tab-separated text, one block per figure, matching the series
+// the paper plots. Paper scale reproduces Section VI-A parameters (5
+// monitor sets × 500 scenarios) and can take hours on the large topology;
+// quick and medium scales preserve the shapes at a fraction of the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"robusttomo/internal/experiments"
+	"robusttomo/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiments: tableI,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,ablations,extensions,all")
+	scaleName := fs.String("scale", "quick", "evaluation scale: quick, medium, paper")
+	workload := fs.String("workload", "", "override workload as PRESET:PATHS (e.g. AS3257:1600); default per figure")
+	epochs := fs.String("epochs", "500,1000", "LSR learning horizons for fig10")
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q (text, json)", *format)
+	}
+	emit := func(fig experiments.Figure) error {
+		if *format == "json" {
+			out, err := fig.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		}
+		fmt.Println(fig)
+		return nil
+	}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	all := selected["all"]
+
+	want := func(name string) bool { return all || selected[name] }
+
+	if want("tableI") {
+		rows, err := experiments.TableI()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTableI(rows))
+		fmt.Println()
+	}
+
+	// Per-figure default workloads from the paper; -workload overrides.
+	fig3W := defaultWorkload(*workload, *scaleName, experiments.Workload{Preset: topo.AS1239, CandidatePaths: 1600})
+	fig4W := fig3W
+	fig6W := defaultWorkload(*workload, *scaleName, experiments.Workload{Preset: topo.AS3257, CandidatePaths: 1600})
+	fig10W := defaultWorkload(*workload, *scaleName, experiments.Workload{Preset: topo.AS3257, CandidatePaths: 400})
+
+	if want("fig3") {
+		fig, err := experiments.Fig3(experiments.Fig3Config{Workload: fig3W, MaxFailures: 10, Trials: scale.Scenarios}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(fig); err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		refRuns := 100000
+		if *scaleName != "paper" {
+			refRuns = 5000
+		}
+		fig, err := experiments.Fig4(experiments.Fig4Config{
+			Workload: fig4W, MaxDependent: 10, ReferenceRuns: refRuns, SmallRuns: 50,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(fig); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		for _, w := range fig5Workloads(*workload, *scaleName) {
+			res, err := experiments.BudgetSweep(experiments.BudgetSweepConfig{Workload: w}, scale)
+			if err != nil {
+				return err
+			}
+			if err := emit(res.Rank); err != nil {
+				return err
+			}
+			fmt.Printf("basis costs per monitor set: %v\n\n", res.BasisCosts)
+		}
+	}
+	if want("fig6") {
+		fig, err := experiments.RankCDF(experiments.RankCDFConfig{Workload: fig6W, Multiplier: 0.5}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(fig); err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		res, err := experiments.BudgetSweep(experiments.BudgetSweepConfig{
+			Workload:            fig6W,
+			Algorithms:          []string{experiments.AlgProbRoMe, experiments.AlgSelectPath},
+			WithIdentifiability: true,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(res.Ident); err != nil {
+			return err
+		}
+	}
+	if want("fig8") || want("fig9") {
+		base := defaultWorkload(*workload, *scaleName, experiments.Workload{Preset: topo.AS1239})
+		counts := []int{500, 1000, 1500, 2000, 2500}
+		if *scaleName != "paper" {
+			counts = []int{200, 400, 800}
+		}
+		if base.Custom != nil {
+			counts = []int{40, 80, 120}
+		}
+		res, err := experiments.MatroidLoss(experiments.MatroidLossConfig{Base: base, PathCounts: counts}, scale)
+		if err != nil {
+			return err
+		}
+		if want("fig8") {
+			if err := emit(res.RankLoss); err != nil {
+				return err
+			}
+		}
+		if want("fig9") {
+			if err := emit(res.IdentLoss); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig10") {
+		horizons, err := parseInts(*epochs)
+		if err != nil {
+			return fmt.Errorf("bad -epochs: %w", err)
+		}
+		fig, err := experiments.Learning(experiments.LearningConfig{Workload: fig10W, Epochs: horizons}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(fig); err != nil {
+			return err
+		}
+	}
+	if want("extensions") {
+		w := defaultWorkload(*workload, *scaleName, experiments.Workload{Preset: topo.AS1755, CandidatePaths: 400})
+		corr, err := experiments.Correlated(experiments.CorrelatedConfig{
+			Workload: w, Multiplier: 0.75, GroupProb: 0.15, MaxGroup: 4,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(corr); err != nil {
+			return err
+		}
+		multipath, err := experiments.Multipath(experiments.MultipathConfig{
+			Workload: w, Multiplier: 0.75, K: []int{1, 2, 3},
+		}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(multipath); err != nil {
+			return err
+		}
+		loop, err := experiments.ClosedLoop(experiments.ClosedLoopConfig{
+			Workload: w, Multiplier: 0.6, Horizon: 600, Windows: 6,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(loop); err != nil {
+			return err
+		}
+		duel, err := experiments.LearnerDuel(experiments.LearnerDuelConfig{
+			Workload: w, Multiplier: 0.5, Horizon: 400, Windows: 8,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(duel); err != nil {
+			return err
+		}
+		regret, err := experiments.Regret(experiments.RegretConfig{
+			Workload: w, Multiplier: 0.5, Horizon: 1000, Checkpoints: 10,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# ext-regret — LSR cumulative regret (best fixed reward %.2f)\nepoch\tregret\tregret/ln(n)\n", regret.BestReward)
+		for i, e := range regret.Epochs {
+			fmt.Printf("%d\t%.1f\t%.1f\n", e, regret.Regret[i], regret.PerLog[i])
+		}
+		fmt.Println()
+	}
+	if want("ablations") {
+		w := defaultWorkload(*workload, *scaleName, experiments.Workload{Preset: topo.AS1755, CandidatePaths: 400})
+		lazy, err := experiments.LazyAblation(w, scale, 0.75)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# ablation-lazy — greedy evaluation counts\npaths\tlazy\tnaive\tspeedup\n%d\t%d\t%d\t%.1f\n\n",
+			lazy.Paths, lazy.LazyEvaluations, lazy.NaiveEvaluations, lazy.Speedup)
+		intens, err := experiments.IntensitySweep(w, scale, []float64{1, 2, 4, 8}, 0.75)
+		if err != nil {
+			return err
+		}
+		if err := emit(intens); err != nil {
+			return err
+		}
+		quality, err := experiments.OracleQuality(w, scale, 0.75, 5000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# ablation-oracle — final-selection ER (MC-%d evaluation)\nProbBound\tMonteCarlo\n%.2f\t%.2f\n",
+			quality.EvalRuns, quality.ProbBoundER, quality.MonteCarloER)
+	}
+	return nil
+}
+
+func parseScale(name string) (experiments.Scale, error) {
+	switch name {
+	case "paper":
+		return experiments.PaperScale(), nil
+	case "medium":
+		return experiments.Scale{MonitorSets: 2, Scenarios: 150, MonteCarloRuns: 50, ExpectedFailures: 3, Seed: 2014}, nil
+	case "quick":
+		return experiments.QuickScale(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (quick, medium, paper)", name)
+	}
+}
+
+// defaultWorkload applies the -workload override; at quick scale, paper
+// workloads are shrunk to their small-topology counterparts to keep the
+// default command fast.
+func defaultWorkload(override, scaleName string, def experiments.Workload) experiments.Workload {
+	if override != "" {
+		if w, err := parseWorkload(override); err == nil {
+			return w
+		}
+	}
+	if scaleName == "quick" {
+		// Shrink to the small topology and a modest candidate count.
+		paths := def.CandidatePaths
+		if paths == 0 || paths > 196 {
+			paths = 196
+		}
+		return experiments.Workload{Preset: topo.AS1755, CandidatePaths: paths}
+	}
+	return def
+}
+
+func fig5Workloads(override, scaleName string) []experiments.Workload {
+	if override != "" {
+		if w, err := parseWorkload(override); err == nil {
+			return []experiments.Workload{w}
+		}
+	}
+	if scaleName == "paper" {
+		return experiments.PaperWorkloads()
+	}
+	if scaleName == "medium" {
+		return []experiments.Workload{
+			{Preset: topo.AS1755, CandidatePaths: 400},
+			{Preset: topo.AS3257, CandidatePaths: 900},
+		}
+	}
+	return []experiments.Workload{{Preset: topo.AS1755, CandidatePaths: 196}}
+}
+
+func parseWorkload(s string) (experiments.Workload, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return experiments.Workload{}, fmt.Errorf("workload %q: want PRESET:PATHS", s)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n <= 0 {
+		return experiments.Workload{}, fmt.Errorf("workload %q: bad path count", s)
+	}
+	return experiments.Workload{Preset: parts[0], CandidatePaths: n}, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

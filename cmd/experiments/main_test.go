@@ -1,0 +1,128 @@
+package main
+
+import (
+	"testing"
+
+	"robusttomo/internal/experiments"
+	"robusttomo/internal/topo"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, name := range []string{"quick", "medium", "paper"} {
+		sc, err := parseScale(name)
+		if err != nil {
+			t.Fatalf("parseScale(%s): %v", name, err)
+		}
+		if sc.MonitorSets <= 0 || sc.Scenarios <= 0 {
+			t.Fatalf("degenerate scale for %s: %+v", name, sc)
+		}
+	}
+	if _, err := parseScale("warp"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	w, err := parseWorkload("AS3257:1600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Preset != "AS3257" || w.CandidatePaths != 1600 {
+		t.Fatalf("parsed %+v", w)
+	}
+	for _, bad := range []string{"AS3257", "AS3257:zero", "AS3257:-5", ""} {
+		if _, err := parseWorkload(bad); err == nil {
+			t.Fatalf("workload %q accepted", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("500, 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 500 || got[1] != 1000 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("a,b"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDefaultWorkload(t *testing.T) {
+	def := experiments.Workload{Preset: topo.AS1239, CandidatePaths: 1600}
+	// Quick scale shrinks to the small topology.
+	w := defaultWorkload("", "quick", def)
+	if w.Preset != topo.AS1755 || w.CandidatePaths > 196 {
+		t.Fatalf("quick default = %+v", w)
+	}
+	// Paper scale keeps the figure default.
+	w = defaultWorkload("", "paper", def)
+	if w.Preset != topo.AS1239 {
+		t.Fatalf("paper default = %+v", w)
+	}
+	// Overrides win at any scale.
+	w = defaultWorkload("AS3257:77", "quick", def)
+	if w.Preset != "AS3257" || w.CandidatePaths != 77 {
+		t.Fatalf("override = %+v", w)
+	}
+}
+
+func TestFig5Workloads(t *testing.T) {
+	if got := fig5Workloads("", "paper"); len(got) != 3 {
+		t.Fatalf("paper workloads = %v", got)
+	}
+	if got := fig5Workloads("", "medium"); len(got) != 2 {
+		t.Fatalf("medium workloads = %v", got)
+	}
+	if got := fig5Workloads("", "quick"); len(got) != 1 {
+		t.Fatalf("quick workloads = %v", got)
+	}
+	if got := fig5Workloads("AS1755:50", "paper"); len(got) != 1 || got[0].CandidatePaths != 50 {
+		t.Fatalf("override workloads = %v", got)
+	}
+}
+
+func TestRunTableI(t *testing.T) {
+	if err := run([]string{"-run", "tableI"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllFiguresQuickTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep takes a few seconds")
+	}
+	// Exercise every figure branch on a tiny workload.
+	args := []string{
+		"-run", "fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,ablations,extensions",
+		"-scale", "quick",
+		"-workload", "AS1755:36",
+		"-epochs", "30,60",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	if err := run([]string{"-run", "fig3", "-scale", "quick", "-format", "json", "-workload", "AS1755:36"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "warp"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-run", "fig10", "-epochs", "abc", "-scale", "quick"}); err == nil {
+		t.Fatal("bad epochs accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunTopoPresetAndWrite(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "as1755.edges")
+	if err := run([]string{"topo", "-preset", "AS1755", "-write", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("edge list empty")
+	}
+}
+
+func TestRunTopoLoad(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "weights.intra")
+	if err := os.WriteFile(in, []byte("a b 1\nb c 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"topo", "-load", in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"topo", "-load", in + ".missing"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunTopoUnknownPreset(t *testing.T) {
+	if err := run([]string{"topo", "-preset", "AS0"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestRunInfer(t *testing.T) {
+	if err := run([]string{"infer", "-failures", "1", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"infer", "-failures", "-2"}); err == nil {
+		t.Fatal("negative failure count accepted")
+	}
+}
+
+func TestRunSelectSmall(t *testing.T) {
+	for _, alg := range []string{"probrome", "selectpath", "matrome"} {
+		if err := run([]string{"select", "-preset", "AS1755", "-paths", "49", "-alg", alg, "-budget-mult", "0.5"}); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+	if err := run([]string{"select", "-alg", "quantum"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunSelectLoadedTopology(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "weights.intra")
+	data := "a b 1\nb c 1\nc d 1\nd a 1\na c 2\nb d 2\nc e 1\ne f 1\nf d 1\n"
+	if err := os.WriteFile(in, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"select", "-load", in, "-paths", "4", "-budget-mult", "1.0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlace(t *testing.T) {
+	if err := run([]string{"place", "-monitors", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"place", "-monitors", "4", "-failures", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"place", "-monitors", "1"}); err == nil {
+		t.Fatal("budget 1 accepted")
+	}
+}
+
+func TestRunSimulate(t *testing.T) {
+	if err := run([]string{"simulate", "-paths", "36", "-epochs", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "-paths", "36", "-epochs", "20", "-mode", "learning"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "-mode", "quantum"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunLearnSmall(t *testing.T) {
+	if err := run([]string{"learn", "-paths", "36", "-epochs", "40", "-budget-mult", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+}

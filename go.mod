@@ -1,0 +1,3 @@
+module robusttomo
+
+go 1.24

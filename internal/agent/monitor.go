@@ -1,0 +1,150 @@
+package agent
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// LinkOracle answers, for a given epoch, the state of the simulated
+// network: which links are up and what each link's additive metric is. It
+// must be safe for concurrent use; implementations in this repository are
+// immutable snapshots per epoch.
+type LinkOracle interface {
+	// Measure returns the end-to-end measurement over the links for the
+	// epoch, with ok=false if any link is down.
+	Measure(epoch int, links []int) (value float64, ok bool)
+}
+
+// Monitor is a TCP server playing the role of a vantage point at the
+// network edge: it receives probe requests from the NOC, "sends the probe"
+// (consults the link oracle), and returns the measurement.
+type Monitor struct {
+	name   string
+	oracle LinkOracle
+
+	ln   net.Listener
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	probesServed int
+}
+
+// StartMonitor launches a monitor listening on addr (use "127.0.0.1:0" for
+// an ephemeral port). The returned monitor serves until Close.
+func StartMonitor(name, addr string, oracle LinkOracle) (*Monitor, error) {
+	if oracle == nil {
+		return nil, fmt.Errorf("agent: monitor %s needs a link oracle", name)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: listen %s: %w", addr, err)
+	}
+	m := &Monitor{name: name, oracle: oracle, ln: ln, done: make(chan struct{})}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the monitor's listen address.
+func (m *Monitor) Addr() string { return m.ln.Addr().String() }
+
+// Name returns the monitor's name.
+func (m *Monitor) Name() string { return m.name }
+
+// ProbesServed returns how many probes this monitor has answered.
+func (m *Monitor) ProbesServed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.probesServed
+}
+
+func (m *Monitor) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			select {
+			case <-m.done:
+				return
+			default:
+				// Transient accept failure: keep serving.
+				continue
+			}
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.serve(conn)
+		}()
+	}
+}
+
+func (m *Monitor) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return // peer closed or protocol error: drop the session
+		}
+		msgType, err := peekType(line)
+		if err != nil {
+			return
+		}
+		switch msgType {
+		case MsgProbe:
+			var req ProbeRequest
+			if err := unmarshalStrict(line, &req); err != nil {
+				return
+			}
+			value, ok := m.oracle.Measure(req.Epoch, req.Links)
+			res := ProbeResult{
+				Type:    MsgResult,
+				Epoch:   req.Epoch,
+				PathID:  req.PathID,
+				OK:      ok,
+				Monitor: m.name,
+			}
+			if ok {
+				res.Value = value
+			}
+			if err := writeMsg(w, res); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			m.mu.Lock()
+			m.probesServed++
+			m.mu.Unlock()
+		case MsgShutdown:
+			return
+		default:
+			return // unknown message: terminate the session
+		}
+	}
+}
+
+// Close stops accepting connections and waits for in-flight sessions.
+func (m *Monitor) Close() error {
+	close(m.done)
+	err := m.ln.Close()
+	m.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+func unmarshalStrict(line []byte, v any) error {
+	if err := json.Unmarshal(line, v); err != nil {
+		return fmt.Errorf("agent: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package agent
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/tomo"
+)
+
+// NOC is the Network Operations Center: it owns the selected probing
+// paths, maps each path to the monitor at its source, and collects one
+// round of end-to-end measurements per epoch by fanning probe requests out
+// over TCP.
+type NOC struct {
+	pm       *tomo.PathMatrix
+	monitors map[string]string // monitor name → address
+	srcOf    func(path int) string
+
+	dialTimeout time.Duration
+}
+
+// NOCConfig wires up a collector.
+type NOCConfig struct {
+	PM *tomo.PathMatrix
+	// Monitors maps monitor names to TCP addresses.
+	Monitors map[string]string
+	// SourceOf returns the monitor name responsible for probing a path
+	// (the path's source endpoint).
+	SourceOf    func(path int) string
+	DialTimeout time.Duration // 0 means 5s
+}
+
+// NewNOC validates the wiring.
+func NewNOC(cfg NOCConfig) (*NOC, error) {
+	if cfg.PM == nil {
+		return nil, fmt.Errorf("agent: NOC needs a path matrix")
+	}
+	if len(cfg.Monitors) == 0 {
+		return nil, fmt.Errorf("agent: NOC needs monitors")
+	}
+	if cfg.SourceOf == nil {
+		return nil, fmt.Errorf("agent: NOC needs a path→monitor mapping")
+	}
+	dt := cfg.DialTimeout
+	if dt == 0 {
+		dt = 5 * time.Second
+	}
+	monitors := make(map[string]string, len(cfg.Monitors))
+	for k, v := range cfg.Monitors {
+		monitors[k] = v
+	}
+	return &NOC{pm: cfg.PM, monitors: monitors, srcOf: cfg.SourceOf, dialTimeout: dt}, nil
+}
+
+// Measurement is one collected end-to-end measurement.
+type Measurement struct {
+	PathID int
+	OK     bool
+	Value  float64
+}
+
+// CollectEpoch probes the selected paths for the given epoch, one TCP
+// session per involved monitor, requests pipelined per session and
+// sessions fanned out concurrently. Results come back sorted by path ID.
+func (n *NOC) CollectEpoch(ctx context.Context, epoch int, selected []int) ([]Measurement, error) {
+	// Group paths by their source monitor.
+	byMonitor := map[string][]int{}
+	for _, p := range selected {
+		if p < 0 || p >= n.pm.NumPaths() {
+			return nil, fmt.Errorf("agent: path %d out of range", p)
+		}
+		name := n.srcOf(p)
+		if _, ok := n.monitors[name]; !ok {
+			return nil, fmt.Errorf("agent: no monitor registered for %q (path %d)", name, p)
+		}
+		byMonitor[name] = append(byMonitor[name], p)
+	}
+
+	type batch struct {
+		results []Measurement
+		err     error
+	}
+	out := make(chan batch, len(byMonitor))
+	var wg sync.WaitGroup
+	for name, paths := range byMonitor {
+		wg.Add(1)
+		go func(name string, paths []int) {
+			defer wg.Done()
+			results, err := n.probeSession(ctx, name, epoch, paths)
+			out <- batch{results: results, err: err}
+		}(name, paths)
+	}
+	wg.Wait()
+	close(out)
+
+	var all []Measurement
+	for b := range out {
+		if b.err != nil {
+			return nil, b.err
+		}
+		all = append(all, b.results...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].PathID < all[j].PathID })
+	return all, nil
+}
+
+// probeSession opens one connection to a monitor and pipelines the probes
+// for all its paths.
+func (n *NOC) probeSession(ctx context.Context, name string, epoch int, paths []int) ([]Measurement, error) {
+	dialer := net.Dialer{Timeout: n.dialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", n.monitors[name])
+	if err != nil {
+		return nil, fmt.Errorf("agent: dial monitor %s: %w", name, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("agent: set deadline: %w", err)
+		}
+	}
+
+	w := bufio.NewWriter(conn)
+	for _, p := range paths {
+		req := ProbeRequest{
+			Type:    MsgProbe,
+			Epoch:   epoch,
+			PathID:  p,
+			Links:   n.pm.EdgesOf(p),
+			DstName: fmt.Sprintf("path-%d-dst", p),
+		}
+		if err := writeMsg(w, req); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("agent: flush to %s: %w", name, err)
+	}
+
+	r := bufio.NewReader(conn)
+	results := make([]Measurement, 0, len(paths))
+	for range paths {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, fmt.Errorf("agent: read from %s: %w", name, err)
+		}
+		var res ProbeResult
+		if err := unmarshalStrict(line, &res); err != nil {
+			return nil, err
+		}
+		if res.Type != MsgResult {
+			return nil, fmt.Errorf("agent: unexpected %q from %s", res.Type, name)
+		}
+		if res.Epoch != epoch {
+			return nil, fmt.Errorf("agent: stale epoch %d from %s (want %d)", res.Epoch, name, epoch)
+		}
+		results = append(results, Measurement{PathID: res.PathID, OK: res.OK, Value: res.Value})
+	}
+	return results, nil
+}
+
+// EpochOracle is the LinkOracle used across this repository's examples and
+// tests: ground-truth link metrics plus a per-epoch failure scenario
+// schedule. Epoch scenarios are fixed up front so every monitor observes a
+// consistent network state.
+type EpochOracle struct {
+	metrics   []float64
+	scenarios []failure.Scenario
+}
+
+// NewEpochOracle builds an oracle over ground-truth metrics and a schedule
+// of failure scenarios (epoch e uses scenarios[e]; epochs beyond the
+// schedule see a failure-free network).
+func NewEpochOracle(metrics []float64, scenarios []failure.Scenario) (*EpochOracle, error) {
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("agent: no link metrics")
+	}
+	for _, sc := range scenarios {
+		if len(sc.Failed) != len(metrics) {
+			return nil, fmt.Errorf("agent: scenario covers %d links, metrics %d", len(sc.Failed), len(metrics))
+		}
+	}
+	cp := make([]float64, len(metrics))
+	copy(cp, metrics)
+	return &EpochOracle{metrics: cp, scenarios: scenarios}, nil
+}
+
+var _ LinkOracle = (*EpochOracle)(nil)
+
+// Measure implements LinkOracle.
+func (o *EpochOracle) Measure(epoch int, links []int) (float64, bool) {
+	var sc *failure.Scenario
+	if epoch >= 0 && epoch < len(o.scenarios) {
+		sc = &o.scenarios[epoch]
+	}
+	sum := 0.0
+	for _, l := range links {
+		if l < 0 || l >= len(o.metrics) {
+			return 0, false
+		}
+		if sc != nil && sc.Failed[l] {
+			return 0, false
+		}
+		sum += o.metrics[l]
+	}
+	return sum, true
+}

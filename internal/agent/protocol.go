@@ -1,0 +1,90 @@
+// Package agent is the measurement-collection substrate: monitor agents
+// that answer probes over TCP and a Network Operations Center (NOC)
+// collector that schedules epochs, probes the selected paths through the
+// monitors, injects link failures, and hands the surviving end-to-end
+// measurements to the tomography stack.
+//
+// The paper assumes this plumbing exists ("monitors probe each other to
+// collect e2e measurements ... centrally collected at a NOC"); this package
+// builds it as an in-process distributed system: every monitor is a real
+// TCP server speaking a line-delimited JSON protocol, and the NOC fans
+// probe requests out concurrently. The network itself is simulated — a
+// probe's measured value is the sum of the ground-truth link metrics on its
+// path, and a probe fails when any link on the path is down in the current
+// epoch — which preserves exactly the linear-system semantics (Eq. 1) the
+// algorithms consume.
+package agent
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	MsgProbe    MsgType = "probe"    // NOC → monitor: measure a path
+	MsgResult   MsgType = "result"   // monitor → NOC: measurement outcome
+	MsgShutdown MsgType = "shutdown" // NOC → monitor: drain and exit
+)
+
+// ProbeRequest asks a monitor to probe one path during one epoch.
+type ProbeRequest struct {
+	Type    MsgType `json:"type"`
+	Epoch   int     `json:"epoch"`
+	PathID  int     `json:"pathId"`
+	Links   []int   `json:"links"` // link IDs along the path
+	DstName string  `json:"dstName"`
+}
+
+// ProbeResult reports a measurement back to the NOC.
+type ProbeResult struct {
+	Type    MsgType `json:"type"`
+	Epoch   int     `json:"epoch"`
+	PathID  int     `json:"pathId"`
+	OK      bool    `json:"ok"` // false when a link on the path was down
+	Value   float64 `json:"value,omitempty"`
+	Monitor string  `json:"monitor"`
+}
+
+// writeMsg marshals v as one JSON line.
+func writeMsg(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("agent: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("agent: write: %w", err)
+	}
+	return nil
+}
+
+// readLine reads one protocol line, bounded to keep malicious peers from
+// exhausting memory.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	const maxLine = 1 << 20
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) > maxLine {
+		return nil, fmt.Errorf("agent: oversized message (%d bytes)", len(line))
+	}
+	return line, nil
+}
+
+// peekType extracts the type field without committing to a full decode.
+func peekType(line []byte) (MsgType, error) {
+	var head struct {
+		Type MsgType `json:"type"`
+	}
+	if err := json.Unmarshal(line, &head); err != nil {
+		return "", fmt.Errorf("agent: malformed message: %w", err)
+	}
+	return head.Type, nil
+}

@@ -1,0 +1,69 @@
+package bandit
+
+import (
+	"testing"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/tomo"
+)
+
+func benchInstance(b *testing.B) (*tomo.PathMatrix, *failure.Model) {
+	b.Helper()
+	paths := []routing.Path{
+		synthPath(0),
+		synthPath(1),
+		synthPath(2),
+		synthPath(0, 1),
+		synthPath(3, 4),
+		synthPath(5),
+	}
+	pm, err := tomo.NewPathMatrix(paths, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := failure.FromProbabilities([]float64{0.05, 0.1, 0.6, 0.2, 0.2, 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pm, model
+}
+
+func benchUnitCosts(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func BenchmarkLSREpoch(b *testing.B) {
+	pm, model := benchInstance(b)
+	learner, err := New(pm, benchUnitCosts(pm.NumPaths()), 3, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := NewFailureEnv(pm, model, stats.NewRNG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := learner.Step(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSRMatroidEpoch(b *testing.B) {
+	pm, model := benchInstance(b)
+	learner, err := New(pm, benchUnitCosts(pm.NumPaths()), 3, Options{Matroid: true, MatroidBudget: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := NewFailureEnv(pm, model, stats.NewRNG(2, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := learner.Step(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package bandit
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/selection"
+	"robusttomo/internal/tomo"
+)
+
+// EpsilonGreedy is the classical baseline learner: with probability ε it
+// explores (plays a uniformly random feasible action); otherwise it
+// exploits the current empirical availability estimates through the same
+// RoMe maximization LSR uses. It exists as a comparison point for LSR —
+// UCB's directed exploration reaches good selections with far fewer wasted
+// epochs than undirected ε-exploration (see the learner-comparison
+// extension experiment).
+type EpsilonGreedy struct {
+	pm      *tomo.PathMatrix
+	costs   []float64
+	budget  float64
+	epsilon float64
+	rng     *rand.Rand
+
+	sumX             []float64
+	count            []int
+	epoch            int
+	cumulativeReward float64
+}
+
+// NewEpsilonGreedy validates the problem and returns a fresh learner.
+func NewEpsilonGreedy(pm *tomo.PathMatrix, costs []float64, budget, epsilon float64, rng *rand.Rand) (*EpsilonGreedy, error) {
+	n := pm.NumPaths()
+	if n == 0 {
+		return nil, fmt.Errorf("bandit: no candidate paths")
+	}
+	if len(costs) != n {
+		return nil, fmt.Errorf("bandit: %d costs for %d paths", len(costs), n)
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("bandit: non-positive budget %v", budget)
+	}
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("bandit: epsilon %v outside [0,1]", epsilon)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("bandit: nil rng")
+	}
+	return &EpsilonGreedy{
+		pm:      pm,
+		costs:   costs,
+		budget:  budget,
+		epsilon: epsilon,
+		rng:     rng,
+		sumX:    make([]float64, n),
+		count:   make([]int, n),
+	}, nil
+}
+
+// Epochs returns the number of completed epochs.
+func (e *EpsilonGreedy) Epochs() int { return e.epoch }
+
+// CumulativeReward returns the total rank reward accumulated so far.
+func (e *EpsilonGreedy) CumulativeReward() float64 { return e.cumulativeReward }
+
+// ThetaHat returns the empirical availability estimates.
+func (e *EpsilonGreedy) ThetaHat() []float64 {
+	out := make([]float64, len(e.sumX))
+	for i := range out {
+		if e.count[i] > 0 {
+			out[i] = e.sumX[i] / float64(e.count[i])
+		}
+	}
+	return out
+}
+
+// SelectAction picks the next epoch's probing set.
+func (e *EpsilonGreedy) SelectAction() ([]int, error) {
+	if e.rng.Float64() < e.epsilon {
+		return e.randomFeasible(), nil
+	}
+	oracle := er.NewThetaBoundInc(e.pm, e.ThetaHat())
+	res, err := selection.RoMe(e.pm, e.costs, e.budget, oracle, selection.NewOptions())
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Selected) == 0 {
+		// All estimates zero (early epochs): fall back to exploration.
+		return e.randomFeasible(), nil
+	}
+	return res.Selected, nil
+}
+
+// randomFeasible fills the budget with uniformly shuffled affordable
+// paths.
+func (e *EpsilonGreedy) randomFeasible() []int {
+	var action []int
+	spent := 0.0
+	for _, q := range e.rng.Perm(e.pm.NumPaths()) {
+		if spent+e.costs[q] <= e.budget {
+			action = append(action, q)
+			spent += e.costs[q]
+		}
+	}
+	return action
+}
+
+// Observe records one epoch's feedback and returns the rank reward.
+func (e *EpsilonGreedy) Observe(action []int, avail []bool) (int, error) {
+	if len(avail) != e.pm.NumPaths() {
+		return 0, fmt.Errorf("bandit: availability vector of %d for %d paths", len(avail), e.pm.NumPaths())
+	}
+	var up []int
+	for _, q := range action {
+		if q < 0 || q >= e.pm.NumPaths() {
+			return 0, fmt.Errorf("bandit: action path %d out of range", q)
+		}
+		if avail[q] {
+			e.sumX[q]++
+			up = append(up, q)
+		}
+		e.count[q]++
+	}
+	reward := e.pm.RankOf(up)
+	e.cumulativeReward += float64(reward)
+	e.epoch++
+	return reward, nil
+}
+
+// Step runs one full epoch against the environment.
+func (e *EpsilonGreedy) Step(env Env) (action []int, reward int, err error) {
+	action, err = e.SelectAction()
+	if err != nil {
+		return nil, 0, err
+	}
+	reward, err = e.Observe(action, env.Epoch())
+	if err != nil {
+		return nil, 0, err
+	}
+	return action, reward, nil
+}
+
+// Exploit returns the pure-exploitation selection at the current
+// estimates.
+func (e *EpsilonGreedy) Exploit() ([]int, error) {
+	oracle := er.NewThetaBoundInc(e.pm, e.ThetaHat())
+	res, err := selection.RoMe(e.pm, e.costs, e.budget, oracle, selection.NewOptions())
+	if err != nil {
+		return nil, err
+	}
+	return res.Selected, nil
+}

@@ -1,0 +1,132 @@
+package bandit
+
+import (
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+func TestNewEpsilonGreedyValidation(t *testing.T) {
+	pm, _ := smallInstance(t)
+	rng := stats.NewRNG(1, 1)
+	if _, err := NewEpsilonGreedy(pm, unitCosts(2), 3, 0.1, rng); err == nil {
+		t.Fatal("cost mismatch accepted")
+	}
+	if _, err := NewEpsilonGreedy(pm, unitCosts(pm.NumPaths()), 0, 0.1, rng); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewEpsilonGreedy(pm, unitCosts(pm.NumPaths()), 3, 1.5, rng); err == nil {
+		t.Fatal("epsilon > 1 accepted")
+	}
+	if _, err := NewEpsilonGreedy(pm, unitCosts(pm.NumPaths()), 3, 0.1, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestEpsilonGreedyRespectsBudget(t *testing.T) {
+	pm, model := smallInstance(t)
+	costs := []float64{1, 2, 1, 3, 2, 1}
+	budget := 4.0
+	eg, err := NewEpsilonGreedy(pm, costs, budget, 0.3, stats.NewRNG(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewFailureEnv(pm, model, stats.NewRNG(3, 3))
+	for e := 0; e < 60; e++ {
+		action, _, err := eg.Step(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, q := range action {
+			total += costs[q]
+		}
+		if total > budget+1e-9 {
+			t.Fatalf("epoch %d: cost %v > budget %v", e, total, budget)
+		}
+	}
+	if eg.Epochs() != 60 {
+		t.Fatalf("Epochs = %d", eg.Epochs())
+	}
+	if eg.CumulativeReward() <= 0 {
+		t.Fatal("no reward accumulated")
+	}
+}
+
+func TestEpsilonGreedyObserveValidation(t *testing.T) {
+	pm, _ := smallInstance(t)
+	eg, _ := NewEpsilonGreedy(pm, unitCosts(pm.NumPaths()), 3, 0.2, stats.NewRNG(4, 4))
+	if _, err := eg.Observe([]int{0}, []bool{true}); err == nil {
+		t.Fatal("short availability accepted")
+	}
+	avail := make([]bool, pm.NumPaths())
+	if _, err := eg.Observe([]int{99}, avail); err == nil {
+		t.Fatal("out-of-range action accepted")
+	}
+}
+
+func TestEpsilonGreedyLearnsAndExploits(t *testing.T) {
+	pm, model := smallInstance(t)
+	eg, err := NewEpsilonGreedy(pm, unitCosts(pm.NumPaths()), 3, 0.2, stats.NewRNG(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewFailureEnv(pm, model, stats.NewRNG(6, 6))
+	for e := 0; e < 600; e++ {
+		if _, _, err := eg.Step(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := eg.Exploit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 || len(sel) > 3 {
+		t.Fatalf("exploit selection = %v", sel)
+	}
+	th := eg.ThetaHat()
+	nonzero := 0
+	for _, v := range th {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 3 {
+		t.Fatalf("too few paths learned: %v", th)
+	}
+}
+
+// LSR's directed exploration should accumulate at least as much reward as
+// undirected ε-greedy over the same horizon (allowing modest noise).
+func TestLSRBeatsEpsilonGreedy(t *testing.T) {
+	pm, model := smallInstance(t)
+	costs := unitCosts(pm.NumPaths())
+	const horizon = 800
+
+	lsr, err := New(pm, costs, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := NewFailureEnv(pm, model, stats.NewRNG(7, 7))
+	for e := 0; e < horizon; e++ {
+		if _, _, err := lsr.Step(envA); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eg, err := NewEpsilonGreedy(pm, costs, 3, 0.2, stats.NewRNG(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB := NewFailureEnv(pm, model, stats.NewRNG(7, 7)) // same env stream
+	for e := 0; e < horizon; e++ {
+		if _, _, err := eg.Step(envB); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if lsr.CumulativeReward() < eg.CumulativeReward()-float64(horizon)*0.05 {
+		t.Fatalf("LSR reward %v clearly below ε-greedy %v",
+			lsr.CumulativeReward(), eg.CumulativeReward())
+	}
+}

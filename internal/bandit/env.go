@@ -1,0 +1,57 @@
+package bandit
+
+import (
+	"math/rand/v2"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/failure"
+	"robusttomo/internal/tomo"
+)
+
+// FailureEnv drives the learner with the true link-failure process: each
+// epoch samples an independent link-failure scenario and exposes the
+// availability of every candidate path, so correlations between paths
+// sharing links are faithfully present (the regime LSR is designed for).
+type FailureEnv struct {
+	pm    *tomo.PathMatrix
+	model *failure.Model
+	rng   *rand.Rand
+}
+
+var _ Env = (*FailureEnv)(nil)
+
+// NewFailureEnv returns an environment over the given network and failure
+// model.
+func NewFailureEnv(pm *tomo.PathMatrix, model *failure.Model, rng *rand.Rand) *FailureEnv {
+	return &FailureEnv{pm: pm, model: model, rng: rng}
+}
+
+// Epoch implements Env.
+func (e *FailureEnv) Epoch() []bool {
+	sc := e.model.Sample(e.rng)
+	out := make([]bool, e.pm.NumPaths())
+	for i := range out {
+		out[i] = e.pm.Available(i, sc)
+	}
+	return out
+}
+
+// ThetaEnv drives the learner with independent per-path availabilities —
+// the idealized model under which LSR's regret bound is stated. Useful for
+// regret-shape tests.
+type ThetaEnv struct {
+	theta []float64
+	rng   *rand.Rand
+}
+
+var _ Env = (*ThetaEnv)(nil)
+
+// NewThetaEnv returns an environment with the given true availabilities.
+func NewThetaEnv(theta []float64, rng *rand.Rand) *ThetaEnv {
+	cp := make([]float64, len(theta))
+	copy(cp, theta)
+	return &ThetaEnv{theta: cp, rng: rng}
+}
+
+// Epoch implements Env.
+func (e *ThetaEnv) Epoch() []bool { return er.SampleTheta(e.theta, e.rng) }

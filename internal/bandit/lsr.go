@@ -1,0 +1,294 @@
+// Package bandit implements the paper's Section V learner for the case of
+// an unknown failure distribution: LSR (Learning with Submodular Rewards),
+// a combinatorial UCB algorithm that learns per-path expected
+// availabilities θ while repeatedly selecting probing-path sets under the
+// budget constraint. Each epoch plays the action maximizing the
+// independence-assumption ER bound at the optimistic estimates θ̂ + C,
+// where C_i = sqrt((L+1)·ln n / μ_i) is the confidence width (Eq. 10). The
+// inner maximization is NP-hard, so LSR uses RoMe with the Eq. 11 bound as
+// its subroutine, exactly as the paper prescribes.
+//
+// With a matroid action space (independent paths, unit costs) the reward is
+// linear and LSR degenerates into LLR of Gai–Krishnamachari–Jain; Options.
+// Matroid selects that mode.
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/selection"
+	"robusttomo/internal/tomo"
+)
+
+// Env supplies one epoch of ground truth: a path-availability function
+// drawn from the (unknown to the learner) failure process.
+type Env interface {
+	// Epoch draws the availability of every candidate path for one epoch.
+	// The learner only reads entries of probed paths, respecting the
+	// semi-bandit feedback model.
+	Epoch() []bool
+}
+
+// Options configures the learner.
+type Options struct {
+	// Matroid switches to the LLR special case: the action space contains
+	// only linearly independent path sets of size ≤ MatroidBudget with
+	// unit costs.
+	Matroid       bool
+	MatroidBudget int
+	// L overrides the maximum-action-size constant in the confidence
+	// width. Zero derives it from the budget and cheapest path (or
+	// MatroidBudget in matroid mode).
+	L int
+}
+
+// LSR is the learner state.
+type LSR struct {
+	pm     *tomo.PathMatrix
+	costs  []float64
+	budget float64
+	opts   Options
+
+	sumX  []float64 // per-path sum of observed availabilities
+	count []int     // per-path observation counts (μ)
+	epoch int       // completed epochs (n)
+	l     int       // the L constant
+
+	cumulativeReward float64
+}
+
+// New validates the problem and returns a fresh learner.
+func New(pm *tomo.PathMatrix, costs []float64, budget float64, opts Options) (*LSR, error) {
+	n := pm.NumPaths()
+	if n == 0 {
+		return nil, fmt.Errorf("bandit: no candidate paths")
+	}
+	if len(costs) != n {
+		return nil, fmt.Errorf("bandit: %d costs for %d paths", len(costs), n)
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("bandit: non-positive budget %v", budget)
+	}
+	if opts.Matroid && opts.MatroidBudget <= 0 {
+		return nil, fmt.Errorf("bandit: matroid mode needs a positive MatroidBudget")
+	}
+	l := opts.L
+	if l <= 0 {
+		if opts.Matroid {
+			l = opts.MatroidBudget
+		} else {
+			minCost := math.Inf(1)
+			for _, c := range costs {
+				if c > 0 && c < minCost {
+					minCost = c
+				}
+			}
+			if math.IsInf(minCost, 1) {
+				l = n
+			} else {
+				l = int(budget / minCost)
+			}
+		}
+		if l > n {
+			l = n
+		}
+		if l < 1 {
+			l = 1
+		}
+	}
+	return &LSR{
+		pm:     pm,
+		costs:  costs,
+		budget: budget,
+		opts:   opts,
+		sumX:   make([]float64, n),
+		count:  make([]int, n),
+		l:      l,
+	}, nil
+}
+
+// Epochs returns the number of completed epochs.
+func (b *LSR) Epochs() int { return b.epoch }
+
+// L returns the action-size constant used in the confidence width.
+func (b *LSR) L() int { return b.l }
+
+// CumulativeReward returns the total rank reward accumulated so far.
+func (b *LSR) CumulativeReward() float64 { return b.cumulativeReward }
+
+// ThetaHat returns the current empirical availability estimates (0 for
+// never-observed paths).
+func (b *LSR) ThetaHat() []float64 {
+	out := make([]float64, len(b.sumX))
+	for i := range out {
+		if b.count[i] > 0 {
+			out[i] = b.sumX[i] / float64(b.count[i])
+		}
+	}
+	return out
+}
+
+// Counts returns a copy of the per-path observation counts.
+func (b *LSR) Counts() []int {
+	out := make([]int, len(b.count))
+	copy(out, b.count)
+	return out
+}
+
+// ucb returns θ̂ + C per Eq. 10, with unobserved paths treated as maximally
+// optimistic.
+func (b *LSR) ucb() []float64 {
+	n := float64(b.epoch)
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, len(b.sumX))
+	for i := range out {
+		if b.count[i] == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = b.sumX[i]/float64(b.count[i]) +
+			math.Sqrt(float64(b.l+1)*math.Log(n)/float64(b.count[i]))
+	}
+	return out
+}
+
+// unobserved returns the lowest-index never-probed path, or -1.
+func (b *LSR) unobserved() int {
+	for i, c := range b.count {
+		if c == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// SelectAction computes the action for the next epoch: during
+// initialization, an action covering a not-yet-observed path; afterwards
+// the RoMe maximizer of ER(R; θ̂ + C).
+func (b *LSR) SelectAction() ([]int, error) {
+	theta := b.ucb()
+	if forced := b.unobserved(); forced >= 0 {
+		return b.actionWith(forced, theta)
+	}
+	return b.maximize(theta, -1)
+}
+
+// actionWith builds an action guaranteed to contain the forced path (the
+// initialization phase of Algorithm 2), filling the rest greedily.
+func (b *LSR) actionWith(forced int, theta []float64) ([]int, error) {
+	if !b.opts.Matroid && b.costs[forced] > b.budget {
+		// The forced path alone violates the budget: it can never be
+		// probed, so mark it observed-unavailable to avoid deadlock.
+		b.count[forced] = 1
+		b.sumX[forced] = 0
+		return b.SelectAction()
+	}
+	return b.maximize(theta, forced)
+}
+
+// maximize runs the paper's inner optimization with an optional forced
+// first pick.
+func (b *LSR) maximize(theta []float64, forced int) ([]int, error) {
+	if b.opts.Matroid {
+		res, err := b.matroidMaximize(theta, forced)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	oracle := er.NewThetaBoundInc(b.pm, theta)
+	budget := b.budget
+	var pre []int
+	if forced >= 0 {
+		oracle.Add(forced)
+		budget -= b.costs[forced]
+		pre = []int{forced}
+	}
+	res, err := selection.RoMe(b.pm, b.costs, budget, oracle, selection.NewOptions())
+	if err != nil {
+		return nil, err
+	}
+	action := append(pre, res.Selected...)
+	return dedupe(action), nil
+}
+
+func (b *LSR) matroidMaximize(theta []float64, forced int) ([]int, error) {
+	if forced < 0 {
+		res, err := selection.MatRoMe(b.pm, theta, b.opts.MatroidBudget, selection.MatRoMeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Selected, nil
+	}
+	// Force inclusion by giving the forced path an infinitely attractive
+	// weight; MatRoMe's stable sort puts it first.
+	boost := make([]float64, len(theta))
+	copy(boost, theta)
+	boost[forced] = math.Inf(1)
+	res, err := selection.MatRoMe(b.pm, boost, b.opts.MatroidBudget, selection.MatRoMeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Selected, nil
+}
+
+func dedupe(idx []int) []int {
+	seen := make(map[int]bool, len(idx))
+	out := idx[:0]
+	for _, q := range idx {
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Observe records one epoch's feedback for a played action and returns the
+// reward (the rank of the surviving subset, Eq. 8).
+func (b *LSR) Observe(action []int, avail []bool) (reward int, err error) {
+	if len(avail) != b.pm.NumPaths() {
+		return 0, fmt.Errorf("bandit: availability vector of %d for %d paths", len(avail), b.pm.NumPaths())
+	}
+	var up []int
+	for _, q := range action {
+		if q < 0 || q >= b.pm.NumPaths() {
+			return 0, fmt.Errorf("bandit: action path %d out of range", q)
+		}
+		x := 0.0
+		if avail[q] {
+			x = 1
+			up = append(up, q)
+		}
+		b.sumX[q] += x
+		b.count[q]++
+	}
+	reward = b.pm.RankOf(up)
+	b.cumulativeReward += float64(reward)
+	b.epoch++
+	return reward, nil
+}
+
+// Step runs one full epoch against the environment: select, play, observe.
+func (b *LSR) Step(env Env) (action []int, reward int, err error) {
+	action, err = b.SelectAction()
+	if err != nil {
+		return nil, 0, err
+	}
+	reward, err = b.Observe(action, env.Epoch())
+	if err != nil {
+		return nil, 0, err
+	}
+	return action, reward, nil
+}
+
+// Exploit returns the pure-exploitation selection at the current estimates
+// (confidence width zero): the final path set the paper evaluates after
+// 500/1000 learning epochs.
+func (b *LSR) Exploit() ([]int, error) {
+	return b.maximize(b.ThetaHat(), -1)
+}

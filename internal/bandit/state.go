@@ -1,0 +1,70 @@
+package bandit
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// lsrState is the serialized learner state. Epochs in real deployments
+// are minutes long (measurement-collection windows), so a learning run
+// spans days; Snapshot/Restore let the NOC checkpoint the learner across
+// restarts without losing the accumulated availability statistics.
+type lsrState struct {
+	Version          int       `json:"version"`
+	Paths            int       `json:"paths"`
+	SumX             []float64 `json:"sumX"`
+	Count            []int     `json:"count"`
+	Epoch            int       `json:"epoch"`
+	CumulativeReward float64   `json:"cumulativeReward"`
+	L                int       `json:"l"`
+}
+
+const stateVersion = 1
+
+// Snapshot serializes the learner's mutable state.
+func (b *LSR) Snapshot() ([]byte, error) {
+	st := lsrState{
+		Version:          stateVersion,
+		Paths:            len(b.sumX),
+		SumX:             b.sumX,
+		Count:            b.count,
+		Epoch:            b.epoch,
+		CumulativeReward: b.cumulativeReward,
+		L:                b.l,
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("bandit: snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// Restore replaces the learner's mutable state with a snapshot taken from
+// a learner over the same candidate set. The L constant is restored too so
+// confidence widths continue the original schedule.
+func (b *LSR) Restore(data []byte) error {
+	var st lsrState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("bandit: restore: %w", err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("bandit: restore: unsupported state version %d", st.Version)
+	}
+	if st.Paths != len(b.sumX) || len(st.SumX) != st.Paths || len(st.Count) != st.Paths {
+		return fmt.Errorf("bandit: restore: state covers %d paths, learner has %d", st.Paths, len(b.sumX))
+	}
+	if st.Epoch < 0 || st.L < 1 {
+		return fmt.Errorf("bandit: restore: corrupt state (epoch %d, L %d)", st.Epoch, st.L)
+	}
+	for i, c := range st.Count {
+		if c < 0 || st.SumX[i] < 0 || st.SumX[i] > float64(c) {
+			return fmt.Errorf("bandit: restore: inconsistent statistics for path %d", i)
+		}
+	}
+	copy(b.sumX, st.SumX)
+	copy(b.count, st.Count)
+	b.epoch = st.Epoch
+	b.cumulativeReward = st.CumulativeReward
+	b.l = st.L
+	return nil
+}

@@ -1,0 +1,101 @@
+package bandit
+
+import (
+	"strings"
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	pm, model := smallInstance(t)
+	costs := unitCosts(pm.NumPaths())
+	a, err := New(pm, costs, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewFailureEnv(pm, model, stats.NewRNG(1, 1))
+	for e := 0; e < 60; e++ {
+		if _, _, err := a.Step(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := New(pm, costs, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if b.Epochs() != a.Epochs() || b.CumulativeReward() != a.CumulativeReward() || b.L() != a.L() {
+		t.Fatalf("restored counters differ: %d/%v/%d vs %d/%v/%d",
+			b.Epochs(), b.CumulativeReward(), b.L(), a.Epochs(), a.CumulativeReward(), a.L())
+	}
+	ta, tb := a.ThetaHat(), b.ThetaHat()
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("ThetaHat[%d] differs: %v vs %v", i, ta[i], tb[i])
+		}
+	}
+	// Both learners must make identical decisions afterwards.
+	actA, err := a.SelectAction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	actB, err := b.SelectAction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actA) != len(actB) {
+		t.Fatalf("actions differ: %v vs %v", actA, actB)
+	}
+	for i := range actA {
+		if actA[i] != actB[i] {
+			t.Fatalf("actions differ: %v vs %v", actA, actB)
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	pm, _ := smallInstance(t)
+	b, err := New(pm, unitCosts(pm.NumPaths()), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"wrong version", `{"version":99,"paths":6,"sumX":[0,0,0,0,0,0],"count":[0,0,0,0,0,0],"epoch":0,"l":3}`},
+		{"wrong path count", `{"version":1,"paths":2,"sumX":[0,0],"count":[0,0],"epoch":0,"l":3}`},
+		{"negative epoch", `{"version":1,"paths":6,"sumX":[0,0,0,0,0,0],"count":[0,0,0,0,0,0],"epoch":-1,"l":3}`},
+		{"zero L", `{"version":1,"paths":6,"sumX":[0,0,0,0,0,0],"count":[0,0,0,0,0,0],"epoch":0,"l":0}`},
+		{"sum exceeds count", `{"version":1,"paths":6,"sumX":[5,0,0,0,0,0],"count":[1,0,0,0,0,0],"epoch":1,"l":3}`},
+		{"ragged arrays", `{"version":1,"paths":6,"sumX":[0],"count":[0,0,0,0,0,0],"epoch":0,"l":3}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := b.Restore([]byte(tc.data)); err == nil {
+				t.Fatalf("state %q accepted", tc.data)
+			}
+		})
+	}
+}
+
+func TestSnapshotIsJSON(t *testing.T) {
+	pm, _ := smallInstance(t)
+	b, _ := New(pm, unitCosts(pm.NumPaths()), 3, Options{})
+	data, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version":1`) {
+		t.Fatalf("snapshot = %s", data)
+	}
+}

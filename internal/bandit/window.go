@@ -1,0 +1,98 @@
+package bandit
+
+import "fmt"
+
+// WindowedObserver wraps an LSR learner with a sliding observation window,
+// an extension for non-stationary failure processes: the paper assumes
+// link states are i.i.d. across epochs, but real failure distributions
+// drift (maintenance waves, seasonal load). Feeding the learner only the
+// most recent W epochs of each path's history lets stale availability
+// evidence age out, at the cost of wider confidence intervals.
+//
+// Implementation: the window keeps per-path observation ring buffers and
+// periodically rebuilds the learner's sufficient statistics (sum, count)
+// from the live window via Snapshot/Restore, so LSR itself stays unaware
+// of the windowing.
+type WindowedObserver struct {
+	learner *LSR
+	window  int
+	// ring[i] holds the last ≤ window observations of path i.
+	ring  [][]bool
+	epoch int
+}
+
+// NewWindowedObserver wraps an existing learner with a window of W epochs
+// per path.
+func NewWindowedObserver(learner *LSR, window int) (*WindowedObserver, error) {
+	if learner == nil {
+		return nil, fmt.Errorf("bandit: nil learner")
+	}
+	if window < 10 {
+		return nil, fmt.Errorf("bandit: window %d too small (need ≥ 10 for stable estimates)", window)
+	}
+	return &WindowedObserver{
+		learner: learner,
+		window:  window,
+		ring:    make([][]bool, learner.pm.NumPaths()),
+	}, nil
+}
+
+// Learner exposes the wrapped LSR (for SelectAction, Exploit, metrics).
+func (w *WindowedObserver) Learner() *LSR { return w.learner }
+
+// Step runs one epoch: select via the wrapped learner, observe through the
+// window.
+func (w *WindowedObserver) Step(env Env) (action []int, reward int, err error) {
+	action, err = w.learner.SelectAction()
+	if err != nil {
+		return nil, 0, err
+	}
+	avail := env.Epoch()
+	reward, err = w.Observe(action, avail)
+	if err != nil {
+		return nil, 0, err
+	}
+	return action, reward, nil
+}
+
+// Observe records the epoch in both the learner and the window, then
+// rebuilds the learner's statistics from the window when entries aged out.
+func (w *WindowedObserver) Observe(action []int, avail []bool) (int, error) {
+	reward, err := w.learner.Observe(action, avail)
+	if err != nil {
+		return 0, err
+	}
+	aged := false
+	for _, q := range action {
+		w.ring[q] = append(w.ring[q], avail[q])
+		if len(w.ring[q]) > w.window {
+			w.ring[q] = w.ring[q][len(w.ring[q])-w.window:]
+			aged = true
+		}
+	}
+	w.epoch++
+	if aged {
+		w.rebuild()
+	}
+	return reward, nil
+}
+
+// rebuild overwrites the learner's per-path sufficient statistics with the
+// windowed ones, preserving the epoch counter (which drives the confidence
+// schedule).
+func (w *WindowedObserver) rebuild() {
+	for i, ring := range w.ring {
+		count := len(ring)
+		sum := 0.0
+		for _, up := range ring {
+			if up {
+				sum++
+			}
+		}
+		w.learner.count[i] = count
+		w.learner.sumX[i] = sum
+	}
+}
+
+// Window returns the configured window size.
+func (w *WindowedObserver) Window() int { return w.window }

@@ -1,0 +1,107 @@
+package bandit
+
+import (
+	"testing"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/stats"
+)
+
+func TestNewWindowedObserverValidation(t *testing.T) {
+	pm, _ := smallInstance(t)
+	l, err := New(pm, unitCosts(pm.NumPaths()), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWindowedObserver(nil, 100); err == nil {
+		t.Fatal("nil learner accepted")
+	}
+	if _, err := NewWindowedObserver(l, 5); err == nil {
+		t.Fatal("tiny window accepted")
+	}
+	w, err := NewWindowedObserver(l, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Window() != 50 || w.Learner() != l {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestWindowedCountsBounded(t *testing.T) {
+	pm, model := smallInstance(t)
+	l, err := New(pm, unitCosts(pm.NumPaths()), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWindowedObserver(l, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewFailureEnv(pm, model, stats.NewRNG(1, 1))
+	for e := 0; e < 400; e++ {
+		if _, _, err := w.Step(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range l.Counts() {
+		if c > 40 {
+			t.Fatalf("path %d count %d exceeds window", i, c)
+		}
+	}
+	if l.Epochs() != 400 {
+		t.Fatalf("Epochs = %d (must keep the global schedule)", l.Epochs())
+	}
+}
+
+// Under a distribution shift the windowed learner's estimate tracks the
+// new regime while the unwindowed learner stays anchored to the average.
+func TestWindowedAdaptsToShift(t *testing.T) {
+	pm, _ := smallInstance(t)
+	costs := unitCosts(pm.NumPaths())
+
+	run := func(windowed bool) float64 {
+		l, err := New(pm, costs, 3, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var step func(env Env) error
+		if windowed {
+			w, err := NewWindowedObserver(l, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step = func(env Env) error { _, _, err := w.Step(env); return err }
+		} else {
+			step = func(env Env) error { _, _, err := l.Step(env); return err }
+		}
+		// Phase 1: path 0's link is reliable. Phase 2: it degrades hard.
+		phase1, _ := failure.FromProbabilities([]float64{0.02, 0.1, 0.6, 0.2, 0.2, 0.02})
+		phase2, _ := failure.FromProbabilities([]float64{0.9, 0.1, 0.6, 0.2, 0.2, 0.02})
+		env1 := NewFailureEnv(pm, phase1, stats.NewRNG(2, 2))
+		env2 := NewFailureEnv(pm, phase2, stats.NewRNG(3, 3))
+		for e := 0; e < 500; e++ {
+			if err := step(env1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e := 0; e < 300; e++ {
+			if err := step(env2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return l.ThetaHat()[0]
+	}
+
+	windowedTheta := run(true)
+	plainTheta := run(false)
+	// True availability of path 0 in phase 2 is 0.1. The windowed estimate
+	// must sit well below the unwindowed one, which still averages in the
+	// 500 reliable epochs.
+	if windowedTheta >= plainTheta {
+		t.Fatalf("windowed θ̂ %v not below unwindowed %v after shift", windowedTheta, plainTheta)
+	}
+	if windowedTheta > 0.45 {
+		t.Fatalf("windowed θ̂ %v still anchored to the old regime", windowedTheta)
+	}
+}

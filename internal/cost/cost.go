@@ -1,0 +1,112 @@
+// Package cost implements the paper's probing cost model (Section III-B
+// and VI-A): the cost of probing a path is the sum of a run-time component
+// linear in hop count and an access component charged for each endpoint
+// monitor owned by another administrative domain.
+//
+//	PC(q) = HopWeight·hops(q) + AC(src) + AC(dst)
+//
+// with HopWeight = 100 and access costs drawn from {0, 300} with equal
+// probability (self-owned vs peer-owned monitors). Costs of distinct paths
+// are independent and the cost of a set is the sum over its members.
+package cost
+
+import (
+	"fmt"
+
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/stats"
+)
+
+// Paper defaults from Section VI-A.
+const (
+	DefaultHopWeight = 100.0
+	SelfOwnedAccess  = 0.0
+	PeerOwnedAccess  = 300.0
+)
+
+// Model assigns probing costs to paths.
+type Model struct {
+	hopWeight float64
+	access    map[graph.NodeID]float64
+}
+
+// Config parameterizes NewModel.
+type Config struct {
+	Monitors  []graph.NodeID
+	HopWeight float64 // 0 means DefaultHopWeight
+	// PeerProbability is the probability a monitor is peer-owned (access
+	// cost 300); the paper uses 0.5. Negative values mean 0.5.
+	PeerProbability float64
+	Seed            uint64
+}
+
+// NewModel draws the access-cost class of every monitor and fixes the
+// run-time weight.
+func NewModel(cfg Config) (*Model, error) {
+	if len(cfg.Monitors) == 0 {
+		return nil, fmt.Errorf("cost: no monitors")
+	}
+	hw := cfg.HopWeight
+	if hw == 0 {
+		hw = DefaultHopWeight
+	}
+	if hw < 0 {
+		return nil, fmt.Errorf("cost: negative hop weight %v", hw)
+	}
+	pp := cfg.PeerProbability
+	if pp < 0 {
+		pp = 0.5
+	}
+	if pp > 1 {
+		return nil, fmt.Errorf("cost: peer probability %v > 1", pp)
+	}
+	rng := stats.NewRNG(cfg.Seed, 0xC057)
+	access := make(map[graph.NodeID]float64, len(cfg.Monitors))
+	for _, m := range cfg.Monitors {
+		if stats.Bernoulli(rng, pp) {
+			access[m] = PeerOwnedAccess
+		} else {
+			access[m] = SelfOwnedAccess
+		}
+	}
+	return &Model{hopWeight: hw, access: access}, nil
+}
+
+// Unit returns a model in which every path costs exactly 1, matching the
+// paper's matroid setting (Section IV-B) where the budget counts paths.
+func Unit() *Model { return &Model{hopWeight: 0, access: nil} }
+
+// IsUnit reports whether this is the unit-cost model.
+func (m *Model) IsUnit() bool { return m.access == nil && m.hopWeight == 0 }
+
+// AccessCost returns the access cost assigned to monitor n (0 for unknown
+// nodes, matching self-owned monitors).
+func (m *Model) AccessCost(n graph.NodeID) float64 { return m.access[n] }
+
+// PathCost returns PC(q).
+func (m *Model) PathCost(p routing.Path) float64 {
+	if m.IsUnit() {
+		return 1
+	}
+	return m.hopWeight*float64(p.Hops()) + m.access[p.Src] + m.access[p.Dst]
+}
+
+// SetCost returns PC(R) = Σ PC(q) over the set.
+func (m *Model) SetCost(paths []routing.Path) float64 {
+	total := 0.0
+	for _, p := range paths {
+		total += m.PathCost(p)
+	}
+	return total
+}
+
+// Costs returns the per-path costs for a slice of candidate paths, indexed
+// like the input.
+func (m *Model) Costs(paths []routing.Path) []float64 {
+	out := make([]float64, len(paths))
+	for i, p := range paths {
+		out[i] = m.PathCost(p)
+	}
+	return out
+}

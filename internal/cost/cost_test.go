@@ -1,0 +1,125 @@
+package cost
+
+import (
+	"testing"
+
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+)
+
+func pathWith(src, dst graph.NodeID, hops int) routing.Path {
+	edges := make([]graph.EdgeID, hops)
+	for i := range edges {
+		edges[i] = graph.EdgeID(i)
+	}
+	return routing.Path{Src: src, Dst: dst, Edges: edges}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(Config{}); err == nil {
+		t.Fatal("no monitors accepted")
+	}
+	if _, err := NewModel(Config{Monitors: []graph.NodeID{1}, HopWeight: -1}); err == nil {
+		t.Fatal("negative hop weight accepted")
+	}
+	if _, err := NewModel(Config{Monitors: []graph.NodeID{1}, PeerProbability: 2}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestPathCostFormula(t *testing.T) {
+	monitors := []graph.NodeID{0, 1}
+	// PeerProbability 1: both monitors peer-owned (access 300).
+	m, err := NewModel(Config{Monitors: monitors, PeerProbability: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pathWith(0, 1, 4)
+	want := 100.0*4 + 300 + 300
+	if got := m.PathCost(p); got != want {
+		t.Fatalf("PathCost = %v, want %v", got, want)
+	}
+	// PeerProbability 0: all self-owned.
+	m0, _ := NewModel(Config{Monitors: monitors, PeerProbability: 0, Seed: 1})
+	if got := m0.PathCost(p); got != 400 {
+		t.Fatalf("self-owned PathCost = %v, want 400", got)
+	}
+}
+
+func TestAccessCostClasses(t *testing.T) {
+	monitors := make([]graph.NodeID, 200)
+	for i := range monitors {
+		monitors[i] = graph.NodeID(i)
+	}
+	m, err := NewModel(Config{Monitors: monitors, PeerProbability: -1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := 0
+	for _, n := range monitors {
+		switch m.AccessCost(n) {
+		case PeerOwnedAccess:
+			peers++
+		case SelfOwnedAccess:
+		default:
+			t.Fatalf("unexpected access cost %v", m.AccessCost(n))
+		}
+	}
+	// Default 0.5 split: expect roughly half peers.
+	if peers < 60 || peers > 140 {
+		t.Fatalf("peers = %d/200, want around 100", peers)
+	}
+	// Unknown nodes cost 0.
+	if m.AccessCost(9999) != 0 {
+		t.Fatal("unknown node should cost 0")
+	}
+}
+
+func TestCustomHopWeight(t *testing.T) {
+	m, err := NewModel(Config{Monitors: []graph.NodeID{0, 1}, HopWeight: 7, PeerProbability: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PathCost(pathWith(0, 1, 3)); got != 21 {
+		t.Fatalf("PathCost = %v, want 21", got)
+	}
+}
+
+func TestSetCostAndCosts(t *testing.T) {
+	m, _ := NewModel(Config{Monitors: []graph.NodeID{0, 1, 2}, PeerProbability: 0})
+	paths := []routing.Path{pathWith(0, 1, 1), pathWith(1, 2, 2)}
+	costs := m.Costs(paths)
+	if costs[0] != 100 || costs[1] != 200 {
+		t.Fatalf("Costs = %v", costs)
+	}
+	if got := m.SetCost(paths); got != 300 {
+		t.Fatalf("SetCost = %v, want 300", got)
+	}
+}
+
+func TestUnitModel(t *testing.T) {
+	m := Unit()
+	if !m.IsUnit() {
+		t.Fatal("Unit not recognized")
+	}
+	if got := m.PathCost(pathWith(0, 1, 9)); got != 1 {
+		t.Fatalf("unit PathCost = %v, want 1", got)
+	}
+	if got := m.SetCost([]routing.Path{pathWith(0, 1, 1), pathWith(0, 2, 5)}); got != 2 {
+		t.Fatalf("unit SetCost = %v, want 2", got)
+	}
+}
+
+func TestModelDeterministicInSeed(t *testing.T) {
+	monitors := make([]graph.NodeID, 50)
+	for i := range monitors {
+		monitors[i] = graph.NodeID(i)
+	}
+	a, _ := NewModel(Config{Monitors: monitors, Seed: 9, PeerProbability: -1})
+	b, _ := NewModel(Config{Monitors: monitors, Seed: 9, PeerProbability: -1})
+	for _, n := range monitors {
+		if a.AccessCost(n) != b.AccessCost(n) {
+			t.Fatal("same seed gave different access classes")
+		}
+	}
+}

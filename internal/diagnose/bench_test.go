@@ -1,0 +1,57 @@
+package diagnose
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/tomo"
+)
+
+func benchObservation(b *testing.B) (*tomo.PathMatrix, Observation) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	const nLinks, nPaths = 160, 200
+	paths := make([]routing.Path, nPaths)
+	for i := range paths {
+		hops := 2 + rng.IntN(5)
+		paths[i] = synthPath(stats.SampleWithoutReplacement(rng, nLinks, hops)...)
+	}
+	pm, err := tomo.NewPathMatrix(paths, nLinks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	failed := make([]bool, nLinks)
+	for i := 0; i < 5; i++ {
+		failed[rng.IntN(nLinks)] = true
+	}
+	sc := failure.Scenario{Failed: failed}
+	obs := Observation{}
+	for i := 0; i < nPaths; i++ {
+		obs.Paths = append(obs.Paths, i)
+		obs.OK = append(obs.OK, pm.Available(i, sc))
+	}
+	return pm, obs
+}
+
+func BenchmarkLocalize(b *testing.B) {
+	pm, obs := benchObservation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Localize(pm, obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyExplanation(b *testing.B) {
+	pm, obs := benchObservation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyExplanation(pm, obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package diagnose performs Boolean failure localization from end-to-end
+// path observations: given which probed paths succeeded and which failed
+// in an epoch, it narrows down the set of links that can be down.
+//
+// This is the complementary inference the paper's Section II example
+// gestures at ("from the failure of path q11 we can conclude that the
+// failed link is l7") and the problem its related work (Nguyen–Thiran)
+// solves in full. The rules are classical Boolean tomography:
+//
+//   - every link on a successful path is certainly up;
+//   - every failed path must contain at least one down link among its
+//     links not yet proven up (a hitting-set constraint);
+//   - a link is *implicated* when it is the only possible explanation of
+//     some failed path.
+//
+// Exact minimal hitting sets are NP-hard, so the package offers exact
+// enumeration for small residual instances and a greedy cover otherwise.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"robusttomo/internal/tomo"
+)
+
+// Observation is one epoch of probing feedback: for every probed path,
+// whether it delivered a measurement.
+type Observation struct {
+	Paths []int  // probed candidate path indices
+	OK    []bool // parallel to Paths
+}
+
+// Diagnosis is the localization result.
+type Diagnosis struct {
+	// Up[l] is true when link l is proven up (it lies on a successful
+	// path).
+	Up []bool
+	// Suspect[l] is true when link l lies on at least one failed path and
+	// is not proven up — it may be down.
+	Suspect []bool
+	// Implicated[l] is true when some failed path has l as its only
+	// possible explanation; such links are certainly down (assuming
+	// observations are consistent).
+	Implicated []bool
+	// Unexplained lists failed paths none of whose links remain suspect —
+	// an inconsistency between the observations and the topology.
+	Unexplained []int
+}
+
+// NumSuspect returns the count of suspect links.
+func (d Diagnosis) NumSuspect() int { return count(d.Suspect) }
+
+// NumImplicated returns the count of certainly-down links.
+func (d Diagnosis) NumImplicated() int { return count(d.Implicated) }
+
+func count(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Localize applies the Boolean rules to one observation.
+func Localize(pm *tomo.PathMatrix, obs Observation) (Diagnosis, error) {
+	if len(obs.Paths) != len(obs.OK) {
+		return Diagnosis{}, fmt.Errorf("diagnose: %d paths, %d outcomes", len(obs.Paths), len(obs.OK))
+	}
+	links := pm.NumLinks()
+	d := Diagnosis{
+		Up:         make([]bool, links),
+		Suspect:    make([]bool, links),
+		Implicated: make([]bool, links),
+	}
+	var failed []int
+	for k, p := range obs.Paths {
+		if p < 0 || p >= pm.NumPaths() {
+			return Diagnosis{}, fmt.Errorf("diagnose: path %d out of range", p)
+		}
+		if obs.OK[k] {
+			for _, l := range pm.EdgesOf(p) {
+				d.Up[l] = true
+			}
+		} else {
+			failed = append(failed, p)
+		}
+	}
+	for _, p := range failed {
+		var candidates []int
+		for _, l := range pm.EdgesOf(p) {
+			if !d.Up[l] {
+				candidates = append(candidates, l)
+				d.Suspect[l] = true
+			}
+		}
+		switch len(candidates) {
+		case 0:
+			d.Unexplained = append(d.Unexplained, p)
+		case 1:
+			d.Implicated[candidates[0]] = true
+		}
+	}
+	return d, nil
+}
+
+// MaxExactSuspects bounds the exact minimal-hitting-set search.
+const MaxExactSuspects = 22
+
+// MinimalExplanations returns all minimum-cardinality sets of suspect
+// links that explain every failed path (each failed path contains at
+// least one set member). It requires the residual suspect count to be at
+// most MaxExactSuspects. When observations are consistent, at least one
+// explanation exists; the true failure set is a superset of some minimal
+// explanation.
+func MinimalExplanations(pm *tomo.PathMatrix, obs Observation) ([][]int, error) {
+	d, err := Localize(pm, obs)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Unexplained) > 0 {
+		return nil, fmt.Errorf("diagnose: %d failed paths have no possible explanation", len(d.Unexplained))
+	}
+	// Residual constraints: failed paths' suspect links.
+	var constraints [][]int
+	for k, p := range obs.Paths {
+		if obs.OK[k] {
+			continue
+		}
+		var cs []int
+		for _, l := range pm.EdgesOf(p) {
+			if d.Suspect[l] {
+				cs = append(cs, l)
+			}
+		}
+		constraints = append(constraints, cs)
+	}
+	if len(constraints) == 0 {
+		return [][]int{{}}, nil
+	}
+	var suspects []int
+	for l, s := range d.Suspect {
+		if s {
+			suspects = append(suspects, l)
+		}
+	}
+	if len(suspects) > MaxExactSuspects {
+		return nil, fmt.Errorf("diagnose: %d suspects exceed exact limit %d", len(suspects), MaxExactSuspects)
+	}
+
+	pos := make(map[int]int, len(suspects))
+	for i, l := range suspects {
+		pos[l] = i
+	}
+	masks := make([]uint64, len(constraints))
+	for i, cs := range constraints {
+		for _, l := range cs {
+			masks[i] |= 1 << pos[l]
+		}
+	}
+
+	var best [][]int
+	bestSize := len(suspects) + 1
+	for set := uint64(0); set < 1<<len(suspects); set++ {
+		size := popcount(set)
+		if size > bestSize {
+			continue
+		}
+		ok := true
+		for _, m := range masks {
+			if m&set == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if size < bestSize {
+			bestSize = size
+			best = best[:0]
+		}
+		var links []int
+		for i, l := range suspects {
+			if set&(1<<i) != 0 {
+				links = append(links, l)
+			}
+		}
+		best = append(best, links)
+	}
+	sort.Slice(best, func(a, b int) bool { return lessIntSlice(best[a], best[b]) })
+	return best, nil
+}
+
+// GreedyExplanation returns one (not necessarily minimum) explanation via
+// the classical greedy set cover over suspect links, scalable to any
+// instance size. It returns an error when some failed path is
+// unexplainable.
+func GreedyExplanation(pm *tomo.PathMatrix, obs Observation) ([]int, error) {
+	d, err := Localize(pm, obs)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Unexplained) > 0 {
+		return nil, fmt.Errorf("diagnose: %d failed paths have no possible explanation", len(d.Unexplained))
+	}
+	// Remaining constraints per failed path.
+	var constraints [][]int
+	for k, p := range obs.Paths {
+		if obs.OK[k] {
+			continue
+		}
+		var cs []int
+		for _, l := range pm.EdgesOf(p) {
+			if d.Suspect[l] {
+				cs = append(cs, l)
+			}
+		}
+		constraints = append(constraints, cs)
+	}
+	var chosen []int
+	covered := make([]bool, len(constraints))
+	remaining := len(constraints)
+	for remaining > 0 {
+		// Pick the suspect link covering the most uncovered constraints;
+		// ties break on lower link ID for determinism.
+		counts := map[int]int{}
+		for i, cs := range constraints {
+			if covered[i] {
+				continue
+			}
+			for _, l := range cs {
+				counts[l]++
+			}
+		}
+		best, bestCount := -1, 0
+		for l, c := range counts {
+			if c > bestCount || (c == bestCount && best >= 0 && l < best) {
+				best, bestCount = l, c
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("diagnose: internal: uncovered constraint with no candidates")
+		}
+		chosen = append(chosen, best)
+		for i, cs := range constraints {
+			if covered[i] {
+				continue
+			}
+			for _, l := range cs {
+				if l == best {
+					covered[i] = true
+					remaining--
+					break
+				}
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,262 @@
+package diagnose
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/tomo"
+	"robusttomo/internal/topo"
+)
+
+func synthPath(links ...int) routing.Path {
+	edges := make([]graph.EdgeID, len(links))
+	for i, l := range links {
+		edges[i] = graph.EdgeID(l)
+	}
+	return routing.Path{Src: 0, Dst: 1, Edges: edges}
+}
+
+func examplePM(t *testing.T) (*topo.Example, *tomo.PathMatrix) {
+	t.Helper()
+	ex := topo.NewExample()
+	paths, err := routing.MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := tomo.NewPathMatrix(paths, ex.Graph.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, pm
+}
+
+func observe(pm *tomo.PathMatrix, sc failure.Scenario) Observation {
+	obs := Observation{}
+	for i := 0; i < pm.NumPaths(); i++ {
+		obs.Paths = append(obs.Paths, i)
+		obs.OK = append(obs.OK, pm.Available(i, sc))
+	}
+	return obs
+}
+
+func TestLocalizeValidation(t *testing.T) {
+	_, pm := examplePM(t)
+	if _, err := Localize(pm, Observation{Paths: []int{0}, OK: nil}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Localize(pm, Observation{Paths: []int{99}, OK: []bool{true}}); err == nil {
+		t.Fatal("out-of-range path accepted")
+	}
+}
+
+func TestLocalizePaperExample(t *testing.T) {
+	// The paper's Section II punchline: failing the bridge implicates it
+	// uniquely, because every other link of the failed cross paths lies on
+	// some successful intra-cluster path.
+	ex, pm := examplePM(t)
+	sc := failure.Scenario{Failed: make([]bool, pm.NumLinks())}
+	sc.Failed[ex.Bridge] = true
+	d, err := Localize(pm, observe(pm, sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Unexplained) != 0 {
+		t.Fatalf("unexplained paths: %v", d.Unexplained)
+	}
+	if !d.Implicated[ex.Bridge] {
+		t.Fatal("bridge not implicated")
+	}
+	if d.NumImplicated() != 1 || d.NumSuspect() != 1 {
+		t.Fatalf("implicated %d, suspect %d, want 1/1", d.NumImplicated(), d.NumSuspect())
+	}
+	for l := 0; l < pm.NumLinks(); l++ {
+		wantUp := l != int(ex.Bridge)
+		if d.Up[l] != wantUp {
+			t.Fatalf("link %d up=%v, want %v", l, d.Up[l], wantUp)
+		}
+	}
+}
+
+func TestLocalizeNoFailures(t *testing.T) {
+	_, pm := examplePM(t)
+	sc := failure.Scenario{Failed: make([]bool, pm.NumLinks())}
+	d, err := Localize(pm, observe(pm, sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSuspect() != 0 || d.NumImplicated() != 0 || len(d.Unexplained) != 0 {
+		t.Fatalf("clean epoch produced suspicion: %+v", d)
+	}
+}
+
+func TestLocalizeUnexplained(t *testing.T) {
+	// Path 0 both failed and all its links proven up by path 1 (same
+	// links): inconsistent observation.
+	pm, err := tomo.NewPathMatrix([]routing.Path{synthPath(0, 1), synthPath(0, 1)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Localize(pm, Observation{Paths: []int{0, 1}, OK: []bool{false, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Unexplained) != 1 || d.Unexplained[0] != 0 {
+		t.Fatalf("Unexplained = %v", d.Unexplained)
+	}
+	if _, err := MinimalExplanations(pm, Observation{Paths: []int{0, 1}, OK: []bool{false, true}}); err == nil {
+		t.Fatal("inconsistent observation accepted by MinimalExplanations")
+	}
+	if _, err := GreedyExplanation(pm, Observation{Paths: []int{0, 1}, OK: []bool{false, true}}); err == nil {
+		t.Fatal("inconsistent observation accepted by GreedyExplanation")
+	}
+}
+
+func TestMinimalExplanationsSimple(t *testing.T) {
+	// Two failed disjoint paths need two down links; one shared link
+	// explains both with a single failure.
+	pm, err := tomo.NewPathMatrix([]routing.Path{
+		synthPath(0, 2),
+		synthPath(1, 2),
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{Paths: []int{0, 1}, OK: []bool{false, false}}
+	expl, err := MinimalExplanations(pm, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl) != 1 || len(expl[0]) != 1 || expl[0][0] != 2 {
+		t.Fatalf("explanations = %v, want [[2]]", expl)
+	}
+}
+
+func TestMinimalExplanationsAllClean(t *testing.T) {
+	pm, _ := tomo.NewPathMatrix([]routing.Path{synthPath(0)}, 1)
+	expl, err := MinimalExplanations(pm, Observation{Paths: []int{0}, OK: []bool{true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl) != 1 || len(expl[0]) != 0 {
+		t.Fatalf("explanations = %v, want one empty set", expl)
+	}
+}
+
+func TestMinimalExplanationsMultiple(t *testing.T) {
+	// One failed path with two unexonerated links: two singleton minimal
+	// explanations.
+	pm, _ := tomo.NewPathMatrix([]routing.Path{synthPath(0, 1)}, 2)
+	expl, err := MinimalExplanations(pm, Observation{Paths: []int{0}, OK: []bool{false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl) != 2 {
+		t.Fatalf("explanations = %v, want two singletons", expl)
+	}
+}
+
+func TestGreedyExplanationCoversAllFailures(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		nLinks := 4 + rng.IntN(8)
+		nPaths := 3 + rng.IntN(10)
+		paths := make([]routing.Path, nPaths)
+		for i := range paths {
+			hops := 1 + rng.IntN(3)
+			links := rng.Perm(nLinks)[:hops]
+			paths[i] = synthPath(links...)
+		}
+		pm, err := tomo.NewPathMatrix(paths, nLinks)
+		if err != nil {
+			return false
+		}
+		failed := make([]bool, nLinks)
+		for l := range failed {
+			failed[l] = rng.Float64() < 0.25
+		}
+		sc := failure.Scenario{Failed: failed}
+		obs := Observation{}
+		for i := 0; i < nPaths; i++ {
+			obs.Paths = append(obs.Paths, i)
+			obs.OK = append(obs.OK, pm.Available(i, sc))
+		}
+		expl, err := GreedyExplanation(pm, obs)
+		if err != nil {
+			return false // consistent-by-construction observations
+		}
+		inExpl := map[int]bool{}
+		for _, l := range expl {
+			inExpl[l] = true
+		}
+		// Every failed path must contain a chosen link.
+		for k, p := range obs.Paths {
+			if obs.OK[k] {
+				continue
+			}
+			hit := false
+			for _, l := range pm.EdgesOf(p) {
+				if inExpl[l] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the true failure set always explains the observations, so a
+// minimal explanation is never larger than the number of truly failed
+// suspect links.
+func TestMinimalExplanationBoundedByTruth(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 79))
+		nLinks := 3 + rng.IntN(6)
+		nPaths := 2 + rng.IntN(6)
+		paths := make([]routing.Path, nPaths)
+		for i := range paths {
+			hops := 1 + rng.IntN(3)
+			links := rng.Perm(nLinks)[:hops]
+			paths[i] = synthPath(links...)
+		}
+		pm, err := tomo.NewPathMatrix(paths, nLinks)
+		if err != nil {
+			return false
+		}
+		failed := make([]bool, nLinks)
+		trueDown := 0
+		for l := range failed {
+			if rng.Float64() < 0.3 {
+				failed[l] = true
+				trueDown++
+			}
+		}
+		sc := failure.Scenario{Failed: failed}
+		obs := Observation{}
+		for i := 0; i < nPaths; i++ {
+			obs.Paths = append(obs.Paths, i)
+			obs.OK = append(obs.OK, pm.Available(i, sc))
+		}
+		expl, err := MinimalExplanations(pm, obs)
+		if err != nil {
+			return false
+		}
+		if len(expl) == 0 {
+			return false
+		}
+		return len(expl[0]) <= trueDown
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

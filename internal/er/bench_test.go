@@ -1,0 +1,79 @@
+package er
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkExactSmall(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	pm, model := randomInstance(rng, 10, 8)
+	idx := idxUpTo(pm.NumPaths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(pm, model, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbBoundOracle(b *testing.B) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	pm, model := randomInstance(rng, 60, 120)
+	idx := idxUpTo(pm.NumPaths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb := NewProbBoundInc(pm, model)
+		for _, q := range idx {
+			pb.Add(q)
+		}
+		if pb.Value() <= 0 {
+			b.Fatal("degenerate bound")
+		}
+	}
+}
+
+func BenchmarkMonteCarloOracle(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	pm, model := randomInstance(rng, 60, 120)
+	idx := idxUpTo(pm.NumPaths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc := NewMonteCarloInc(pm, model, 50, rand.New(rand.NewPCG(uint64(i), 3)))
+		for _, q := range idx {
+			mc.Add(q)
+		}
+		if mc.Value() <= 0 {
+			b.Fatal("degenerate estimate")
+		}
+	}
+}
+
+func BenchmarkMonteCarloBatch(b *testing.B) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	pm, model := randomInstance(rng, 60, 120)
+	idx := idxUpTo(pm.NumPaths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if MonteCarlo(pm, model, idx, 200, rand.New(rand.NewPCG(uint64(i), 4))) <= 0 {
+			b.Fatal("degenerate estimate")
+		}
+	}
+}
+
+func BenchmarkThetaBoundOracle(b *testing.B) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	pm, _ := randomInstance(rng, 60, 120)
+	theta := make([]float64, pm.NumPaths())
+	for i := range theta {
+		theta[i] = rng.Float64()
+	}
+	idx := idxUpTo(pm.NumPaths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := NewThetaBoundInc(pm, theta)
+		for _, q := range idx {
+			tb.Add(q)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package er
+
+import (
+	"fmt"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/tomo"
+)
+
+// MaxExactLinks caps the number of distinct links Exact will enumerate
+// over; beyond it the 2^n scenario space is computationally out of reach,
+// matching the paper's observation that exact ER is infeasible at scale.
+const MaxExactLinks = 24
+
+// Exact computes ER(R) exactly by enumerating failure sub-scenarios over
+// the links actually used by the selected paths. Links outside the
+// selection cannot change any path's availability, so the sum over the full
+// {0,1}^|E| space collapses to the used-link subspace, which keeps small
+// instances tractable. It returns an error when more than MaxExactLinks
+// distinct links are involved.
+func Exact(pm *tomo.PathMatrix, model *failure.Model, idx []int) (float64, error) {
+	if len(idx) == 0 {
+		return 0, nil
+	}
+	// Collect distinct links used by the selection.
+	usedSet := make(map[int]bool)
+	for _, i := range idx {
+		for _, l := range pm.EdgesOf(i) {
+			usedSet[l] = true
+		}
+	}
+	used := make([]int, 0, len(usedSet))
+	for l := range usedSet {
+		used = append(used, l)
+	}
+	if len(used) > MaxExactLinks {
+		return 0, fmt.Errorf("er: exact ER over %d links exceeds limit %d", len(used), MaxExactLinks)
+	}
+
+	failed := make([]bool, pm.NumLinks())
+	sc := failure.Scenario{Failed: failed}
+	total := 0.0
+	n := len(used)
+	for mask := 0; mask < 1<<n; mask++ {
+		prob := 1.0
+		for b, l := range used {
+			if mask&(1<<b) != 0 {
+				failed[l] = true
+				prob *= model.Prob(l)
+			} else {
+				failed[l] = false
+				prob *= 1 - model.Prob(l)
+			}
+		}
+		if prob == 0 {
+			continue
+		}
+		total += float64(pm.RankUnder(idx, sc)) * prob
+	}
+	return total, nil
+}

@@ -1,0 +1,117 @@
+package er
+
+import (
+	"math/rand/v2"
+
+	"robusttomo/internal/linalg"
+	"robusttomo/internal/tomo"
+)
+
+// ThetaBoundInc is the independence-assumption variant of the ER bound
+// (Eq. 11 of the paper), used by the LSR learner: instead of link failure
+// probabilities it consumes per-path availabilities θ_i (learned
+// empirically, possibly inflated by confidence intervals) and assumes path
+// availabilities are independent:
+//
+//	ER(R; θ) ≤ Σ_{q∈R_ind} θ_q + Σ_{q∈R_dep} θ_q·(1 − Π_{j∈R_q} θ_j).
+type ThetaBoundInc struct {
+	pm    *tomo.PathMatrix
+	theta []float64
+
+	basis   linalg.RowBasis
+	members []int
+	value   float64
+}
+
+var _ Incremental = (*ThetaBoundInc)(nil)
+
+// NewThetaBoundInc returns an empty oracle for the given per-path
+// availabilities. Values are clamped into [0, 1] so UCB-inflated θ̂ + C
+// inputs remain probabilities, as in the LSR analysis.
+func NewThetaBoundInc(pm *tomo.PathMatrix, theta []float64) *ThetaBoundInc {
+	cl := make([]float64, len(theta))
+	for i, v := range theta {
+		switch {
+		case v < 0:
+			cl[i] = 0
+		case v > 1:
+			cl[i] = 1
+		default:
+			cl[i] = v
+		}
+	}
+	return &ThetaBoundInc{pm: pm, theta: cl, basis: linalg.NewSparseBasis(pm.NumLinks())}
+}
+
+// Gain implements Incremental.
+func (tb *ThetaBoundInc) Gain(path int) float64 {
+	dep, support := tb.basis.Dependent(tb.pm.Row(path))
+	if !dep {
+		return tb.theta[path]
+	}
+	return tb.dependentGain(path, support)
+}
+
+// Add implements Incremental.
+func (tb *ThetaBoundInc) Add(path int) {
+	added, _, support := tb.basis.Add(tb.pm.Row(path))
+	if added {
+		tb.members = append(tb.members, path)
+		tb.value += tb.theta[path]
+		return
+	}
+	tb.value += tb.dependentGain(path, support)
+}
+
+// Value implements Incremental.
+func (tb *ThetaBoundInc) Value() float64 { return tb.value }
+
+func (tb *ThetaBoundInc) dependentGain(path int, support []int) float64 {
+	if len(support) == 0 {
+		return 0
+	}
+	allUp := 1.0
+	for _, member := range support {
+		allUp *= tb.theta[tb.members[member]]
+	}
+	return tb.theta[path] * (1 - allUp)
+}
+
+// ExactTheta computes ER(R; θ) exactly under the independence assumption by
+// enumerating the 2^|R| path-availability patterns. Exponential in |R|;
+// test-sized inputs only.
+func ExactTheta(pm *tomo.PathMatrix, theta []float64, idx []int) float64 {
+	n := len(idx)
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	up := make([]int, 0, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		prob := 1.0
+		up = up[:0]
+		for b, i := range idx {
+			if mask&(1<<b) != 0 {
+				prob *= theta[i]
+				up = append(up, i)
+			} else {
+				prob *= 1 - theta[i]
+			}
+		}
+		if prob == 0 {
+			continue
+		}
+		total += float64(pm.RankOf(up)) * prob
+	}
+	return total
+}
+
+// SampleTheta draws one availability realization per path under the
+// independence assumption (used by simulation tests of the learner).
+func SampleTheta(theta []float64, rng *rand.Rand) []bool {
+	out := make([]bool, len(theta))
+	for i, p := range theta {
+		out[i] = rng.Float64() < p
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/selection"
+	"robusttomo/internal/stats"
+)
+
+// LazyAblationResult compares lazy against naive greedy evaluation counts
+// (same selections by construction; see selection tests).
+type LazyAblationResult struct {
+	Paths            int
+	Budget           float64
+	LazyEvaluations  int
+	NaiveEvaluations int
+	Speedup          float64
+}
+
+// LazyAblation quantifies how much work lazy evaluation saves RoMe on a
+// given workload (DESIGN.md §6 ablation).
+func LazyAblation(w Workload, sc Scale, multiplier float64) (LazyAblationResult, error) {
+	in, err := BuildInstance(w, sc, 0)
+	if err != nil {
+		return LazyAblationResult{}, err
+	}
+	budget := multiplier * instanceBasisCost(in)
+	lazy, err := selection.RoMe(in.PM, in.Costs, budget, er.NewProbBoundInc(in.PM, in.Model), selection.Options{Lazy: true})
+	if err != nil {
+		return LazyAblationResult{}, err
+	}
+	naive, err := selection.RoMe(in.PM, in.Costs, budget, er.NewProbBoundInc(in.PM, in.Model), selection.Options{Lazy: false})
+	if err != nil {
+		return LazyAblationResult{}, err
+	}
+	res := LazyAblationResult{
+		Paths:            in.PM.NumPaths(),
+		Budget:           budget,
+		LazyEvaluations:  lazy.GainEvaluations,
+		NaiveEvaluations: naive.GainEvaluations,
+	}
+	if lazy.GainEvaluations > 0 {
+		res.Speedup = float64(naive.GainEvaluations) / float64(lazy.GainEvaluations)
+	}
+	return res, nil
+}
+
+// IntensitySweep measures how the ProbRoMe-vs-SelectPath rank gap depends
+// on the failure intensity (expected concurrent failures) — the one free
+// parameter of our failure-model substitution (DESIGN.md §4).
+func IntensitySweep(w Workload, sc Scale, intensities []float64, multiplier float64) (Figure, error) {
+	fig := Figure{
+		ID:     fmt.Sprintf("ablation-intensity-%s", w.label()),
+		Title:  fmt.Sprintf("Failure-intensity sensitivity (%s)", w.label()),
+		XLabel: "expected concurrent failures",
+		YLabel: "rank",
+	}
+	probSeries := Series{Name: AlgProbRoMe}
+	spSeries := Series{Name: AlgSelectPath}
+	for _, intensity := range intensities {
+		scI := sc
+		scI.ExpectedFailures = intensity
+		in, err := BuildInstance(w, scI, 0)
+		if err != nil {
+			return Figure{}, err
+		}
+		budget := multiplier * instanceBasisCost(in)
+		scenarios := in.Model.SampleN(stats.NewRNG(scI.Seed, 1000+uint64(intensity*10)), scI.Scenarios)
+		for _, alg := range []string{AlgProbRoMe, AlgSelectPath} {
+			selected, err := in.Select(alg, budget, scI, uint64(intensity*100))
+			if err != nil {
+				return Figure{}, err
+			}
+			ranks, _ := in.EvalMetrics(selected, scenarios, false)
+			point := Point{X: intensity, Mean: stats.Mean(ranks), Std: stats.StdDev(ranks)}
+			if alg == AlgProbRoMe {
+				probSeries.Points = append(probSeries.Points, point)
+			} else {
+				spSeries.Points = append(spSeries.Points, point)
+			}
+		}
+	}
+	fig.Series = []Series{probSeries, spSeries}
+	return fig, nil
+}
+
+// OracleQualityResult compares the selections produced with the ProbBound
+// oracle, the Monte Carlo oracle, and (when the instance is small enough)
+// the exact-ER evaluation of both, quantifying how much objective quality
+// the efficient bound gives up.
+type OracleQualityResult struct {
+	ProbBoundER  float64 // Monte Carlo-evaluated ER of the ProbRoMe pick
+	MonteCarloER float64 // same for the MonteRoMe pick
+	EvalRuns     int
+}
+
+// OracleQuality runs both RoMe oracles on a workload and re-evaluates both
+// final selections with a large common Monte Carlo panel.
+func OracleQuality(w Workload, sc Scale, multiplier float64, evalRuns int) (OracleQualityResult, error) {
+	in, err := BuildInstance(w, sc, 0)
+	if err != nil {
+		return OracleQualityResult{}, err
+	}
+	budget := multiplier * instanceBasisCost(in)
+	prob, err := in.Select(AlgProbRoMe, budget, sc, 1)
+	if err != nil {
+		return OracleQualityResult{}, err
+	}
+	monte, err := in.Select(AlgMonteRoMe, budget, sc, 2)
+	if err != nil {
+		return OracleQualityResult{}, err
+	}
+	return OracleQualityResult{
+		ProbBoundER:  er.MonteCarlo(in.PM, in.Model, prob, evalRuns, stats.NewRNG(sc.Seed, 1100)),
+		MonteCarloER: er.MonteCarlo(in.PM, in.Model, monte, evalRuns, stats.NewRNG(sc.Seed, 1100)),
+		EvalRuns:     evalRuns,
+	}, nil
+}

@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"robusttomo/internal/topo"
+)
+
+// testWorkload is a miniature ISP (40 nodes / 80 links / 64 candidate
+// paths) that keeps each figure runner under a second while preserving the
+// structure the algorithms react to.
+func testWorkload() Workload {
+	return Workload{
+		CandidatePaths: 64,
+		Custom:         &topo.Config{Name: "mini", Nodes: 40, Links: 80, PoPs: 4, Seed: 99},
+	}
+}
+
+func testScale() Scale {
+	return Scale{MonitorSets: 2, Scenarios: 40, MonteCarloRuns: 20, ExpectedFailures: 2, Seed: 7}
+}
+
+func TestBuildInstance(t *testing.T) {
+	in, err := BuildInstance(testWorkload(), testScale(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.PM.NumPaths() == 0 || in.PM.NumPaths() > 64 {
+		t.Fatalf("candidate paths = %d", in.PM.NumPaths())
+	}
+	if len(in.Costs) != in.PM.NumPaths() {
+		t.Fatal("cost vector length mismatch")
+	}
+	for _, c := range in.Costs {
+		if c < 100 { // at least one hop at weight 100
+			t.Fatalf("implausible path cost %v", c)
+		}
+	}
+	if in.Model.Links() != in.Topology.Graph.NumEdges() {
+		t.Fatal("failure model link count mismatch")
+	}
+}
+
+func TestBuildInstanceDeterministic(t *testing.T) {
+	a, err := BuildInstance(testWorkload(), testScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildInstance(testWorkload(), testScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PM.NumPaths() != b.PM.NumPaths() {
+		t.Fatal("instance not deterministic")
+	}
+	for i := 0; i < a.PM.NumPaths(); i++ {
+		if a.Costs[i] != b.Costs[i] {
+			t.Fatal("costs not deterministic")
+		}
+	}
+	c, err := BuildInstance(testWorkload(), testScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sources[0] == c.Sources[0] && a.Sources[1] == c.Sources[1] && a.Dests[0] == c.Dests[0] {
+		t.Log("different monitor sets drew suspiciously similar monitors (allowed but unlikely)")
+	}
+}
+
+func TestBuildInstanceLoadedTopology(t *testing.T) {
+	tp, err := topo.Generate(topo.Config{Name: "loaded", Nodes: 30, Links: 60, PoPs: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := BuildInstance(Workload{Loaded: tp, CandidatePaths: 20}, testScale(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Topology != tp {
+		t.Fatal("loaded topology not used")
+	}
+	if got := (Workload{Loaded: tp}).label(); got != "loaded" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+func TestBuildInstanceUnknownPreset(t *testing.T) {
+	if _, err := BuildInstance(Workload{Preset: "AS0", CandidatePaths: 10}, testScale(), 0); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Nodes != 87 || rows[0].Links != 161 {
+		t.Fatalf("AS1755 row = %+v", rows[0])
+	}
+	if rows[2].Nodes != 315 || rows[2].Links != 972 {
+		t.Fatalf("AS1239 row = %+v", rows[2])
+	}
+	out := FormatTableI(rows)
+	if !strings.Contains(out, "AS3257 (Medium)") {
+		t.Fatalf("FormatTableI = %q", out)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	fig, err := Fig3(Fig3Config{Workload: testWorkload(), MaxFailures: 4, Trials: 30}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	all, _ := fig.SeriesByName("AllPaths")
+	b1, _ := fig.SeriesByName("Basis-1")
+	// At zero failures a basis and the full set deliver the same rank.
+	a0, _ := all.MeanAt(0)
+	b0, _ := b1.MeanAt(0)
+	if a0 != b0 {
+		t.Fatalf("rank at 0 failures: all=%v basis=%v", a0, b0)
+	}
+	// Under failures the full set dominates any basis (paper's Fig. 3).
+	aK := all.FinalMean()
+	bK := b1.FinalMean()
+	if aK < bK {
+		t.Fatalf("AllPaths %v below basis %v under failures", aK, bK)
+	}
+	// Rank decays as failures accumulate.
+	if b1.FinalMean() >= b0 {
+		t.Fatalf("basis rank did not decay: %v -> %v", b0, b1.FinalMean())
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	fig, err := Fig4(Fig4Config{
+		Workload:      testWorkload(),
+		MaxDependent:  6,
+		ReferenceRuns: 3000,
+		SmallRuns:     50,
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := fig.SeriesByName("MC-3000")
+	if !ok {
+		t.Fatalf("missing reference series: %+v", fig.Series)
+	}
+	bound, _ := fig.SeriesByName("ProbBound")
+	// ProbBound must upper-bound the reference at every x (allowing MC
+	// noise of a few hundredths).
+	for i := range ref.Points {
+		if bound.Points[i].Mean < ref.Points[i].Mean-0.1 {
+			t.Fatalf("bound %v below reference %v at x=%v",
+				bound.Points[i].Mean, ref.Points[i].Mean, ref.Points[i].X)
+		}
+	}
+	// At zero dependent paths the bound is exact (modular case).
+	if diff := bound.Points[0].Mean - ref.Points[0].Mean; diff < -0.15 || diff > 0.15 {
+		t.Fatalf("bound vs reference at x=0 differ by %v", diff)
+	}
+}
+
+func TestBudgetSweepShape(t *testing.T) {
+	res, err := BudgetSweep(BudgetSweepConfig{
+		Workload:            testWorkload(),
+		Multiplier:          []float64{0.5, 1.0},
+		WithIdentifiability: true,
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rank.Series) != 3 {
+		t.Fatalf("rank series = %d", len(res.Rank.Series))
+	}
+	prob, _ := res.Rank.SeriesByName(AlgProbRoMe)
+	sp, _ := res.Rank.SeriesByName(AlgSelectPath)
+	// Rank grows with budget for each algorithm.
+	for _, s := range res.Rank.Series {
+		lo, _ := s.MeanAt(0.5)
+		hi, _ := s.MeanAt(1.0)
+		if hi < lo-1e-9 {
+			t.Fatalf("%s rank not monotone in budget: %v -> %v", s.Name, lo, hi)
+		}
+	}
+	// The paper's headline: ProbRoMe beats SelectPath under failures.
+	pl, _ := prob.MeanAt(0.5)
+	sl, _ := sp.MeanAt(0.5)
+	if pl <= sl {
+		t.Fatalf("ProbRoMe %v not above SelectPath %v at half budget", pl, sl)
+	}
+	// Identifiability shows the same ordering (Fig. 7).
+	pi, _ := res.Ident.SeriesByName(AlgProbRoMe)
+	si, _ := res.Ident.SeriesByName(AlgSelectPath)
+	piv, _ := pi.MeanAt(1.0)
+	siv, _ := si.MeanAt(1.0)
+	if piv < siv {
+		t.Fatalf("ProbRoMe identifiability %v below SelectPath %v", piv, siv)
+	}
+	if len(res.BasisCosts) != testScale().MonitorSets {
+		t.Fatalf("basis costs = %v", res.BasisCosts)
+	}
+}
+
+func TestRankCDFShape(t *testing.T) {
+	fig, err := RankCDF(RankCDFConfig{Workload: testWorkload(), Multiplier: 0.75}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("empty CDF for %s", s.Name)
+		}
+		last := s.Points[len(s.Points)-1]
+		if last.Mean != 1 {
+			t.Fatalf("%s CDF does not reach 1: %v", s.Name, last)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Mean < s.Points[i-1].Mean {
+				t.Fatalf("%s CDF not monotone", s.Name)
+			}
+		}
+	}
+}
+
+func TestMatroidLossShape(t *testing.T) {
+	res, err := MatroidLoss(MatroidLossConfig{
+		Base:       testWorkload(),
+		PathCounts: []int{24, 48},
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, _ := res.RankLoss.SeriesByName(AlgMatRoMe)
+	sp, _ := res.RankLoss.SeriesByName(AlgSelectPath)
+	// MatRoMe's loss must not exceed SelectPath's (paper Fig. 8) — compare
+	// at the largest candidate count where the gap is most pronounced.
+	if mat.FinalMean() > sp.FinalMean()+0.2 {
+		t.Fatalf("MatRoMe loss %v above SelectPath %v", mat.FinalMean(), sp.FinalMean())
+	}
+	// Losses are non-negative.
+	for _, s := range res.RankLoss.Series {
+		for _, p := range s.Points {
+			if p.Mean < -1e-9 {
+				t.Fatalf("negative rank loss in %s: %v", s.Name, p)
+			}
+		}
+	}
+	for _, s := range res.IdentLoss.Series {
+		for _, p := range s.Points {
+			if p.Mean < -1e-9 {
+				t.Fatalf("negative identifiability loss in %s: %v", s.Name, p)
+			}
+		}
+	}
+}
+
+func TestLearningShape(t *testing.T) {
+	fig, err := Learning(LearningConfig{
+		Workload:   testWorkload(),
+		Multiplier: []float64{0.75},
+		Epochs:     []int{60, 200},
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsrShort, _ := fig.SeriesByName("LSR-60")
+	lsrLong, _ := fig.SeriesByName("LSR-200")
+	prob, _ := fig.SeriesByName(AlgProbRoMe)
+	sp, _ := fig.SeriesByName(AlgSelectPath)
+	ps, _ := prob.MeanAt(0.75)
+	ss, _ := sp.MeanAt(0.75)
+	ls, _ := lsrLong.MeanAt(0.75)
+	shortV, _ := lsrShort.MeanAt(0.75)
+	// Known-distribution ProbRoMe upper-bounds the learner; the learner
+	// beats the failure-agnostic baseline (paper Fig. 10). Allow small
+	// sampling slack.
+	if ls > ps+1.0 {
+		t.Fatalf("LSR %v above known-distribution ProbRoMe %v", ls, ps)
+	}
+	if ls < ss-1.0 {
+		t.Fatalf("LSR %v clearly below SelectPath %v", ls, ss)
+	}
+	_ = shortV // short horizon is reported; no strict ordering guaranteed at tiny scale
+}
+
+func TestLazyAblation(t *testing.T) {
+	res, err := LazyAblation(testWorkload(), testScale(), 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LazyEvaluations <= 0 || res.NaiveEvaluations <= 0 {
+		t.Fatalf("evaluation counts: %+v", res)
+	}
+	if res.LazyEvaluations > res.NaiveEvaluations {
+		t.Fatalf("lazy used more evaluations than naive: %+v", res)
+	}
+	if res.Speedup < 1 {
+		t.Fatalf("speedup %v < 1", res.Speedup)
+	}
+}
+
+func TestIntensitySweep(t *testing.T) {
+	fig, err := IntensitySweep(testWorkload(), testScale(), []float64{1, 3}, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, _ := fig.SeriesByName(AlgProbRoMe)
+	sp, _ := fig.SeriesByName(AlgSelectPath)
+	if len(prob.Points) != 2 || len(sp.Points) != 2 {
+		t.Fatalf("points: %+v", fig.Series)
+	}
+	// Higher intensity → lower surviving rank for the baseline.
+	if sp.Points[1].Mean > sp.Points[0].Mean+1e-9 {
+		t.Fatalf("SelectPath rank rose with intensity: %v", sp.Points)
+	}
+}
+
+func TestOracleQuality(t *testing.T) {
+	res, err := OracleQuality(testWorkload(), testScale(), 0.75, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbBoundER <= 0 || res.MonteCarloER <= 0 {
+		t.Fatalf("degenerate oracle quality: %+v", res)
+	}
+	// The two oracles should land in the same ballpark.
+	ratio := res.ProbBoundER / res.MonteCarloER
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Fatalf("oracle ER ratio %v out of range: %+v", ratio, res)
+	}
+}
+
+func TestFigureString(t *testing.T) {
+	fig := Figure{
+		ID: "x", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Mean: 2, Std: 0.5}}},
+			{Name: "b", Points: []Point{{X: 2, Mean: 3}}},
+		},
+	}
+	out := fig.String()
+	if !strings.Contains(out, "a mean") || !strings.Contains(out, "\t-\t-") {
+		t.Fatalf("String = %q", out)
+	}
+	if _, ok := fig.SeriesByName("nope"); ok {
+		t.Fatal("phantom series")
+	}
+	var empty Series
+	if empty.FinalMean() != 0 {
+		t.Fatal("FinalMean of empty series")
+	}
+	if _, ok := empty.MeanAt(0); ok {
+		t.Fatal("MeanAt on empty series")
+	}
+}
+
+func TestFigureJSON(t *testing.T) {
+	fig := Figure{
+		ID: "fx", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", Points: []Point{{X: 1, Mean: 2, Std: 0.1}}}},
+	}
+	out, err := fig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "fx"`, `"name": "s"`, `"mean": 2`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCorrelatedExtension(t *testing.T) {
+	fig, err := Correlated(CorrelatedConfig{
+		Workload:   testWorkload(),
+		Multiplier: 0.75,
+		GroupProb:  0.15,
+		MaxGroup:   4,
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	get := func(name string) float64 {
+		s, ok := fig.SeriesByName(name)
+		if !ok || len(s.Points) != 1 {
+			t.Fatalf("series %s missing: %+v", name, fig.Series)
+		}
+		return s.Points[0].Mean
+	}
+	blind := get("ProbRoMe-marginals")
+	aware := get("MonteRoMe-joint")
+	base := get(AlgSelectPath)
+	// Both robust variants must beat the failure-agnostic baseline even
+	// under correlated failures.
+	if blind <= base || aware <= base {
+		t.Fatalf("robust selections (%v, %v) not above baseline %v", blind, aware, base)
+	}
+	// Sanity: all ranks positive and below the no-failure maximum.
+	for _, v := range []float64{blind, aware, base} {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("degenerate rank %v", v)
+		}
+	}
+}
+
+func TestRegretExtension(t *testing.T) {
+	curve, err := Regret(RegretConfig{
+		Workload:    testWorkload(),
+		Multiplier:  0.5,
+		Horizon:     600,
+		Checkpoints: 6,
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Epochs) < 6 {
+		t.Fatalf("checkpoints = %v", curve.Epochs)
+	}
+	if curve.BestReward <= 0 {
+		t.Fatalf("best reward = %v", curve.BestReward)
+	}
+	// Sublinear regret: the per-epoch average regret over the last half
+	// must be smaller than over the first half.
+	first := curve.Regret[0] / float64(curve.Epochs[0])
+	last := (curve.Regret[len(curve.Regret)-1] - curve.Regret[len(curve.Regret)/2]) /
+		float64(curve.Epochs[len(curve.Epochs)-1]-curve.Epochs[len(curve.Epochs)/2])
+	if last > first {
+		t.Fatalf("per-epoch regret grew: first %v, late %v (curve %v)", first, last, curve.Regret)
+	}
+}
+
+func TestMultipathExtension(t *testing.T) {
+	fig, err := Multipath(MultipathConfig{
+		Workload:   testWorkload(),
+		Multiplier: 0.75,
+		K:          []int{1, 2},
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := fig.SeriesByName(AlgProbRoMe)
+	if !ok || len(s.Points) != 2 {
+		t.Fatalf("series = %+v", fig.Series)
+	}
+	k1, _ := s.MeanAt(1)
+	k2, _ := s.MeanAt(2)
+	// Extra candidate routes can only help the optimizer (same budget).
+	if k2 < k1-0.5 {
+		t.Fatalf("k=2 rank %v clearly below k=1 rank %v", k2, k1)
+	}
+}
+
+func TestClosedLoopExtension(t *testing.T) {
+	fig, err := ClosedLoop(ClosedLoopConfig{
+		Workload:   testWorkload(),
+		Multiplier: 0.6,
+		Horizon:    160,
+		Windows:    4,
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, ok := fig.SeriesByName("Static")
+	if !ok {
+		t.Fatalf("missing Static series: %+v", fig.Series)
+	}
+	learning, _ := fig.SeriesByName("Learning")
+	if len(static.Points) != 4 || len(learning.Points) != 4 {
+		t.Fatalf("windows: %d/%d", len(static.Points), len(learning.Points))
+	}
+	// The known-distribution loop dominates early windows; by the last
+	// window the learner should be within striking distance (no collapse).
+	sFinal := static.FinalMean()
+	lFinal := learning.FinalMean()
+	if lFinal < 0.6*sFinal {
+		t.Fatalf("learning loop collapsed: %v vs static %v", lFinal, sFinal)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Mean < 0 {
+				t.Fatalf("negative rank in %s: %+v", s.Name, p)
+			}
+		}
+	}
+}
+
+func TestLearnerDuelExtension(t *testing.T) {
+	fig, err := LearnerDuel(LearnerDuelConfig{
+		Workload:   testWorkload(),
+		Multiplier: 0.5,
+		Horizon:    240,
+		Windows:    4,
+	}, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsr, ok := fig.SeriesByName("LSR")
+	if !ok || len(lsr.Points) != 4 {
+		t.Fatalf("LSR series: %+v", fig.Series)
+	}
+	eg, ok := fig.SeriesByName("eps-greedy-0.2")
+	if !ok {
+		t.Fatalf("missing eps-greedy series: %+v", fig.Series)
+	}
+	// By the final window LSR should be at least competitive.
+	if lsr.FinalMean() < eg.FinalMean()-2 {
+		t.Fatalf("LSR final %v far below eps-greedy %v", lsr.FinalMean(), eg.FinalMean())
+	}
+}
+
+func TestPopGroups(t *testing.T) {
+	in, err := BuildInstance(testWorkload(), testScale(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := popGroups(in, 3, 0.1)
+	if len(groups) == 0 {
+		t.Fatal("no SRLGs built from PoP structure")
+	}
+	for _, g := range groups {
+		if len(g.Links) < 2 || len(g.Links) > 3 {
+			t.Fatalf("group size %d out of [2,3]", len(g.Links))
+		}
+		if g.Prob != 0.1 {
+			t.Fatalf("group prob %v", g.Prob)
+		}
+	}
+}

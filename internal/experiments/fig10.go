@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robusttomo/internal/bandit"
+	"robusttomo/internal/stats"
+)
+
+// LearningConfig parameterizes Figure 10: LSR's exploit-time selection
+// after a number of learning epochs, compared with the known-distribution
+// ProbRoMe and with SelectPath, across budgets.
+type LearningConfig struct {
+	Workload   Workload
+	Multiplier []float64 // budget sweep, multiples of basis cost
+	Epochs     []int     // LSR learning horizons (paper: 500 and 1000)
+}
+
+// Learning reproduces Figure 10.
+func Learning(cfg LearningConfig, sc Scale) (Figure, error) {
+	if len(cfg.Multiplier) == 0 {
+		cfg.Multiplier = DefaultMultipliers()
+	}
+	if len(cfg.Epochs) == 0 {
+		cfg.Epochs = []int{500, 1000}
+	}
+	fig := Figure{
+		ID:     fmt.Sprintf("fig10-%s", cfg.Workload.label()),
+		Title:  fmt.Sprintf("Performance of reinforcement learning (%s, %d paths)", cfg.Workload.label(), cfg.Workload.CandidatePaths),
+		XLabel: "budget multiplier (× basis cost)",
+		YLabel: "rank",
+	}
+
+	names := make([]string, 0, len(cfg.Epochs)+2)
+	for _, e := range cfg.Epochs {
+		names = append(names, fmt.Sprintf("LSR-%d", e))
+	}
+	names = append(names, AlgProbRoMe, AlgSelectPath)
+	samples := map[string]map[float64][]float64{}
+	for _, name := range names {
+		samples[name] = map[float64][]float64{}
+	}
+
+	for set := 0; set < sc.MonitorSets; set++ {
+		in, err := BuildInstance(cfg.Workload, sc, set)
+		if err != nil {
+			return Figure{}, err
+		}
+		basisCost := instanceBasisCost(in)
+		scRng := stats.NewRNG(sc.Seed, 800+uint64(set))
+		scenarios := in.Model.SampleN(scRng, sc.Scenarios)
+
+		for _, mult := range cfg.Multiplier {
+			budget := mult * basisCost
+
+			// LSR at each horizon: learn online against the true failure
+			// process, then evaluate its exploitation-time selection.
+			for _, horizon := range cfg.Epochs {
+				learner, err := bandit.New(in.PM, in.Costs, budget, bandit.Options{})
+				if err != nil {
+					return Figure{}, err
+				}
+				env := bandit.NewFailureEnv(in.PM, in.Model, stats.NewRNG(sc.Seed, 900+uint64(set)*7+uint64(horizon)))
+				for e := 0; e < horizon; e++ {
+					if _, _, err := learner.Step(env); err != nil {
+						return Figure{}, err
+					}
+				}
+				selected, err := learner.Exploit()
+				if err != nil {
+					return Figure{}, err
+				}
+				ranks, _ := in.EvalMetrics(selected, scenarios, false)
+				name := fmt.Sprintf("LSR-%d", horizon)
+				samples[name][mult] = append(samples[name][mult], ranks...)
+			}
+
+			for _, alg := range []string{AlgProbRoMe, AlgSelectPath} {
+				selected, err := in.Select(alg, budget, sc, uint64(set)*11)
+				if err != nil {
+					return Figure{}, err
+				}
+				ranks, _ := in.EvalMetrics(selected, scenarios, false)
+				samples[alg][mult] = append(samples[alg][mult], ranks...)
+			}
+		}
+	}
+
+	for _, name := range names {
+		s := Series{Name: name}
+		for _, mult := range cfg.Multiplier {
+			xs := samples[name][mult]
+			s.Points = append(s.Points, Point{X: mult, Mean: stats.Mean(xs), Std: stats.StdDev(xs)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/stats"
+)
+
+// Fig4Config parameterizes the ER-approximation comparison (Section IV-C):
+// an arbitrary basis plus a growing number of linearly dependent paths,
+// valued by a large Monte Carlo reference ("true" ER), the probabilistic
+// bound, and a small Monte Carlo panel.
+type Fig4Config struct {
+	Workload      Workload
+	MaxDependent  int // x axis runs 0..MaxDependent dependent paths
+	ReferenceRuns int // "truth" panel size (paper: 100000)
+	SmallRuns     int // cheap panel size (paper: 50)
+}
+
+// Fig4 reproduces Figure 4.
+func Fig4(cfg Fig4Config, sc Scale) (Figure, error) {
+	in, err := BuildInstance(cfg.Workload, sc, 0)
+	if err != nil {
+		return Figure{}, err
+	}
+	n := in.PM.NumPaths()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	basis := in.PM.SelectBasisIndices(order)
+	inBasis := make([]bool, n)
+	for _, q := range basis {
+		inBasis[q] = true
+	}
+	var dependents []int
+	for q := 0; q < n && len(dependents) < cfg.MaxDependent; q++ {
+		if !inBasis[q] {
+			dependents = append(dependents, q)
+		}
+	}
+	if len(dependents) == 0 {
+		return Figure{}, fmt.Errorf("experiments: no dependent candidates (rank %d of %d paths)", len(basis), n)
+	}
+	// Small instances may offer fewer dependents than requested; clamp the
+	// x axis rather than fail.
+	if len(dependents) < cfg.MaxDependent {
+		cfg.MaxDependent = len(dependents)
+	}
+
+	ref := Series{Name: fmt.Sprintf("MC-%d", cfg.ReferenceRuns)}
+	bound := Series{Name: "ProbBound"}
+	small := Series{Name: fmt.Sprintf("MC-%d", cfg.SmallRuns)}
+
+	for d := 0; d <= cfg.MaxDependent; d++ {
+		set := append(append([]int{}, basis...), dependents[:d]...)
+		x := float64(d)
+		refRng := stats.NewRNG(sc.Seed, 40+uint64(d))
+		smallRng := stats.NewRNG(sc.Seed, 400+uint64(d))
+		ref.Points = append(ref.Points, Point{X: x, Mean: er.MonteCarlo(in.PM, in.Model, set, cfg.ReferenceRuns, refRng)})
+		bound.Points = append(bound.Points, Point{X: x, Mean: er.Bound(in.PM, in.Model, set)})
+		small.Points = append(small.Points, Point{X: x, Mean: er.MonteCarlo(in.PM, in.Model, set, cfg.SmallRuns, smallRng)})
+	}
+
+	return Figure{
+		ID:     fmt.Sprintf("fig4-%s", cfg.Workload.label()),
+		Title:  "Comparing ER computation for different approaches",
+		XLabel: "linearly dependent paths",
+		YLabel: "expected rank",
+		Series: []Series{ref, bound, small},
+	}, nil
+}

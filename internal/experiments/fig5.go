@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robusttomo/internal/stats"
+)
+
+// BudgetSweepConfig parameterizes the budget-sweep figures (5, 6 and 7).
+// Budgets are expressed as multiples of the instance's SelectPath basis
+// cost, which centers the sweep on the regime the paper plots (SelectPath
+// saturates at multiplier 1; RoMe saturates earlier).
+type BudgetSweepConfig struct {
+	Workload   Workload
+	Multiplier []float64 // budget = multiplier × PC(basis)
+	Algorithms []string
+	// WithIdentifiability also evaluates the link-identifiability metric
+	// (Figure 7).
+	WithIdentifiability bool
+}
+
+// DefaultMultipliers spans the paper's budget range.
+func DefaultMultipliers() []float64 { return []float64{0.25, 0.5, 0.75, 1.0, 1.25} }
+
+// BudgetSweepResult carries the rank figure and, when requested, the
+// identifiability figure over the same runs.
+type BudgetSweepResult struct {
+	Rank  Figure
+	Ident Figure
+	// BasisCosts records PC(basis) per monitor set, for reporting the
+	// absolute budget scale.
+	BasisCosts []float64
+}
+
+// BudgetSweep reproduces Figure 5 (average rank ± std vs budget) and, with
+// WithIdentifiability, Figure 7 in the same pass.
+func BudgetSweep(cfg BudgetSweepConfig, sc Scale) (BudgetSweepResult, error) {
+	if len(cfg.Algorithms) == 0 {
+		cfg.Algorithms = []string{AlgProbRoMe, AlgMonteRoMe, AlgSelectPath}
+	}
+	if len(cfg.Multiplier) == 0 {
+		cfg.Multiplier = DefaultMultipliers()
+	}
+
+	res := BudgetSweepResult{
+		Rank: Figure{
+			ID:     fmt.Sprintf("fig5-%s", cfg.Workload.label()),
+			Title:  fmt.Sprintf("Performance with varying budget (%s, %d paths)", cfg.Workload.label(), cfg.Workload.CandidatePaths),
+			XLabel: "budget multiplier (× basis cost)",
+			YLabel: "rank",
+		},
+		Ident: Figure{
+			ID:     fmt.Sprintf("fig7-%s", cfg.Workload.label()),
+			Title:  fmt.Sprintf("Link identifiability with varying budget (%s)", cfg.Workload.label()),
+			XLabel: "budget multiplier (× basis cost)",
+			YLabel: "identifiable links",
+		},
+	}
+
+	// samples[alg][multiplier] accumulates across monitor sets × scenarios.
+	rankSamples := map[string]map[float64][]float64{}
+	identSamples := map[string]map[float64][]float64{}
+	for _, alg := range cfg.Algorithms {
+		rankSamples[alg] = map[float64][]float64{}
+		identSamples[alg] = map[float64][]float64{}
+	}
+
+	for set := 0; set < sc.MonitorSets; set++ {
+		in, err := BuildInstance(cfg.Workload, sc, set)
+		if err != nil {
+			return BudgetSweepResult{}, err
+		}
+		basisCost := instanceBasisCost(in)
+		res.BasisCosts = append(res.BasisCosts, basisCost)
+		scRng := stats.NewRNG(sc.Seed, 500+uint64(set))
+		scenarios := in.Model.SampleN(scRng, sc.Scenarios)
+
+		for _, mult := range cfg.Multiplier {
+			budget := mult * basisCost
+			for _, alg := range cfg.Algorithms {
+				selected, err := in.Select(alg, budget, sc, uint64(set)*31+uint64(mult*100))
+				if err != nil {
+					return BudgetSweepResult{}, err
+				}
+				ranks, idents := in.EvalMetrics(selected, scenarios, cfg.WithIdentifiability)
+				rankSamples[alg][mult] = append(rankSamples[alg][mult], ranks...)
+				if cfg.WithIdentifiability {
+					identSamples[alg][mult] = append(identSamples[alg][mult], idents...)
+				}
+			}
+		}
+	}
+
+	for _, alg := range cfg.Algorithms {
+		rs := Series{Name: alg}
+		is := Series{Name: alg}
+		for _, mult := range cfg.Multiplier {
+			samples := rankSamples[alg][mult]
+			rs.Points = append(rs.Points, Point{X: mult, Mean: stats.Mean(samples), Std: stats.StdDev(samples)})
+			if cfg.WithIdentifiability {
+				id := identSamples[alg][mult]
+				is.Points = append(is.Points, Point{X: mult, Mean: stats.Mean(id), Std: stats.StdDev(id)})
+			}
+		}
+		res.Rank.Series = append(res.Rank.Series, rs)
+		if cfg.WithIdentifiability {
+			res.Ident.Series = append(res.Ident.Series, is)
+		}
+	}
+	return res, nil
+}
+
+// instanceBasisCost returns PC of the SelectPath basis, the sweep's budget
+// unit.
+func instanceBasisCost(in *Instance) float64 {
+	total := 0.0
+	for _, q := range in.PM.SelectBasisIndices(naturalOrder(in.PM.NumPaths())) {
+		total += in.Costs[q]
+	}
+	return total
+}
+
+func naturalOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RankCDFConfig parameterizes Figure 6: the CDF of the delivered rank at a
+// fixed budget.
+type RankCDFConfig struct {
+	Workload   Workload
+	Multiplier float64 // budget as a multiple of the basis cost
+	Algorithms []string
+}
+
+// RankCDF reproduces Figure 6. Each series' points are (rank, cumulative
+// probability) steps.
+func RankCDF(cfg RankCDFConfig, sc Scale) (Figure, error) {
+	if len(cfg.Algorithms) == 0 {
+		cfg.Algorithms = []string{AlgProbRoMe, AlgMonteRoMe, AlgSelectPath}
+	}
+	fig := Figure{
+		ID:     fmt.Sprintf("fig6-%s", cfg.Workload.label()),
+		Title:  fmt.Sprintf("CDF of rank (%s, budget %.2f× basis cost)", cfg.Workload.label(), cfg.Multiplier),
+		XLabel: "rank",
+		YLabel: "CDF",
+	}
+	samples := map[string][]float64{}
+	for set := 0; set < sc.MonitorSets; set++ {
+		in, err := BuildInstance(cfg.Workload, sc, set)
+		if err != nil {
+			return Figure{}, err
+		}
+		budget := cfg.Multiplier * instanceBasisCost(in)
+		scRng := stats.NewRNG(sc.Seed, 600+uint64(set))
+		scenarios := in.Model.SampleN(scRng, sc.Scenarios)
+		for _, alg := range cfg.Algorithms {
+			selected, err := in.Select(alg, budget, sc, uint64(set)*17)
+			if err != nil {
+				return Figure{}, err
+			}
+			ranks, _ := in.EvalMetrics(selected, scenarios, false)
+			samples[alg] = append(samples[alg], ranks...)
+		}
+	}
+	for _, alg := range cfg.Algorithms {
+		s := Series{Name: alg}
+		for _, p := range stats.CDF(samples[alg]) {
+			s.Points = append(s.Points, Point{X: p.X, Mean: p.P})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one x-position of a series with its sample mean and standard
+// deviation.
+type Point struct {
+	X    float64 `json:"x"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+// Series is a named curve in a figure.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Figure is the structured output of one experiment runner.
+type Figure struct {
+	ID     string   `json:"id"` // e.g. "fig5-AS3257"
+	Title  string   `json:"title"`
+	XLabel string   `json:"xLabel"`
+	YLabel string   `json:"yLabel"`
+	Series []Series `json:"series"`
+}
+
+// String renders the figure as an aligned text table, one row per x value
+// and one mean±std column pair per series, matching what the paper plots.
+func (f Figure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s — %s\n", f.ID, f.Title)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name+" mean", s.Name+" std")
+	}
+	sb.WriteString(strings.Join(header, "\t"))
+	sb.WriteByte('\n')
+
+	// Collect the union of x values across series.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	for _, x := range sorted {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			found := false
+			for _, p := range s.Points {
+				if p.X == x {
+					row = append(row, trimFloat(p.Mean), trimFloat(p.Std))
+					found = true
+					break
+				}
+			}
+			if !found {
+				row = append(row, "-", "-")
+			}
+		}
+		sb.WriteString(strings.Join(row, "\t"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// JSON renders the figure as indented JSON, for piping into plotting
+// tools.
+func (f Figure) JSON() (string, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: marshal figure %s: %w", f.ID, err)
+	}
+	return string(data), nil
+}
+
+// SeriesByName returns the named series, or false.
+func (f Figure) SeriesByName(name string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// MeanAt returns the series mean at the given x, or false.
+func (s Series) MeanAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Mean, true
+		}
+	}
+	return 0, false
+}
+
+// FinalMean returns the mean at the largest x (0 for an empty series).
+func (s Series) FinalMean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	best := s.Points[0]
+	for _, p := range s.Points[1:] {
+		if p.X > best.X {
+			best = p
+		}
+	}
+	return best.Mean
+}

@@ -1,0 +1,135 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"robusttomo/internal/stats"
+)
+
+// Sampler is the minimal interface scenario consumers (Monte Carlo ER,
+// simulation harnesses, learner environments) need from a failure process.
+// Model implements it; CorrelatedModel extends it beyond the paper's
+// independence assumption.
+type Sampler interface {
+	// Links returns the number of links covered.
+	Links() int
+	// Sample draws one epoch's failure scenario.
+	Sample(rng *rand.Rand) Scenario
+}
+
+var (
+	_ Sampler = (*Model)(nil)
+	_ Sampler = (*CorrelatedModel)(nil)
+)
+
+// SampleScenarios draws n independent scenarios from any sampler.
+func SampleScenarios(s Sampler, rng *rand.Rand, n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = s.Sample(rng)
+	}
+	return out
+}
+
+// SRLG is a shared-risk link group: a set of links that fail together
+// (fiber conduits, line cards, power domains) with a per-epoch group
+// probability, on top of each link's independent failure probability.
+type SRLG struct {
+	Links []int
+	Prob  float64
+}
+
+// CorrelatedModel layers shared-risk groups over an independent base
+// model — the paper's future-work scenario. A link is down when its own
+// independent draw fires or any group containing it fires.
+type CorrelatedModel struct {
+	base   *Model
+	groups []SRLG
+}
+
+// NewCorrelatedModel validates the groups against the base model.
+func NewCorrelatedModel(base *Model, groups []SRLG) (*CorrelatedModel, error) {
+	if base == nil {
+		return nil, fmt.Errorf("failure: nil base model")
+	}
+	cp := make([]SRLG, len(groups))
+	for i, g := range groups {
+		if len(g.Links) == 0 {
+			return nil, fmt.Errorf("failure: group %d is empty", i)
+		}
+		if g.Prob < 0 || g.Prob >= 1 {
+			return nil, fmt.Errorf("failure: group %d probability %v out of [0,1)", i, g.Prob)
+		}
+		links := make([]int, len(g.Links))
+		for k, l := range g.Links {
+			if l < 0 || l >= base.Links() {
+				return nil, fmt.Errorf("failure: group %d references link %d outside [0,%d)", i, l, base.Links())
+			}
+			links[k] = l
+		}
+		cp[i] = SRLG{Links: links, Prob: g.Prob}
+	}
+	return &CorrelatedModel{base: base, groups: cp}, nil
+}
+
+// Links implements Sampler.
+func (m *CorrelatedModel) Links() int { return m.base.Links() }
+
+// Groups returns a copy of the shared-risk groups.
+func (m *CorrelatedModel) Groups() []SRLG {
+	out := make([]SRLG, len(m.groups))
+	for i, g := range m.groups {
+		out[i] = SRLG{Links: append([]int{}, g.Links...), Prob: g.Prob}
+	}
+	return out
+}
+
+// Sample implements Sampler.
+func (m *CorrelatedModel) Sample(rng *rand.Rand) Scenario {
+	sc := m.base.Sample(rng)
+	for _, g := range m.groups {
+		if stats.Bernoulli(rng, g.Prob) {
+			for _, l := range g.Links {
+				sc.Failed[l] = true
+			}
+		}
+	}
+	return sc
+}
+
+// SampleN draws n independent scenarios.
+func (m *CorrelatedModel) SampleN(rng *rand.Rand, n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}
+
+// Marginals returns each link's marginal failure probability:
+// 1 − (1 − p_l)·Π_{g ∋ l}(1 − p_g). Feeding these into the independent
+// Model (via FromProbabilities) gives the best independence approximation
+// of this process — what a correlation-blind ProbRoMe would use.
+func (m *CorrelatedModel) Marginals() []float64 {
+	out := m.base.Probs()
+	for i, p := range out {
+		up := 1 - p
+		for _, g := range m.groups {
+			for _, l := range g.Links {
+				if l == i {
+					up *= 1 - g.Prob
+					break
+				}
+			}
+		}
+		out[i] = 1 - up
+	}
+	return out
+}
+
+// IndependentApproximation returns the independent Model with this
+// process's marginals.
+func (m *CorrelatedModel) IndependentApproximation() (*Model, error) {
+	return FromProbabilities(m.Marginals())
+}

@@ -1,0 +1,155 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+func baseModel(t *testing.T, probs ...float64) *Model {
+	t.Helper()
+	m, err := FromProbabilities(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewCorrelatedModelValidation(t *testing.T) {
+	base := baseModel(t, 0.1, 0.1, 0.1)
+	cases := []struct {
+		name   string
+		groups []SRLG
+		ok     bool
+	}{
+		{"valid", []SRLG{{Links: []int{0, 1}, Prob: 0.2}}, true},
+		{"no groups", nil, true},
+		{"empty group", []SRLG{{Prob: 0.2}}, false},
+		{"bad prob", []SRLG{{Links: []int{0}, Prob: 1.0}}, false},
+		{"negative prob", []SRLG{{Links: []int{0}, Prob: -0.1}}, false},
+		{"link out of range", []SRLG{{Links: []int{7}, Prob: 0.1}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewCorrelatedModel(base, tc.groups)
+			if tc.ok != (err == nil) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+	if _, err := NewCorrelatedModel(nil, nil); err == nil {
+		t.Fatal("nil base accepted")
+	}
+}
+
+func TestCorrelatedSampleJointFailures(t *testing.T) {
+	// Base never fails; the group links 0 and 2 with probability 0.5:
+	// links 0 and 2 must always fail together, link 1 never.
+	base := baseModel(t, 0, 0, 0)
+	cm, err := NewCorrelatedModel(base, []SRLG{{Links: []int{0, 2}, Prob: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3, 3)
+	joint, fired := 0, 0
+	for i := 0; i < 4000; i++ {
+		sc := cm.Sample(rng)
+		if sc.Failed[1] {
+			t.Fatal("ungrouped link failed")
+		}
+		if sc.Failed[0] != sc.Failed[2] {
+			t.Fatal("grouped links failed independently")
+		}
+		if sc.Failed[0] {
+			fired++
+			joint++
+		}
+	}
+	f := float64(fired) / 4000
+	if math.Abs(f-0.5) > 0.03 {
+		t.Fatalf("group fired %v, want ~0.5", f)
+	}
+	_ = joint
+}
+
+func TestCorrelatedMarginals(t *testing.T) {
+	base := baseModel(t, 0.1, 0.2, 0.0)
+	cm, err := NewCorrelatedModel(base, []SRLG{
+		{Links: []int{0, 1}, Prob: 0.5},
+		{Links: []int{0}, Prob: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cm.Marginals()
+	want := []float64{
+		1 - 0.9*0.5*0.75, // link 0: base + both groups
+		1 - 0.8*0.5,      // link 1: base + group 0
+		0,                // link 2: untouched
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("marginal[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Marginals must match empirical frequencies.
+	rng := stats.NewRNG(4, 4)
+	n := 30000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		sc := cm.Sample(rng)
+		for j, f := range sc.Failed {
+			if f {
+				counts[j]++
+			}
+		}
+	}
+	for j := range want {
+		f := float64(counts[j]) / float64(n)
+		if math.Abs(f-want[j]) > 0.01 {
+			t.Fatalf("empirical marginal[%d] = %v, want %v", j, f, want[j])
+		}
+	}
+}
+
+func TestIndependentApproximation(t *testing.T) {
+	base := baseModel(t, 0.1, 0.2)
+	cm, _ := NewCorrelatedModel(base, []SRLG{{Links: []int{0, 1}, Prob: 0.3}})
+	ind, err := cm.IndependentApproximation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg := cm.Marginals()
+	for i := range marg {
+		if math.Abs(ind.Prob(i)-marg[i]) > 1e-12 {
+			t.Fatalf("approximation prob[%d] = %v, want %v", i, ind.Prob(i), marg[i])
+		}
+	}
+}
+
+func TestGroupsReturnsCopy(t *testing.T) {
+	base := baseModel(t, 0.1, 0.1)
+	cm, _ := NewCorrelatedModel(base, []SRLG{{Links: []int{0}, Prob: 0.2}})
+	gs := cm.Groups()
+	gs[0].Links[0] = 1
+	if cm.Groups()[0].Links[0] != 0 {
+		t.Fatal("Groups aliases internal state")
+	}
+}
+
+func TestSampleScenariosHelper(t *testing.T) {
+	base := baseModel(t, 0.5)
+	rng := stats.NewRNG(5, 5)
+	scs := SampleScenarios(base, rng, 7)
+	if len(scs) != 7 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	cm, _ := NewCorrelatedModel(base, nil)
+	if got := len(SampleScenarios(cm, rng, 3)); got != 3 {
+		t.Fatalf("correlated scenarios = %d", got)
+	}
+	if cm.Links() != 1 {
+		t.Fatalf("Links = %d", cm.Links())
+	}
+}

@@ -1,0 +1,284 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"robusttomo/internal/stats"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{Links: 100, ExpectedFailures: 2, Seed: 1}, true},
+		{"no links", Config{Links: 0, ExpectedFailures: 1}, false},
+		{"zero failures", Config{Links: 10, ExpectedFailures: 0}, false},
+		{"too many failures", Config{Links: 10, ExpectedFailures: 10}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewModel(tc.cfg)
+			if tc.ok != (err == nil) {
+				t.Fatalf("err = %v, ok = %v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestModelExpectedFailuresCalibrated(t *testing.T) {
+	m, err := NewModel(Config{Links: 972, ExpectedFailures: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ExpectedConcurrentFailures(); math.Abs(got-3) > 0.05 {
+		t.Fatalf("expected failures = %v, want ~3", got)
+	}
+	if m.Links() != 972 {
+		t.Fatalf("Links = %d", m.Links())
+	}
+}
+
+func TestModelPowerLawShape(t *testing.T) {
+	counts := powerLawCounts(1000)
+	if counts[0] != AnchorCount {
+		t.Fatalf("n(1) = %v, want %v", counts[0], AnchorCount)
+	}
+	// Counts must be strictly decreasing with rank.
+	for i := 1; i < len(counts); i++ {
+		if counts[i] >= counts[i-1] {
+			t.Fatalf("counts not decreasing at rank %d: %v >= %v", i, counts[i], counts[i-1])
+		}
+	}
+	// The 2.5% cut must be continuous: no big jump across the regime
+	// boundary.
+	cut := int(math.Ceil(HighFraction * 1000))
+	ratio := counts[cut] / counts[cut-1]
+	if ratio < 0.5 || ratio > 1 {
+		t.Fatalf("discontinuity at regime cut: ratio %v", ratio)
+	}
+}
+
+func TestModelDeterministicInSeed(t *testing.T) {
+	a, _ := NewModel(Config{Links: 50, ExpectedFailures: 2, Seed: 3})
+	b, _ := NewModel(Config{Links: 50, ExpectedFailures: 2, Seed: 3})
+	c, _ := NewModel(Config{Links: 50, ExpectedFailures: 2, Seed: 4})
+	pa, pb, pc := a.Probs(), b.Probs(), c.Probs()
+	same := true
+	diff := false
+	for i := range pa {
+		if pa[i] != pb[i] {
+			same = false
+		}
+		if pa[i] != pc[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different probabilities")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical assignments")
+	}
+}
+
+func TestFromDurations(t *testing.T) {
+	// MTBF 99 days, MTTR 1 day → unavailability 0.01.
+	m, err := FromDurations([]float64{99, 30}, []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Prob(0)-0.01) > 1e-12 {
+		t.Fatalf("Prob(0) = %v, want 0.01", m.Prob(0))
+	}
+	if math.Abs(m.Prob(1)-0.25) > 1e-12 {
+		t.Fatalf("Prob(1) = %v, want 0.25", m.Prob(1))
+	}
+	cases := [][2][]float64{
+		{{}, {}},
+		{{1}, {1, 2}},
+		{{0}, {1}},
+		{{1}, {0}},
+		{{-1}, {1}},
+	}
+	for _, tc := range cases {
+		if _, err := FromDurations(tc[0], tc[1]); err == nil {
+			t.Fatalf("durations %v accepted", tc)
+		}
+	}
+}
+
+func TestFromProbabilities(t *testing.T) {
+	m, err := FromProbabilities([]float64{0.1, 0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Prob(1) != 0.5 {
+		t.Fatalf("Prob(1) = %v", m.Prob(1))
+	}
+	for _, bad := range [][]float64{{}, {1.0}, {-0.1}, {math.NaN()}} {
+		if _, err := FromProbabilities(bad); err == nil {
+			t.Fatalf("bad probabilities %v accepted", bad)
+		}
+	}
+}
+
+func TestProbsReturnsCopy(t *testing.T) {
+	m, _ := FromProbabilities([]float64{0.1, 0.2})
+	p := m.Probs()
+	p[0] = 0.9
+	if m.Prob(0) == 0.9 {
+		t.Fatal("Probs aliases internal state")
+	}
+}
+
+func TestSampleMatchesProbabilities(t *testing.T) {
+	m, _ := FromProbabilities([]float64{0.8, 0.0, 0.3})
+	rng := stats.NewRNG(11, 0)
+	n := 20000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		sc := m.Sample(rng)
+		for j, f := range sc.Failed {
+			if f {
+				counts[j]++
+			}
+		}
+	}
+	freqs := []float64{float64(counts[0]) / float64(n), float64(counts[1]) / float64(n), float64(counts[2]) / float64(n)}
+	if math.Abs(freqs[0]-0.8) > 0.02 || freqs[1] != 0 || math.Abs(freqs[2]-0.3) > 0.02 {
+		t.Fatalf("empirical frequencies %v, want [0.8 0 0.3]", freqs)
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	m, _ := FromProbabilities([]float64{0.5, 0.5})
+	rng := stats.NewRNG(1, 2)
+	scs := m.SampleN(rng, 10)
+	if len(scs) != 10 {
+		t.Fatalf("SampleN = %d scenarios", len(scs))
+	}
+}
+
+func TestScenarioNumFailed(t *testing.T) {
+	sc := Scenario{Failed: []bool{true, false, true, true}}
+	if sc.NumFailed() != 3 {
+		t.Fatalf("NumFailed = %d", sc.NumFailed())
+	}
+}
+
+func TestExactK(t *testing.T) {
+	m, _ := NewModel(Config{Links: 30, ExpectedFailures: 1, Seed: 5})
+	rng := stats.NewRNG(9, 9)
+	for k := 0; k <= 5; k++ {
+		sc, err := m.ExactK(rng, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.NumFailed() != k {
+			t.Fatalf("ExactK(%d) failed %d links", k, sc.NumFailed())
+		}
+	}
+	if _, err := m.ExactK(rng, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := m.ExactK(rng, 31); err == nil {
+		t.Fatal("k > links accepted")
+	}
+}
+
+func TestExactKBiasTowardHighFailureLinks(t *testing.T) {
+	// One link with huge probability should appear in most k=1 draws.
+	m, _ := FromProbabilities([]float64{0.9, 0.001, 0.001, 0.001})
+	rng := stats.NewRNG(4, 4)
+	hits := 0
+	for i := 0; i < 500; i++ {
+		sc, _ := m.ExactK(rng, 1)
+		if sc.Failed[0] {
+			hits++
+		}
+	}
+	if hits < 450 {
+		t.Fatalf("high-failure link selected only %d/500 times", hits)
+	}
+}
+
+func TestExactKDegenerateWeights(t *testing.T) {
+	// All-zero probabilities force the uniform fallback.
+	m, _ := FromProbabilities([]float64{0, 0, 0})
+	rng := stats.NewRNG(6, 6)
+	sc, err := m.ExactK(rng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumFailed() != 2 {
+		t.Fatalf("NumFailed = %d, want 2", sc.NumFailed())
+	}
+}
+
+func TestPathAvailability(t *testing.T) {
+	m, _ := FromProbabilities([]float64{0.1, 0.2, 0.0})
+	got := m.PathAvailability([]int{0, 1})
+	want := 0.9 * 0.8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EA = %v, want %v", got, want)
+	}
+	if m.PathAvailability(nil) != 1 {
+		t.Fatal("empty path should have EA 1")
+	}
+}
+
+// Property: EA(path) matches the Monte Carlo availability frequency.
+func TestPathAvailabilityMatchesSampling(t *testing.T) {
+	m, _ := FromProbabilities([]float64{0.3, 0.1, 0.5, 0.05})
+	links := []int{0, 2, 3}
+	want := m.PathAvailability(links)
+	rng := stats.NewRNG(21, 0)
+	n := 50000
+	up := 0
+	for i := 0; i < n; i++ {
+		sc := m.Sample(rng)
+		ok := true
+		for _, l := range links {
+			if sc.Failed[l] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			up++
+		}
+	}
+	got := float64(up) / float64(n)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("sampled EA %v, analytic %v", got, want)
+	}
+}
+
+// Property: for any valid model, probabilities stay in [0, 0.95] and the
+// calibration target is met within rounding.
+func TestModelProbabilityBounds(t *testing.T) {
+	check := func(seed uint64) bool {
+		links := 20 + int(seed%200)
+		target := 1 + float64(seed%5)
+		if target >= float64(links) {
+			return true
+		}
+		m, err := NewModel(Config{Links: links, ExpectedFailures: target, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, p := range m.Probs() {
+			if p < 0 || p > 0.95 {
+				return false
+			}
+		}
+		return math.Abs(m.ExpectedConcurrentFailures()-target) < 0.25*target+0.01
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

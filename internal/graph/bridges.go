@@ -1,0 +1,177 @@
+package graph
+
+// Bridges returns the IDs of all bridge edges (cut links): edges whose
+// removal increases the number of connected components. In tomography
+// terms these are the single points of failure — a failed bridge
+// disconnects monitor pairs outright, which is precisely the situation the
+// paper's Section II example builds around.
+//
+// Parallel edges are handled correctly: two parallel edges between the
+// same pair of nodes protect each other, so neither is a bridge. The
+// classical Tarjan low-link algorithm runs in O(V + E); the DFS is
+// iterative so deep topologies cannot overflow the goroutine stack.
+func (g *Graph) Bridges() []EdgeID {
+	n := len(g.names)
+	if n == 0 {
+		return nil
+	}
+	const unvisited = -1
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = unvisited
+	}
+
+	var bridges []EdgeID
+	timer := 0
+
+	type frame struct {
+		node    NodeID
+		viaEdge EdgeID // edge used to enter node; -1 at roots
+		edgeIdx int    // next incident edge to process
+	}
+
+	for start := 0; start < n; start++ {
+		if disc[start] != unvisited {
+			continue
+		}
+		stack := []frame{{node: NodeID(start), viaEdge: -1}}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			adj := g.adj[f.node]
+			if f.edgeIdx < len(adj) {
+				eid := adj[f.edgeIdx]
+				f.edgeIdx++
+				if eid == f.viaEdge {
+					continue // don't traverse the entry edge backwards
+				}
+				v := g.edges[eid].Other(f.node)
+				if disc[v] == unvisited {
+					disc[v] = timer
+					low[v] = timer
+					timer++
+					stack = append(stack, frame{node: v, viaEdge: eid})
+				} else if disc[v] < low[f.node] {
+					low[f.node] = disc[v]
+				}
+				continue
+			}
+			// Done with f: propagate low-link to the parent and test the
+			// entry edge for bridge-ness.
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			parent := &stack[len(stack)-1]
+			if low[f.node] < low[parent.node] {
+				low[parent.node] = low[f.node]
+			}
+			if low[f.node] > disc[parent.node] {
+				bridges = append(bridges, f.viaEdge)
+			}
+		}
+	}
+	return bridges
+}
+
+// IsBridge reports whether the edge is a bridge. For repeated queries
+// prefer calling Bridges once.
+func (g *Graph) IsBridge(id EdgeID) bool {
+	for _, b := range g.Bridges() {
+		if b == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ArticulationPoints returns the cut vertices: nodes whose removal
+// increases the number of connected components. In monitoring terms these
+// are routers whose outage (all incident links down at once — a chassis
+// failure) partitions monitor reachability. Same iterative Tarjan DFS as
+// Bridges; results are in ascending node order.
+func (g *Graph) ArticulationPoints() []NodeID {
+	n := len(g.names)
+	if n == 0 {
+		return nil
+	}
+	const unvisited = -1
+	disc := make([]int, n)
+	low := make([]int, n)
+	isCut := make([]bool, n)
+	for i := range disc {
+		disc[i] = unvisited
+	}
+	timer := 0
+
+	type frame struct {
+		node     NodeID
+		viaEdge  EdgeID
+		edgeIdx  int
+		children int
+	}
+
+	for start := 0; start < n; start++ {
+		if disc[start] != unvisited {
+			continue
+		}
+		stack := []frame{{node: NodeID(start), viaEdge: -1}}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			adj := g.adj[f.node]
+			if f.edgeIdx < len(adj) {
+				eid := adj[f.edgeIdx]
+				f.edgeIdx++
+				if eid == f.viaEdge {
+					continue
+				}
+				v := g.edges[eid].Other(f.node)
+				if disc[v] == unvisited {
+					disc[v] = timer
+					low[v] = timer
+					timer++
+					f.children++
+					stack = append(stack, frame{node: v, viaEdge: eid})
+				} else if disc[v] < low[f.node] {
+					low[f.node] = disc[v]
+				}
+				continue
+			}
+			done := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				// done is a DFS root: cut vertex iff it has ≥ 2 children.
+				if done.children >= 2 {
+					isCut[done.node] = true
+				}
+				continue
+			}
+			parent := &stack[len(stack)-1]
+			if low[done.node] < low[parent.node] {
+				low[parent.node] = low[done.node]
+			}
+			// Non-root parent is a cut vertex when no back edge from the
+			// finished subtree climbs above it. (Roots — bottom frame with
+			// no entry edge — are instead judged by child count on pop.)
+			isRoot := len(stack) == 1 && parent.viaEdge < 0
+			if !isRoot && low[done.node] >= disc[parent.node] {
+				isCut[parent.node] = true
+			}
+		}
+	}
+	var out []NodeID
+	for i, cut := range isCut {
+		if cut {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBridgesLine(t *testing.T) {
+	// Every edge of a path graph is a bridge.
+	g := New(4, 3)
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	bridges := g.Bridges()
+	if len(bridges) != 3 {
+		t.Fatalf("bridges = %v, want all 3 edges", bridges)
+	}
+}
+
+func TestBridgesCycle(t *testing.T) {
+	// No edge of a cycle is a bridge.
+	g := New(4, 4)
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	if bridges := g.Bridges(); len(bridges) != 0 {
+		t.Fatalf("bridges = %v, want none", bridges)
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by one edge: only the joining edge is a bridge.
+	g := New(6, 7)
+	g.AddNodes(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 0, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(5, 3, 1)
+	mid := g.MustAddEdge(2, 3, 1)
+	bridges := g.Bridges()
+	if len(bridges) != 1 || bridges[0] != mid {
+		t.Fatalf("bridges = %v, want [%d]", bridges, mid)
+	}
+	if !g.IsBridge(mid) {
+		t.Fatal("IsBridge(mid) = false")
+	}
+	if g.IsBridge(0) {
+		t.Fatal("triangle edge reported as bridge")
+	}
+}
+
+func TestBridgesParallelEdges(t *testing.T) {
+	// Parallel edges protect each other.
+	g := New(2, 2)
+	g.AddNodes(2)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 1, 2)
+	if bridges := g.Bridges(); len(bridges) != 0 {
+		t.Fatalf("bridges = %v, want none with parallel edges", bridges)
+	}
+	// A single edge IS a bridge.
+	g2 := New(2, 1)
+	g2.AddNodes(2)
+	g2.MustAddEdge(0, 1, 1)
+	if bridges := g2.Bridges(); len(bridges) != 1 {
+		t.Fatalf("bridges = %v, want the single edge", bridges)
+	}
+}
+
+func TestBridgesDisconnected(t *testing.T) {
+	g := New(4, 2)
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	if bridges := g.Bridges(); len(bridges) != 2 {
+		t.Fatalf("bridges = %v, want both component edges", bridges)
+	}
+	if (New(0, 0)).Bridges() != nil {
+		t.Fatal("empty graph should have no bridges")
+	}
+}
+
+func TestBridgesExampleStarStar(t *testing.T) {
+	// The Section II-style topology: m1..m3–a, m4..m6–b, a–b, m1–m4.
+	// The a–b bridge is protected by the redundant m1–m4 link; the pure
+	// star legs m2–a, m3–a, m5–b, m6–b remain bridges.
+	g := New(8, 8)
+	g.AddNodes(8)
+	g.MustAddEdge(0, 6, 1) // m1-a
+	e2 := g.MustAddEdge(1, 6, 1)
+	e3 := g.MustAddEdge(2, 6, 1)
+	g.MustAddEdge(3, 7, 1) // m4-b
+	e5 := g.MustAddEdge(4, 7, 1)
+	e6 := g.MustAddEdge(5, 7, 1)
+	ab := g.MustAddEdge(6, 7, 1)
+	g.MustAddEdge(0, 3, 2.5) // redundant m1-m4
+
+	bridges := map[EdgeID]bool{}
+	for _, b := range g.Bridges() {
+		bridges[b] = true
+	}
+	for _, want := range []EdgeID{e2, e3, e5, e6} {
+		if !bridges[want] {
+			t.Fatalf("leg edge %d not reported as bridge: %v", want, g.Bridges())
+		}
+	}
+	if bridges[ab] {
+		t.Fatal("protected a-b link reported as bridge")
+	}
+	if len(bridges) != 4 {
+		t.Fatalf("bridges = %v, want exactly the 4 legs", g.Bridges())
+	}
+}
+
+func TestArticulationPointsPath(t *testing.T) {
+	// Path 0-1-2-3: interior nodes 1, 2 are cut vertices.
+	g := New(4, 3)
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	got := g.ArticulationPoints()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ArticulationPoints = %v, want [1 2]", got)
+	}
+}
+
+func TestArticulationPointsCycle(t *testing.T) {
+	g := New(4, 4)
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	if got := g.ArticulationPoints(); len(got) != 0 {
+		t.Fatalf("cycle has cut vertices: %v", got)
+	}
+	if (New(0, 0)).ArticulationPoints() != nil {
+		t.Fatal("empty graph has cut vertices")
+	}
+}
+
+func TestArticulationPointsBarbell(t *testing.T) {
+	// Two triangles joined by an edge between nodes 2 and 3: both joints
+	// are cut vertices.
+	g := New(6, 7)
+	g.AddNodes(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 0, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(5, 3, 1)
+	g.MustAddEdge(2, 3, 1)
+	got := g.ArticulationPoints()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("ArticulationPoints = %v, want [2 3]", got)
+	}
+}
+
+// bruteForceArticulation removes each node (with its incident edges) and
+// compares component counts over the remaining nodes.
+func bruteForceArticulation(g *Graph) map[NodeID]bool {
+	countWithout := func(skip NodeID) int {
+		// Build the graph minus skip, mapping old IDs to new.
+		h := New(g.NumNodes()-1, g.NumEdges())
+		remap := make([]NodeID, g.NumNodes())
+		next := NodeID(0)
+		for n := 0; n < g.NumNodes(); n++ {
+			if NodeID(n) == skip {
+				remap[n] = -1
+				continue
+			}
+			remap[n] = next
+			h.AddNode("")
+			next++
+		}
+		for _, e := range g.Edges() {
+			if e.U == skip || e.V == skip {
+				continue
+			}
+			h.MustAddEdge(remap[e.U], remap[e.V], e.Weight)
+		}
+		return len(h.Components())
+	}
+	base := len(g.Components())
+	out := map[NodeID]bool{}
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		// Removing an isolated node or a whole component's only node does
+		// not count: compare adjusted counts. Removing node n removes its
+		// own component membership; the node's removal splits the graph
+		// iff the remaining nodes have MORE components than base minus
+		// (1 if n was an isolated vertex else 0).
+		expected := base
+		if g.Degree(id) == 0 {
+			expected--
+		}
+		if countWithout(id) > expected {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// Property: Tarjan articulation points match brute-force node removal on
+// random multigraphs.
+func TestArticulationPointsMatchBruteForce(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 57))
+		n := 2 + rng.IntN(9)
+		g := New(n, 0)
+		g.AddNodes(n)
+		m := rng.IntN(16)
+		for i := 0; i < m; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(NodeID(u), NodeID(v), 1)
+		}
+		want := bruteForceArticulation(g)
+		got := map[NodeID]bool{}
+		for _, a := range g.ArticulationPoints() {
+			got[a] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for id := range want {
+			if !got[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceBridges removes each edge in turn and checks connectivity of
+// the remaining multigraph restricted to the original components.
+func bruteForceBridges(g *Graph) map[EdgeID]bool {
+	baseComponents := len(g.Components())
+	out := map[EdgeID]bool{}
+	for _, e := range g.Edges() {
+		// Rebuild without edge e.
+		h := New(g.NumNodes(), g.NumEdges()-1)
+		h.AddNodes(g.NumNodes())
+		for _, f := range g.Edges() {
+			if f.ID == e.ID {
+				continue
+			}
+			h.MustAddEdge(f.U, f.V, f.Weight)
+		}
+		if len(h.Components()) > baseComponents {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+// Property: Tarjan bridges match the brute-force removal test on random
+// multigraphs.
+func TestBridgesMatchBruteForce(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 55))
+		n := 2 + rng.IntN(10)
+		g := New(n, 0)
+		g.AddNodes(n)
+		m := rng.IntN(18)
+		for i := 0; i < m; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(NodeID(u), NodeID(v), 1)
+		}
+		want := bruteForceBridges(g)
+		got := map[EdgeID]bool{}
+		for _, b := range g.Bridges() {
+			if got[b] {
+				return false // duplicates
+			}
+			got[b] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for id := range want {
+			if !got[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList asserts the parser never panics and that everything it
+// accepts survives a write/read round trip unchanged.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("node 0 a\nnode 1 b\nedge 0 1 2.5\n")
+	f.Add("# comment\n\nnode 0 x\n")
+	f.Add("edge 0 1 1\n")
+	f.Add("node 0 a\nedge 0 0 1\n")
+	f.Add("garbage that is not a directive\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("serialized form rejected: %v", err)
+		}
+		if g.Canonical() != g2.Canonical() {
+			t.Fatalf("round trip changed graph:\n%s\n%s", g.Canonical(), g2.Canonical())
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package graph provides the undirected weighted multigraph that underlies
+// every other subsystem in this repository: topologies are graphs, routing
+// runs over graphs, and the tomography path matrix indexes graph edges.
+//
+// Nodes and edges are identified by dense integer IDs (0..N-1 and 0..E-1
+// respectively) so that downstream packages can use plain slices as
+// node- and edge-indexed tables. The graph is append-only: nodes and edges
+// can be added but not removed, which keeps IDs stable for the lifetime of
+// an experiment. Link failures are modelled downstream as scenario masks
+// over edge IDs, never as structural deletions.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense: the n-th added node
+// has NodeID n-1.
+type NodeID int
+
+// EdgeID identifies an edge in a Graph. IDs are dense: the e-th added edge
+// has EdgeID e-1.
+type EdgeID int
+
+// Edge is an undirected weighted edge between two nodes. U < V is not
+// required; both orientations denote the same link.
+type Edge struct {
+	ID     EdgeID
+	U, V   NodeID
+	Weight float64
+}
+
+// Other returns the endpoint of e that is not n. It returns U if n matches
+// neither endpoint, which callers guard against via Incident.
+func (e Edge) Other(n NodeID) NodeID {
+	if e.U == n {
+		return e.V
+	}
+	return e.U
+}
+
+// Incident reports whether n is an endpoint of e.
+func (e Edge) Incident(n NodeID) bool { return e.U == n || e.V == n }
+
+var (
+	// ErrNodeRange is returned when a node ID is outside [0, NumNodes).
+	ErrNodeRange = errors.New("graph: node id out of range")
+	// ErrSelfLoop is returned when attempting to add an edge from a node
+	// to itself; tomography path matrices have no use for self loops.
+	ErrSelfLoop = errors.New("graph: self loops are not allowed")
+	// ErrBadWeight is returned for non-positive or non-finite edge weights.
+	ErrBadWeight = errors.New("graph: edge weight must be positive and finite")
+)
+
+// Graph is an undirected weighted multigraph with dense node and edge IDs.
+// The zero value is an empty graph ready to use.
+type Graph struct {
+	names []string // node labels, indexed by NodeID
+	edges []Edge   // indexed by EdgeID
+	adj   [][]EdgeID
+}
+
+// New returns an empty graph with capacity hints for n nodes and m edges.
+func New(n, m int) *Graph {
+	return &Graph{
+		names: make([]string, 0, n),
+		edges: make([]Edge, 0, m),
+		adj:   make([][]EdgeID, 0, n),
+	}
+}
+
+// AddNode appends a node with the given label and returns its ID.
+func (g *Graph) AddNode(label string) NodeID {
+	id := NodeID(len(g.names))
+	g.names = append(g.names, label)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddNodes appends n unlabeled nodes (labels "n<ID>") and returns the ID of
+// the first one.
+func (g *Graph) AddNodes(n int) NodeID {
+	first := NodeID(len(g.names))
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", int(first)+i))
+	}
+	return first
+}
+
+// AddEdge appends an undirected edge between u and v with the given weight
+// and returns its ID. Parallel edges are allowed; self loops are not.
+func (g *Graph) AddEdge(u, v NodeID, weight float64) (EdgeID, error) {
+	if !g.validNode(u) || !g.validNode(v) {
+		return 0, fmt.Errorf("%w: (%d,%d) with %d nodes", ErrNodeRange, u, v, len(g.names))
+	}
+	if u == v {
+		return 0, fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	if !(weight > 0) || weight != weight || weight > 1e300 {
+		return 0, fmt.Errorf("%w: %v", ErrBadWeight, weight)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, Weight: weight})
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for construction code with known-good arguments
+// (topology generators, tests). It panics on error.
+func (g *Graph) MustAddEdge(u, v NodeID, weight float64) EdgeID {
+	id, err := g.AddEdge(u, v, weight)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (g *Graph) validNode(n NodeID) bool { return n >= 0 && int(n) < len(g.names) }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Label returns the label of node n, or "" if n is out of range.
+func (g *Graph) Label(n NodeID) string {
+	if !g.validNode(n) {
+		return ""
+	}
+	return g.names[n]
+}
+
+// Edge returns the edge with the given ID. ok is false if the ID is out of
+// range.
+func (g *Graph) Edge(id EdgeID) (Edge, bool) {
+	if id < 0 || int(id) >= len(g.edges) {
+		return Edge{}, false
+	}
+	return g.edges[id], true
+}
+
+// Edges returns a copy of all edges in ID order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// IncidentEdges returns the IDs of edges incident to n, in insertion order.
+// The returned slice is a copy.
+func (g *Graph) IncidentEdges(n NodeID) []EdgeID {
+	if !g.validNode(n) {
+		return nil
+	}
+	out := make([]EdgeID, len(g.adj[n]))
+	copy(out, g.adj[n])
+	return out
+}
+
+// Degree returns the number of edges incident to n (parallel edges count
+// separately).
+func (g *Graph) Degree(n NodeID) int {
+	if !g.validNode(n) {
+		return 0
+	}
+	return len(g.adj[n])
+}
+
+// Neighbors returns the distinct neighbor nodes of n in ascending order.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	if !g.validNode(n) {
+		return nil
+	}
+	seen := make(map[NodeID]bool, len(g.adj[n]))
+	for _, eid := range g.adj[n] {
+		seen[g.edges[eid].Other(n)] = true
+	}
+	out := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasEdgeBetween reports whether at least one edge connects u and v.
+func (g *Graph) HasEdgeBetween(u, v NodeID) bool {
+	if !g.validNode(u) || !g.validNode(v) {
+		return false
+	}
+	for _, eid := range g.adj[u] {
+		if g.edges[eid].Other(u) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Connected reports whether the graph is connected. The empty graph and
+// single-node graphs are connected.
+func (g *Graph) Connected() bool {
+	if len(g.names) <= 1 {
+		return true
+	}
+	return len(g.Component(0)) == len(g.names)
+}
+
+// Component returns the IDs of all nodes reachable from start (including
+// start), in BFS discovery order. It returns nil for an out-of-range start.
+func (g *Graph) Component(start NodeID) []NodeID {
+	if !g.validNode(start) {
+		return nil
+	}
+	seen := make([]bool, len(g.names))
+	seen[start] = true
+	queue := []NodeID{start}
+	var order []NodeID
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, eid := range g.adj[n] {
+			v := g.edges[eid].Other(n)
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// Components returns all connected components, each as a sorted node list,
+// ordered by their smallest node ID.
+func (g *Graph) Components() [][]NodeID {
+	var comps [][]NodeID
+	seen := make([]bool, len(g.names))
+	for n := 0; n < len(g.names); n++ {
+		if seen[n] {
+			continue
+		}
+		comp := g.Component(NodeID(n))
+		for _, v := range comp {
+			seen[v] = true
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// DegreeStats summarizes the degree distribution of a graph.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// Degrees returns degree statistics for the graph. All fields are zero for
+// an empty graph.
+func (g *Graph) Degrees() DegreeStats {
+	if len(g.names) == 0 {
+		return DegreeStats{}
+	}
+	stats := DegreeStats{Min: len(g.edges)*2 + 1}
+	total := 0
+	for n := range g.names {
+		d := len(g.adj[n])
+		total += d
+		if d < stats.Min {
+			stats.Min = d
+		}
+		if d > stats.Max {
+			stats.Max = d
+		}
+	}
+	stats.Mean = float64(total) / float64(len(g.names))
+	return stats
+}
+
+// String returns a short human-readable summary, e.g. "graph(87 nodes, 161 edges)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(%d nodes, %d edges)", len(g.names), len(g.edges))
+}

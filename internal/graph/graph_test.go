@@ -1,0 +1,383 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New(3, 3)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 2)
+	g.MustAddEdge(c, a, 3)
+	return g
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New(0, 0)
+	for i := 0; i < 5; i++ {
+		if got := g.AddNode("x"); int(got) != i {
+			t.Fatalf("AddNode #%d = %d, want %d", i, got, i)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAddNodesBulk(t *testing.T) {
+	g := New(0, 0)
+	g.AddNode("first")
+	start := g.AddNodes(4)
+	if start != 1 {
+		t.Fatalf("AddNodes start = %d, want 1", start)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.Label(2) != "n2" {
+		t.Fatalf("Label(2) = %q, want n2", g.Label(2))
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(2, 1)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+
+	if _, err := g.AddEdge(a, b, 1.5); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if _, err := g.AddEdge(a, a, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: got %v, want ErrSelfLoop", err)
+	}
+	if _, err := g.AddEdge(a, 99, 1); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("bad node: got %v, want ErrNodeRange", err)
+	}
+	if _, err := g.AddEdge(a, -1, 1); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("negative node: got %v, want ErrNodeRange", err)
+	}
+	for _, w := range []float64{0, -1, nan()} {
+		if _, err := g.AddEdge(a, b, w); !errors.Is(err, ErrBadWeight) {
+			t.Errorf("weight %v: got %v, want ErrBadWeight", w, err)
+		}
+	}
+}
+
+func nan() float64 { return float64FromBits() }
+
+func float64FromBits() float64 {
+	var f float64
+	f = 0.0
+	return f / f // quiet NaN without importing math
+}
+
+func TestParallelEdgesAllowed(t *testing.T) {
+	g := New(2, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	e1 := g.MustAddEdge(a, b, 1)
+	e2 := g.MustAddEdge(a, b, 2)
+	if e1 == e2 {
+		t.Fatalf("parallel edges share an ID: %d", e1)
+	}
+	if g.Degree(a) != 2 || g.Degree(b) != 2 {
+		t.Fatalf("degrees = %d,%d, want 2,2", g.Degree(a), g.Degree(b))
+	}
+	if nbrs := g.Neighbors(a); len(nbrs) != 1 || nbrs[0] != b {
+		t.Fatalf("Neighbors(a) = %v, want [b]", nbrs)
+	}
+}
+
+func TestEdgeAccessors(t *testing.T) {
+	g := buildTriangle(t)
+	e, ok := g.Edge(1)
+	if !ok {
+		t.Fatal("Edge(1) not found")
+	}
+	if e.U != 1 || e.V != 2 || e.Weight != 2 {
+		t.Fatalf("Edge(1) = %+v", e)
+	}
+	if _, ok := g.Edge(99); ok {
+		t.Error("Edge(99) should not exist")
+	}
+	if _, ok := g.Edge(-1); ok {
+		t.Error("Edge(-1) should not exist")
+	}
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Error("Other endpoints wrong")
+	}
+	if !e.Incident(1) || !e.Incident(2) || e.Incident(0) {
+		t.Error("Incident wrong")
+	}
+}
+
+func TestEdgesReturnsCopy(t *testing.T) {
+	g := buildTriangle(t)
+	edges := g.Edges()
+	edges[0].Weight = 999
+	e, _ := g.Edge(0)
+	if e.Weight == 999 {
+		t.Fatal("Edges() aliases internal storage")
+	}
+}
+
+func TestIncidentEdgesReturnsCopy(t *testing.T) {
+	g := buildTriangle(t)
+	inc := g.IncidentEdges(0)
+	if len(inc) != 2 {
+		t.Fatalf("IncidentEdges(0) = %v, want 2 edges", inc)
+	}
+	inc[0] = 42
+	if g.IncidentEdges(0)[0] == 42 {
+		t.Fatal("IncidentEdges aliases internal storage")
+	}
+	if g.IncidentEdges(-5) != nil {
+		t.Fatal("IncidentEdges(-5) should be nil")
+	}
+}
+
+func TestHasEdgeBetween(t *testing.T) {
+	g := New(3, 1)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustAddEdge(a, b, 1)
+	if !g.HasEdgeBetween(a, b) || !g.HasEdgeBetween(b, a) {
+		t.Error("a-b edge not reported")
+	}
+	if g.HasEdgeBetween(a, c) {
+		t.Error("phantom a-c edge")
+	}
+	if g.HasEdgeBetween(a, 17) {
+		t.Error("out of range should be false")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := New(4, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(c, d, 1)
+
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("Components = %v, want 2", comps)
+	}
+	if comps[0][0] != a || comps[1][0] != c {
+		t.Errorf("component ordering wrong: %v", comps)
+	}
+
+	g.MustAddEdge(b, c, 1)
+	if !g.Connected() {
+		t.Error("connected graph reported disconnected")
+	}
+	if got := len(g.Components()); got != 1 {
+		t.Errorf("Components = %d, want 1", got)
+	}
+}
+
+func TestEmptyAndSingletonConnected(t *testing.T) {
+	g := New(0, 0)
+	if !g.Connected() {
+		t.Error("empty graph should be connected")
+	}
+	g.AddNode("only")
+	if !g.Connected() {
+		t.Error("singleton graph should be connected")
+	}
+}
+
+func TestComponentBFSOrder(t *testing.T) {
+	// Path a-b-c: BFS from a discovers in order a,b,c.
+	g := New(3, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 1)
+	got := g.Component(a)
+	want := []NodeID{a, b, c}
+	if len(got) != len(want) {
+		t.Fatalf("Component = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Component = %v, want %v", got, want)
+		}
+	}
+	if g.Component(-1) != nil {
+		t.Error("Component(-1) should be nil")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := buildTriangle(t)
+	stats := g.Degrees()
+	if stats.Min != 2 || stats.Max != 2 || stats.Mean != 2 {
+		t.Fatalf("Degrees = %+v, want all 2", stats)
+	}
+	if got := (New(0, 0)).Degrees(); got != (DegreeStats{}) {
+		t.Fatalf("empty Degrees = %+v, want zero", got)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := buildTriangle(t)
+	if got := g.String(); got != "graph(3 nodes, 3 edges)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := buildTriangle(t)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.Canonical() != g2.Canonical() {
+		t.Fatalf("round trip changed graph:\n%s\n%s", g.Canonical(), g2.Canonical())
+	}
+	if g2.Label(0) != "a" {
+		t.Errorf("label lost in round trip: %q", g2.Label(0))
+	}
+}
+
+func TestReadEdgeListIgnoresCommentsAndBlank(t *testing.T) {
+	in := `
+# a comment
+node 0 a
+node 1 b
+
+edge 0 1 2.5
+future-directive whatever
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %s, want 2 nodes 1 edge", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"sparse node ids", "node 5 x\n"},
+		{"bad node id", "node zero x\n"},
+		{"short node line", "node\n"},
+		{"short edge line", "node 0 a\nnode 1 b\nedge 0 1\n"},
+		{"bad edge endpoint", "node 0 a\nnode 1 b\nedge 0 q 1\n"},
+		{"bad edge endpoint u", "node 0 a\nnode 1 b\nedge q 1 1\n"},
+		{"bad edge weight", "node 0 a\nnode 1 b\nedge 0 1 heavy\n"},
+		{"edge out of range", "node 0 a\nedge 0 3 1\n"},
+		{"self loop", "node 0 a\nedge 0 0 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("input %q parsed without error", tc.in)
+			}
+		})
+	}
+}
+
+func TestCanonicalOrderIndependent(t *testing.T) {
+	g1 := New(3, 2)
+	g1.AddNodes(3)
+	g1.MustAddEdge(0, 1, 1)
+	g1.MustAddEdge(1, 2, 2)
+
+	g2 := New(3, 2)
+	g2.AddNodes(3)
+	g2.MustAddEdge(2, 1, 2) // reversed endpoints, different insertion order
+	g2.MustAddEdge(1, 0, 1)
+
+	if g1.Canonical() != g2.Canonical() {
+		t.Fatalf("canonical differs:\n%s\n%s", g1.Canonical(), g2.Canonical())
+	}
+}
+
+// Property: on random graphs, the sum of all node degrees equals twice the
+// edge count, and Components partitions the node set.
+func TestRandomGraphInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := 2 + rng.IntN(20)
+		m := rng.IntN(40)
+		g := New(n, m)
+		g.AddNodes(n)
+		for i := 0; i < m; i++ {
+			u := NodeID(rng.IntN(n))
+			v := NodeID(rng.IntN(n))
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(u, v, 1+rng.Float64())
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			total += g.Degree(NodeID(i))
+		}
+		if total != 2*g.NumEdges() {
+			return false
+		}
+		covered := 0
+		for _, comp := range g.Components() {
+			covered += len(comp)
+		}
+		return covered == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WriteEdgeList/ReadEdgeList round-trips random graphs.
+func TestRandomGraphRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 2 + rng.IntN(15)
+		g := New(n, 0)
+		g.AddNodes(n)
+		for i := 0; i < rng.IntN(30); i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(NodeID(u), NodeID(v), float64(1+rng.IntN(10)))
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Canonical() == g2.Canonical()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package linalg
+
+import "fmt"
+
+// Basis maintains a growing set of linearly independent row vectors in
+// fully reduced (RREF-like) form and, crucially for the paper's
+// probabilistic ER bound, tracks for every vector the coefficients of its
+// representation in terms of the previously accepted independent vectors.
+//
+// Members of the basis are addressed by the order in which their vectors
+// were accepted (0, 1, 2, ...). When Add rejects a vector as dependent, it
+// reports the support of its representation: the member indices whose
+// combination reproduces the vector. That support is exactly the paper's
+// R_q, the set of basis paths a dependent path q depends on.
+//
+// Invariant: every stored row has value 1 in its own pivot column and 0 in
+// every other row's pivot column, so reducing an external vector against
+// the rows in any order is exact.
+type Basis struct {
+	dim int
+	tol float64
+
+	// reduced[i] is the i-th fully reduced row; pivots[i] its pivot column.
+	reduced [][]float64
+	pivots  []int
+	// combos[i] expresses reduced[i] as a combination of the accepted
+	// original vectors: reduced[i] = Σ_k combos[i][k]·orig_k. Slices are
+	// padded lazily to the current member count.
+	combos [][]float64
+}
+
+// NewBasis returns an empty basis for vectors of the given dimension.
+func NewBasis(dim int) *Basis { return NewBasisTol(dim, DefaultTol) }
+
+// NewBasisTol is NewBasis with an explicit zero tolerance.
+func NewBasisTol(dim int, tol float64) *Basis {
+	return &Basis{dim: dim, tol: tol}
+}
+
+// Rank returns the number of vectors accepted so far.
+func (b *Basis) Rank() int { return len(b.reduced) }
+
+// Dim returns the vector dimension.
+func (b *Basis) Dim() int { return b.dim }
+
+// reduceVec eliminates the pivot-column components of v (modified in
+// place) and returns the elimination factor per basis row. Because rows
+// satisfy the RREF invariant the order of elimination does not matter.
+func (b *Basis) reduceVec(v []float64) (factors []float64) {
+	factors = make([]float64, len(b.reduced))
+	for i, row := range b.reduced {
+		col := b.pivots[i]
+		f := v[col] // row[col] == 1 by invariant
+		if nearZero(f, b.tol) {
+			continue
+		}
+		factors[i] = f
+		for j := range v {
+			v[j] -= f * row[j]
+		}
+		v[col] = 0
+	}
+	return factors
+}
+
+func (b *Basis) residualPivot(v []float64) int {
+	for j := 0; j < b.dim; j++ {
+		if !nearZero(v[j], b.tol) {
+			return j
+		}
+	}
+	return -1
+}
+
+// memberCoeffs expands per-row elimination factors into coefficients over
+// the accepted original vectors.
+func (b *Basis) memberCoeffs(factors []float64) []float64 {
+	coeffs := make([]float64, len(b.reduced))
+	for i, f := range factors {
+		if f == 0 {
+			continue
+		}
+		for k, c := range b.combos[i] {
+			coeffs[k] += f * c
+		}
+	}
+	return coeffs
+}
+
+// Dependent reports whether v already lies in the span of the basis,
+// without modifying the basis. If it does, support lists the member
+// indices (in insertion order) whose combination reproduces v. The support
+// is empty for the zero vector.
+func (b *Basis) Dependent(v []float64) (dependent bool, support []int) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	res := make([]float64, b.dim)
+	copy(res, v)
+	factors := b.reduceVec(res)
+	if b.residualPivot(res) >= 0 {
+		return false, nil
+	}
+	for k, c := range b.memberCoeffs(factors) {
+		if !nearZero(c, b.tol) {
+			support = append(support, k)
+		}
+	}
+	return true, support
+}
+
+// Representation returns the coefficients over the accepted members that
+// reproduce v, when v lies in the span: v = Σ_k coeffs[k]·member_k. ok is
+// false for vectors outside the span.
+func (b *Basis) Representation(v []float64) (coeffs []float64, ok bool) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	res := make([]float64, b.dim)
+	copy(res, v)
+	factors := b.reduceVec(res)
+	if b.residualPivot(res) >= 0 {
+		return nil, false
+	}
+	return b.memberCoeffs(factors), true
+}
+
+// Add attempts to insert v. If v is independent of the current basis it is
+// accepted: added reports true and member is its index. Otherwise added is
+// false and support lists the members whose combination reproduces v (the
+// paper's R_q).
+func (b *Basis) Add(v []float64) (added bool, member int, support []int) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	res := make([]float64, b.dim)
+	copy(res, v)
+	factors := b.reduceVec(res)
+	pivotCol := b.residualPivot(res)
+	if pivotCol < 0 {
+		for k, c := range b.memberCoeffs(factors) {
+			if !nearZero(c, b.tol) {
+				support = append(support, k)
+			}
+		}
+		return false, -1, support
+	}
+
+	member = len(b.reduced)
+	// combo for the new row before normalization:
+	// res = 1·v − Σ_i factors[i]·reduced[i].
+	combo := make([]float64, member+1)
+	combo[member] = 1
+	for i, f := range factors {
+		if f == 0 {
+			continue
+		}
+		for k, c := range b.combos[i] {
+			combo[k] -= f * c
+		}
+	}
+	// Normalize pivot to 1.
+	pv := res[pivotCol]
+	for j := range res {
+		res[j] /= pv
+		if nearZero(res[j], b.tol) {
+			res[j] = 0
+		}
+	}
+	res[pivotCol] = 1
+	for k := range combo {
+		combo[k] /= pv
+	}
+
+	// Restore the RREF invariant: clear column pivotCol in existing rows.
+	for i, row := range b.reduced {
+		f := row[pivotCol]
+		if nearZero(f, b.tol) {
+			row[pivotCol] = 0
+			continue
+		}
+		for j := range row {
+			row[j] -= f * res[j]
+			if nearZero(row[j], b.tol) {
+				row[j] = 0
+			}
+		}
+		row[pivotCol] = 0
+		row[b.pivots[i]] = 1
+		// combos[i] -= f·combo (pad to new length first).
+		ci := b.combos[i]
+		for len(ci) < member+1 {
+			ci = append(ci, 0)
+		}
+		for k, c := range combo {
+			ci[k] -= f * c
+		}
+		b.combos[i] = ci
+	}
+
+	b.reduced = append(b.reduced, res)
+	b.pivots = append(b.pivots, pivotCol)
+	b.combos = append(b.combos, combo)
+	return true, member, nil
+}
+
+// MustAdd adds v and panics if it is dependent. For construction code with
+// vectors known to be independent.
+func (b *Basis) MustAdd(v []float64) int {
+	added, member, _ := b.Add(v)
+	if !added {
+		panic("linalg: MustAdd of dependent vector")
+	}
+	return member
+}
+
+// Clone returns a deep copy of the basis, so speculative additions can be
+// explored without mutating the original.
+func (b *Basis) Clone() *Basis {
+	c := &Basis{dim: b.dim, tol: b.tol}
+	c.reduced = make([][]float64, len(b.reduced))
+	c.combos = make([][]float64, len(b.combos))
+	c.pivots = make([]int, len(b.pivots))
+	copy(c.pivots, b.pivots)
+	for i := range b.reduced {
+		c.reduced[i] = append([]float64(nil), b.reduced[i]...)
+		c.combos[i] = append([]float64(nil), b.combos[i]...)
+	}
+	return c
+}

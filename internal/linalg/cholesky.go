@@ -1,0 +1,86 @@
+package linalg
+
+import "math"
+
+// PivotedCholeskyRows selects a maximal linearly independent subset of the
+// rows of m using pivoted Cholesky factorization of the Gram matrix
+// G = m·mᵀ. It returns the selected row indices in pivot order, i.e. the
+// order in which the factorization chose them.
+//
+// This mirrors the SelectPath baseline from Chen et al. (SIGCOMM'04): an
+// "arbitrary" basis extracted by a rank-revealing decomposition. The
+// factorization greedily pivots on the row with the largest residual
+// diagonal, stopping once the residual drops below tol, which happens after
+// exactly rank(m) steps.
+func PivotedCholeskyRows(m *Matrix, tol float64) []int {
+	n := m.Rows()
+	if n == 0 || m.Cols() == 0 {
+		return nil
+	}
+	// diag[i] = residual squared norm of row i.
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for _, v := range row {
+			s += v * v
+		}
+		diag[i] = s
+	}
+	// L columns computed so far: l[k][i] = L[i][k], stored per step.
+	var lcols [][]float64
+	var selected []int
+	chosen := make([]bool, n)
+
+	for step := 0; step < n; step++ {
+		// Pivot: unchosen row with max residual diagonal.
+		best, bestVal := -1, tol
+		for i := 0; i < n; i++ {
+			if !chosen[i] && diag[i] > bestVal {
+				best, bestVal = i, diag[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		selected = append(selected, best)
+
+		// Compute the new column of L: for each i,
+		// L[i][step] = (G[i][best] − Σ_k L[i][k]·L[best][k]) / sqrt(diag[best]).
+		pivotRow := m.Row(best)
+		col := make([]float64, n)
+		invSqrt := 1 / math.Sqrt(diag[best])
+		for i := 0; i < n; i++ {
+			if chosen[i] && i != best {
+				continue
+			}
+			g := dot(m.Row(i), pivotRow)
+			for k, lc := range lcols {
+				_ = k
+				g -= lc[i] * lc[best]
+			}
+			col[i] = g * invSqrt
+		}
+		// Update residual diagonals.
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			diag[i] -= col[i] * col[i]
+			if diag[i] < 0 {
+				diag[i] = 0
+			}
+		}
+		lcols = append(lcols, col)
+	}
+	return selected
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

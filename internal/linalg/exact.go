@@ -1,0 +1,59 @@
+package linalg
+
+import "math/big"
+
+// RankExact computes the exact rank of a matrix with rational entries using
+// fraction-free Gaussian elimination over big.Rat. It is immune to
+// round-off and serves as the ground-truth oracle for the floating-point
+// kernels in tests. Entries of m are converted via big.Rat's float64
+// constructor, so m must hold exactly representable values (path matrices
+// are 0/1, which always qualifies).
+func RankExact(m *Matrix) int {
+	rows, cols := m.Rows(), m.Cols()
+	if rows == 0 || cols == 0 {
+		return 0
+	}
+	work := make([][]*big.Rat, rows)
+	for i := 0; i < rows; i++ {
+		work[i] = make([]*big.Rat, cols)
+		for j := 0; j < cols; j++ {
+			r := new(big.Rat)
+			r.SetFloat64(m.At(i, j))
+			work[i][j] = r
+		}
+	}
+
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		for r := rank; r < rows; r++ {
+			if work[r][col].Sign() != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[rank], work[pivot] = work[pivot], work[rank]
+		prow := work[rank]
+		inv := new(big.Rat).Inv(prow[col])
+		for r := rank + 1; r < rows; r++ {
+			row := work[r]
+			if row[col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Mul(row[col], inv)
+			row[col].SetInt64(0)
+			for j := col + 1; j < cols; j++ {
+				if prow[j].Sign() == 0 {
+					continue
+				}
+				t := new(big.Rat).Mul(f, prow[j])
+				row[j].Sub(row[j], t)
+			}
+		}
+		rank++
+	}
+	return rank
+}

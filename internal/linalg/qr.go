@@ -1,0 +1,142 @@
+package linalg
+
+import "math"
+
+// QR computes the column-pivoted Householder QR factorization of m:
+// m·P = Q·R with Q orthonormal (implicit), R upper triangular and P a
+// column permutation choosing the largest remaining column norm at each
+// step — the classical rank-revealing QR. It returns the R factor (same
+// shape as m) and the column permutation perm (perm[k] = original column
+// index of factored column k).
+//
+// Chen et al., whose SelectPath baseline this repository reimplements,
+// describe their basis extraction in terms of rank-revealing
+// decompositions of AᵀA; QR on A is the numerically preferable equivalent
+// and serves here as an independent oracle for cross-checking the Gaussian
+// and SVD rank paths.
+func QR(m *Matrix) (r *Matrix, perm []int) {
+	rows, cols := m.Rows(), m.Cols()
+	work := m.Clone()
+	perm = make([]int, cols)
+	for j := range perm {
+		perm[j] = j
+	}
+	// Remaining squared column norms for pivoting.
+	norms := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		s := 0.0
+		for i := 0; i < rows; i++ {
+			v := work.At(i, j)
+			s += v * v
+		}
+		norms[j] = s
+	}
+
+	steps := rows
+	if cols < steps {
+		steps = cols
+	}
+	for k := 0; k < steps; k++ {
+		// Pivot: column with the largest residual norm.
+		best := k
+		for j := k + 1; j < cols; j++ {
+			if norms[j] > norms[best] {
+				best = j
+			}
+		}
+		if best != k {
+			swapCols(work, k, best)
+			perm[k], perm[best] = perm[best], perm[k]
+			norms[k], norms[best] = norms[best], norms[k]
+		}
+
+		// Householder vector for column k below row k.
+		alpha := 0.0
+		for i := k; i < rows; i++ {
+			v := work.At(i, k)
+			alpha += v * v
+		}
+		alpha = math.Sqrt(alpha)
+		if alpha <= 0 {
+			continue
+		}
+		if work.At(k, k) > 0 {
+			alpha = -alpha
+		}
+		// v = x − alpha·e1; applied implicitly.
+		v := make([]float64, rows-k)
+		v[0] = work.At(k, k) - alpha
+		for i := k + 1; i < rows; i++ {
+			v[i-k] = work.At(i, k)
+		}
+		vnorm2 := 0.0
+		for _, x := range v {
+			vnorm2 += x * x
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I − 2vvᵀ/(vᵀv) to columns k..cols-1.
+		for j := k; j < cols; j++ {
+			dotVX := 0.0
+			for i := k; i < rows; i++ {
+				dotVX += v[i-k] * work.At(i, j)
+			}
+			f := 2 * dotVX / vnorm2
+			for i := k; i < rows; i++ {
+				work.Set(i, j, work.At(i, j)-f*v[i-k])
+			}
+		}
+		// Column k is now alpha·e1 exactly (up to round-off): snap it.
+		work.Set(k, k, alpha)
+		for i := k + 1; i < rows; i++ {
+			work.Set(i, k, 0)
+		}
+		// Downdate the residual norms.
+		for j := k + 1; j < cols; j++ {
+			v := work.At(k, j)
+			norms[j] -= v * v
+			if norms[j] < 0 {
+				norms[j] = 0
+			}
+		}
+		norms[k] = 0
+	}
+	return work, perm
+}
+
+// RankQR returns the numerical rank of m as the number of diagonal entries
+// of the rank-revealing R factor above tol (scaled by the leading entry).
+func RankQR(m *Matrix, tol float64) int {
+	if m.Rows() == 0 || m.Cols() == 0 {
+		return 0
+	}
+	r, _ := QR(m)
+	steps := m.Rows()
+	if m.Cols() < steps {
+		steps = m.Cols()
+	}
+	lead := math.Abs(r.At(0, 0))
+	if lead <= tol {
+		return 0
+	}
+	threshold := tol * lead * math.Sqrt(float64(m.Rows()*m.Cols()))
+	if threshold < tol {
+		threshold = tol
+	}
+	rank := 0
+	for k := 0; k < steps; k++ {
+		if math.Abs(r.At(k, k)) > threshold {
+			rank++
+		}
+	}
+	return rank
+}
+
+func swapCols(m *Matrix, a, b int) {
+	for i := 0; i < m.Rows(); i++ {
+		va, vb := m.At(i, a), m.At(i, b)
+		m.Set(i, a, vb)
+		m.Set(i, b, va)
+	}
+}

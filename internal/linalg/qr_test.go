@@ -1,0 +1,97 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRKnownMatrix(t *testing.T) {
+	// Identity: R = permutation of identity, rank 3.
+	m := mustFromRows(t, [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	r, perm := QR(m)
+	if len(perm) != 3 {
+		t.Fatalf("perm = %v", perm)
+	}
+	for k := 0; k < 3; k++ {
+		if math.Abs(math.Abs(r.At(k, k))-1) > 1e-12 {
+			t.Fatalf("R diagonal = %v", r.At(k, k))
+		}
+	}
+	if got := RankQR(m, DefaultTol); got != 3 {
+		t.Fatalf("RankQR = %d, want 3", got)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	m := mustFromRows(t, [][]float64{
+		{1, 1, 0},
+		{0, 1, 1},
+		{1, 2, 1}, // sum of the first two
+	})
+	if got := RankQR(m, 1e-9); got != 2 {
+		t.Fatalf("RankQR = %d, want 2", got)
+	}
+}
+
+func TestQRPreservesColumnNorms(t *testing.T) {
+	// Q is orthogonal, so R's columns have the same norms as the pivoted
+	// columns of m.
+	rng := rand.New(rand.NewPCG(4, 4))
+	m := randomBinaryMatrix(rng, 8, 6, 0.5)
+	r, perm := QR(m)
+	for j := 0; j < m.Cols(); j++ {
+		orig := 0.0
+		for i := 0; i < m.Rows(); i++ {
+			v := m.At(i, perm[j])
+			orig += v * v
+		}
+		got := 0.0
+		for i := 0; i < m.Rows(); i++ {
+			v := r.At(i, j)
+			got += v * v
+		}
+		if math.Abs(orig-got) > 1e-9 {
+			t.Fatalf("column %d norm %v, want %v", j, got, orig)
+		}
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	m := randomBinaryMatrix(rng, 7, 7, 0.5)
+	r, _ := QR(m)
+	for i := 1; i < r.Rows(); i++ {
+		for j := 0; j < i && j < r.Cols(); j++ {
+			if math.Abs(r.At(i, j)) > 1e-9 {
+				t.Fatalf("R[%d][%d] = %v below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQREmpty(t *testing.T) {
+	if got := RankQR(NewMatrix(0, 3), DefaultTol); got != 0 {
+		t.Fatalf("RankQR(empty) = %d", got)
+	}
+	if got := RankQR(NewMatrix(3, 3), DefaultTol); got != 0 {
+		t.Fatalf("RankQR(zero) = %d", got)
+	}
+}
+
+// Property: QR rank agrees with Gaussian and exact rank on random 0/1
+// matrices — three independent rank oracles concurring.
+func TestRankQRMatchesOtherOracles(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 91))
+		rows := 1 + rng.IntN(12)
+		cols := 1 + rng.IntN(12)
+		m := randomBinaryMatrix(rng, rows, cols, 0.4)
+		want := RankExact(m)
+		return RankQR(m, DefaultTol) == want && Rank(m) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package linalg
+
+// Rank returns the numerical rank of m using Gaussian elimination with
+// partial pivoting and the DefaultTol zero threshold. The input is not
+// modified.
+func Rank(m *Matrix) int { return RankTol(m, DefaultTol) }
+
+// RankTol is Rank with an explicit zero tolerance.
+func RankTol(m *Matrix, tol float64) int {
+	if m.rows == 0 || m.cols == 0 {
+		return 0
+	}
+	work := m.Clone()
+	return eliminate(work, tol)
+}
+
+// eliminate reduces work in place to row echelon form with partial
+// pivoting and returns the number of pivots (the rank).
+func eliminate(work *Matrix, tol float64) int {
+	rank := 0
+	for col := 0; col < work.cols && rank < work.rows; col++ {
+		// Partial pivot: largest |value| in this column at/below rank row.
+		pivot, pivotVal := -1, tol
+		for r := rank; r < work.rows; r++ {
+			if v := abs(work.At(r, col)); v > pivotVal {
+				pivot, pivotVal = r, v
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		swapRows(work, rank, pivot)
+		prow := work.Row(rank)
+		pv := prow[col]
+		for r := rank + 1; r < work.rows; r++ {
+			row := work.Row(r)
+			if nearZero(row[col], tol) {
+				continue
+			}
+			f := row[col] / pv
+			row[col] = 0
+			for j := col + 1; j < work.cols; j++ {
+				row[j] -= f * prow[j]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func swapRows(m *Matrix, i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RREF reduces a copy of m to reduced row echelon form and returns the
+// reduced matrix together with the pivot column of each pivot row. Rows
+// beyond the rank are zero. Pivot entries are scaled to exactly 1 and
+// entries within tol of zero are snapped to exactly 0 so downstream
+// identifiability tests are stable.
+func RREF(m *Matrix, tol float64) (reduced *Matrix, pivotCols []int) {
+	work := m.Clone()
+	rank := 0
+	for col := 0; col < work.cols && rank < work.rows; col++ {
+		pivot, pivotVal := -1, tol
+		for r := rank; r < work.rows; r++ {
+			if v := abs(work.At(r, col)); v > pivotVal {
+				pivot, pivotVal = r, v
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		swapRows(work, rank, pivot)
+		prow := work.Row(rank)
+		pv := prow[col]
+		for j := col; j < work.cols; j++ {
+			prow[j] /= pv
+		}
+		prow[col] = 1
+		for r := 0; r < work.rows; r++ {
+			if r == rank {
+				continue
+			}
+			row := work.Row(r)
+			if nearZero(row[col], tol) {
+				row[col] = 0
+				continue
+			}
+			f := row[col]
+			row[col] = 0
+			for j := col + 1; j < work.cols; j++ {
+				row[j] -= f * prow[j]
+				if nearZero(row[j], tol) {
+					row[j] = 0
+				}
+			}
+		}
+		pivotCols = append(pivotCols, col)
+		rank++
+	}
+	// Snap sub-tolerance residue in pivot rows too.
+	for r := 0; r < rank; r++ {
+		row := work.Row(r)
+		for j := range row {
+			if nearZero(row[j], tol) {
+				row[j] = 0
+			}
+		}
+	}
+	return work, pivotCols
+}
+
+// InRowSpace reports whether vector v lies in the row space of the RREF
+// matrix produced by RREF (with matching pivotCols). It reduces a copy of v
+// against the pivot rows and checks that the residual vanishes.
+func InRowSpace(reduced *Matrix, pivotCols []int, v []float64, tol float64) bool {
+	res := make([]float64, len(v))
+	copy(res, v)
+	for r, col := range pivotCols {
+		f := res[col]
+		if nearZero(f, tol) {
+			continue
+		}
+		row := reduced.Row(r)
+		for j := range res {
+			res[j] -= f * row[j]
+		}
+	}
+	for _, x := range res {
+		if !nearZero(x, tol) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package linalg
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankKnownMatrices(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]float64
+		want int
+	}{
+		{"empty", nil, 0},
+		{"zero", [][]float64{{0, 0}, {0, 0}}, 0},
+		{"identity3", [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, 3},
+		{"duplicated row", [][]float64{{1, 1}, {1, 1}}, 1},
+		{"sum row", [][]float64{{1, 0}, {0, 1}, {1, 1}}, 2},
+		{"wide", [][]float64{{1, 2, 3, 4}}, 1},
+		{"tall dependent", [][]float64{{1}, {2}, {3}}, 1},
+		{
+			"paper-like 4x4",
+			[][]float64{
+				{1, 1, 0, 0},
+				{0, 1, 1, 0},
+				{0, 0, 1, 1},
+				{1, 0, 0, 1}, // = r1 - r2 + r3
+			},
+			3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := FromRows(tc.rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Rank(m); got != tc.want {
+				t.Errorf("Rank = %d, want %d", got, tc.want)
+			}
+			if got := RankExact(m); got != tc.want {
+				t.Errorf("RankExact = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRankDoesNotMutate(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	Rank(m)
+	if m.At(1, 0) != 3 {
+		t.Fatal("Rank mutated input")
+	}
+}
+
+// Property: float rank matches exact rational rank on random 0/1 matrices.
+func TestRankMatchesExactRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		rows := 1 + rng.IntN(12)
+		cols := 1 + rng.IntN(12)
+		m := randomBinaryMatrix(rng, rows, cols, 0.4)
+		return Rank(m) == RankExact(m)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank is invariant under transposition and bounded by min shape.
+func TestRankProperties(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		rows := 1 + rng.IntN(10)
+		cols := 1 + rng.IntN(10)
+		m := randomBinaryMatrix(rng, rows, cols, 0.5)
+		r := Rank(m)
+		if r > rows || r > cols {
+			return false
+		}
+		return Rank(m.Transpose()) == r
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank is subadditive under row stacking: rank([A;B]) ≤ rank(A)+rank(B)
+// and ≥ max(rank(A), rank(B)).
+func TestRankSubadditive(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 29))
+		cols := 1 + rng.IntN(8)
+		ra := 1 + rng.IntN(6)
+		rb := 1 + rng.IntN(6)
+		a := randomBinaryMatrix(rng, ra, cols, 0.5)
+		b := randomBinaryMatrix(rng, rb, cols, 0.5)
+		stacked := NewMatrix(ra+rb, cols)
+		for i := 0; i < ra; i++ {
+			copy(stacked.Row(i), a.Row(i))
+		}
+		for i := 0; i < rb; i++ {
+			copy(stacked.Row(ra+i), b.Row(i))
+		}
+		rs, raa, rbb := Rank(stacked), Rank(a), Rank(b)
+		if rs > raa+rbb {
+			return false
+		}
+		if rs < raa || rs < rbb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRREFBasics(t *testing.T) {
+	m := mustFromRows(t, [][]float64{
+		{1, 1, 0},
+		{0, 1, 1},
+		{1, 2, 1}, // dependent
+	})
+	red, pivots := RREF(m, DefaultTol)
+	if len(pivots) != 2 {
+		t.Fatalf("pivots = %v, want 2", pivots)
+	}
+	// Pivot rows should be e1-ish: [1 0 -1] and [0 1 1].
+	if red.At(0, 0) != 1 || red.At(0, 1) != 0 || red.At(0, 2) != -1 {
+		t.Errorf("row 0 = %v", red.Row(0))
+	}
+	if red.At(1, 0) != 0 || red.At(1, 1) != 1 || red.At(1, 2) != 1 {
+		t.Errorf("row 1 = %v", red.Row(1))
+	}
+	for j := 0; j < 3; j++ {
+		if red.At(2, j) != 0 {
+			t.Errorf("dependent row not zeroed: %v", red.Row(2))
+		}
+	}
+}
+
+func TestInRowSpace(t *testing.T) {
+	m := mustFromRows(t, [][]float64{
+		{1, 1, 0},
+		{0, 1, 1},
+	})
+	red, pivots := RREF(m, DefaultTol)
+	cases := []struct {
+		v    []float64
+		want bool
+	}{
+		{[]float64{1, 1, 0}, true},
+		{[]float64{0, 1, 1}, true},
+		{[]float64{1, 2, 1}, true},  // sum
+		{[]float64{1, 0, -1}, true}, // difference
+		{[]float64{0, 0, 0}, true},
+		{[]float64{1, 0, 0}, false},
+		{[]float64{0, 0, 1}, false},
+	}
+	for _, tc := range cases {
+		if got := InRowSpace(red, pivots, tc.v, DefaultTol); got != tc.want {
+			t.Errorf("InRowSpace(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+// Property: every original row is in the row space of its own RREF, and the
+// number of pivots equals the rank.
+func TestRREFConsistency(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		rows := 1 + rng.IntN(10)
+		cols := 1 + rng.IntN(10)
+		m := randomBinaryMatrix(rng, rows, cols, 0.45)
+		red, pivots := RREF(m, DefaultTol)
+		if len(pivots) != Rank(m) {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			if !InRowSpace(red, pivots, m.Row(i), 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

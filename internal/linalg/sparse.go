@@ -1,0 +1,354 @@
+package linalg
+
+import "fmt"
+
+// RowBasis is the incremental-basis contract shared by the dense Basis and
+// the SparseBasis. The expected-rank oracles only need these operations.
+type RowBasis interface {
+	// Rank returns the number of accepted vectors.
+	Rank() int
+	// Dim returns the vector dimension.
+	Dim() int
+	// Dependent reports whether v lies in the span, with the
+	// representation support over accepted members.
+	Dependent(v []float64) (dependent bool, support []int)
+	// Add inserts v if independent; otherwise reports the support.
+	Add(v []float64) (added bool, member int, support []int)
+}
+
+var (
+	_ RowBasis = (*Basis)(nil)
+	_ RowBasis = (*SparseBasis)(nil)
+)
+
+// sparseRow is a vector stored as parallel (col, val) pairs, sorted by
+// column.
+type sparseRow struct {
+	cols []int
+	vals []float64
+}
+
+func (r *sparseRow) nnz() int { return len(r.cols) }
+
+// SparseBasis is Basis with rows stored sparsely. Path-matrix rows carry a
+// handful of nonzeros across hundreds of columns, and even after
+// elimination fill-in the reduced rows of ISP instances stay far from
+// dense, so row updates cost O(nnz) instead of O(dim). Semantics are
+// identical to Basis (differential-tested), including the RREF invariant
+// that makes single-pass reduction exact and the member-indexed
+// representation supports the ER bound consumes.
+type SparseBasis struct {
+	dim int
+	tol float64
+
+	rows   []sparseRow
+	pivots []int
+	// pivotOf[col] is the row whose pivot is col, or -1. Gives O(1)
+	// "which row eliminates this column" lookups during reduction.
+	pivotOf []int
+	combos  [][]float64
+
+	// scratch is the dense working vector reused across operations; the
+	// touched-column list (deduplicated via mark) bounds the re-zeroing
+	// cost to the work done.
+	scratch []float64
+	touched []int
+	mark    []bool
+}
+
+// NewSparseBasis returns an empty sparse basis for vectors of the given
+// dimension.
+func NewSparseBasis(dim int) *SparseBasis { return NewSparseBasisTol(dim, DefaultTol) }
+
+// NewSparseBasisTol is NewSparseBasis with an explicit zero tolerance.
+func NewSparseBasisTol(dim int, tol float64) *SparseBasis {
+	pv := make([]int, dim)
+	for i := range pv {
+		pv[i] = -1
+	}
+	return &SparseBasis{
+		dim:     dim,
+		tol:     tol,
+		pivotOf: pv,
+		scratch: make([]float64, dim),
+		mark:    make([]bool, dim),
+	}
+}
+
+// Rank implements RowBasis.
+func (b *SparseBasis) Rank() int { return len(b.rows) }
+
+// Dim implements RowBasis.
+func (b *SparseBasis) Dim() int { return b.dim }
+
+// load scatters v into the scratch vector, tracking touched columns.
+func (b *SparseBasis) load(v []float64) {
+	for j, x := range v {
+		if x != 0 {
+			b.scratch[j] = x
+			b.touch(j)
+		}
+	}
+}
+
+func (b *SparseBasis) touch(j int) {
+	if !b.mark[j] {
+		b.mark[j] = true
+		b.touched = append(b.touched, j)
+	}
+}
+
+// clear re-zeroes scratch.
+func (b *SparseBasis) clear() {
+	for _, j := range b.touched {
+		b.scratch[j] = 0
+		b.mark[j] = false
+	}
+	b.touched = b.touched[:0]
+}
+
+// reduceScratch eliminates pivot-column components of the scratch vector.
+// Because rows satisfy the RREF invariant, each pivot column needs at most
+// one elimination, and eliminating with a row never reintroduces another
+// pivot column. Newly touched columns are processed as they appear.
+func (b *SparseBasis) reduceScratch() (factors []float64) {
+	factors = make([]float64, len(b.rows))
+	for k := 0; k < len(b.touched); k++ {
+		col := b.touched[k]
+		row := b.pivotOf[col]
+		if row < 0 {
+			continue
+		}
+		f := b.scratch[col]
+		if nearZero(f, b.tol) {
+			continue
+		}
+		factors[row] = f
+		r := &b.rows[row]
+		for i, c := range r.cols {
+			b.touch(c)
+			b.scratch[c] -= f * r.vals[i]
+		}
+		b.scratch[col] = 0
+	}
+	return factors
+}
+
+// residualPivot returns the first column with a surviving nonzero, or -1.
+func (b *SparseBasis) residualPivot() int {
+	best := -1
+	for _, j := range b.touched {
+		if nearZero(b.scratch[j], b.tol) {
+			continue
+		}
+		if best < 0 || j < best {
+			best = j
+		}
+	}
+	return best
+}
+
+func (b *SparseBasis) memberCoeffs(factors []float64) []float64 {
+	coeffs := make([]float64, len(b.rows))
+	for i, f := range factors {
+		if f == 0 {
+			continue
+		}
+		for k, c := range b.combos[i] {
+			coeffs[k] += f * c
+		}
+	}
+	return coeffs
+}
+
+// Dependent implements RowBasis.
+func (b *SparseBasis) Dependent(v []float64) (dependent bool, support []int) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: sparse basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	b.load(v)
+	factors := b.reduceScratch()
+	pivot := b.residualPivot()
+	b.clear()
+	if pivot >= 0 {
+		return false, nil
+	}
+	for k, c := range b.memberCoeffs(factors) {
+		if !nearZero(c, b.tol) {
+			support = append(support, k)
+		}
+	}
+	return true, support
+}
+
+// Representation returns the coefficients over accepted members that
+// reproduce v, when v lies in the span.
+func (b *SparseBasis) Representation(v []float64) (coeffs []float64, ok bool) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: sparse basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	b.load(v)
+	factors := b.reduceScratch()
+	pivot := b.residualPivot()
+	b.clear()
+	if pivot >= 0 {
+		return nil, false
+	}
+	return b.memberCoeffs(factors), true
+}
+
+// Add implements RowBasis.
+func (b *SparseBasis) Add(v []float64) (added bool, member int, support []int) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: sparse basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	b.load(v)
+	factors := b.reduceScratch()
+	pivotCol := b.residualPivot()
+	if pivotCol < 0 {
+		b.clear()
+		for k, c := range b.memberCoeffs(factors) {
+			if !nearZero(c, b.tol) {
+				support = append(support, k)
+			}
+		}
+		return false, -1, support
+	}
+
+	member = len(b.rows)
+	combo := make([]float64, member+1)
+	combo[member] = 1
+	for i, f := range factors {
+		if f == 0 {
+			continue
+		}
+		for k, c := range b.combos[i] {
+			combo[k] -= f * c
+		}
+	}
+	// Extract, normalize and sort the residual row.
+	pv := b.scratch[pivotCol]
+	var newRow sparseRow
+	insertSorted := func(c int, x float64) {
+		// touched is unsorted; gather then sort once below.
+		newRow.cols = append(newRow.cols, c)
+		newRow.vals = append(newRow.vals, x)
+	}
+	for _, j := range b.touched {
+		x := b.scratch[j] / pv
+		if j == pivotCol {
+			x = 1
+		}
+		if nearZero(x, b.tol) {
+			continue
+		}
+		insertSorted(j, x)
+	}
+	b.clear()
+	sortSparse(&newRow)
+	for k := range combo {
+		combo[k] /= pv
+	}
+
+	// Restore the RREF invariant: clear pivotCol from existing rows.
+	for i := range b.rows {
+		r := &b.rows[i]
+		f := r.at(pivotCol)
+		if nearZero(f, b.tol) {
+			continue
+		}
+		r.axpy(-f, &newRow, b.tol)
+		// combos[i] -= f·combo.
+		ci := b.combos[i]
+		for len(ci) < member+1 {
+			ci = append(ci, 0)
+		}
+		for k, c := range combo {
+			ci[k] -= f * c
+		}
+		b.combos[i] = ci
+	}
+
+	b.rows = append(b.rows, newRow)
+	b.pivots = append(b.pivots, pivotCol)
+	b.pivotOf[pivotCol] = member
+	b.combos = append(b.combos, combo)
+	return true, member, nil
+}
+
+// Clone returns a deep copy of the basis, so speculative additions can be
+// explored without mutating the original.
+func (b *SparseBasis) Clone() *SparseBasis {
+	c := NewSparseBasisTol(b.dim, b.tol)
+	c.rows = make([]sparseRow, len(b.rows))
+	c.combos = make([][]float64, len(b.combos))
+	c.pivots = append([]int{}, b.pivots...)
+	copy(c.pivotOf, b.pivotOf)
+	for i := range b.rows {
+		c.rows[i] = sparseRow{
+			cols: append([]int{}, b.rows[i].cols...),
+			vals: append([]float64{}, b.rows[i].vals...),
+		}
+		c.combos[i] = append([]float64{}, b.combos[i]...)
+	}
+	return c
+}
+
+// at returns the value at column c (0 when absent) via binary search.
+func (r *sparseRow) at(c int) float64 {
+	lo, hi := 0, len(r.cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.cols[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.cols) && r.cols[lo] == c {
+		return r.vals[lo]
+	}
+	return 0
+}
+
+// axpy performs r += f·other with merge semantics, dropping entries within
+// tol of zero.
+func (r *sparseRow) axpy(f float64, other *sparseRow, tol float64) {
+	cols := make([]int, 0, len(r.cols)+other.nnz())
+	vals := make([]float64, 0, len(r.cols)+other.nnz())
+	i, j := 0, 0
+	for i < len(r.cols) || j < len(other.cols) {
+		switch {
+		case j >= len(other.cols) || (i < len(r.cols) && r.cols[i] < other.cols[j]):
+			cols = append(cols, r.cols[i])
+			vals = append(vals, r.vals[i])
+			i++
+		case i >= len(r.cols) || other.cols[j] < r.cols[i]:
+			x := f * other.vals[j]
+			if !nearZero(x, tol) {
+				cols = append(cols, other.cols[j])
+				vals = append(vals, x)
+			}
+			j++
+		default:
+			x := r.vals[i] + f*other.vals[j]
+			if !nearZero(x, tol) {
+				cols = append(cols, r.cols[i])
+				vals = append(vals, x)
+			}
+			i++
+			j++
+		}
+	}
+	r.cols, r.vals = cols, vals
+}
+
+func sortSparse(r *sparseRow) {
+	// Insertion sort on (cols, vals) pairs; rows are short.
+	for i := 1; i < len(r.cols); i++ {
+		for j := i; j > 0 && r.cols[j] < r.cols[j-1]; j-- {
+			r.cols[j], r.cols[j-1] = r.cols[j-1], r.cols[j]
+			r.vals[j], r.vals[j-1] = r.vals[j-1], r.vals[j]
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package linalg
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Differential property: SparseBasis and Basis agree exactly — acceptance
+// decisions, member indices and representation supports — on random 0/1
+// matrices fed in random order.
+func TestSparseBasisMatchesDense(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 101))
+		rows := 1 + rng.IntN(20)
+		cols := 1 + rng.IntN(15)
+		m := randomBinaryMatrix(rng, rows, cols, 0.25+rng.Float64()*0.4)
+		dense := NewBasis(cols)
+		sparse := NewSparseBasis(cols)
+		for _, i := range rng.Perm(rows) {
+			da, dm, ds := dense.Add(m.Row(i))
+			sa, sm, ss := sparse.Add(m.Row(i))
+			if da != sa || dm != sm {
+				return false
+			}
+			if len(ds) != len(ss) {
+				return false
+			}
+			for k := range ds {
+				if ds[k] != ss[k] {
+					return false
+				}
+			}
+		}
+		if dense.Rank() != sparse.Rank() {
+			return false
+		}
+		// Probe Dependent and Representation on fresh random vectors too.
+		for trial := 0; trial < 5; trial++ {
+			v := make([]float64, cols)
+			for j := range v {
+				if rng.Float64() < 0.4 {
+					v[j] = float64(1 + rng.IntN(3))
+				}
+			}
+			dd, dsup := dense.Dependent(v)
+			sd, ssup := sparse.Dependent(v)
+			if dd != sd || len(dsup) != len(ssup) {
+				return false
+			}
+			for k := range dsup {
+				if dsup[k] != ssup[k] {
+					return false
+				}
+			}
+			dc, dok := dense.Representation(v)
+			sc, sok := sparse.Representation(v)
+			if dok != sok {
+				return false
+			}
+			if dok {
+				for k := range dc {
+					if diff := dc[k] - sc[k]; diff > 1e-9 || diff < -1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseBasisBasics(t *testing.T) {
+	b := NewSparseBasis(4)
+	if b.Dim() != 4 || b.Rank() != 0 {
+		t.Fatalf("fresh basis: dim %d rank %d", b.Dim(), b.Rank())
+	}
+	added, member, _ := b.Add([]float64{1, 1, 0, 0})
+	if !added || member != 0 {
+		t.Fatalf("first add: %v %d", added, member)
+	}
+	added, member, _ = b.Add([]float64{0, 1, 1, 0})
+	if !added || member != 1 {
+		t.Fatalf("second add: %v %d", added, member)
+	}
+	// Dependent: sum of the two members.
+	dep, support := b.Dependent([]float64{1, 2, 1, 0})
+	if !dep || len(support) != 2 || support[0] != 0 || support[1] != 1 {
+		t.Fatalf("Dependent = %v %v", dep, support)
+	}
+	// Zero vector.
+	dep, support = b.Dependent([]float64{0, 0, 0, 0})
+	if !dep || len(support) != 0 {
+		t.Fatalf("zero vector: %v %v", dep, support)
+	}
+	// Independent probe does not mutate.
+	if dep, _ := b.Dependent([]float64{0, 0, 0, 1}); dep {
+		t.Fatal("independent vector flagged dependent")
+	}
+	if b.Rank() != 2 {
+		t.Fatalf("probe mutated rank: %d", b.Rank())
+	}
+}
+
+func TestSparseBasisCloneIsolated(t *testing.T) {
+	b := NewSparseBasis(3)
+	b.Add([]float64{1, 1, 0})
+	c := b.Clone()
+	if added, _, _ := c.Add([]float64{0, 0, 1}); !added {
+		t.Fatal("clone rejected independent vector")
+	}
+	if b.Rank() != 1 || c.Rank() != 2 {
+		t.Fatalf("ranks = %d,%d, want 1,2", b.Rank(), c.Rank())
+	}
+	// Mutating the clone's accepted rows must not corrupt the original.
+	dep, support := b.Dependent([]float64{2, 2, 0})
+	if !dep || len(support) != 1 {
+		t.Fatalf("original basis corrupted: %v %v", dep, support)
+	}
+}
+
+func TestSparseBasisDimMismatchPanics(t *testing.T) {
+	b := NewSparseBasis(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch should panic")
+		}
+	}()
+	b.Add([]float64{1})
+}
+
+func TestSparseRowAxpy(t *testing.T) {
+	r := sparseRow{cols: []int{1, 3}, vals: []float64{2, 4}}
+	other := sparseRow{cols: []int{0, 3, 5}, vals: []float64{1, -4, 2}}
+	r.axpy(1, &other, DefaultTol)
+	// Expect: col0=1, col1=2, col3=0 (dropped), col5=2.
+	if r.nnz() != 3 {
+		t.Fatalf("nnz = %d: %+v", r.nnz(), r)
+	}
+	if r.at(0) != 1 || r.at(1) != 2 || r.at(3) != 0 || r.at(5) != 2 {
+		t.Fatalf("axpy result: %+v", r)
+	}
+	if r.at(99) != 0 {
+		t.Fatal("missing column should read 0")
+	}
+}
+
+func TestSparseBasisRepeatedUse(t *testing.T) {
+	// Interleave Adds and Dependents heavily to stress scratch reuse.
+	rng := rand.New(rand.NewPCG(3, 3))
+	b := NewSparseBasis(40)
+	ref := NewBasis(40)
+	for i := 0; i < 200; i++ {
+		v := make([]float64, 40)
+		for j := range v {
+			if rng.Float64() < 0.1 {
+				v[j] = 1
+			}
+		}
+		if i%3 == 0 {
+			sd, _ := b.Dependent(v)
+			dd, _ := ref.Dependent(v)
+			if sd != dd {
+				t.Fatalf("iteration %d: Dependent mismatch", i)
+			}
+			continue
+		}
+		sa, _, _ := b.Add(v)
+		da, _, _ := ref.Add(v)
+		if sa != da {
+			t.Fatalf("iteration %d: Add mismatch", i)
+		}
+	}
+	if b.Rank() != ref.Rank() {
+		t.Fatalf("ranks diverged: %d vs %d", b.Rank(), ref.Rank())
+	}
+}
+
+func BenchmarkSparseBasisAddPathLike(b *testing.B) {
+	// Path-like rows: ~6 nonzeros over 972 columns.
+	rng := rand.New(rand.NewPCG(5, 5))
+	const dim = 972
+	rowsData := make([][]float64, 800)
+	for i := range rowsData {
+		v := make([]float64, dim)
+		for k := 0; k < 6; k++ {
+			v[rng.IntN(dim)] = 1
+		}
+		rowsData[i] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis := NewSparseBasis(dim)
+		for _, v := range rowsData {
+			basis.Add(v)
+		}
+	}
+}
+
+func BenchmarkDenseBasisAddPathLike(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	const dim = 972
+	rowsData := make([][]float64, 800)
+	for i := range rowsData {
+		v := make([]float64, dim)
+		for k := 0; k < 6; k++ {
+			v[rng.IntN(dim)] = 1
+		}
+		rowsData[i] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis := NewBasis(dim)
+		for _, v := range rowsData {
+			basis.Add(v)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package linalg
+
+import "math"
+
+// SingularValues computes the singular values of m using one-sided Jacobi
+// rotations applied to the rows of a working copy (equivalently, to the
+// columns of mᵀ). Values are returned in descending order.
+//
+// One-sided Jacobi is slow (O(sweeps·r²·c) for an r×c matrix) but simple,
+// dependency-free and numerically robust, which is all the paper needs: the
+// MatRoMe variant uses SVD only as a high-accuracy rank oracle (footnote 3
+// of the paper). Keep inputs small-to-medium; large-scale rank work should
+// use Rank or Basis instead.
+func SingularValues(m *Matrix) []float64 {
+	return SingularValuesTol(m, DefaultTol)
+}
+
+// SingularValuesTol is SingularValues with an explicit convergence
+// tolerance for the off-diagonal Gram entries.
+func SingularValuesTol(m *Matrix, tol float64) []float64 {
+	r, c := m.Rows(), m.Cols()
+	if r == 0 || c == 0 {
+		return nil
+	}
+	// Work on whichever orientation has fewer vectors to orthogonalize.
+	work := m.Clone()
+	if r > c {
+		work = m.Transpose()
+		r, c = c, r
+	}
+	rows := make([][]float64, r)
+	for i := 0; i < r; i++ {
+		rows[i] = work.Row(i)
+	}
+
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		converged := true
+		for i := 0; i < r-1; i++ {
+			for j := i + 1; j < r; j++ {
+				alpha := dot(rows[i], rows[i])
+				beta := dot(rows[j], rows[j])
+				gamma := dot(rows[i], rows[j])
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta)+tol*tol {
+					continue
+				}
+				converged = false
+				// Jacobi rotation zeroing the (i,j) Gram entry.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := sign(zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				cs := 1 / math.Sqrt(1+t*t)
+				sn := cs * t
+				ri, rj := rows[i], rows[j]
+				for k := range ri {
+					vi, vj := ri[k], rj[k]
+					ri[k] = cs*vi - sn*vj
+					rj[k] = sn*vi + cs*vj
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+
+	sv := make([]float64, r)
+	for i := 0; i < r; i++ {
+		sv[i] = math.Sqrt(dot(rows[i], rows[i]))
+	}
+	// Descending insertion sort; r is small wherever SVD is appropriate.
+	for i := 1; i < len(sv); i++ {
+		for j := i; j > 0 && sv[j] > sv[j-1]; j-- {
+			sv[j], sv[j-1] = sv[j-1], sv[j]
+		}
+	}
+	return sv
+}
+
+// RankSVD returns the numerical rank of m as the number of singular values
+// above tol·max(σ), matching the usual SVD rank criterion.
+func RankSVD(m *Matrix, tol float64) int {
+	sv := SingularValuesTol(m, tol)
+	if len(sv) == 0 || sv[0] == 0 {
+		return 0
+	}
+	threshold := tol * sv[0] * math.Sqrt(float64(m.Rows()*m.Cols()))
+	if threshold < tol {
+		threshold = tol
+	}
+	rank := 0
+	for _, s := range sv {
+		if s > threshold {
+			rank++
+		}
+	}
+	return rank
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,21 @@
+package placement
+
+import (
+	"testing"
+
+	"robusttomo/internal/topo"
+)
+
+func BenchmarkGreedyRankObjective(b *testing.B) {
+	tp, err := topo.Generate(topo.Config{Name: "p", Nodes: 40, Links: 80, PoPs: 4, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Graph: tp.Graph, Candidates: tp.Access[:12], Budget: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package placement chooses where to put monitors — the upstream design
+// decision the paper takes as given (its related work, Kumar–Kaur and
+// Gopalan–Ramasubramanian, optimizes it directly). Given candidate
+// vantage-point nodes and a budget of monitors, the greedy placer picks
+// monitors one at a time to maximize either the rank of the resulting
+// monitor-pair path matrix (how much of the network the measurements can
+// see) or, when a failure model is supplied, the ProbBound expected rank
+// (how much they still see under failures).
+//
+// Monitor placement to maximize rank is NP-hard in general and the rank
+// objective is not submodular in the monitor set (a single added monitor
+// unlocks paths to every existing monitor), so the greedy is a heuristic
+// without a guarantee — matching the state of the art the paper cites.
+package placement
+
+import (
+	"fmt"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/tomo"
+)
+
+// Config parameterizes Greedy.
+type Config struct {
+	Graph      *graph.Graph
+	Candidates []graph.NodeID // candidate monitor locations
+	Budget     int            // number of monitors to place (≥ 2)
+	// Model, when non-nil, switches the objective from rank to the
+	// ProbBound expected rank under this failure model.
+	Model *failure.Model
+}
+
+// Result is the outcome of a placement run.
+type Result struct {
+	Monitors []graph.NodeID // in selection order
+	// Objective is the final objective value: rank (as float) or expected
+	// rank, per Config.Model.
+	Objective float64
+	// Paths is the number of candidate monitor-pair paths the placement
+	// induces.
+	Paths int
+}
+
+// Greedy places monitors one at a time, each time adding the candidate
+// that maximizes the objective over all pairs of placed monitors. The
+// first two monitors are chosen jointly (a single monitor induces no
+// paths).
+func Greedy(cfg Config) (Result, error) {
+	if cfg.Graph == nil {
+		return Result{}, fmt.Errorf("placement: nil graph")
+	}
+	if cfg.Budget < 2 {
+		return Result{}, fmt.Errorf("placement: budget %d < 2", cfg.Budget)
+	}
+	if len(cfg.Candidates) < cfg.Budget {
+		return Result{}, fmt.Errorf("placement: %d candidates for budget %d", len(cfg.Candidates), cfg.Budget)
+	}
+	if cfg.Model != nil && cfg.Model.Links() != cfg.Graph.NumEdges() {
+		return Result{}, fmt.Errorf("placement: model covers %d links, graph has %d", cfg.Model.Links(), cfg.Graph.NumEdges())
+	}
+	for _, c := range cfg.Candidates {
+		if c < 0 || int(c) >= cfg.Graph.NumNodes() {
+			return Result{}, fmt.Errorf("placement: candidate %d out of range", c)
+		}
+	}
+
+	// Seed pair: best objective over all candidate pairs.
+	var chosen []graph.NodeID
+	bestVal := -1.0
+	var bestPair [2]graph.NodeID
+	for i := 0; i < len(cfg.Candidates); i++ {
+		for j := i + 1; j < len(cfg.Candidates); j++ {
+			val, _, err := objective(cfg, []graph.NodeID{cfg.Candidates[i], cfg.Candidates[j]})
+			if err != nil {
+				return Result{}, err
+			}
+			if val > bestVal {
+				bestVal = val
+				bestPair = [2]graph.NodeID{cfg.Candidates[i], cfg.Candidates[j]}
+			}
+		}
+	}
+	chosen = append(chosen, bestPair[0], bestPair[1])
+
+	used := map[graph.NodeID]bool{bestPair[0]: true, bestPair[1]: true}
+	for len(chosen) < cfg.Budget {
+		bestCand := graph.NodeID(-1)
+		bestCandVal := bestVal
+		for _, c := range cfg.Candidates {
+			if used[c] {
+				continue
+			}
+			val, _, err := objective(cfg, append(chosen, c))
+			if err != nil {
+				return Result{}, err
+			}
+			// Strictly-greater keeps the first (lowest-position) candidate
+			// on ties, making runs deterministic.
+			if val > bestCandVal {
+				bestCandVal = val
+				bestCand = c
+			}
+		}
+		if bestCand < 0 {
+			// No candidate improves the objective; still fill the budget
+			// with the first unused candidates for predictable sizing.
+			for _, c := range cfg.Candidates {
+				if !used[c] {
+					bestCand = c
+					break
+				}
+			}
+		}
+		used[bestCand] = true
+		chosen = append(chosen, bestCand)
+		val, _, err := objective(cfg, chosen)
+		if err != nil {
+			return Result{}, err
+		}
+		bestVal = val
+	}
+
+	finalVal, paths, err := objective(cfg, chosen)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Monitors: chosen, Objective: finalVal, Paths: paths}, nil
+}
+
+// objective evaluates a monitor set: candidate paths between all pairs,
+// then rank or ProbBound ER.
+func objective(cfg Config, monitors []graph.NodeID) (value float64, paths int, err error) {
+	ps, err := routing.MonitorPairs(cfg.Graph, monitors, monitors)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(ps) == 0 {
+		return 0, 0, nil
+	}
+	pm, err := tomo.NewPathMatrix(ps, cfg.Graph.NumEdges())
+	if err != nil {
+		return 0, 0, err
+	}
+	if cfg.Model == nil {
+		return float64(pm.Rank()), len(ps), nil
+	}
+	all := make([]int, pm.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	return er.Bound(pm, cfg.Model, all), len(ps), nil
+}

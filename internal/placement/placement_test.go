@@ -1,0 +1,169 @@
+package placement
+
+import (
+	"testing"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/tomo"
+	"robusttomo/internal/topo"
+)
+
+func exampleCfg(t *testing.T, budget int) Config {
+	t.Helper()
+	ex := topo.NewExample()
+	return Config{Graph: ex.Graph, Candidates: ex.Monitors, Budget: budget}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	ex := topo.NewExample()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil graph", Config{Budget: 2, Candidates: ex.Monitors}},
+		{"budget 1", Config{Graph: ex.Graph, Candidates: ex.Monitors, Budget: 1}},
+		{"too few candidates", Config{Graph: ex.Graph, Candidates: ex.Monitors[:2], Budget: 3}},
+		{"bad candidate", Config{Graph: ex.Graph, Candidates: []graph.NodeID{0, 99}, Budget: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Greedy(tc.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+	badModel, _ := failure.FromProbabilities([]float64{0.1})
+	cfg := exampleCfg(t, 2)
+	cfg.Model = badModel
+	if _, err := Greedy(cfg); err == nil {
+		t.Fatal("model/graph size mismatch accepted")
+	}
+}
+
+func TestGreedyBudgetAndDistinctness(t *testing.T) {
+	res, err := Greedy(exampleCfg(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Monitors) != 4 {
+		t.Fatalf("placed %d monitors, want 4", len(res.Monitors))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, m := range res.Monitors {
+		if seen[m] {
+			t.Fatalf("duplicate monitor %d", m)
+		}
+		seen[m] = true
+	}
+	if res.Paths == 0 || res.Objective <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestGreedyFullBudgetReachesFullRank(t *testing.T) {
+	// All six example monitors give rank 8 (the full link set).
+	res, err := Greedy(exampleCfg(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 8 {
+		t.Fatalf("objective = %v, want full rank 8", res.Objective)
+	}
+}
+
+func TestGreedyMonotoneInBudget(t *testing.T) {
+	prev := -1.0
+	for budget := 2; budget <= 6; budget++ {
+		res, err := Greedy(exampleCfg(t, budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective < prev {
+			t.Fatalf("objective fell from %v to %v at budget %d", prev, res.Objective, budget)
+		}
+		prev = res.Objective
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	a, err := Greedy(exampleCfg(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(exampleCfg(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Monitors {
+		if a.Monitors[i] != b.Monitors[i] {
+			t.Fatalf("placement not deterministic: %v vs %v", a.Monitors, b.Monitors)
+		}
+	}
+}
+
+func TestGreedyBeatsRandomPlacement(t *testing.T) {
+	tp, err := topo.Generate(topo.Config{Name: "p", Nodes: 40, Links: 80, PoPs: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Graph: tp.Graph, Candidates: tp.Access, Budget: 6}
+	res, err := Greedy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average rank over random placements of the same size.
+	rng := stats.NewRNG(9, 9)
+	total := 0.0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		var ms []graph.NodeID
+		for _, k := range stats.SampleWithoutReplacement(rng, len(tp.Access), 6) {
+			ms = append(ms, tp.Access[k])
+		}
+		ps, err := routing.MonitorPairs(tp.Graph, ms, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, err := tomo.NewPathMatrix(ps, tp.Graph.NumEdges())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(pm.Rank())
+	}
+	if res.Objective < total/trials {
+		t.Fatalf("greedy rank %v below random average %v", res.Objective, total/trials)
+	}
+}
+
+func TestGreedyWithFailureModel(t *testing.T) {
+	ex := topo.NewExample()
+	probs := make([]float64, ex.Graph.NumEdges())
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	probs[ex.Bridge] = 0.4
+	model, err := failure.FromProbabilities(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Graph: ex.Graph, Candidates: ex.Monitors, Budget: 4, Model: model}
+	res, err := Greedy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective <= 0 {
+		t.Fatalf("objective = %v", res.Objective)
+	}
+	// The ER objective is bounded by the rank objective at the same
+	// placement size.
+	rankRes, err := Greedy(exampleCfg(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > rankRes.Objective+1e-9 {
+		t.Fatalf("expected rank %v above max rank %v", res.Objective, rankRes.Objective)
+	}
+}

@@ -1,0 +1,38 @@
+package routing
+
+import (
+	"testing"
+
+	"robusttomo/internal/topo"
+)
+
+func BenchmarkDijkstraAS1239(b *testing.B) {
+	tp, err := topo.Preset(topo.AS1239)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dijkstra(tp.Graph, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonitorPairs(b *testing.B) {
+	tp, err := topo.Preset(topo.AS3257)
+	if err != nil {
+		b.Fatal(err)
+	}
+	monitors := tp.Access[:30]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths, err := MonitorPairs(tp.Graph, monitors, monitors)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}

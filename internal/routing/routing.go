@@ -1,0 +1,195 @@
+// Package routing computes the single weighted shortest path the paper
+// assumes between every monitor pair (Dijkstra with deterministic
+// tie-breaking, mirroring stable Internet routing) and materializes the
+// candidate path set R_M used throughout the tomography stack.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"robusttomo/internal/graph"
+)
+
+// Path is a simple path between two monitors, recorded as both the node
+// sequence and the traversed edge IDs (the row support in the path matrix).
+type Path struct {
+	Src, Dst graph.NodeID
+	Nodes    []graph.NodeID
+	Edges    []graph.EdgeID
+	Weight   float64
+}
+
+// Hops returns the number of links on the path.
+func (p Path) Hops() int { return len(p.Edges) }
+
+// String renders "src->dst (h hops, w weight)".
+func (p Path) String() string {
+	return fmt.Sprintf("%d->%d (%d hops, %.1f)", p.Src, p.Dst, p.Hops(), p.Weight)
+}
+
+// Uses reports whether the path traverses edge e.
+func (p Path) Uses(e graph.EdgeID) bool {
+	for _, pe := range p.Edges {
+		if pe == e {
+			return true
+		}
+	}
+	return false
+}
+
+type pqItem struct {
+	node graph.NodeID
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int { return len(q) }
+func (q priorityQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node // deterministic tie-break
+}
+func (q priorityQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ShortestPathTree holds Dijkstra results from a single source.
+type ShortestPathTree struct {
+	Src      graph.NodeID
+	Dist     []float64      // per node; +Inf if unreachable
+	PrevEdge []graph.EdgeID // edge used to reach node; -1 at src/unreachable
+}
+
+// Dijkstra computes the shortest-path tree from src. Ties between equal-
+// weight routes break deterministically: lower predecessor node ID first,
+// then lower edge ID, so repeated runs and different machines agree on the
+// single path per pair, as the paper's routing model requires.
+func Dijkstra(g *graph.Graph, src graph.NodeID) (*ShortestPathTree, error) {
+	n := g.NumNodes()
+	if src < 0 || int(src) >= n {
+		return nil, fmt.Errorf("routing: source %d out of range (%d nodes)", src, n)
+	}
+	t := &ShortestPathTree{
+		Src:      src,
+		Dist:     make([]float64, n),
+		PrevEdge: make([]graph.EdgeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.PrevEdge[i] = -1
+	}
+	t.Dist[src] = 0
+
+	done := make([]bool, n)
+	pq := &priorityQueue{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pqItem)
+		u := item.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, eid := range g.IncidentEdges(u) {
+			e, _ := g.Edge(eid)
+			v := e.Other(u)
+			nd := t.Dist[u] + e.Weight
+			switch {
+			case nd < t.Dist[v]-1e-12:
+				t.Dist[v] = nd
+				t.PrevEdge[v] = eid
+				heap.Push(pq, pqItem{node: v, dist: nd})
+			case math.Abs(nd-t.Dist[v]) <= 1e-12 && t.PrevEdge[v] >= 0:
+				// Equal cost: prefer lower predecessor node, then lower edge ID.
+				cur, _ := g.Edge(t.PrevEdge[v])
+				curPrev := cur.Other(v)
+				if u < curPrev || (u == curPrev && eid < t.PrevEdge[v]) {
+					t.PrevEdge[v] = eid
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// PathTo extracts the path from the tree's source to dst. ok is false when
+// dst is unreachable or out of range.
+func (t *ShortestPathTree) PathTo(g *graph.Graph, dst graph.NodeID) (Path, bool) {
+	if dst < 0 || int(dst) >= len(t.Dist) || math.IsInf(t.Dist[dst], 1) {
+		return Path{}, false
+	}
+	var redges []graph.EdgeID
+	var rnodes []graph.NodeID
+	cur := dst
+	for cur != t.Src {
+		eid := t.PrevEdge[cur]
+		e, _ := g.Edge(eid)
+		redges = append(redges, eid)
+		rnodes = append(rnodes, cur)
+		cur = e.Other(cur)
+	}
+	rnodes = append(rnodes, t.Src)
+	// Reverse into forward order.
+	nodes := make([]graph.NodeID, len(rnodes))
+	for i := range rnodes {
+		nodes[i] = rnodes[len(rnodes)-1-i]
+	}
+	edges := make([]graph.EdgeID, len(redges))
+	for i := range redges {
+		edges[i] = redges[len(redges)-1-i]
+	}
+	return Path{Src: t.Src, Dst: dst, Nodes: nodes, Edges: edges, Weight: t.Dist[dst]}, true
+}
+
+// MonitorPairs enumerates candidate paths between monitors. If sources and
+// destinations are distinct sets, one path per (src, dst) pair is produced;
+// when the same set plays both roles pass it twice and the function emits
+// each unordered pair once (src ID < dst ID). Unreachable pairs are
+// skipped.
+func MonitorPairs(g *graph.Graph, sources, dests []graph.NodeID) ([]Path, error) {
+	sameSet := equalNodeSets(sources, dests)
+	var paths []Path
+	for _, s := range sources {
+		tree, err := Dijkstra(g, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dests {
+			if s == d {
+				continue
+			}
+			if sameSet && d < s {
+				continue // unordered pair emitted once
+			}
+			if p, ok := tree.PathTo(g, d); ok {
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths, nil
+}
+
+func equalNodeSets(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[graph.NodeID]bool, len(a))
+	for _, n := range a {
+		set[n] = true
+	}
+	for _, n := range b {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,260 @@
+package routing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"robusttomo/internal/graph"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/topo"
+)
+
+// lineGraph builds 0-1-2-...-n-1 with unit weights.
+func lineGraph(n int) *graph.Graph {
+	g := graph.New(n, n-1)
+	g.AddNodes(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	return g
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(5)
+	tree, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if tree.Dist[i] != float64(i) {
+			t.Errorf("Dist[%d] = %v, want %d", i, tree.Dist[i], i)
+		}
+	}
+	p, ok := tree.PathTo(g, 4)
+	if !ok {
+		t.Fatal("no path to 4")
+	}
+	if p.Hops() != 4 || p.Weight != 4 {
+		t.Fatalf("path = %v", p)
+	}
+	if p.Nodes[0] != 0 || p.Nodes[4] != 4 {
+		t.Fatalf("nodes = %v", p.Nodes)
+	}
+	for i, e := range p.Edges {
+		if int(e) != i {
+			t.Fatalf("edges = %v", p.Edges)
+		}
+	}
+}
+
+func TestDijkstraPrefersLighterRoute(t *testing.T) {
+	// 0-1 weight 10; 0-2-1 weights 1+1.
+	g := graph.New(3, 3)
+	g.AddNodes(3)
+	heavy := g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 1, 1)
+	tree, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := tree.PathTo(g, 1)
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	if p.Weight != 2 || p.Hops() != 2 {
+		t.Fatalf("path = %v", p)
+	}
+	if p.Uses(heavy) {
+		t.Fatal("took the heavy direct edge")
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.New(3, 1)
+	g.AddNodes(3)
+	g.MustAddEdge(0, 1, 1)
+	tree, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tree.Dist[2], 1) {
+		t.Fatalf("Dist[2] = %v, want +Inf", tree.Dist[2])
+	}
+	if _, ok := tree.PathTo(g, 2); ok {
+		t.Fatal("path to unreachable node")
+	}
+	if _, ok := tree.PathTo(g, 99); ok {
+		t.Fatal("path to out-of-range node")
+	}
+}
+
+func TestDijkstraBadSource(t *testing.T) {
+	g := lineGraph(3)
+	if _, err := Dijkstra(g, -1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := Dijkstra(g, 5); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestDijkstraDeterministicTies(t *testing.T) {
+	// Diamond: 0-1-3 and 0-2-3, all unit weights. Both routes cost 2; the
+	// tie-break must always pick the same one.
+	build := func() *graph.Graph {
+		g := graph.New(4, 4)
+		g.AddNodes(4)
+		g.MustAddEdge(0, 1, 1)
+		g.MustAddEdge(0, 2, 1)
+		g.MustAddEdge(1, 3, 1)
+		g.MustAddEdge(2, 3, 1)
+		return g
+	}
+	var first []graph.NodeID
+	for i := 0; i < 10; i++ {
+		g := build()
+		tree, err := Dijkstra(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := tree.PathTo(g, 3)
+		if first == nil {
+			first = p.Nodes
+			continue
+		}
+		if len(p.Nodes) != len(first) {
+			t.Fatal("tie-break unstable")
+		}
+		for j := range first {
+			if p.Nodes[j] != first[j] {
+				t.Fatal("tie-break unstable")
+			}
+		}
+	}
+	// Lower predecessor node should win: route through node 1.
+	if first[1] != 1 {
+		t.Fatalf("route = %v, want via node 1", first)
+	}
+}
+
+func TestMonitorPairsDistinctSets(t *testing.T) {
+	g := lineGraph(4)
+	paths, err := MonitorPairs(g, []graph.NodeID{0}, []graph.NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+}
+
+func TestMonitorPairsSameSetUnordered(t *testing.T) {
+	g := lineGraph(4)
+	ms := []graph.NodeID{0, 1, 3}
+	paths, err := MonitorPairs(g, ms, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 { // C(3,2)
+		t.Fatalf("paths = %d, want 3", len(paths))
+	}
+	seen := map[[2]graph.NodeID]bool{}
+	for _, p := range paths {
+		if p.Src >= p.Dst {
+			t.Fatalf("unordered pair emitted twice or reversed: %v", p)
+		}
+		seen[[2]graph.NodeID{p.Src, p.Dst}] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("duplicate pairs: %v", paths)
+	}
+}
+
+func TestMonitorPairsSkipsUnreachable(t *testing.T) {
+	g := graph.New(4, 1)
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, 1)
+	paths, err := MonitorPairs(g, []graph.NodeID{0}, []graph.NodeID{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+}
+
+func TestExampleCandidatePaths(t *testing.T) {
+	ex := topo.NewExample()
+	paths, err := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 15 { // C(6,2) as in the paper's Fig. 2
+		t.Fatalf("candidate paths = %d, want 15", len(paths))
+	}
+	// m1->m4 must take the direct redundant link (weight 2.5 < 3).
+	var m1m4 *Path
+	for i := range paths {
+		if paths[i].Src == 0 && paths[i].Dst == 3 {
+			m1m4 = &paths[i]
+		}
+	}
+	if m1m4 == nil {
+		t.Fatal("m1->m4 path missing")
+	}
+	if m1m4.Hops() != 1 {
+		t.Fatalf("m1->m4 = %v, want the 1-hop direct link", m1m4)
+	}
+}
+
+// Property: on random connected topologies, every monitor-pair path is a
+// valid walk: consecutive nodes joined by the recorded edges, weight equals
+// the sum of edge weights, and the distance matches the Dijkstra label.
+func TestPathsAreValidWalks(t *testing.T) {
+	check := func(seed uint64) bool {
+		cfg := topo.Config{Name: "t", Nodes: 25 + int(seed%20), Links: 45 + int(seed%20), PoPs: 3, Seed: seed}
+		tp, err := topo.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		g := tp.Graph
+		rng := stats.NewRNG(seed, 5)
+		k := 4
+		if k > len(tp.Access) {
+			k = len(tp.Access)
+		}
+		var monitors []graph.NodeID
+		for _, i := range stats.SampleWithoutReplacement(rng, len(tp.Access), k) {
+			monitors = append(monitors, tp.Access[i])
+		}
+		paths, err := MonitorPairs(g, monitors, monitors)
+		if err != nil {
+			return false
+		}
+		for _, p := range paths {
+			if len(p.Nodes) != len(p.Edges)+1 {
+				return false
+			}
+			sum := 0.0
+			for i, eid := range p.Edges {
+				e, ok := g.Edge(eid)
+				if !ok {
+					return false
+				}
+				if !e.Incident(p.Nodes[i]) || !e.Incident(p.Nodes[i+1]) {
+					return false
+				}
+				sum += e.Weight
+			}
+			if math.Abs(sum-p.Weight) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package routing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"robusttomo/internal/graph"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/topo"
+)
+
+// diamondK builds the classic Yen test graph:
+//
+//	0-1 (1), 0-2 (2), 1-2 (1), 1-3 (3), 2-3 (1)
+//
+// shortest 0→3: 0-1-2-3 (3), then 0-2-3 (3), then 0-1-3 (4).
+func diamondK() *graph.Graph {
+	g := graph.New(4, 5)
+	g.AddNodes(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 2)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(1, 3, 3)
+	g.MustAddEdge(2, 3, 1)
+	return g
+}
+
+func TestKShortestPathsOrder(t *testing.T) {
+	g := diamondK()
+	paths, err := KShortestPaths(g, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d, want 3", len(paths))
+	}
+	wantWeights := []float64{3, 3, 4}
+	for i, p := range paths {
+		if math.Abs(p.Weight-wantWeights[i]) > 1e-9 {
+			t.Fatalf("path %d weight = %v, want %v (%v)", i, p.Weight, wantWeights[i], paths)
+		}
+	}
+	// All paths must be loopless and distinct.
+	seen := map[string]bool{}
+	for _, p := range paths {
+		nodes := map[graph.NodeID]bool{}
+		for _, n := range p.Nodes {
+			if nodes[n] {
+				t.Fatalf("path %v revisits node %d", p, n)
+			}
+			nodes[n] = true
+		}
+		key := p.String() + pathKey(p)
+		if seen[key] {
+			t.Fatalf("duplicate path %v", p)
+		}
+		seen[key] = true
+	}
+}
+
+func pathKey(p Path) string {
+	s := ""
+	for _, e := range p.Edges {
+		s += string(rune('a' + int(e)))
+	}
+	return s
+}
+
+func TestKShortestPathsValidation(t *testing.T) {
+	g := diamondK()
+	if _, err := KShortestPaths(g, 0, 3, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KShortestPaths(g, 1, 1, 2); err == nil {
+		t.Fatal("src==dst accepted")
+	}
+}
+
+func TestKShortestPathsUnreachable(t *testing.T) {
+	g := graph.New(3, 1)
+	g.AddNodes(3)
+	g.MustAddEdge(0, 1, 1)
+	paths, err := KShortestPaths(g, 0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths != nil {
+		t.Fatalf("unreachable returned %v", paths)
+	}
+}
+
+func TestKShortestPathsFewerThanK(t *testing.T) {
+	// A path graph has exactly one loopless route.
+	g := graph.New(3, 2)
+	g.AddNodes(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	paths, err := KShortestPaths(g, 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+}
+
+func TestKShortestFirstMatchesDijkstra(t *testing.T) {
+	check := func(seed uint64) bool {
+		tp, err := topo.Generate(topo.Config{Name: "y", Nodes: 25, Links: 50, PoPs: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRNG(seed, 6)
+		src := graph.NodeID(rng.IntN(tp.Graph.NumNodes()))
+		dst := graph.NodeID(rng.IntN(tp.Graph.NumNodes()))
+		if src == dst {
+			return true
+		}
+		ks, err := KShortestPaths(tp.Graph, src, dst, 3)
+		if err != nil {
+			return false
+		}
+		tree, err := Dijkstra(tp.Graph, src)
+		if err != nil {
+			return false
+		}
+		direct, ok := tree.PathTo(tp.Graph, dst)
+		if !ok {
+			return len(ks) == 0
+		}
+		if len(ks) == 0 {
+			return false
+		}
+		// Weight of the first k-shortest path equals the Dijkstra optimum,
+		// and weights are non-decreasing.
+		if math.Abs(ks[0].Weight-direct.Weight) > 1e-9 {
+			return false
+		}
+		for i := 1; i < len(ks); i++ {
+			if ks[i].Weight < ks[i-1].Weight-1e-9 {
+				return false
+			}
+		}
+		// Every returned path is a valid walk from src to dst.
+		for _, p := range ks {
+			if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+				return false
+			}
+			sum := 0.0
+			for i, eid := range p.Edges {
+				e, ok := tp.Graph.Edge(eid)
+				if !ok || !e.Incident(p.Nodes[i]) || !e.Incident(p.Nodes[i+1]) {
+					return false
+				}
+				sum += e.Weight
+			}
+			if math.Abs(sum-p.Weight) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorPairsKOneMatchesMonitorPairs(t *testing.T) {
+	tp, err := topo.Generate(topo.Config{Name: "y1", Nodes: 30, Links: 60, PoPs: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := tp.Access[:5]
+	a, err := MonitorPairs(tp.Graph, ms, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonitorPairsK(tp.Graph, ms, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("path counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("path %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMonitorPairsKGrowsCandidates(t *testing.T) {
+	tp, err := topo.Generate(topo.Config{Name: "y2", Nodes: 30, Links: 70, PoPs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := tp.Access[:5]
+	k1, err := MonitorPairsK(tp.Graph, ms, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := MonitorPairsK(tp.Graph, ms, ms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k2) <= len(k1) {
+		t.Fatalf("k=2 candidates (%d) not more than k=1 (%d)", len(k2), len(k1))
+	}
+	if len(k2) > 2*len(k1) {
+		t.Fatalf("k=2 candidates (%d) exceed 2× pair count (%d)", len(k2), 2*len(k1))
+	}
+}

@@ -1,0 +1,79 @@
+package selection
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robusttomo/internal/er"
+)
+
+func BenchmarkRoMeProbBoundLazy(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pm, model := randomInstance(rng, 80, 200)
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1 + float64(rng.IntN(5))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RoMe(pm, costs, 120, er.NewProbBoundInc(pm, model), Options{Lazy: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoMeProbBoundNaive(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pm, model := randomInstance(rng, 80, 200)
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1 + float64(rng.IntN(5))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RoMe(pm, costs, 120, er.NewProbBoundInc(pm, model), Options{Lazy: false}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatRoMe(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	pm, model := randomInstance(rng, 80, 200)
+	ea := er.Availabilities(pm, model)
+	budget := pm.Rank()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatRoMe(pm, ea, budget, MatRoMeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectPathBasis(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	pm, _ := randomInstance(rng, 80, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sel := SelectPath(pm); len(sel) == 0 {
+			b.Fatal("empty basis")
+		}
+	}
+}
+
+func BenchmarkKnapsackDP(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 200
+	values := make([]float64, n)
+	weights := make([]int, n)
+	for i := range values {
+		values[i] = rng.Float64()
+		weights[i] = 1 + rng.IntN(20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := KnapsackDP(values, weights, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package selection
+
+import (
+	"fmt"
+	"math"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/failure"
+	"robusttomo/internal/tomo"
+)
+
+// MaxBruteForcePaths caps the subset enumeration of BruteForce.
+const MaxBruteForcePaths = 18
+
+// BruteForce finds the exact optimum of the budget-constrained ER
+// maximization by enumerating every subset of candidates. Exponential in
+// the candidate count; it exists to verify RoMe's approximation guarantee
+// on small instances.
+func BruteForce(pm *tomo.PathMatrix, model *failure.Model, costs []float64, budget float64) (Result, error) {
+	n := pm.NumPaths()
+	if n > MaxBruteForcePaths {
+		return Result{}, fmt.Errorf("selection: brute force over %d paths exceeds limit %d", n, MaxBruteForcePaths)
+	}
+	if len(costs) != n {
+		return Result{}, fmt.Errorf("selection: %d costs for %d paths", len(costs), n)
+	}
+	best := Result{Objective: math.Inf(-1)}
+	for mask := 0; mask < 1<<n; mask++ {
+		var idx []int
+		total := 0.0
+		for q := 0; q < n; q++ {
+			if mask&(1<<q) != 0 {
+				idx = append(idx, q)
+				total += costs[q]
+			}
+		}
+		if total > budget {
+			continue
+		}
+		val, err := er.Exact(pm, model, idx)
+		if err != nil {
+			return Result{}, err
+		}
+		if val > best.Objective {
+			best = Result{Selected: idx, Cost: total, Objective: val}
+		}
+	}
+	return best, nil
+}
+
+// KnapsackDP solves the 0/1 knapsack max Σ value s.t. Σ weight ≤ capacity
+// exactly, with non-negative integer weights. It returns the chosen item
+// indices and the achieved value. This is the paper's NP-hardness
+// reduction target (Theorem 3) and the comparator for modular instances.
+func KnapsackDP(values []float64, weights []int, capacity int) (items []int, best float64, err error) {
+	n := len(values)
+	if len(weights) != n {
+		return nil, 0, fmt.Errorf("selection: %d weights for %d values", len(weights), n)
+	}
+	if capacity < 0 {
+		return nil, 0, fmt.Errorf("selection: negative capacity %d", capacity)
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, 0, fmt.Errorf("selection: negative weight %d at %d", w, i)
+		}
+	}
+	// dp[c] = best value with capacity c; keep takes for reconstruction.
+	dp := make([]float64, capacity+1)
+	take := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		take[i] = make([]bool, capacity+1)
+		for c := capacity; c >= weights[i]; c-- {
+			cand := dp[c-weights[i]] + values[i]
+			if cand > dp[c] {
+				dp[c] = cand
+				take[i][c] = true
+			}
+		}
+	}
+	c := capacity
+	for i := n - 1; i >= 0; i-- {
+		if take[i][c] {
+			items = append(items, i)
+			c -= weights[i]
+		}
+	}
+	// Reverse into ascending index order.
+	for l, r := 0, len(items)-1; l < r; l, r = l+1, r-1 {
+		items[l], items[r] = items[r], items[l]
+	}
+	return items, dp[capacity], nil
+}
+
+// ApproximationFloor is RoMe's guaranteed fraction of the optimum,
+// 1 − 1/√e (Theorem 6, Krause–Guestrin).
+var ApproximationFloor = 1 - 1/math.Sqrt(math.E)

@@ -1,0 +1,195 @@
+// Package selection implements the path-selection algorithms the paper
+// evaluates:
+//
+//   - RoMe (Algorithm 1): budgeted greedy maximization of the submodular
+//     expected rank with the Krause–Guestrin best-singleton fallback,
+//     giving the 1 − 1/√e approximation guarantee. The ER oracle is
+//     pluggable (ProbBound → ProbRoMe, Monte Carlo → MonteRoMe, exact for
+//     tiny instances), and gains are evaluated lazily, which is exact
+//     because every oracle's marginal gains are non-increasing.
+//   - MatRoMe (Section IV-B): optimal greedy under the linear-independence
+//     matroid with unit costs, where ER is modular (= Σ EA).
+//   - SelectPath (Chen et al.): the arbitrary-basis baseline via pivoted
+//     Cholesky, greedily fitted to the budget as described in Section VI-B.
+//   - Exact brute-force and knapsack solvers for small-instance
+//     verification of the approximation guarantee.
+package selection
+
+import (
+	"container/heap"
+	"fmt"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/tomo"
+)
+
+// Result is the outcome of a selection algorithm.
+type Result struct {
+	Selected  []int   // chosen candidate path indices, in selection order
+	Cost      float64 // total probing cost of the selection
+	Objective float64 // the algorithm's own objective estimate for Selected
+	// GainEvaluations counts oracle gain computations, for the lazy vs
+	// naive ablation.
+	GainEvaluations int
+}
+
+// Options tunes the RoMe greedy.
+type Options struct {
+	// Lazy enables lazy gain evaluation (default in NewOptions). Naive
+	// mode recomputes every candidate's gain each round; results are
+	// identical, evaluation counts are not.
+	Lazy bool
+	// MinGain stops the greedy once the best available marginal gain
+	// drops to or below this threshold (paths past it cannot improve the
+	// objective). Zero is a sensible default for ER oracles.
+	MinGain float64
+}
+
+// NewOptions returns the default options (lazy evaluation, zero MinGain).
+func NewOptions() Options { return Options{Lazy: true} }
+
+// gainHeap is a max-heap of candidate paths keyed by stale weight.
+type gainHeap []gainEntry
+
+type gainEntry struct {
+	path   int
+	weight float64 // gain/cost at the time of evaluation
+	gain   float64
+	round  int // greedy round at which the gain was computed
+}
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight > h[j].weight
+	}
+	return h[i].path < h[j].path // deterministic tie-break
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// RoMe runs Algorithm 1 over the candidates of pm with per-path costs and
+// a probing budget, using the provided (empty) incremental ER oracle. The
+// oracle is consumed: after return it reflects the greedy set R_out even
+// when the best-singleton fallback wins.
+func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Incremental, opts Options) (Result, error) {
+	n := pm.NumPaths()
+	if len(costs) != n {
+		return Result{}, fmt.Errorf("selection: %d costs for %d paths", len(costs), n)
+	}
+	for i, c := range costs {
+		if c < 0 {
+			return Result{}, fmt.Errorf("selection: negative cost %v for path %d", c, i)
+		}
+	}
+	if budget < 0 {
+		return Result{}, fmt.Errorf("selection: negative budget %v", budget)
+	}
+
+	res := Result{}
+	// Initial gains double as the best-singleton scan: on the empty set,
+	// Gain(q) is the oracle's ER({q}).
+	initial := make([]float64, n)
+	bestSingle, bestSingleVal := -1, 0.0
+	for q := 0; q < n; q++ {
+		initial[q] = oracle.Gain(q)
+		res.GainEvaluations++
+		if costs[q] <= budget && initial[q] > bestSingleVal {
+			bestSingle, bestSingleVal = q, initial[q]
+		}
+	}
+
+	var selected []int
+	spent := 0.0
+	if opts.Lazy {
+		h := make(gainHeap, 0, n)
+		for q := 0; q < n; q++ {
+			h = append(h, gainEntry{path: q, gain: initial[q], weight: weightOf(initial[q], costs[q]), round: 0})
+		}
+		heap.Init(&h)
+		round := 0
+		for h.Len() > 0 {
+			top := heap.Pop(&h).(gainEntry)
+			if top.round != round {
+				// Stale: refresh against the current set and re-insert.
+				g := oracle.Gain(top.path)
+				res.GainEvaluations++
+				heap.Push(&h, gainEntry{path: top.path, gain: g, weight: weightOf(g, costs[top.path]), round: round})
+				continue
+			}
+			if top.gain <= opts.MinGain {
+				break // no candidate can improve the objective
+			}
+			if spent+costs[top.path] <= budget {
+				oracle.Add(top.path)
+				selected = append(selected, top.path)
+				spent += costs[top.path]
+				// Entries computed in earlier rounds are now stale; the
+				// round tag invalidates them lazily on pop.
+				round++
+			}
+			// Whether added or discarded for budget, the path leaves R.
+		}
+	} else {
+		remaining := make([]bool, n)
+		gains := make([]float64, n)
+		copy(gains, initial)
+		for {
+			best, bestWeight := -1, 0.0
+			for q := 0; q < n; q++ {
+				if remaining[q] {
+					continue
+				}
+				w := weightOf(gains[q], costs[q])
+				if best == -1 || w > bestWeight { // ties keep the lower index
+					best, bestWeight = q, w
+				}
+			}
+			if best == -1 || gains[best] <= opts.MinGain {
+				break
+			}
+			if spent+costs[best] <= budget {
+				oracle.Add(best)
+				selected = append(selected, best)
+				spent += costs[best]
+				for q := 0; q < n; q++ {
+					if !remaining[q] && q != best {
+						gains[q] = oracle.Gain(q)
+						res.GainEvaluations++
+					}
+				}
+			}
+			remaining[best] = true
+		}
+	}
+
+	greedyVal := oracle.Value()
+	if bestSingle >= 0 && bestSingleVal > greedyVal {
+		return Result{
+			Selected:        []int{bestSingle},
+			Cost:            costs[bestSingle],
+			Objective:       bestSingleVal,
+			GainEvaluations: res.GainEvaluations,
+		}, nil
+	}
+	res.Selected = selected
+	res.Cost = spent
+	res.Objective = greedyVal
+	return res, nil
+}
+
+func weightOf(gain, cost float64) float64 {
+	if cost <= 0 {
+		// Zero-cost paths are infinitely attractive per unit cost; rank
+		// them by raw gain scaled to dominate any finite weight.
+		return gain * 1e18
+	}
+	return gain / cost
+}

@@ -1,0 +1,287 @@
+// Package sim runs a closed-loop tomography deployment over a simulated
+// network: each epoch the collector probes the currently selected paths,
+// the aggregator accumulates surviving end-to-end measurements, the
+// Boolean diagnoser localizes failures from the binary outcomes, and — in
+// learning mode — the LSR learner updates its availability estimates and
+// picks the next epoch's probing set.
+//
+// The collector is pluggable: the built-in in-process collector consults
+// the epoch oracle directly, while agent.NOC (TCP monitors) satisfies the
+// same interface, so integration tests and the examples drive the very
+// same loop over real sockets.
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"robusttomo/internal/agent"
+	"robusttomo/internal/bandit"
+	"robusttomo/internal/diagnose"
+	"robusttomo/internal/er"
+	"robusttomo/internal/failure"
+	"robusttomo/internal/selection"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/tomo"
+)
+
+// Collector gathers one epoch of measurements for the selected paths.
+// agent.NOC implements it.
+type Collector interface {
+	CollectEpoch(ctx context.Context, epoch int, selected []int) ([]agent.Measurement, error)
+}
+
+var _ Collector = (*agent.NOC)(nil)
+
+// Mode selects how probing paths are chosen each epoch.
+type Mode int
+
+// Modes.
+const (
+	// Static probes a fixed ProbRoMe selection every epoch (known failure
+	// distribution).
+	Static Mode = iota + 1
+	// Learning lets the LSR learner pick each epoch's paths (unknown
+	// distribution).
+	Learning
+)
+
+// Config parameterizes a Runner.
+type Config struct {
+	PM      *tomo.PathMatrix
+	Costs   []float64
+	Budget  float64
+	Metrics []float64 // ground-truth link metrics
+	// Failures draws the per-epoch failure process; the schedule for
+	// Horizon epochs is fixed at construction so all components observe a
+	// consistent network.
+	Failures failure.Sampler
+	Horizon  int
+	Mode     Mode
+	// Model is required in Static mode (it drives the ProbRoMe
+	// selection); ignored in Learning mode.
+	Model *failure.Model
+	Seed  uint64
+}
+
+// EpochReport summarizes one epoch of the loop.
+type EpochReport struct {
+	Epoch        int
+	Probed       int
+	Survived     int
+	Rank         int
+	Identifiable int
+	// Implicated lists links proven down by Boolean localization.
+	Implicated []int
+}
+
+// Runner owns the loop state.
+type Runner struct {
+	cfg       Config
+	oracle    *agent.EpochOracle
+	collector Collector
+	learner   *bandit.LSR
+	agg       *tomo.Aggregator
+	static    []int
+	epoch     int
+}
+
+// New validates the configuration, fixes the failure schedule, and wires
+// the default in-process collector.
+func New(cfg Config) (*Runner, error) {
+	if cfg.PM == nil {
+		return nil, fmt.Errorf("sim: nil path matrix")
+	}
+	if len(cfg.Costs) != cfg.PM.NumPaths() {
+		return nil, fmt.Errorf("sim: %d costs for %d paths", len(cfg.Costs), cfg.PM.NumPaths())
+	}
+	if len(cfg.Metrics) != cfg.PM.NumLinks() {
+		return nil, fmt.Errorf("sim: %d metrics for %d links", len(cfg.Metrics), cfg.PM.NumLinks())
+	}
+	if cfg.Failures == nil {
+		return nil, fmt.Errorf("sim: nil failure sampler")
+	}
+	if cfg.Failures.Links() != cfg.PM.NumLinks() {
+		return nil, fmt.Errorf("sim: failure process covers %d links, matrix has %d", cfg.Failures.Links(), cfg.PM.NumLinks())
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %d", cfg.Horizon)
+	}
+
+	schedule := failure.SampleScenarios(cfg.Failures, stats.NewRNG(cfg.Seed, 0x51B), cfg.Horizon)
+	oracle, err := agent.NewEpochOracle(cfg.Metrics, schedule)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := tomo.NewAggregator(cfg.PM.NumPaths())
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:       cfg,
+		oracle:    oracle,
+		collector: &localCollector{oracle: oracle, pm: cfg.PM},
+		agg:       agg,
+	}
+
+	switch cfg.Mode {
+	case Static:
+		if cfg.Model == nil {
+			return nil, fmt.Errorf("sim: static mode needs a failure model")
+		}
+		res, err := selection.RoMe(cfg.PM, cfg.Costs, cfg.Budget,
+			er.NewProbBoundInc(cfg.PM, cfg.Model), selection.NewOptions())
+		if err != nil {
+			return nil, err
+		}
+		r.static = res.Selected
+	case Learning:
+		learner, err := bandit.New(cfg.PM, cfg.Costs, cfg.Budget, bandit.Options{})
+		if err != nil {
+			return nil, err
+		}
+		r.learner = learner
+	default:
+		return nil, fmt.Errorf("sim: unknown mode %d", cfg.Mode)
+	}
+	return r, nil
+}
+
+// Oracle exposes the fixed epoch oracle so TCP monitors can be wired to
+// the same network state.
+func (r *Runner) Oracle() *agent.EpochOracle { return r.oracle }
+
+// UseCollector replaces the in-process collector (e.g. with an agent.NOC
+// fronting TCP monitors).
+func (r *Runner) UseCollector(c Collector) error {
+	if c == nil {
+		return fmt.Errorf("sim: nil collector")
+	}
+	r.collector = c
+	return nil
+}
+
+// localCollector consults the oracle directly, skipping the network.
+type localCollector struct {
+	oracle *agent.EpochOracle
+	pm     *tomo.PathMatrix
+}
+
+func (lc *localCollector) CollectEpoch(_ context.Context, epoch int, selected []int) ([]agent.Measurement, error) {
+	out := make([]agent.Measurement, 0, len(selected))
+	for _, p := range selected {
+		if p < 0 || p >= lc.pm.NumPaths() {
+			return nil, fmt.Errorf("sim: path %d out of range", p)
+		}
+		v, ok := lc.oracle.Measure(epoch, lc.pm.EdgesOf(p))
+		m := agent.Measurement{PathID: p, OK: ok}
+		if ok {
+			m.Value = v
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Step runs one epoch and returns its report.
+func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
+	if r.epoch >= r.cfg.Horizon {
+		return EpochReport{}, fmt.Errorf("sim: horizon %d exhausted", r.cfg.Horizon)
+	}
+	var selected []int
+	var err error
+	if r.learner != nil {
+		selected, err = r.learner.SelectAction()
+		if err != nil {
+			return EpochReport{}, err
+		}
+	} else {
+		selected = r.static
+	}
+
+	ms, err := r.collector.CollectEpoch(ctx, r.epoch, selected)
+	if err != nil {
+		return EpochReport{}, err
+	}
+
+	report := EpochReport{Epoch: r.epoch, Probed: len(selected)}
+	obs := diagnose.Observation{}
+	avail := make([]bool, r.cfg.PM.NumPaths())
+	var surviving []int
+	for _, m := range ms {
+		obs.Paths = append(obs.Paths, m.PathID)
+		obs.OK = append(obs.OK, m.OK)
+		if m.OK {
+			avail[m.PathID] = true
+			surviving = append(surviving, m.PathID)
+			if err := r.agg.Observe(m.PathID, m.Value); err != nil {
+				return EpochReport{}, err
+			}
+		}
+	}
+	report.Survived = len(surviving)
+	report.Rank = r.cfg.PM.RankOf(surviving)
+
+	if r.learner != nil {
+		if _, err := r.learner.Observe(selected, avail); err != nil {
+			return EpochReport{}, err
+		}
+	}
+
+	sys, err := tomo.NewSystem(r.cfg.PM, surviving, nil)
+	if err != nil {
+		return EpochReport{}, err
+	}
+	report.Identifiable = sys.NumIdentifiable()
+
+	diag, err := diagnose.Localize(r.cfg.PM, obs)
+	if err != nil {
+		return EpochReport{}, err
+	}
+	for l, down := range diag.Implicated {
+		if down {
+			report.Implicated = append(report.Implicated, l)
+		}
+	}
+
+	r.epoch++
+	return report, nil
+}
+
+// Run executes n epochs (bounded by the horizon) and returns their
+// reports.
+func (r *Runner) Run(ctx context.Context, n int) ([]EpochReport, error) {
+	reports := make([]EpochReport, 0, n)
+	for i := 0; i < n; i++ {
+		rep, err := r.Step(ctx)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// Estimates solves the aggregated measurement system and returns the
+// inferred link metrics with their identifiability mask. minSamples
+// controls how many epochs a path must have survived to contribute; tol
+// reconciles cross-epoch noise (use a small value like 1e-6 for noiseless
+// simulations).
+func (r *Runner) Estimates(minSamples int, tol float64) (values []float64, ident []bool, err error) {
+	idx, y := r.agg.SystemInputs(minSamples)
+	sys, err := tomo.NewSystemTol(r.cfg.PM, idx, y, tol)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys.Solve()
+}
+
+// Learner exposes the LSR learner in Learning mode (nil in Static mode).
+func (r *Runner) Learner() *bandit.LSR { return r.learner }
+
+// StaticSelection returns the fixed probing set in Static mode.
+func (r *Runner) StaticSelection() []int {
+	out := make([]int, len(r.static))
+	copy(out, r.static)
+	return out
+}

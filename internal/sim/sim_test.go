@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"robusttomo/internal/agent"
+	"robusttomo/internal/failure"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/tomo"
+	"robusttomo/internal/topo"
+)
+
+func exampleConfig(t *testing.T, mode Mode) Config {
+	t.Helper()
+	ex := topo.NewExample()
+	paths, err := routing.MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := tomo.NewPathMatrix(paths, ex.Graph.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, pm.NumLinks())
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	probs[ex.Bridge] = 0.3
+	model, err := failure.FromProbabilities(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1
+	}
+	metrics := make([]float64, pm.NumLinks())
+	for i := range metrics {
+		metrics[i] = 1 + float64(i)*0.5
+	}
+	return Config{
+		PM:       pm,
+		Costs:    costs,
+		Budget:   10,
+		Metrics:  metrics,
+		Failures: model,
+		Horizon:  300,
+		Mode:     mode,
+		Model:    model,
+		Seed:     4,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	good := exampleConfig(t, Static)
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nil pm", func(c *Config) { c.PM = nil }},
+		{"bad costs", func(c *Config) { c.Costs = c.Costs[:1] }},
+		{"bad metrics", func(c *Config) { c.Metrics = c.Metrics[:2] }},
+		{"nil failures", func(c *Config) { c.Failures = nil }},
+		{"zero horizon", func(c *Config) { c.Horizon = 0 }},
+		{"bad mode", func(c *Config) { c.Mode = 0 }},
+		{"static without model", func(c *Config) { c.Model = nil }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := exampleConfig(t, Static)
+			_ = good
+			m.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+	// Mismatched failure process size.
+	cfg := exampleConfig(t, Static)
+	small, _ := failure.FromProbabilities([]float64{0.1})
+	cfg.Failures = small
+	if _, err := New(cfg); err == nil {
+		t.Fatal("failure size mismatch accepted")
+	}
+}
+
+func TestStaticLoopInfersMetrics(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.StaticSelection()) == 0 {
+		t.Fatal("static selection empty")
+	}
+	if r.Learner() != nil {
+		t.Fatal("static mode has a learner")
+	}
+	ctx := context.Background()
+	reports, err := r.Run(ctx, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 200 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for i, rep := range reports {
+		if rep.Epoch != i {
+			t.Fatalf("epoch numbering broken at %d: %+v", i, rep)
+		}
+		if rep.Survived > rep.Probed {
+			t.Fatalf("survived %d > probed %d", rep.Survived, rep.Probed)
+		}
+		if rep.Rank > rep.Survived {
+			t.Fatalf("rank %d > survived %d", rep.Rank, rep.Survived)
+		}
+	}
+	values, ident, err := r.Estimates(1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for j := range cfg.Metrics {
+		if !ident[j] {
+			continue
+		}
+		hits++
+		if math.Abs(values[j]-cfg.Metrics[j]) > 1e-8 {
+			t.Fatalf("link %d inferred %v, want %v", j, values[j], cfg.Metrics[j])
+		}
+	}
+	if hits < 6 {
+		t.Fatalf("only %d links identified over 200 epochs", hits)
+	}
+}
+
+func TestLearningLoopConverges(t *testing.T) {
+	cfg := exampleConfig(t, Learning)
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Learner() == nil {
+		t.Fatal("learning mode without learner")
+	}
+	ctx := context.Background()
+	reports, err := r.Run(ctx, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later epochs should deliver at least as much rank on average as the
+	// earliest ones.
+	early, late := 0.0, 0.0
+	for _, rep := range reports[:50] {
+		early += float64(rep.Rank)
+	}
+	for _, rep := range reports[len(reports)-50:] {
+		late += float64(rep.Rank)
+	}
+	if late < early-50 { // allow noise, forbid collapse
+		t.Fatalf("rank collapsed: early %v, late %v", early/50, late/50)
+	}
+	counts := r.Learner().Counts()
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("path %d never probed during learning", i)
+		}
+	}
+}
+
+func TestLocalizationFlagsBridge(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	// Deterministic failure process: bridge down every epoch.
+	ex := topo.NewExample()
+	probs := make([]float64, cfg.PM.NumLinks())
+	probs[ex.Bridge] = 0.999999
+	model, err := failure.FromProbabilities(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Failures = model
+	// Probe everything so localization has full visibility.
+	cfg.Budget = float64(cfg.PM.NumPaths())
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Implicated) != 1 || rep.Implicated[0] != int(ex.Bridge) {
+		t.Fatalf("Implicated = %v, want [%d]", rep.Implicated, ex.Bridge)
+	}
+}
+
+func TestHorizonExhaustion(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	cfg.Horizon = 2
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.Run(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(ctx); err == nil {
+		t.Fatal("step beyond horizon accepted")
+	}
+}
+
+func TestUseCollectorTCP(t *testing.T) {
+	// Full integration: the same loop over real TCP monitors.
+	cfg := exampleConfig(t, Static)
+	cfg.Horizon = 5
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := topo.NewExample()
+	addrs := map[string]string{}
+	for _, mn := range ex.Monitors {
+		name := ex.Graph.Label(mn)
+		mon, err := agent.StartMonitor(name, "127.0.0.1:0", r.Oracle())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mon.Close() })
+		addrs[name] = mon.Addr()
+	}
+	noc, err := agent.NewNOC(agent.NOCConfig{
+		PM:       cfg.PM,
+		Monitors: addrs,
+		SourceOf: func(p int) string { return ex.Graph.Label(cfg.PM.Path(p).Src) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UseCollector(noc); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UseCollector(nil); err == nil {
+		t.Fatal("nil collector accepted")
+	}
+
+	reports, err := r.Run(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 5 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	// TCP path produces identical data to the local collector: re-run a
+	// local runner on the same seed and compare ranks per epoch.
+	local, err := New(exampleConfigFixedHorizon(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localReports, err := local.Run(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reports {
+		if reports[i].Rank != localReports[i].Rank || reports[i].Survived != localReports[i].Survived {
+			t.Fatalf("epoch %d: TCP %+v vs local %+v", i, reports[i], localReports[i])
+		}
+	}
+}
+
+func exampleConfigFixedHorizon(t *testing.T, horizon int) Config {
+	cfg := exampleConfig(t, Static)
+	cfg.Horizon = horizon
+	return cfg
+}

@@ -1,0 +1,189 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness relies on: summary statistics (mean, standard deviation,
+// quantiles), empirical CDFs, and deterministic random-number plumbing so
+// that every experiment in the repository is reproducible from a seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// NewRNG returns a deterministic PCG-backed generator for the given seed
+// and stream. Every randomized component in this repository takes an
+// explicit *rand.Rand so experiments replay bit-identically.
+func NewRNG(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, stream))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when
+// len(xs) < 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MinMax returns the smallest and largest values in xs. It returns (0, 0)
+// for an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns 0 for an empty slice
+// and clamps q into [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary is a compact description of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	P10, P90  float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	lo, hi := MinMax(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    lo,
+		Max:    hi,
+		Median: Quantile(xs, 0.5),
+		P10:    Quantile(xs, 0.1),
+		P90:    Quantile(xs, 0.9),
+	}
+}
+
+// String formats a summary as "mean±std [min,max] n=N".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f±%.3f [%.3f,%.3f] n=%d", s.Mean, s.Std, s.Min, s.Max, s.N)
+}
+
+// CDFPoint is one step of an empirical CDF: the fraction P of samples with
+// value ≤ X.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// CDF returns the empirical cumulative distribution function of xs as a
+// step function sampled at each distinct value, in ascending X order.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Emit one point per distinct value, at its last occurrence.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: sorted[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF (as returned by CDF) at x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	// Binary search for the last point with X <= x.
+	lo, hi := 0, len(cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid].X <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return cdf[lo-1].P
+}
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly from
+// [0, n) using rng, in random order. It panics if k > n, which is a caller
+// bug in experiment configuration.
+func SampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("stats: sample %d from %d", k, n))
+	}
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tc := range cases {
+		if got := Mean(tc.in); !almostEqual(got, tc.want) {
+			t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev singleton = %v, want 0", got)
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEqual(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := StdDev([]float64{3, 3, 3}); got != 0 {
+		t.Errorf("StdDev constant = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Errorf("MinMax(nil) = %v,%v", lo, hi)
+	}
+	lo, hi = MinMax([]float64{3, -2, 8, 0})
+	if lo != -2 || hi != 8 {
+		t.Errorf("MinMax = %v,%v, want -2,8", lo, hi)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-0.5, 1}, {2, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); !almostEqual(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v", got)
+	}
+	// Interpolated case: median of even-length sample.
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEqual(got, 1.5) {
+		t.Errorf("median of {1,2} = %v, want 1.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almostEqual(s.Mean, 3) || !almostEqual(s.Median, 3) || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{1, 1, 2, 3})
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {3, 1}}
+	if len(cdf) != len(want) {
+		t.Fatalf("CDF = %v, want %v", cdf, want)
+	}
+	for i := range want {
+		if !almostEqual(cdf[i].X, want[i].X) || !almostEqual(cdf[i].P, want[i].P) {
+			t.Fatalf("CDF = %v, want %v", cdf, want)
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := CDFAt(cdf, tc.x); !almostEqual(got, tc.want) {
+			t.Errorf("CDFAt(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42, 7)
+	b := NewRNG(42, 7)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(42, 8)
+	same := true
+	a2 := NewRNG(42, 7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different streams produced identical output")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := NewRNG(1, 1)
+	got := SampleWithoutReplacement(rng, 10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate: %d", v)
+		}
+		seen[v] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n should panic")
+		}
+	}()
+	SampleWithoutReplacement(rng, 3, 4)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	rng := NewRNG(2, 2)
+	for i := 0; i < 20; i++ {
+		if Bernoulli(rng, 0) {
+			t.Fatal("p=0 returned true")
+		}
+		if !Bernoulli(rng, 1) {
+			t.Fatal("p=1 returned false")
+		}
+	}
+	// p=0.5 should produce both outcomes over a reasonable run.
+	heads := 0
+	for i := 0; i < 1000; i++ {
+		if Bernoulli(rng, 0.5) {
+			heads++
+		}
+	}
+	if heads < 400 || heads > 600 {
+		t.Fatalf("p=0.5 produced %d/1000 heads", heads)
+	}
+}
+
+// Property: CDF is non-decreasing, ends at 1, and CDFAt agrees with a naive
+// count.
+func TestCDFProperties(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := NewRNG(seed, 3)
+		n := 1 + rng.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.IntN(10))
+		}
+		cdf := CDF(xs)
+		prev := 0.0
+		for _, p := range cdf {
+			if p.P < prev {
+				return false
+			}
+			prev = p.P
+		}
+		if !almostEqual(cdf[len(cdf)-1].P, 1) {
+			return false
+		}
+		x := float64(rng.IntN(12)) - 1
+		count := 0
+		for _, v := range xs {
+			if v <= x {
+				count++
+			}
+		}
+		return almostEqual(CDFAt(cdf, x), float64(count)/float64(n))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile(xs, 0) and Quantile(xs, 1) bracket every sample, and
+// quantiles are monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := NewRNG(seed, 4)
+		n := 1 + rng.IntN(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		if Quantile(xs, 0) != sorted[0] || Quantile(xs, 1) != sorted[n-1] {
+			return false
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

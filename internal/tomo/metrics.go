@@ -1,0 +1,68 @@
+package tomo
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's linear system requires metrics that are additive along a
+// path. Delay is additive directly; packet delivery rate is multiplicative
+// and becomes additive under a negative-log transform:
+//
+//	metric = −ln(deliveryRate),  path metric = Σ link metrics,
+//	path deliveryRate = Π link rates = exp(−path metric).
+//
+// These helpers convert in both directions so loss tomography reuses the
+// whole pipeline unchanged.
+
+// DeliveryRateToMetric converts a delivery (success) rate in (0, 1] to its
+// additive metric −ln(rate).
+func DeliveryRateToMetric(rate float64) (float64, error) {
+	if !(rate > 0) || rate > 1 || math.IsNaN(rate) {
+		return 0, fmt.Errorf("tomo: delivery rate %v outside (0, 1]", rate)
+	}
+	return -math.Log(rate), nil
+}
+
+// MetricToDeliveryRate inverts DeliveryRateToMetric.
+func MetricToDeliveryRate(metric float64) (float64, error) {
+	if metric < 0 || math.IsNaN(metric) || math.IsInf(metric, 0) {
+		return 0, fmt.Errorf("tomo: loss metric %v must be finite and non-negative", metric)
+	}
+	return math.Exp(-metric), nil
+}
+
+// DeliveryRatesToMetrics converts a per-link delivery-rate vector into the
+// additive metric vector the linear system consumes.
+func DeliveryRatesToMetrics(rates []float64) ([]float64, error) {
+	out := make([]float64, len(rates))
+	for i, r := range rates {
+		m, err := DeliveryRateToMetric(r)
+		if err != nil {
+			return nil, fmt.Errorf("link %d: %w", i, err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// MetricsToDeliveryRates inverts DeliveryRatesToMetrics; entries where
+// identifiable[i] is false are left as zero rates (unknown). Pass nil
+// identifiable to convert every entry.
+func MetricsToDeliveryRates(metrics []float64, identifiable []bool) ([]float64, error) {
+	if identifiable != nil && len(identifiable) != len(metrics) {
+		return nil, fmt.Errorf("tomo: %d identifiability flags for %d metrics", len(identifiable), len(metrics))
+	}
+	out := make([]float64, len(metrics))
+	for i, m := range metrics {
+		if identifiable != nil && !identifiable[i] {
+			continue
+		}
+		r, err := MetricToDeliveryRate(m)
+		if err != nil {
+			return nil, fmt.Errorf("link %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package tomo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeliveryRateRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 12))
+		rate := 0.01 + rng.Float64()*0.99
+		m, err := DeliveryRateToMetric(rate)
+		if err != nil || m < 0 {
+			return false
+		}
+		back, err := MetricToDeliveryRate(m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-rate) < 1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveryRateValidation(t *testing.T) {
+	for _, bad := range []float64{0, -0.1, 1.1, math.NaN()} {
+		if _, err := DeliveryRateToMetric(bad); err == nil {
+			t.Fatalf("rate %v accepted", bad)
+		}
+	}
+	for _, bad := range []float64{-0.1, math.NaN(), math.Inf(1)} {
+		if _, err := MetricToDeliveryRate(bad); err == nil {
+			t.Fatalf("metric %v accepted", bad)
+		}
+	}
+	if r, err := MetricToDeliveryRate(0); err != nil || r != 1 {
+		t.Fatalf("zero metric = %v, %v (want rate 1)", r, err)
+	}
+}
+
+// End-to-end loss tomography: link delivery rates → additive system →
+// solve → back to rates.
+func TestLossTomographyPipeline(t *testing.T) {
+	_, pm := examplePM(t)
+	rng := rand.New(rand.NewPCG(3, 3))
+	rates := make([]float64, pm.NumLinks())
+	for i := range rates {
+		rates[i] = 0.9 + rng.Float64()*0.0999
+	}
+	metrics, err := DeliveryRatesToMetrics(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := pm.TrueMeasurements(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path measurement must equal −ln of the product of link rates.
+	for i := 0; i < pm.NumPaths(); i++ {
+		prod := 1.0
+		for _, e := range pm.Path(i).Edges {
+			prod *= rates[e]
+		}
+		if math.Abs(math.Exp(-y[i])-prod) > 1e-12 {
+			t.Fatalf("path %d delivery rate mismatch", i)
+		}
+	}
+
+	idx := make([]int, pm.NumPaths())
+	for i := range idx {
+		idx[i] = i
+	}
+	sys, err := NewSystem(pm, idx, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, ident, err := sys.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := MetricsToDeliveryRates(values, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range rates {
+		if !ident[j] {
+			t.Fatalf("link %d not identifiable", j)
+		}
+		if math.Abs(recovered[j]-rates[j]) > 1e-9 {
+			t.Fatalf("link %d rate %v, want %v", j, recovered[j], rates[j])
+		}
+	}
+}
+
+func TestMetricsToDeliveryRatesMask(t *testing.T) {
+	out, err := MetricsToDeliveryRates([]float64{0.1, 0.2}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1] != 0 {
+		t.Fatalf("masked entry = %v, want 0", out[1])
+	}
+	if _, err := MetricsToDeliveryRates([]float64{0.1}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := DeliveryRatesToMetrics([]float64{0.5, -1}); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+	if _, err := MetricsToDeliveryRates([]float64{-1}, nil); err == nil {
+		t.Fatal("bad metric accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package tomo is the network tomography core: it assembles the path
+// matrix A that links end-to-end measurements to unknown additive link
+// metrics (A·x = y, Eq. 1 of the paper), evaluates the rank of surviving
+// path subsets under failure scenarios, determines link identifiability,
+// solves for identifiable link metrics, and reconstructs the complete set
+// of end-to-end measurements from a probed subset (the scalable-monitoring
+// application of Chen et al. that the paper builds on).
+package tomo
+
+import (
+	"fmt"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/linalg"
+	"robusttomo/internal/routing"
+)
+
+// PathMatrix is the 0/1 matrix A of candidate paths over links: A[i][j] = 1
+// iff candidate path i traverses link j.
+type PathMatrix struct {
+	paths []routing.Path
+	links int
+	mat   *linalg.Matrix
+}
+
+// NewPathMatrix builds A from candidate paths over a network with the given
+// number of links. Paths referencing out-of-range links are rejected.
+func NewPathMatrix(paths []routing.Path, links int) (*PathMatrix, error) {
+	if links <= 0 {
+		return nil, fmt.Errorf("tomo: need positive link count, got %d", links)
+	}
+	m := linalg.NewMatrix(len(paths), links)
+	for i, p := range paths {
+		row := m.Row(i)
+		for _, e := range p.Edges {
+			if e < 0 || int(e) >= links {
+				return nil, fmt.Errorf("tomo: path %d uses link %d outside [0,%d)", i, e, links)
+			}
+			row[e] = 1
+		}
+	}
+	cp := make([]routing.Path, len(paths))
+	copy(cp, paths)
+	return &PathMatrix{paths: cp, links: links, mat: m}, nil
+}
+
+// NumPaths returns the number of candidate paths (rows).
+func (pm *PathMatrix) NumPaths() int { return len(pm.paths) }
+
+// NumLinks returns the number of links (columns).
+func (pm *PathMatrix) NumLinks() int { return pm.links }
+
+// Path returns candidate path i.
+func (pm *PathMatrix) Path(i int) routing.Path { return pm.paths[i] }
+
+// Paths returns a copy of all candidate paths.
+func (pm *PathMatrix) Paths() []routing.Path {
+	out := make([]routing.Path, len(pm.paths))
+	copy(out, pm.paths)
+	return out
+}
+
+// Row returns the 0/1 incidence row of path i (a live view; callers must
+// not modify it).
+func (pm *PathMatrix) Row(i int) []float64 { return pm.mat.Row(i) }
+
+// Matrix returns the full path matrix (a live view).
+func (pm *PathMatrix) Matrix() *linalg.Matrix { return pm.mat }
+
+// Rank returns rank(A) over all candidate paths.
+func (pm *PathMatrix) Rank() int { return linalg.Rank(pm.mat) }
+
+// RankOf returns the rank of the sub-matrix formed by the given path
+// indices. Incremental sparse elimination exploits the sparsity of path
+// rows; the result is identical to dense Gaussian elimination (covered by
+// the linalg differential tests plus TestRankOfMatchesDense here).
+func (pm *PathMatrix) RankOf(idx []int) int {
+	if len(idx) == 0 {
+		return 0
+	}
+	basis := linalg.NewSparseBasis(pm.links)
+	for _, i := range idx {
+		basis.Add(pm.Row(i))
+		if basis.Rank() == pm.links {
+			break // full column rank; nothing more to gain
+		}
+	}
+	return basis.Rank()
+}
+
+// Available reports whether path i survives the scenario (none of its
+// links failed).
+func (pm *PathMatrix) Available(i int, sc failure.Scenario) bool {
+	for _, e := range pm.paths[i].Edges {
+		if sc.Failed[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// Surviving filters idx down to the paths available under the scenario.
+func (pm *PathMatrix) Surviving(idx []int, sc failure.Scenario) []int {
+	out := make([]int, 0, len(idx))
+	for _, i := range idx {
+		if pm.Available(i, sc) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RankUnder returns the rank delivered by the subset idx in the scenario:
+// the rank of the rows of the surviving paths.
+func (pm *PathMatrix) RankUnder(idx []int, sc failure.Scenario) int {
+	return pm.RankOf(pm.Surviving(idx, sc))
+}
+
+// EdgesOf returns the link IDs of path i as ints (convenience for the
+// failure and ER packages).
+func (pm *PathMatrix) EdgesOf(i int) []int {
+	edges := pm.paths[i].Edges
+	out := make([]int, len(edges))
+	for k, e := range edges {
+		out[k] = int(e)
+	}
+	return out
+}
+
+// LinkCoverage returns, per link, how many of the given candidate paths
+// traverse it. Links with zero coverage can never be measured (let alone
+// identified) by any selection from the candidates — a monitor-placement
+// diagnostic.
+func (pm *PathMatrix) LinkCoverage(idx []int) []int {
+	cov := make([]int, pm.links)
+	for _, i := range idx {
+		for _, e := range pm.paths[i].Edges {
+			cov[e]++
+		}
+	}
+	return cov
+}
+
+// UncoveredLinks returns the links no candidate path traverses, in
+// ascending order.
+func (pm *PathMatrix) UncoveredLinks() []int {
+	all := make([]int, pm.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	var out []int
+	for l, c := range pm.LinkCoverage(all) {
+		if c == 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// RankAndIdentifiable evaluates a path subset in one sparse elimination
+// pass: the rank of its rows and the number of identifiable links. Link j
+// is identifiable iff the unit vector e_j lies in the row space, which the
+// incremental basis answers directly via a non-mutating dependence probe.
+// Results match System.NumIdentifiable (see TestRankAndIdentifiable); this
+// path avoids the dense RREF and is what the evaluation harness uses on
+// large instances.
+func (pm *PathMatrix) RankAndIdentifiable(idx []int) (rank, identifiable int) {
+	basis := linalg.NewSparseBasis(pm.links)
+	for _, i := range idx {
+		basis.Add(pm.Row(i))
+		if basis.Rank() == pm.links {
+			break
+		}
+	}
+	rank = basis.Rank()
+	ej := make([]float64, pm.links)
+	for j := 0; j < pm.links; j++ {
+		ej[j] = 1
+		if dep, _ := basis.Dependent(ej); dep {
+			identifiable++
+		}
+		ej[j] = 0
+	}
+	return rank, identifiable
+}
+
+// SelectBasisIndices returns a maximal independent subset of the given
+// candidate indices, scanning in the given order (first-come greedy).
+func (pm *PathMatrix) SelectBasisIndices(order []int) []int {
+	basis := linalg.NewSparseBasis(pm.links)
+	var out []int
+	for _, i := range order {
+		if added, _, _ := basis.Add(pm.Row(i)); added {
+			out = append(out, i)
+		}
+	}
+	return out
+}

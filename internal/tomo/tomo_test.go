@@ -1,0 +1,272 @@
+package tomo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/linalg"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/topo"
+)
+
+// examplePM builds the Section II example path matrix (15 paths, 8 links).
+func examplePM(t *testing.T) (*topo.Example, *PathMatrix) {
+	t.Helper()
+	ex := topo.NewExample()
+	paths, err := routing.MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPathMatrix(paths, ex.Graph.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, pm
+}
+
+func TestNewPathMatrixValidation(t *testing.T) {
+	if _, err := NewPathMatrix(nil, 0); err == nil {
+		t.Fatal("zero links accepted")
+	}
+	bad := []routing.Path{{Src: 0, Dst: 1, Edges: []graph.EdgeID{5}}}
+	if _, err := NewPathMatrix(bad, 3); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+}
+
+func TestExampleMatrixFullRank(t *testing.T) {
+	_, pm := examplePM(t)
+	if pm.NumPaths() != 15 || pm.NumLinks() != 8 {
+		t.Fatalf("matrix is %dx%d, want 15x8", pm.NumPaths(), pm.NumLinks())
+	}
+	// As in the paper's example, the candidate set identifies all links.
+	if got := pm.Rank(); got != 8 {
+		t.Fatalf("Rank = %d, want 8", got)
+	}
+}
+
+func TestRowIncidence(t *testing.T) {
+	_, pm := examplePM(t)
+	for i := 0; i < pm.NumPaths(); i++ {
+		row := pm.Row(i)
+		ones := 0
+		for _, v := range row {
+			if v == 1 {
+				ones++
+			} else if v != 0 {
+				t.Fatalf("row %d has non-binary entry %v", i, v)
+			}
+		}
+		if ones != pm.Path(i).Hops() {
+			t.Fatalf("row %d has %d ones, path has %d hops", i, ones, pm.Path(i).Hops())
+		}
+	}
+}
+
+func TestAvailabilityUnderBridgeFailure(t *testing.T) {
+	ex, pm := examplePM(t)
+	sc := failure.Scenario{Failed: make([]bool, pm.NumLinks())}
+	sc.Failed[ex.Bridge] = true
+
+	all := make([]int, pm.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	surviving := pm.Surviving(all, sc)
+	// Cross-cluster paths (except the direct m1-m4 link) die: 9 pairs cross,
+	// one of them (m1,m4) uses the direct link, so 15 - 8 = 7 survive.
+	if len(surviving) != 7 {
+		t.Fatalf("surviving = %d paths, want 7", len(surviving))
+	}
+	for _, i := range surviving {
+		if pm.Path(i).Uses(ex.Bridge) {
+			t.Fatalf("path %d uses the failed bridge", i)
+		}
+	}
+	// Surviving rank: two 3-monitor stars give 3 each, plus the direct link = 7.
+	if got := pm.RankUnder(all, sc); got != 7 {
+		t.Fatalf("rank under bridge failure = %d, want 7", got)
+	}
+}
+
+func TestRankOfEmpty(t *testing.T) {
+	_, pm := examplePM(t)
+	if pm.RankOf(nil) != 0 {
+		t.Fatal("empty subset should have rank 0")
+	}
+}
+
+// Property: the sparse-basis RankOf agrees with dense Gaussian elimination
+// on random subsets.
+func TestRankOfMatchesDense(t *testing.T) {
+	_, pm := examplePM(t)
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 8))
+		var idx []int
+		for i := 0; i < pm.NumPaths(); i++ {
+			if rng.Float64() < 0.6 {
+				idx = append(idx, i)
+			}
+		}
+		want := 0
+		if len(idx) > 0 {
+			want = linalg.Rank(pm.Matrix().SelectRows(idx))
+		}
+		return pm.RankOf(idx) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the one-pass sparse RankAndIdentifiable matches the System
+// (dense RREF) answers on random subsets.
+func TestRankAndIdentifiable(t *testing.T) {
+	_, pm := examplePM(t)
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		var idx []int
+		for i := 0; i < pm.NumPaths(); i++ {
+			if rng.Float64() < 0.5 {
+				idx = append(idx, i)
+			}
+		}
+		rank, ident := pm.RankAndIdentifiable(idx)
+		sys, err := NewSystem(pm, idx, nil)
+		if err != nil {
+			return false
+		}
+		return rank == sys.Rank() && ident == sys.NumIdentifiable()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectBasisIndices(t *testing.T) {
+	_, pm := examplePM(t)
+	order := make([]int, pm.NumPaths())
+	for i := range order {
+		order[i] = i
+	}
+	basis := pm.SelectBasisIndices(order)
+	if len(basis) != 8 {
+		t.Fatalf("basis size = %d, want 8", len(basis))
+	}
+	if pm.RankOf(basis) != 8 {
+		t.Fatalf("basis rank = %d, want 8", pm.RankOf(basis))
+	}
+}
+
+func TestLinkCoverage(t *testing.T) {
+	_, pm := examplePM(t)
+	all := make([]int, pm.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	cov := pm.LinkCoverage(all)
+	total := 0
+	for _, c := range cov {
+		if c == 0 {
+			t.Fatalf("coverage has uncovered link in full-rank example: %v", cov)
+		}
+		total += c
+	}
+	wantTotal := 0
+	for i := 0; i < pm.NumPaths(); i++ {
+		wantTotal += pm.Path(i).Hops()
+	}
+	if total != wantTotal {
+		t.Fatalf("coverage sums to %d, want %d", total, wantTotal)
+	}
+	if got := pm.UncoveredLinks(); got != nil {
+		t.Fatalf("UncoveredLinks = %v", got)
+	}
+	// Restricting to one cluster's paths leaves the other cluster's links
+	// uncovered.
+	var cluster []int
+	for i := 0; i < pm.NumPaths(); i++ {
+		p := pm.Path(i)
+		if p.Src <= 2 && p.Dst <= 2 {
+			cluster = append(cluster, i)
+		}
+	}
+	cov = pm.LinkCoverage(cluster)
+	for l := 3; l <= 6; l++ {
+		if cov[l] != 0 {
+			t.Fatalf("cluster paths cover far link %d", l)
+		}
+	}
+}
+
+func TestEdgesOf(t *testing.T) {
+	_, pm := examplePM(t)
+	for i := 0; i < pm.NumPaths(); i++ {
+		edges := pm.EdgesOf(i)
+		if len(edges) != pm.Path(i).Hops() {
+			t.Fatalf("EdgesOf(%d) = %v", i, edges)
+		}
+	}
+}
+
+func TestPathsReturnsCopy(t *testing.T) {
+	_, pm := examplePM(t)
+	ps := pm.Paths()
+	ps[0] = routing.Path{}
+	if pm.Path(0).Hops() == 0 {
+		t.Fatal("Paths aliases internal storage")
+	}
+}
+
+// Property: RankUnder never exceeds the no-failure rank, and equals it for
+// the empty scenario.
+func TestRankUnderMonotone(t *testing.T) {
+	_, pm := examplePM(t)
+	all := make([]int, pm.NumPaths())
+	for i := range all {
+		all[i] = i
+	}
+	noFail := failure.Scenario{Failed: make([]bool, pm.NumLinks())}
+	if pm.RankUnder(all, noFail) != pm.Rank() {
+		t.Fatal("no-failure rank mismatch")
+	}
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		sc := failure.Scenario{Failed: make([]bool, pm.NumLinks())}
+		for i := range sc.Failed {
+			sc.Failed[i] = rng.Float64() < 0.3
+		}
+		return pm.RankUnder(all, sc) <= pm.Rank()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrueMeasurements(t *testing.T) {
+	_, pm := examplePM(t)
+	x := make([]float64, pm.NumLinks())
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	y, err := pm.TrueMeasurements(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pm.NumPaths(); i++ {
+		want := 0.0
+		for _, e := range pm.Path(i).Edges {
+			want += x[e]
+		}
+		if math.Abs(y[i]-want) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+	if _, err := pm.TrueMeasurements(x[:2]); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package topo
+
+import "robusttomo/internal/graph"
+
+// Example is the small illustrative network of the paper's Section II:
+// 8 nodes, 8 links, 6 monitors. The paper's figure is not redistributable,
+// so this is a faithful reconstruction preserving the pedagogy: two monitor
+// clusters joined by a single bridge link whose failure (l7 in the paper)
+// disconnects every cross-cluster path, plus one redundant direct link so
+// the full candidate-path matrix still has rank |E| = 8.
+//
+// Layout (all weights 1 except the direct m1–m4 link, weight 2.5 so that it
+// is still the unique shortest m1→m4 route but never a transit shortcut):
+//
+//	m1, m2, m3 — a     (links l0, l1, l2)
+//	m4, m5, m6 — b     (links l3, l4, l5)
+//	a — b              (bridge link l6, the paper's l7)
+//	m1 — m4            (direct link l7)
+type Example struct {
+	Graph    *graph.Graph
+	Monitors []graph.NodeID
+	Bridge   graph.EdgeID // the cut link whose failure motivates the paper
+}
+
+// NewExample constructs the Section II example network.
+func NewExample() *Example {
+	g := graph.New(8, 8)
+	m1 := g.AddNode("m1")
+	m2 := g.AddNode("m2")
+	m3 := g.AddNode("m3")
+	m4 := g.AddNode("m4")
+	m5 := g.AddNode("m5")
+	m6 := g.AddNode("m6")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+
+	g.MustAddEdge(m1, a, 1) // l0
+	g.MustAddEdge(m2, a, 1) // l1
+	g.MustAddEdge(m3, a, 1) // l2
+	g.MustAddEdge(m4, b, 1) // l3
+	g.MustAddEdge(m5, b, 1) // l4
+	g.MustAddEdge(m6, b, 1) // l5
+	bridge := g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(m1, m4, 2.5) // l7: direct redundant link
+
+	return &Example{
+		Graph:    g,
+		Monitors: []graph.NodeID{m1, m2, m3, m4, m5, m6},
+		Bridge:   bridge,
+	}
+}

@@ -1,0 +1,41 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadWeights asserts the Rocketfuel parser never panics and that
+// every accepted topology is structurally sound.
+func FuzzLoadWeights(f *testing.F) {
+	f.Add("a b 1\nb c 2\n")
+	f.Add("# comment\nnewyork,ny chicago,il 10\n")
+	f.Add("a a 5\n")
+	f.Add("x y notanumber\n")
+	f.Add("one two 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tp, err := LoadWeights("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		g := tp.Graph
+		if g.NumNodes() == 0 {
+			t.Fatal("accepted topology with no nodes")
+		}
+		if len(tp.PoPOf) != g.NumNodes() {
+			t.Fatalf("PoPOf covers %d of %d nodes", len(tp.PoPOf), g.NumNodes())
+		}
+		if len(tp.Access) == 0 {
+			t.Fatal("no monitor candidates")
+		}
+		if len(tp.Access)+len(tp.Core) != g.NumNodes() && len(tp.Core) != 0 {
+			// Access may include core fallback only when Core is empty of
+			// low-degree nodes; partition otherwise.
+			total := len(tp.Access) + len(tp.Core)
+			if total != g.NumNodes() && total != g.NumNodes()+len(tp.Core) {
+				t.Fatalf("role partition broken: %d access + %d core for %d nodes",
+					len(tp.Access), len(tp.Core), g.NumNodes())
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"robusttomo/internal/graph"
+)
+
+// LoadWeights parses a Rocketfuel-style inferred-weights file and returns
+// the corresponding topology. The format, as distributed with the
+// Rocketfuel ISP maps ("weights.intra"), is one link per line:
+//
+//	<node-a> <node-b> <weight>
+//
+// where node names are arbitrary whitespace-free strings (typically
+// "city,cc" PoP labels) and weight is the inferred IGP link weight used by
+// shortest-path routing. Lines may repeat a link in both directions; the
+// duplicate direction is dropped (same pair, same weight), while genuinely
+// parallel links (same pair, different weight) are preserved. Blank lines
+// and '#' comments are ignored.
+//
+// The loader classifies nodes by degree for monitor placement: nodes whose
+// degree is 1–2 are access-like (monitor candidates), the rest core. This
+// mirrors how the synthetic generator labels its routers, so experiment
+// code treats loaded and generated topologies identically.
+func LoadWeights(name string, r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	g := graph.New(0, 0)
+	ids := map[string]graph.NodeID{}
+	intern := func(label string) graph.NodeID {
+		if id, ok := ids[label]; ok {
+			return id
+		}
+		id := g.AddNode(label)
+		ids[label] = id
+		return id
+	}
+	type linkKey struct {
+		u, v graph.NodeID
+		w    float64
+	}
+	seen := map[linkKey]bool{}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("topo: %s line %d: want 'a b weight', got %q", name, lineNo, line)
+		}
+		w, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("topo: %s line %d: weight: %w", name, lineNo, err)
+		}
+		a := intern(fields[0])
+		b := intern(strings.Join(fields[1:len(fields)-1], " "))
+		if a == b {
+			continue // self-measurement rows appear in some dumps; skip
+		}
+		u, v := a, b
+		if u > v {
+			u, v = v, u
+		}
+		key := linkKey{u: u, v: v, w: w}
+		if seen[key] {
+			continue // reverse direction of an already-loaded link
+		}
+		seen[key] = true
+		if _, err := g.AddEdge(a, b, w); err != nil {
+			return nil, fmt.Errorf("topo: %s line %d: %w", name, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topo: %s: scan: %w", name, err)
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("topo: %s: no links found", name)
+	}
+
+	t := &Topology{Name: name, Graph: g, PoPOf: make([]int, g.NumNodes())}
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		if g.Degree(id) <= 2 {
+			t.Access = append(t.Access, id)
+		} else {
+			t.Core = append(t.Core, id)
+		}
+	}
+	// Degenerate maps (e.g. a clique) may have no low-degree nodes; fall
+	// back to everything being a monitor candidate.
+	if len(t.Access) == 0 {
+		t.Access = append(t.Access, t.Core...)
+	}
+	return t, nil
+}

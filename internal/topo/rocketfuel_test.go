@@ -1,0 +1,117 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadWeightsBasic(t *testing.T) {
+	in := `
+# AS0 inferred weights
+newyork,ny chicago,il 10
+chicago,il newyork,ny 10
+chicago,il seattle,wa 25
+seattle,wa paloalto,ca 5
+paloalto,ca newyork,ny 40
+`
+	tp, err := LoadWeights("AS0", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Graph.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", tp.Graph.NumNodes())
+	}
+	// The reverse duplicate newyork<->chicago collapses to one link.
+	if tp.Graph.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", tp.Graph.NumEdges())
+	}
+	if !tp.Graph.Connected() {
+		t.Fatal("loaded topology disconnected")
+	}
+	if tp.Name != "AS0" {
+		t.Fatalf("name = %q", tp.Name)
+	}
+	if len(tp.Access)+len(tp.Core) != 4 {
+		t.Fatalf("role partition broken: %d access, %d core", len(tp.Access), len(tp.Core))
+	}
+}
+
+func TestLoadWeightsParallelLinksKept(t *testing.T) {
+	in := "a b 10\na b 20\n"
+	tp, err := LoadWeights("p", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Graph.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 parallel links", tp.Graph.NumEdges())
+	}
+}
+
+func TestLoadWeightsSelfLoopSkipped(t *testing.T) {
+	in := "a a 5\na b 1\n"
+	tp, err := LoadWeights("s", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Graph.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", tp.Graph.NumEdges())
+	}
+}
+
+func TestLoadWeightsErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"comments only", "# nothing\n"},
+		{"short line", "a b\n"},
+		{"bad weight", "a b heavy\n"},
+		{"non-positive weight", "a b 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadWeights("x", strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("input %q accepted", tc.in)
+			}
+		})
+	}
+}
+
+func TestLoadWeightsMonitorClassification(t *testing.T) {
+	// Star: center has degree 3 (core), leaves degree 1 (access).
+	in := "c l1 1\nc l2 1\nc l3 1\n"
+	tp, err := LoadWeights("star", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Access) != 3 || len(tp.Core) != 1 {
+		t.Fatalf("access=%d core=%d, want 3/1", len(tp.Access), len(tp.Core))
+	}
+}
+
+func TestLoadWeightsAllCoreFallback(t *testing.T) {
+	// K4: every node has degree 3 → no natural access nodes; the loader
+	// must fall back to offering every node as a monitor candidate.
+	in := "a b 1\na c 1\na d 1\nb c 1\nb d 1\nc d 1\n"
+	tp, err := LoadWeights("k4", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Access) != 4 {
+		t.Fatalf("access = %d, want fallback to all 4", len(tp.Access))
+	}
+}
+
+func TestLoadWeightsSpaceyNodeNames(t *testing.T) {
+	// Everything between the first field and the weight is the second
+	// node's name (Rocketfuel labels occasionally contain spaces).
+	in := "newyork san jose,ca 12\n"
+	tp, err := LoadWeights("spacey", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Graph.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want 2", tp.Graph.NumNodes())
+	}
+	if tp.Graph.Label(1) != "san jose,ca" {
+		t.Fatalf("label = %q", tp.Graph.Label(1))
+	}
+}

@@ -1,0 +1,236 @@
+// Package topo synthesizes ISP-like network topologies at the scale of the
+// Rocketfuel autonomous systems used in the paper's evaluation (AS1755,
+// AS3257, AS1239), plus the small illustrative topology of the paper's
+// Section II example.
+//
+// The real Rocketfuel maps are measurement data that do not ship with the
+// paper, so this package is the documented substitution (DESIGN.md §4): a
+// seeded hierarchical generator that reproduces the structural properties
+// the algorithms are sensitive to — a sparse PoP-structured backbone,
+// heavy-tailed degrees, shortest paths that share many links, and an
+// under-determined path matrix. Link weights play the role of Rocketfuel's
+// inferred weights and drive shortest-path routing.
+package topo
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"robusttomo/internal/graph"
+	"robusttomo/internal/stats"
+)
+
+// Config parameterizes the ISP generator.
+type Config struct {
+	Name  string // human-readable label, e.g. "AS1755"
+	Nodes int    // total routers
+	Links int    // total links; must allow a connected PoP hierarchy
+	PoPs  int    // points of presence
+	Seed  uint64 // generator seed; same seed, same topology
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("topo: need at least 2 nodes, got %d", c.Nodes)
+	case c.PoPs < 1:
+		return fmt.Errorf("topo: need at least 1 PoP, got %d", c.PoPs)
+	case c.PoPs > c.Nodes/2:
+		return fmt.Errorf("topo: %d PoPs too many for %d nodes", c.PoPs, c.Nodes)
+	case c.Links < c.Nodes+c.PoPs-2:
+		return fmt.Errorf("topo: %d links cannot connect %d nodes across %d PoPs", c.Links, c.Nodes, c.PoPs)
+	}
+	return nil
+}
+
+// Topology is a generated network: the graph plus role annotations used by
+// monitor placement (monitors live at the edge, i.e. on access routers).
+type Topology struct {
+	Name   string
+	Graph  *graph.Graph
+	PoPOf  []int          // PoP index per node
+	Core   []graph.NodeID // backbone/core routers
+	Access []graph.NodeID // edge/access routers (monitor candidates)
+}
+
+// Generate builds a connected ISP-like topology per the config. The result
+// is deterministic in the seed.
+func Generate(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed, 0xA51)
+
+	g := graph.New(cfg.Nodes, cfg.Links)
+	topo := &Topology{Name: cfg.Name, Graph: g, PoPOf: make([]int, 0, cfg.Nodes)}
+
+	// Core routers: at least 2 per PoP, more in "hub" PoPs (the first few),
+	// but never more than half the node budget.
+	coreBudget := cfg.Nodes / 3
+	if coreBudget < 2*cfg.PoPs {
+		coreBudget = 2 * cfg.PoPs
+	}
+	if coreBudget > cfg.Nodes {
+		coreBudget = cfg.Nodes
+	}
+	coresPerPoP := make([]int, cfg.PoPs)
+	remaining := coreBudget
+	for p := 0; p < cfg.PoPs; p++ {
+		coresPerPoP[p] = 2
+		remaining -= 2
+	}
+	for remaining > 0 {
+		// Zipf-ish: earlier PoPs are hubs and get more cores.
+		p := int(float64(cfg.PoPs) * rng.Float64() * rng.Float64())
+		if p >= cfg.PoPs {
+			p = cfg.PoPs - 1
+		}
+		coresPerPoP[p]++
+		remaining--
+	}
+
+	cores := make([][]graph.NodeID, cfg.PoPs)
+	for p := 0; p < cfg.PoPs; p++ {
+		for i := 0; i < coresPerPoP[p]; i++ {
+			n := g.AddNode(fmt.Sprintf("p%d-core%d", p, i))
+			topo.PoPOf = append(topo.PoPOf, p)
+			cores[p] = append(cores[p], n)
+			topo.Core = append(topo.Core, n)
+		}
+	}
+
+	// Access routers fill the remaining node budget, assigned to random
+	// PoPs (hub-biased, mirroring real PoP size skew).
+	accessCount := cfg.Nodes - len(topo.Core)
+	for i := 0; i < accessCount; i++ {
+		p := int(float64(cfg.PoPs) * rng.Float64() * rng.Float64())
+		if p >= cfg.PoPs {
+			p = cfg.PoPs - 1
+		}
+		n := g.AddNode(fmt.Sprintf("p%d-acc%d", p, i))
+		topo.PoPOf = append(topo.PoPOf, p)
+		topo.Access = append(topo.Access, n)
+
+		// Home link to a random core in the PoP (intra-PoP weight).
+		home := cores[p][rng.IntN(len(cores[p]))]
+		g.MustAddEdge(n, home, intraPoPWeight(rng))
+	}
+
+	// Intra-PoP core rings (mesh for 2-3 cores).
+	for p := 0; p < cfg.PoPs; p++ {
+		cs := cores[p]
+		for i := 0; i < len(cs); i++ {
+			j := (i + 1) % len(cs)
+			if i < j || len(cs) > 2 { // avoid doubling the 2-core pair
+				g.MustAddEdge(cs[i], cs[j], intraPoPWeight(rng))
+			}
+		}
+	}
+
+	// Backbone ring over PoPs guarantees connectivity.
+	for p := 0; p < cfg.PoPs; p++ {
+		q := (p + 1) % cfg.PoPs
+		if cfg.PoPs == 1 {
+			break
+		}
+		if p > q && cfg.PoPs == 2 {
+			break
+		}
+		u := cores[p][rng.IntN(len(cores[p]))]
+		v := cores[q][rng.IntN(len(cores[q]))]
+		g.MustAddEdge(u, v, interPoPWeight(rng, p, q, cfg.PoPs))
+	}
+
+	// Fill the remaining link budget with redundancy: second access
+	// homings and random backbone chords, mixed.
+	guard := 0
+	for g.NumEdges() < cfg.Links {
+		guard++
+		if guard > cfg.Links*50 {
+			return nil, fmt.Errorf("topo: cannot reach %d links (stuck at %d)", cfg.Links, g.NumEdges())
+		}
+		if len(topo.Access) > 0 && rng.Float64() < 0.35 {
+			// Redundant homing for a random access router.
+			a := topo.Access[rng.IntN(len(topo.Access))]
+			p := topo.PoPOf[a]
+			c := cores[p][rng.IntN(len(cores[p]))]
+			if !g.HasEdgeBetween(a, c) {
+				g.MustAddEdge(a, c, intraPoPWeight(rng))
+			}
+			continue
+		}
+		// Backbone chord between hub-biased PoPs.
+		p := int(float64(cfg.PoPs) * rng.Float64() * rng.Float64())
+		q := int(float64(cfg.PoPs) * rng.Float64() * rng.Float64())
+		if p >= cfg.PoPs {
+			p = cfg.PoPs - 1
+		}
+		if q >= cfg.PoPs {
+			q = cfg.PoPs - 1
+		}
+		if p == q && cfg.PoPs > 1 {
+			continue
+		}
+		u := cores[p][rng.IntN(len(cores[p]))]
+		v := cores[q][rng.IntN(len(cores[q]))]
+		if u == v || g.HasEdgeBetween(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, interPoPWeight(rng, p, q, cfg.PoPs))
+	}
+
+	if !g.Connected() {
+		return nil, fmt.Errorf("topo: generated graph is disconnected (seed %d)", cfg.Seed)
+	}
+	return topo, nil
+}
+
+func intraPoPWeight(rng *rand.Rand) float64 { return float64(1 + rng.IntN(5)) }
+
+func interPoPWeight(rng *rand.Rand, p, q, pops int) float64 {
+	// Ring distance as a crude geography proxy, plus jitter.
+	d := p - q
+	if d < 0 {
+		d = -d
+	}
+	if pops-d < d {
+		d = pops - d
+	}
+	return float64(10 + 5*d + rng.IntN(20))
+}
+
+// Preset names for the paper's three Rocketfuel autonomous systems.
+const (
+	AS1755 = "AS1755" // small: 87 nodes, 161 links
+	AS3257 = "AS3257" // medium: 161 nodes, 328 links
+	AS1239 = "AS1239" // large: 315 nodes, 972 links
+)
+
+// PresetConfig returns the generator configuration matching a paper
+// topology by name (Table I scales). The seed is fixed so that everyone
+// reproducing the experiments sees the same networks.
+func PresetConfig(name string) (Config, error) {
+	switch name {
+	case AS1755:
+		return Config{Name: name, Nodes: 87, Links: 161, PoPs: 9, Seed: 1755}, nil
+	case AS3257:
+		return Config{Name: name, Nodes: 161, Links: 328, PoPs: 14, Seed: 3257}, nil
+	case AS1239:
+		return Config{Name: name, Nodes: 315, Links: 972, PoPs: 20, Seed: 1239}, nil
+	default:
+		return Config{}, fmt.Errorf("topo: unknown preset %q", name)
+	}
+}
+
+// Preset generates one of the paper's three topologies by name.
+func Preset(name string) (*Topology, error) {
+	cfg, err := PresetConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(cfg)
+}
+
+// PresetNames lists the available presets in Table I order.
+func PresetNames() []string { return []string{AS1755, AS3257, AS1239} }

@@ -1,0 +1,172 @@
+package topo
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"robusttomo/internal/graph"
+)
+
+func TestPresetScalesMatchTableI(t *testing.T) {
+	want := map[string]struct{ nodes, links int }{
+		AS1755: {87, 161},
+		AS3257: {161, 328},
+		AS1239: {315, 972},
+	}
+	for _, name := range PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			topo, err := Preset(name)
+			if err != nil {
+				t.Fatalf("Preset(%s): %v", name, err)
+			}
+			w := want[name]
+			if got := topo.Graph.NumNodes(); got != w.nodes {
+				t.Errorf("nodes = %d, want %d", got, w.nodes)
+			}
+			if got := topo.Graph.NumEdges(); got != w.links {
+				t.Errorf("links = %d, want %d", got, w.links)
+			}
+			if !topo.Graph.Connected() {
+				t.Error("topology disconnected")
+			}
+			if len(topo.Access) == 0 {
+				t.Error("no access routers for monitor placement")
+			}
+		})
+	}
+}
+
+func TestPresetDeterministic(t *testing.T) {
+	a, err := Preset(AS1755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Preset(AS1755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Canonical() != b.Graph.Canonical() {
+		t.Fatal("same preset produced different topologies")
+	}
+}
+
+// Golden fingerprints pin the preset topologies: every published
+// experiment number depends on these exact graphs, so an accidental
+// generator change must fail loudly, not silently shift results.
+func TestPresetGoldenFingerprints(t *testing.T) {
+	want := map[string]string{
+		AS1755: "b39bc0186aba55a1380e50d90349f08c1d23b770beb759c17cc15ba8dbf6cbdc",
+		AS3257: "94205dc0a9d06accf04c69fad1ab2662d21eeab1943001ce33ca01d29c73872c",
+		AS1239: "f6c5124b4985809694a51757f7f1fbdef32b69ed20d19a434b4ebe2db2afac43",
+	}
+	for _, name := range PresetNames() {
+		tp, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%x", sha256.Sum256([]byte(tp.Graph.Canonical())))
+		if got != want[name] {
+			t.Errorf("%s fingerprint = %s, want %s — the generator changed; "+
+				"regenerate EXPERIMENTS.md numbers and update this golden deliberately",
+				name, got, want[name])
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("AS0"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := PresetConfig("nope"); err == nil {
+		t.Fatal("unknown preset config accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{Nodes: 20, Links: 30, PoPs: 3, Seed: 1}, true},
+		{"too few nodes", Config{Nodes: 1, Links: 5, PoPs: 1}, false},
+		{"no pops", Config{Nodes: 10, Links: 15, PoPs: 0}, false},
+		{"too many pops", Config{Nodes: 10, Links: 15, PoPs: 6}, false},
+		{"too few links", Config{Nodes: 20, Links: 5, PoPs: 3}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Nodes: 1, Links: 1, PoPs: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// Property: any valid random config yields a connected graph with the exact
+// requested node and link counts, and node roles partition the node set.
+func TestGenerateInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		nodes := 20 + int(seed%60)
+		pops := 2 + int(seed%5)
+		links := nodes + pops + int(seed%40)
+		cfg := Config{Name: "t", Nodes: nodes, Links: links, PoPs: pops, Seed: seed}
+		topo, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		g := topo.Graph
+		if g.NumNodes() != nodes || g.NumEdges() != links || !g.Connected() {
+			return false
+		}
+		if len(topo.Core)+len(topo.Access) != nodes {
+			return false
+		}
+		if len(topo.PoPOf) != nodes {
+			return false
+		}
+		for _, p := range topo.PoPOf {
+			if p < 0 || p >= pops {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExampleTopology(t *testing.T) {
+	ex := NewExample()
+	g := ex.Graph
+	if g.NumNodes() != 8 || g.NumEdges() != 8 {
+		t.Fatalf("example is %s, want 8 nodes 8 links", g)
+	}
+	if len(ex.Monitors) != 6 {
+		t.Fatalf("monitors = %d, want 6", len(ex.Monitors))
+	}
+	if !g.Connected() {
+		t.Fatal("example disconnected")
+	}
+	e, ok := g.Edge(ex.Bridge)
+	if !ok {
+		t.Fatal("bridge edge missing")
+	}
+	// The bridge joins the two internal nodes a (6) and b (7).
+	if !(e.Incident(graph.NodeID(6)) && e.Incident(graph.NodeID(7))) {
+		t.Fatalf("bridge connects %d-%d, want 6-7", e.U, e.V)
+	}
+}

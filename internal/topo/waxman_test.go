@@ -1,0 +1,119 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWaxmanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  WaxmanConfig
+		ok   bool
+	}{
+		{"valid", WaxmanConfig{Nodes: 20, Alpha: 0.4, Beta: 0.3, Seed: 1}, true},
+		{"one node", WaxmanConfig{Nodes: 1, Alpha: 0.4, Beta: 0.3}, false},
+		{"zero alpha", WaxmanConfig{Nodes: 10, Alpha: 0, Beta: 0.3}, false},
+		{"alpha > 1", WaxmanConfig{Nodes: 10, Alpha: 1.5, Beta: 0.3}, false},
+		{"zero beta", WaxmanConfig{Nodes: 10, Alpha: 0.4, Beta: 0}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok != (err == nil) {
+				t.Fatalf("err = %v", err)
+			}
+			if !tc.ok {
+				if _, gerr := GenerateWaxman(tc.cfg); gerr == nil {
+					t.Fatal("GenerateWaxman accepted invalid config")
+				}
+			}
+		})
+	}
+}
+
+func TestWaxmanDeterministic(t *testing.T) {
+	cfg := WaxmanConfig{Name: "w", Nodes: 40, Alpha: 0.4, Beta: 0.25, Seed: 9}
+	a, err := GenerateWaxman(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWaxman(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Canonical() != b.Graph.Canonical() {
+		t.Fatal("same seed produced different Waxman graphs")
+	}
+}
+
+func TestWaxmanDensityRespondsToAlpha(t *testing.T) {
+	sparse, err := GenerateWaxman(WaxmanConfig{Name: "s", Nodes: 60, Alpha: 0.1, Beta: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := GenerateWaxman(WaxmanConfig{Name: "d", Nodes: 60, Alpha: 0.9, Beta: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Graph.NumEdges() <= sparse.Graph.NumEdges() {
+		t.Fatalf("alpha 0.9 edges (%d) not above alpha 0.1 edges (%d)",
+			dense.Graph.NumEdges(), sparse.Graph.NumEdges())
+	}
+}
+
+// Property: every generated Waxman topology is connected, has the exact
+// node count, valid weights, and a usable monitor-candidate partition.
+func TestWaxmanInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		nodes := 10 + int(seed%50)
+		cfg := WaxmanConfig{
+			Name:  "w",
+			Nodes: nodes,
+			Alpha: 0.15 + float64(seed%70)/100,
+			Beta:  0.1 + float64(seed%80)/100,
+			Seed:  seed,
+		}
+		if cfg.Alpha > 1 {
+			cfg.Alpha = 1
+		}
+		if cfg.Beta > 1 {
+			cfg.Beta = 1
+		}
+		tp, err := GenerateWaxman(cfg)
+		if err != nil {
+			return false
+		}
+		g := tp.Graph
+		if g.NumNodes() != nodes || !g.Connected() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if e.Weight < 1 || e.Weight > 100 {
+				return false
+			}
+		}
+		if len(tp.Access) == 0 {
+			return false
+		}
+		return len(tp.PoPOf) == nodes
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Waxman topology slots straight into the experiment harness via
+// Workload.Loaded; sanity-check one end-to-end build.
+func TestWaxmanUsableAsWorkload(t *testing.T) {
+	tp, err := GenerateWaxman(WaxmanConfig{Name: "wx", Nodes: 50, Alpha: 0.5, Beta: 0.2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Access) < 8 {
+		t.Skipf("few low-degree nodes in this draw: %d", len(tp.Access))
+	}
+	if !tp.Graph.Connected() {
+		t.Fatal("disconnected")
+	}
+}

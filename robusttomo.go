@@ -1,0 +1,304 @@
+// Package robusttomo is a Go implementation of robust network tomography
+// in the presence of failures (Tati, Silvestri, He, La Porta — IEEE ICDCS
+// 2014): path selection that maximizes the expected rank of the surviving
+// measurement system under probabilistic link failures, subject to a
+// probing-cost budget, plus a reinforcement-learning variant for unknown
+// failure distributions.
+//
+// The package is a facade: it re-exports the supported surface of the
+// internal packages so downstream users program against one import path.
+//
+//	net := robusttomo.NewGraph(8, 8)                   // build a network
+//	paths, _ := robusttomo.MonitorPairs(net, ms, ms)   // candidate paths
+//	pm, _ := robusttomo.NewPathMatrix(paths, net.NumEdges())
+//	model, _ := robusttomo.NewFailureModel(...)        // link failures
+//	sel, _ := robusttomo.SelectRobustPaths(pm, model, costs, budget)
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// paper-to-package map.
+package robusttomo
+
+import (
+	"math/rand/v2"
+
+	"robusttomo/internal/agent"
+	"robusttomo/internal/bandit"
+	"robusttomo/internal/cost"
+	"robusttomo/internal/diagnose"
+	"robusttomo/internal/er"
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/placement"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/selection"
+	"robusttomo/internal/sim"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/tomo"
+	"robusttomo/internal/topo"
+)
+
+// Network modeling.
+type (
+	// Graph is an undirected weighted multigraph with dense node/edge IDs.
+	Graph = graph.Graph
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// EdgeID identifies a link.
+	EdgeID = graph.EdgeID
+	// Edge is an undirected weighted link.
+	Edge = graph.Edge
+	// Topology is a generated ISP-like network with monitor-candidate
+	// annotations.
+	Topology = topo.Topology
+	// TopologyConfig parameterizes the ISP topology generator.
+	TopologyConfig = topo.Config
+	// WaxmanConfig parameterizes the Waxman random-topology generator.
+	WaxmanConfig = topo.WaxmanConfig
+	// Path is a routed monitor-to-monitor path.
+	Path = routing.Path
+)
+
+// Tomography core.
+type (
+	// PathMatrix is the 0/1 candidate-path × link incidence matrix A.
+	PathMatrix = tomo.PathMatrix
+	// System is a surviving-measurement linear system A_S·x = y_S.
+	System = tomo.System
+	// Reconstructor derives unprobed end-to-end measurements from a probed
+	// basis.
+	Reconstructor = tomo.Reconstructor
+	// Aggregator averages noisy per-path measurements across epochs.
+	Aggregator = tomo.Aggregator
+)
+
+// Failure and cost models.
+type (
+	// FailureModel holds per-link failure probabilities.
+	FailureModel = failure.Model
+	// FailureConfig parameterizes the Markopoulou-style power-law model.
+	FailureConfig = failure.Config
+	// Scenario is one epoch's link-failure vector.
+	Scenario = failure.Scenario
+	// CostModel assigns probing costs to paths.
+	CostModel = cost.Model
+	// CostConfig parameterizes the probing cost model.
+	CostConfig = cost.Config
+	// FailureSampler is the minimal scenario-drawing interface; both
+	// FailureModel and CorrelatedFailureModel implement it.
+	FailureSampler = failure.Sampler
+	// CorrelatedFailureModel layers shared-risk link groups over the
+	// independent model (an extension beyond the paper).
+	CorrelatedFailureModel = failure.CorrelatedModel
+	// SRLG is a shared-risk link group.
+	SRLG = failure.SRLG
+)
+
+// Selection and learning.
+type (
+	// SelectionResult is the outcome of a path-selection algorithm.
+	SelectionResult = selection.Result
+	// SelectionOptions tunes the RoMe greedy.
+	SelectionOptions = selection.Options
+	// MatRoMeOptions tunes the matroid-constrained variant.
+	MatRoMeOptions = selection.MatRoMeOptions
+	// EROracle is an incremental expected-rank oracle consumed by RoMe.
+	EROracle = er.Incremental
+	// Learner is the LSR/LLR reinforcement-learning path selector.
+	Learner = bandit.LSR
+	// EpsilonGreedyLearner is the undirected-exploration baseline learner.
+	EpsilonGreedyLearner = bandit.EpsilonGreedy
+	// WindowedObserver adapts a Learner to non-stationary failure
+	// processes via a sliding observation window.
+	WindowedObserver = bandit.WindowedObserver
+	// LearnerOptions configures the learner.
+	LearnerOptions = bandit.Options
+	// LearnerEnv supplies epoch ground truth to the learner.
+	LearnerEnv = bandit.Env
+)
+
+// Graph and topology construction.
+var (
+	// NewGraph returns an empty graph with capacity hints.
+	NewGraph = graph.New
+	// GenerateTopology builds an ISP-like topology from a config.
+	GenerateTopology = topo.Generate
+	// PresetTopology builds one of the paper's Table I topologies
+	// ("AS1755", "AS3257", "AS1239").
+	PresetTopology = topo.Preset
+	// NewExampleNetwork builds the paper's Section II example network.
+	NewExampleNetwork = topo.NewExample
+	// LoadRocketfuelWeights parses a Rocketfuel-style inferred-weights
+	// file into a topology, for users with the real ISP maps.
+	LoadRocketfuelWeights = topo.LoadWeights
+	// GenerateWaxman builds a Waxman (1988) random topology, the classic
+	// alternative to hierarchical ISP models.
+	GenerateWaxman = topo.GenerateWaxman
+	// Dijkstra computes a shortest-path tree.
+	Dijkstra = routing.Dijkstra
+	// MonitorPairs enumerates the candidate paths between monitors.
+	MonitorPairs = routing.MonitorPairs
+	// MonitorPairsK enumerates up to k routes per monitor pair (Yen's
+	// k-shortest paths), the multipath candidate extension.
+	MonitorPairsK = routing.MonitorPairsK
+	// KShortestPaths returns up to k loopless shortest paths for one pair.
+	KShortestPaths = routing.KShortestPaths
+)
+
+// Tomography construction.
+var (
+	// NewPathMatrix assembles A from candidate paths.
+	NewPathMatrix = tomo.NewPathMatrix
+	// NewSystem builds the surviving linear system (pass nil measurements
+	// for identifiability-only analysis).
+	NewSystem = tomo.NewSystem
+	// NewSystemTol is NewSystem with a noise-reconciliation tolerance.
+	NewSystemTol = tomo.NewSystemTol
+	// NewReconstructor ingests probed measurements for e2e reconstruction.
+	NewReconstructor = tomo.NewReconstructor
+	// NewAggregator builds a multi-epoch measurement averager.
+	NewAggregator = tomo.NewAggregator
+	// DeliveryRatesToMetrics converts multiplicative delivery rates into
+	// the additive −ln metrics the linear system consumes.
+	DeliveryRatesToMetrics = tomo.DeliveryRatesToMetrics
+	// MetricsToDeliveryRates inverts DeliveryRatesToMetrics.
+	MetricsToDeliveryRates = tomo.MetricsToDeliveryRates
+)
+
+// Failure and cost construction.
+var (
+	// NewFailureModel builds the power-law link-failure model.
+	NewFailureModel = failure.NewModel
+	// FailureFromProbabilities builds a model from explicit probabilities.
+	FailureFromProbabilities = failure.FromProbabilities
+	// FailureFromDurations builds a model from per-link MTBF/MTTR.
+	FailureFromDurations = failure.FromDurations
+	// NewCostModel builds the hop+access probing cost model.
+	NewCostModel = cost.NewModel
+	// UnitCost returns the unit-cost model of the matroid setting.
+	UnitCost = cost.Unit
+	// NewCorrelatedFailureModel layers SRLGs over an independent model.
+	NewCorrelatedFailureModel = failure.NewCorrelatedModel
+	// SampleScenarios draws scenarios from any failure sampler.
+	SampleScenarios = failure.SampleScenarios
+)
+
+// Expected-rank oracles.
+var (
+	// NewProbBoundOracle is the paper's efficient Eq. 7 bound (ProbRoMe).
+	NewProbBoundOracle = er.NewProbBoundInc
+	// NewMonteCarloOracle estimates ER over sampled scenarios (MonteRoMe).
+	NewMonteCarloOracle = er.NewMonteCarloInc
+	// NewThetaBoundOracle is the Eq. 11 independence-assumption bound used
+	// by the learner.
+	NewThetaBoundOracle = er.NewThetaBoundInc
+	// ExactER enumerates failure scenarios exactly (small instances).
+	ExactER = er.Exact
+	// MonteCarloER estimates ER for a fixed selection.
+	MonteCarloER = er.MonteCarlo
+	// ExpectedAvailability returns EA(q) = Π (1 − p_l).
+	ExpectedAvailability = er.ExpectedAvailability
+)
+
+// Selection algorithms.
+var (
+	// RoMe is the budgeted greedy with the 1−1/√e guarantee (Algorithm 1).
+	RoMe = selection.RoMe
+	// MatRoMe is the optimal matroid-constrained variant (Section IV-B).
+	MatRoMe = selection.MatRoMe
+	// SelectPath extracts the arbitrary-basis baseline.
+	SelectPath = selection.SelectPath
+	// SelectPathBudgeted fits the baseline to a budget (Section VI-B).
+	SelectPathBudgeted = selection.SelectPathBudgeted
+	// DefaultSelectionOptions returns the default RoMe options.
+	DefaultSelectionOptions = selection.NewOptions
+	// NewLearner builds the LSR/LLR learner (Section V).
+	NewLearner = bandit.New
+	// NewEpsilonGreedyLearner builds the ε-greedy baseline learner.
+	NewEpsilonGreedyLearner = bandit.NewEpsilonGreedy
+	// NewWindowedObserver wraps a Learner with a sliding window.
+	NewWindowedObserver = bandit.NewWindowedObserver
+	// NewFailureEnv drives a learner with the true failure process.
+	NewFailureEnv = bandit.NewFailureEnv
+	// NewRNG returns the deterministic generator used across the library.
+	NewRNG = stats.NewRNG
+)
+
+// Measurement collection over TCP (monitor agents + NOC).
+type (
+	// Monitor is a TCP vantage-point agent answering probe requests.
+	Monitor = agent.Monitor
+	// NOC is the measurement collector fanning probes out to monitors.
+	NOC = agent.NOC
+	// NOCConfig wires a NOC to its monitors and path matrix.
+	NOCConfig = agent.NOCConfig
+	// Measurement is one collected end-to-end measurement.
+	Measurement = agent.Measurement
+	// LinkOracle answers simulated network state per epoch.
+	LinkOracle = agent.LinkOracle
+	// EpochOracle is a LinkOracle over ground-truth metrics and a failure
+	// schedule.
+	EpochOracle = agent.EpochOracle
+)
+
+// Measurement-collection construction.
+var (
+	// StartMonitor launches a monitor agent on a TCP address.
+	StartMonitor = agent.StartMonitor
+	// NewNOC builds the measurement collector.
+	NewNOC = agent.NewNOC
+	// NewEpochOracle builds the simulated per-epoch network state.
+	NewEpochOracle = agent.NewEpochOracle
+)
+
+// Failure localization, monitor placement and the closed-loop runner.
+type (
+	// Observation is one epoch of binary path outcomes for localization.
+	Observation = diagnose.Observation
+	// Diagnosis is the Boolean failure-localization result.
+	Diagnosis = diagnose.Diagnosis
+	// PlacementConfig parameterizes greedy monitor placement.
+	PlacementConfig = placement.Config
+	// PlacementResult is a monitor placement outcome.
+	PlacementResult = placement.Result
+	// SimConfig parameterizes the closed-loop tomography runner.
+	SimConfig = sim.Config
+	// SimRunner drives collection, aggregation, learning and localization
+	// epoch by epoch.
+	SimRunner = sim.Runner
+	// EpochReport summarizes one closed-loop epoch.
+	EpochReport = sim.EpochReport
+	// SimMode selects static (known distribution) or learning mode.
+	SimMode = sim.Mode
+)
+
+// Closed-loop modes.
+const (
+	SimStatic   = sim.Static
+	SimLearning = sim.Learning
+)
+
+// Localization, placement and simulation entry points.
+var (
+	// Localize applies Boolean failure localization to one epoch.
+	Localize = diagnose.Localize
+	// MinimalExplanations enumerates minimum failure sets (small cases).
+	MinimalExplanations = diagnose.MinimalExplanations
+	// GreedyExplanation returns one covering failure set at any scale.
+	GreedyExplanation = diagnose.GreedyExplanation
+	// PlaceMonitors greedily places monitors to maximize (expected) rank.
+	PlaceMonitors = placement.Greedy
+	// NewSimRunner builds the closed-loop runner.
+	NewSimRunner = sim.New
+)
+
+// SelectRobustPaths is the one-call happy path: run ProbRoMe (RoMe with
+// the efficient ER bound) over the candidates and return the selection.
+func SelectRobustPaths(pm *PathMatrix, model *FailureModel, costs []float64, budget float64) (SelectionResult, error) {
+	return selection.RoMe(pm, costs, budget, er.NewProbBoundInc(pm, model), selection.NewOptions())
+}
+
+// SelectRobustPathsMC is SelectRobustPaths with the Monte Carlo oracle
+// (MonteRoMe) over the given number of sampled scenarios.
+func SelectRobustPathsMC(pm *PathMatrix, model *FailureModel, costs []float64, budget float64, runs int, rng *rand.Rand) (SelectionResult, error) {
+	return selection.RoMe(pm, costs, budget, er.NewMonteCarloInc(pm, model, runs, rng), selection.NewOptions())
+}

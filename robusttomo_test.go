@@ -1,0 +1,234 @@
+package robusttomo
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly the way the README
+// quickstart does: example network → candidate paths → failure model →
+// robust selection → inference under a failure.
+func TestFacadeEndToEnd(t *testing.T) {
+	ex := NewExampleNetwork()
+	paths, err := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPathMatrix(paths, ex.Graph.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probs := make([]float64, pm.NumLinks())
+	probs[ex.Bridge] = 0.3 // the bridge is flaky
+	for i := range probs {
+		if i != int(ex.Bridge) {
+			probs[i] = 0.02
+		}
+	}
+	model, err := FailureFromProbabilities(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = float64(100 * pm.Path(i).Hops())
+	}
+	res, err := SelectRobustPaths(pm, model, costs, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) == 0 {
+		t.Fatal("nothing selected")
+	}
+	if res.Cost > 2400 {
+		t.Fatalf("cost %v over budget", res.Cost)
+	}
+
+	// Under the bridge failure the robust selection must still deliver
+	// positive rank.
+	sc := Scenario{Failed: make([]bool, pm.NumLinks())}
+	sc.Failed[ex.Bridge] = true
+	if rank := pm.RankUnder(res.Selected, sc); rank < 6 {
+		t.Fatalf("rank under bridge failure = %d, want ≥ 6", rank)
+	}
+}
+
+func TestFacadeMonteCarloVariant(t *testing.T) {
+	ex := NewExampleNetwork()
+	paths, err := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPathMatrix(paths, ex.Graph.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, pm.NumLinks())
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	model, err := FailureFromProbabilities(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1
+	}
+	res, err := SelectRobustPathsMC(pm, model, costs, 8, 100, NewRNG(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) == 0 || len(res.Selected) > 8 {
+		t.Fatalf("selected %d paths", len(res.Selected))
+	}
+}
+
+func TestFacadePresets(t *testing.T) {
+	tp, err := PresetTopology("AS1755")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Graph.NumNodes() != 87 {
+		t.Fatalf("nodes = %d", tp.Graph.NumNodes())
+	}
+	if _, err := PresetTopology("bogus"); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+}
+
+func TestFacadePlacementAndSim(t *testing.T) {
+	tp, err := GenerateTopology(TopologyConfig{Name: "t", Nodes: 30, Links: 60, PoPs: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := PlaceMonitors(PlacementConfig{Graph: tp.Graph, Candidates: tp.Access, Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Monitors) != 6 || pl.Objective <= 0 {
+		t.Fatalf("placement = %+v", pl)
+	}
+
+	paths, err := MonitorPairs(tp.Graph, pl.Monitors, pl.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPathMatrix(paths, tp.Graph.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewFailureModel(FailureConfig{Links: tp.Graph.NumEdges(), ExpectedFailures: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1
+	}
+	metrics := make([]float64, pm.NumLinks())
+	for i := range metrics {
+		metrics[i] = 1
+	}
+	runner, err := NewSimRunner(SimConfig{
+		PM: pm, Costs: costs, Budget: 8, Metrics: metrics,
+		Failures: model, Horizon: 30, Mode: SimStatic, Model: model, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := runner.Run(context.Background(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 30 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+}
+
+func TestFacadeCorrelatedModel(t *testing.T) {
+	base, err := FailureFromProbabilities([]float64{0.1, 0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := NewCorrelatedFailureModel(base, []SRLG{{Links: []int{0, 1}, Prob: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := SampleScenarios(corr, NewRNG(1, 1), 5)
+	if len(scs) != 5 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	var _ FailureSampler = corr
+}
+
+func TestFacadeGreedyExplanation(t *testing.T) {
+	ex := NewExampleNetwork()
+	paths, _ := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	pm, _ := NewPathMatrix(paths, ex.Graph.NumEdges())
+	sc := Scenario{Failed: make([]bool, pm.NumLinks())}
+	sc.Failed[ex.Bridge] = true
+	obs := Observation{}
+	for i := 0; i < pm.NumPaths(); i++ {
+		obs.Paths = append(obs.Paths, i)
+		obs.OK = append(obs.OK, pm.Available(i, sc))
+	}
+	expl, err := GreedyExplanation(pm, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl) != 1 || expl[0] != int(ex.Bridge) {
+		t.Fatalf("explanation = %v, want [%d]", expl, ex.Bridge)
+	}
+	minimal, err := MinimalExplanations(pm, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minimal) != 1 || len(minimal[0]) != 1 || minimal[0][0] != int(ex.Bridge) {
+		t.Fatalf("minimal = %v", minimal)
+	}
+}
+
+func TestFacadeLearner(t *testing.T) {
+	ex := NewExampleNetwork()
+	paths, _ := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	pm, _ := NewPathMatrix(paths, ex.Graph.NumEdges())
+	probs := make([]float64, pm.NumLinks())
+	for i := range probs {
+		probs[i] = 0.1
+	}
+	model, _ := FailureFromProbabilities(probs)
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1
+	}
+	learner, err := NewLearner(pm, costs, 5, LearnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewFailureEnv(pm, model, NewRNG(2, 2))
+	for e := 0; e < 50; e++ {
+		if _, _, err := learner.Step(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := learner.Exploit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 {
+		t.Fatal("learner selected nothing")
+	}
+	theta := learner.ThetaHat()
+	mean := 0.0
+	for _, v := range theta {
+		mean += v
+	}
+	mean /= float64(len(theta))
+	if math.IsNaN(mean) || mean <= 0 {
+		t.Fatalf("learned availabilities look wrong: %v", theta)
+	}
+}
