@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments examples clean
+.PHONY: all build test race cover bench bench-json fuzz experiments examples clean
 
 all: build test
 
@@ -19,6 +19,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the Monte Carlo kernel benchmarks and record ns/op, allocs/op and
+# scenario throughput (plus kernel-vs-serial speedups) in
+# BENCH_selection.json, tracking the perf trajectory across PRs.
+bench-json:
+	$(GO) run ./cmd/benchregress -out BENCH_selection.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/

@@ -1,0 +1,67 @@
+// Command benchregress runs the Monte Carlo kernel benchmarks and records
+// their results in a JSON file (BENCH_selection.json by default), so the
+// performance trajectory of the MonteRoMe hot path is tracked across PRs.
+//
+// Each kernel benchmark is paired with its *Serial reference (e.g.
+// BenchmarkMonteCarlo vs BenchmarkMonteCarloSerial) and the derived speedup
+// is recorded alongside ns/op, B/op, allocs/op and — for benchmarks that
+// report a "panel" metric — the scenario throughput in scenarios/second.
+//
+// Usage:
+//
+//	go run ./cmd/benchregress [-out BENCH_selection.json] [-benchtime 5x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_selection.json", "output JSON path")
+	benchtime := flag.String("benchtime", "5x", "go test -benchtime value")
+	pattern := flag.String("bench", defaultPattern, "go test -bench regexp")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run=^$", "-bench", *pattern, "-benchmem",
+		"-benchtime", *benchtime,
+		"./internal/er/", "./internal/selection/",
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchregress: go %v: %v\n", args, err)
+		os.Exit(1)
+	}
+
+	report := BuildReport(ParseBenchOutput(string(raw)))
+	report.Date = time.Now().UTC().Format(time.RFC3339)
+	report.BenchTime = *benchtime
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchregress: wrote %d benchmarks, %d speedup pairs to %s\n",
+		len(report.Benchmarks), len(report.Speedups), *out)
+	for _, p := range report.Speedups {
+		fmt.Printf("  %-24s %8.2fx  (%.1fms vs %.1fms serial)\n",
+			p.Name, p.Speedup, p.NsPerOp/1e6, p.SerialNsPerOp/1e6)
+	}
+}
+
+const defaultPattern = "^(BenchmarkMonteCarlo|BenchmarkMonteCarloSerial|" +
+	"BenchmarkMonteCarloInc|BenchmarkMonteCarloIncSerial|" +
+	"BenchmarkMonteRoMe|BenchmarkMonteRoMeSerial)$"

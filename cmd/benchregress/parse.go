@@ -1,0 +1,127 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Panel is the scenario-panel size the benchmark reports via the
+	// "panel" metric; zero when the benchmark doesn't report one.
+	Panel float64 `json:"panel,omitempty"`
+	// ScenariosPerSecond is Panel / (NsPerOp in seconds): how many
+	// scenario evaluations per second one op sustains.
+	ScenariosPerSecond float64 `json:"scenarios_per_second,omitempty"`
+}
+
+// Pair relates a kernel benchmark to its *Serial reference.
+type Pair struct {
+	Name          string  `json:"name"`
+	Serial        string  `json:"serial"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	SerialNsPerOp float64 `json:"serial_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// Report is the BENCH_selection.json schema.
+type Report struct {
+	Date       string  `json:"date"`
+	BenchTime  string  `json:"benchtime"`
+	Benchmarks []Entry `json:"benchmarks"`
+	Speedups   []Pair  `json:"speedups"`
+}
+
+// ParseBenchOutput extracts benchmark result lines from `go test -bench`
+// output. It understands the standard column layout
+//
+//	BenchmarkName-8   5   1234 ns/op   99 B/op   7 allocs/op   1000 panel
+//
+// where the value/unit metric pairs appear in any order, and tracks "pkg:"
+// headers so entries carry their package.
+func ParseBenchOutput(out string) []Entry {
+	var entries []Entry
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == "pkg:" {
+			pkg = fields[1]
+			continue
+		}
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: trimProcSuffix(fields[0]), Package: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			case "panel":
+				e.Panel = v
+			}
+		}
+		if e.Panel > 0 && e.NsPerOp > 0 {
+			e.ScenariosPerSecond = e.Panel / (e.NsPerOp / 1e9)
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// trimProcSuffix strips the -<GOMAXPROCS> suffix go test appends to
+// benchmark names when running with more than one proc.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// BuildReport pairs every benchmark with its <Name>Serial counterpart and
+// derives the speedups.
+func BuildReport(entries []Entry) Report {
+	r := Report{Benchmarks: entries}
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name, "Serial") {
+			continue
+		}
+		s, ok := byName[e.Name+"Serial"]
+		if !ok || e.NsPerOp <= 0 {
+			continue
+		}
+		r.Speedups = append(r.Speedups, Pair{
+			Name:          e.Name,
+			Serial:        s.Name,
+			NsPerOp:       e.NsPerOp,
+			SerialNsPerOp: s.NsPerOp,
+			Speedup:       s.NsPerOp / e.NsPerOp,
+		})
+	}
+	return r
+}

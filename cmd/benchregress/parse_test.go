@@ -1,0 +1,71 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: robusttomo/internal/er
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMonteCarlo       	       5	  49305185 ns/op	      1000 panel	  330890 B/op	    2743 allocs/op
+BenchmarkMonteCarloSerial 	       5	 212379565 ns/op	      1000 panel	146072517 B/op	 1066143 allocs/op
+PASS
+ok  	robusttomo/internal/er	2.918s
+pkg: robusttomo/internal/selection
+BenchmarkMonteRoMe-8      	       5	   6421687 ns/op	      1000 panel	 1899532 B/op	   13793 allocs/op
+BenchmarkMonteRoMeSerial-8	       5	 190220440 ns/op	      1000 panel	48967028 B/op	  321376 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	entries := ParseBenchOutput(sampleOutput)
+	if len(entries) != 4 {
+		t.Fatalf("parsed %d entries, want 4: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.Name != "BenchmarkMonteCarlo" || e.Package != "robusttomo/internal/er" {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if e.Iterations != 5 || e.NsPerOp != 49305185 || e.BytesPerOp != 330890 || e.AllocsPerOp != 2743 {
+		t.Fatalf("entry 0 metrics = %+v", e)
+	}
+	if e.Panel != 1000 {
+		t.Fatalf("entry 0 panel = %v", e.Panel)
+	}
+	wantTput := 1000 / (49305185.0 / 1e9)
+	if e.ScenariosPerSecond != wantTput {
+		t.Fatalf("entry 0 throughput = %v, want %v", e.ScenariosPerSecond, wantTput)
+	}
+	// The -8 proc suffix must be stripped; the package header must follow.
+	if entries[2].Name != "BenchmarkMonteRoMe" || entries[2].Package != "robusttomo/internal/selection" {
+		t.Fatalf("entry 2 = %+v", entries[2])
+	}
+}
+
+func TestBuildReportPairsSerial(t *testing.T) {
+	report := BuildReport(ParseBenchOutput(sampleOutput))
+	if len(report.Speedups) != 2 {
+		t.Fatalf("got %d speedup pairs, want 2: %+v", len(report.Speedups), report.Speedups)
+	}
+	p := report.Speedups[0]
+	if p.Name != "BenchmarkMonteCarlo" || p.Serial != "BenchmarkMonteCarloSerial" {
+		t.Fatalf("pair 0 = %+v", p)
+	}
+	want := 212379565.0 / 49305185.0
+	if p.Speedup != want {
+		t.Fatalf("pair 0 speedup = %v, want %v", p.Speedup, want)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkMonteCarlo":     "BenchmarkMonteCarlo",
+		"BenchmarkMonteCarlo-16":  "BenchmarkMonteCarlo",
+		"BenchmarkWeird-Name":     "BenchmarkWeird-Name",
+		"BenchmarkMonteRoMe-8":    "BenchmarkMonteRoMe",
+		"BenchmarkMonteRoMe-8-no": "BenchmarkMonteRoMe-8-no",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Fatalf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -36,6 +36,16 @@ type Incremental interface {
 	Value() float64
 }
 
+// BatchGainer is an optional extension of Incremental for oracles that can
+// evaluate several candidates' marginal gains concurrently. GainBatch must
+// store exactly Gain(paths[i]) into out[i] (same committed set, identical
+// bits) — the RoMe greedy relies on that equivalence when it fans the
+// initial sweep and lazy stale-refresh waves out over a batch.
+type BatchGainer interface {
+	Incremental
+	GainBatch(paths []int, out []float64)
+}
+
 // ExpectedAvailability returns EA(q) = Π_{l∈q} (1 − p_l) for candidate
 // path q (Eq. 3 of the paper).
 func ExpectedAvailability(pm *tomo.PathMatrix, model *failure.Model, path int) float64 {

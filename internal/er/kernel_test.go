@@ -1,0 +1,151 @@
+package er
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/tomo"
+	"robusttomo/internal/topo"
+)
+
+// rocketfuelInstance materializes a seeded monitor placement on the AS1755
+// Rocketfuel topology — the paper-scale workload class the kernel is built
+// for — and returns its path matrix and failure model.
+func rocketfuelInstance(tb testing.TB, candidates int, seed uint64) (*tomo.PathMatrix, *failure.Model) {
+	tb.Helper()
+	tp, err := topo.Preset(topo.AS1755)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	k := 1
+	for k*k < candidates {
+		k++
+	}
+	pool := tp.Access
+	if len(pool) < 2*k {
+		pool = append(append([]graph.NodeID{}, tp.Access...), tp.Core...)
+	}
+	picked := stats.SampleWithoutReplacement(stats.NewRNG(seed, 0xF0), len(pool), 2*k)
+	sources := make([]graph.NodeID, k)
+	dests := make([]graph.NodeID, k)
+	for i := 0; i < k; i++ {
+		sources[i] = pool[picked[i]]
+		dests[i] = pool[picked[k+i]]
+	}
+	paths, err := routing.MonitorPairs(tp.Graph, sources, dests)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(paths) > candidates {
+		paths = paths[:candidates]
+	}
+	pm, err := tomo.NewPathMatrix(paths, tp.Graph.NumEdges())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	model, err := failure.NewModel(failure.Config{Links: tp.Graph.NumEdges(), ExpectedFailures: 3, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pm, model
+}
+
+// The bit-packed parallel oracle must be bit-identical to the serial
+// reference: every Gain, every Add delta and the running Value, across a
+// growing committed set on Rocketfuel-subgraph instances.
+func TestMonteCarloIncMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 42} {
+		pm, model := rocketfuelInstance(t, 120, seed)
+		runs := 130 // straddles a word boundary (3 words, 2 bits of tail)
+		kernel := NewMonteCarloInc(pm, model, runs, rand.New(rand.NewPCG(seed, 77)))
+		serial := NewMonteCarloIncSerial(pm, model, runs, rand.New(rand.NewPCG(seed, 77)))
+		if kernel.Runs() != runs {
+			t.Fatalf("Runs = %d, want %d", kernel.Runs(), runs)
+		}
+
+		n := pm.NumPaths()
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		batch := make([]float64, n)
+		pick := stats.NewRNG(seed, 99)
+		for round := 0; round < 8; round++ {
+			kernel.GainBatch(all, batch)
+			for q := 0; q < n; q++ {
+				want := serial.Gain(q)
+				if got := kernel.Gain(q); got != want {
+					t.Fatalf("seed %d round %d: Gain(%d) = %v, serial %v", seed, round, q, got, want)
+				}
+				if batch[q] != want {
+					t.Fatalf("seed %d round %d: GainBatch[%d] = %v, serial %v", seed, round, q, batch[q], want)
+				}
+			}
+			q := pick.IntN(n)
+			kernel.Add(q)
+			serial.Add(q)
+			if kernel.Value() != serial.Value() {
+				t.Fatalf("seed %d round %d: Value = %v, serial %v", seed, round, kernel.Value(), serial.Value())
+			}
+		}
+	}
+}
+
+// The batch estimator must match its serial reference exactly for the same
+// rng seed: same scenario panel, same integer rank sum.
+func TestMonteCarloMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{3, 9} {
+		pm, model := rocketfuelInstance(t, 80, seed)
+		idx := make([]int, pm.NumPaths())
+		for i := range idx {
+			idx[i] = i
+		}
+		for _, n := range []int{1, 64, 200, 500} {
+			kernel := MonteCarlo(pm, model, idx, n, rand.New(rand.NewPCG(seed, 5)))
+			serial := MonteCarloSerial(pm, model, idx, n, rand.New(rand.NewPCG(seed, 5)))
+			if kernel != serial {
+				t.Fatalf("seed %d n=%d: MonteCarlo = %v, serial %v", seed, n, kernel, serial)
+			}
+		}
+	}
+}
+
+// Two oracles built from the same seed must evolve identically through an
+// identical Gain/GainBatch/Add schedule — the determinism the sharded
+// kernel guarantees via fixed ranges and integer fold order. Run under
+// -race in CI to also prove the sharding is data-race-free.
+func TestMonteCarloIncDeterministic(t *testing.T) {
+	pm, model := rocketfuelInstance(t, 100, 7)
+	run := func() (values []float64, gains []float64) {
+		mc := NewMonteCarloInc(pm, model, 256, rand.New(rand.NewPCG(7, 7)))
+		n := pm.NumPaths()
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		out := make([]float64, n)
+		for round := 0; round < 6; round++ {
+			mc.GainBatch(all, out)
+			gains = append(gains, out...)
+			mc.Add((round * 13) % n)
+			values = append(values, mc.Value())
+		}
+		return values, gains
+	}
+	v1, g1 := run()
+	v2, g2 := run()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("Value diverged at step %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("Gain diverged at probe %d: %v vs %v", i, g1[i], g2[i])
+		}
+	}
+}

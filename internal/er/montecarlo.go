@@ -1,9 +1,9 @@
 package er
 
 import (
+	"math/bits"
 	"math/rand/v2"
-	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"robusttomo/internal/failure"
 	"robusttomo/internal/linalg"
@@ -11,36 +11,75 @@ import (
 )
 
 // MonteCarlo estimates ER(R) as the average rank of the surviving rows over
-// n freshly sampled failure scenarios. Scenario ranks are evaluated in
-// parallel across workers; the result is deterministic in rng because the
-// scenarios are drawn up front on the caller's goroutine.
+// n freshly sampled failure scenarios. Scenarios are drawn up front on the
+// caller's goroutine (so the result is deterministic in rng) and packed
+// into a bit-column ScenarioSet; per-scenario survivor filtering is then a
+// bit test against each path's survival mask instead of a per-edge walk.
+// Ranks are evaluated in parallel via chunked atomic-counter dispatch —
+// workers claim fixed index ranges, so there is no per-scenario channel
+// send and the per-scenario ranks land in fixed slots regardless of
+// scheduling.
 func MonteCarlo(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rng *rand.Rand) float64 {
 	if len(idx) == 0 || n <= 0 {
 		return 0
 	}
-	scenarios := failure.SampleScenarios(model, rng, n)
-	ranks := make([]int, n)
+	set, err := failure.SampleScenarioSet(model, rng, n)
+	if err != nil {
+		panic("er: " + err.Error()) // only reachable with a zero-link sampler
+	}
+	masks := make([][]uint64, len(idx))
+	rowCols := make([][]int, len(idx))
+	rowVals := make([][]float64, len(idx))
+	for k, i := range idx {
+		masks[k] = pm.SurvivalMask(set, i, nil)
+		rowCols[k], rowVals[k] = sparsifyRow(pm.Row(i))
+	}
 
-	workers := runtime.GOMAXPROCS(0)
+	ranks := make([]int, n)
+	links := pm.NumLinks()
+	workers := poolSize()
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range next {
-				ranks[s] = pm.RankUnder(idx, scenarios[s])
+	// Chunks several times smaller than n/workers keep stragglers bounded
+	// without paying one dispatch per scenario.
+	chunk := (n + workers*8 - 1) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	runShards(workers, func(int) {
+		basis := linalg.NewSparseBasisRankOnly(links)
+		surv := make([]int, 0, len(idx))
+		for {
+			c := int(next.Add(1)) - 1
+			lo := c * chunk
+			if lo >= n {
+				return
 			}
-		}()
-	}
-	for s := range scenarios {
-		next <- s
-	}
-	close(next)
-	wg.Wait()
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for s := lo; s < hi; s++ {
+				w, bit := s>>6, uint64(1)<<(s&63)
+				surv = surv[:0]
+				for k := range idx {
+					if masks[k][w]&bit != 0 {
+						surv = append(surv, k)
+					}
+				}
+				basis.Reset()
+				for _, k := range surv {
+					basis.AddSparse(rowCols[k], rowVals[k])
+					if basis.Rank() == links {
+						break
+					}
+				}
+				ranks[s] = basis.Rank()
+			}
+		}
+	})
 
 	sum := 0
 	for _, r := range ranks {
@@ -55,58 +94,344 @@ func MonteCarlo(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rn
 // marginal gain of a candidate is the fraction of scenarios in which it
 // both survives and increases the surviving rank — an unbiased estimate of
 // the true marginal ER gain over the panel.
+//
+// The panel lives in a bit-packed ScenarioSet: each candidate's survival
+// mask is precomputed once, so Gain and Add visit only the scenarios the
+// path survives (a trailing-zero scan of the mask). Scenarios are further
+// grouped into equivalence classes: two scenarios in which every committed
+// row survived identically have received the exact same Add sequence, so
+// their bases hold bit-identical rows and one shared basis serves the whole
+// class. Gain probes each class once with the allocation-free
+// InSpanSparseWith and weights the verdict by the class's surviving-scenario
+// count; Add splits classes along the new row's survival mask. On
+// realistic failure rates most scenarios share a handful of classes, which
+// cuts the rank work by orders of magnitude.
+//
+// Probes and class updates fan out over a persistent worker pool; every
+// result lands in a fixed per-class slot and integer hit counts are folded
+// in ascending class order, so Gain, Add and Value are bit-identical to the
+// serial reference oracle (NewMonteCarloIncSerial, enforced by
+// TestMonteCarloIncMatchesSerial) regardless of scheduling.
 type MonteCarloInc struct {
-	pm        *tomo.PathMatrix
-	scenarios []failure.Scenario
-	bases     []linalg.RowBasis
-	value     float64
+	pm  *tomo.PathMatrix
+	set *failure.ScenarioSet
+	// masks[i] is candidate i's survival mask over the panel; rowCols[i]/
+	// rowVals[i] are its matrix row in sorted sparse form, feeding the
+	// load-free AddSparse/InSpanSparseWith entry points.
+	masks   [][]uint64
+	rowCols [][]int
+	rowVals [][]float64
+	value   float64
+
+	// Scenario equivalence classes. classOf maps scenario -> class id;
+	// bases and classSize are indexed by class id. Class 0 initially holds
+	// the whole panel with an empty basis.
+	classOf   []int32
+	bases     []*linalg.SparseBasis
+	classSize []int32
+
+	// Gain scratch (caller goroutine): per-class survivor counts, the list
+	// of classes to probe, and per-probe hit counts for the ordered fold.
+	counts    []int32
+	probeList []int32
+	probeHits []int32
+
+	// Add scratch: per-class mover counts and destination classes, plus the
+	// receiving classes (ascending), their mover counts, the split sources
+	// (-1 for in-place) and the per-class added verdicts.
+	movers    []int32
+	target    []int32
+	addClass  []int32
+	addMovers []int32
+	addSrc    []int32
+	addOK     []bool
+
+	workerWS     []*linalg.Workspace // one reduction workspace per pool worker
+	workerCounts [][]int32           // per-worker class-count scratch (GainBatch)
 }
 
-var _ Incremental = (*MonteCarloInc)(nil)
+var (
+	_ Incremental = (*MonteCarloInc)(nil)
+	_ BatchGainer = (*MonteCarloInc)(nil)
+)
 
 // NewMonteCarloInc draws runs scenarios from the model and returns an empty
-// oracle.
+// oracle. The rng consumption matches the serial reference, so equal seeds
+// give equal panels.
 func NewMonteCarloInc(pm *tomo.PathMatrix, model failure.Sampler, runs int, rng *rand.Rand) *MonteCarloInc {
-	scenarios := failure.SampleScenarios(model, rng, runs)
-	bases := make([]linalg.RowBasis, runs)
-	for i := range bases {
-		bases[i] = linalg.NewSparseBasis(pm.NumLinks())
+	set, err := failure.SampleScenarioSet(model, rng, runs)
+	if err != nil {
+		panic("er: " + err.Error()) // only reachable with runs <= 0 or a zero-link sampler
 	}
-	return &MonteCarloInc{pm: pm, scenarios: scenarios, bases: bases}
+	mc := &MonteCarloInc{pm: pm, set: set}
+
+	// The whole panel starts as one class over the empty basis.
+	mc.classOf = make([]int32, runs)
+	mc.bases = []*linalg.SparseBasis{linalg.NewSparseBasisRankOnly(pm.NumLinks())}
+	mc.classSize = []int32{int32(runs)}
+
+	workers := poolSize()
+	mc.workerWS = make([]*linalg.Workspace, workers)
+	for i := range mc.workerWS {
+		mc.workerWS[i] = linalg.NewWorkspace(pm.NumLinks())
+	}
+	mc.workerCounts = make([][]int32, workers)
+
+	// Precompute every candidate's survival mask and sparse row (chunked
+	// over paths).
+	n := pm.NumPaths()
+	mc.masks = make([][]uint64, n)
+	mc.rowCols = make([][]int, n)
+	mc.rowVals = make([][]float64, n)
+	var nextPath atomic.Int64
+	runShards(minInt(poolSize(), n), func(int) {
+		for {
+			i := int(nextPath.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			mc.masks[i] = pm.SurvivalMask(set, i, nil)
+			mc.rowCols[i], mc.rowVals[i] = sparsifyRow(pm.Row(i))
+		}
+	})
+	return mc
+}
+
+// sparsifyRow converts a dense row to sorted parallel (cols, vals) form.
+func sparsifyRow(row []float64) ([]int, []float64) {
+	var cols []int
+	var vals []float64
+	for j, x := range row {
+		if x != 0 {
+			cols = append(cols, j)
+			vals = append(vals, x)
+		}
+	}
+	return cols, vals
 }
 
 // Runs returns the scenario panel size.
-func (mc *MonteCarloInc) Runs() int { return len(mc.scenarios) }
+func (mc *MonteCarloInc) Runs() int { return mc.set.N() }
 
-// Gain implements Incremental.
-func (mc *MonteCarloInc) Gain(path int) float64 {
-	row := mc.pm.Row(path)
-	hits := 0
-	for s, sc := range mc.scenarios {
-		if !mc.pm.Available(path, sc) {
-			continue
-		}
-		if dep, _ := mc.bases[s].Dependent(row); !dep {
-			hits++
-		}
+// growInt32 resizes s to n entries, preserving contents; appended entries
+// are zero.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		ns := make([]int32, n)
+		copy(ns, s)
+		return ns
 	}
-	return float64(hits) / float64(len(mc.scenarios))
+	for i := len(s); i < n; i++ {
+		s = s[:i+1]
+		s[i] = 0
+	}
+	return s[:n]
 }
 
-// Add implements Incremental.
-func (mc *MonteCarloInc) Add(path int) {
-	row := mc.pm.Row(path)
-	hits := 0
-	for s, sc := range mc.scenarios {
-		if !mc.pm.Available(path, sc) {
-			continue
-		}
-		if added, _, _ := mc.bases[s].Add(row); added {
-			hits++
+// countSurvivors tallies, per class, how many scenarios of the mask survive.
+// counts must be zero on entry; the caller re-zeroes the touched entries.
+func (mc *MonteCarloInc) countSurvivors(mask []uint64, counts []int32) {
+	classOf := mc.classOf
+	for w, m := range mask {
+		base := w << 6
+		for m != 0 {
+			s := base + bits.TrailingZeros64(m)
+			m &= m - 1
+			counts[classOf[s]]++
 		}
 	}
-	mc.value += float64(hits) / float64(len(mc.scenarios))
+}
+
+// gainHits computes the independent-survivor count for one path on a single
+// goroutine: count survivors per class, then probe each touched class once.
+// counts is a zeroed per-class scratch and is re-zeroed before returning.
+func (mc *MonteCarloInc) gainHits(path int, counts []int32, ws *linalg.Workspace) int {
+	mc.countSurvivors(mc.masks[path], counts)
+	cols, vals := mc.rowCols[path], mc.rowVals[path]
+	hits := 0
+	for c := range mc.bases {
+		n := counts[c]
+		if n == 0 {
+			continue
+		}
+		counts[c] = 0
+		if !mc.bases[c].InSpanSparseWith(cols, vals, ws) {
+			hits += int(n)
+		}
+	}
+	return hits
+}
+
+// Gain implements Incremental. The per-class probes fan out over the worker
+// pool; each verdict lands in a fixed slot and the hit counts are folded in
+// ascending class order, independent of scheduling.
+func (mc *MonteCarloInc) Gain(path int) float64 {
+	counts := growInt32(mc.counts, len(mc.bases))
+	mc.counts = counts
+	workers := poolSize()
+	if workers == 1 {
+		return float64(mc.gainHits(path, counts, mc.workerWS[0])) / float64(mc.set.N())
+	}
+
+	mc.countSurvivors(mc.masks[path], counts)
+	probe := mc.probeList[:0]
+	for c := range mc.bases {
+		if counts[c] != 0 {
+			probe = append(probe, int32(c))
+		}
+	}
+	mc.probeList = probe
+	mc.probeHits = growInt32(mc.probeHits, len(probe))
+	hits := 0
+	if len(probe) > 0 {
+		cols, vals := mc.rowCols[path], mc.rowVals[path]
+		var next atomic.Int64
+		runShards(minInt(workers, len(probe)), func(worker int) {
+			ws := mc.workerWS[worker]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(probe) {
+					return
+				}
+				c := probe[i]
+				if mc.bases[c].InSpanSparseWith(cols, vals, ws) {
+					mc.probeHits[i] = 0
+				} else {
+					mc.probeHits[i] = counts[c]
+				}
+			}
+		})
+		for i := range probe {
+			hits += int(mc.probeHits[i])
+			counts[probe[i]] = 0
+		}
+	}
+	return float64(hits) / float64(mc.set.N())
+}
+
+// GainBatch implements BatchGainer: paths are claimed off an atomic counter
+// by pool workers, each probing the shared class bases with its own
+// workspace and count scratch. out[i] is exactly Gain(paths[i]).
+func (mc *MonteCarloInc) GainBatch(paths []int, out []float64) {
+	if len(out) != len(paths) {
+		panic("er: GainBatch output length mismatch")
+	}
+	if len(paths) == 0 {
+		return
+	}
+	var next atomic.Int64
+	runShards(minInt(len(mc.workerWS), len(paths)), func(worker int) {
+		ws := mc.workerWS[worker]
+		counts := growInt32(mc.workerCounts[worker], len(mc.bases))
+		mc.workerCounts[worker] = counts
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(paths) {
+				return
+			}
+			out[i] = float64(mc.gainHits(paths[i], counts, ws)) / float64(mc.set.N())
+		}
+	})
+}
+
+// Add implements Incremental. Classes split along the new row's survival
+// mask: a class whose scenarios all survive takes the row in place; a
+// partial class spawns a new class with a cloned basis for the survivors.
+// Class ids are assigned serially in ascending order before the basis work
+// fans out, and each receiving basis is touched by exactly one worker, so
+// the evolution is deterministic and race-free.
+func (mc *MonteCarloInc) Add(path int) {
+	mask := mc.masks[path]
+	nc := len(mc.bases)
+	mc.movers = growInt32(mc.movers, nc)
+	mc.target = growInt32(mc.target, nc)
+	movers, target := mc.movers, mc.target
+	mc.countSurvivors(mask, movers)
+
+	// Pass 1 (serial, ascending class id): decide splits, allocate ids.
+	addClass := mc.addClass[:0]
+	addMovers := mc.addMovers[:0]
+	addSrc := mc.addSrc[:0]
+	for c := 0; c < nc; c++ {
+		m := movers[c]
+		target[c] = int32(c)
+		if m == 0 {
+			continue
+		}
+		if m == mc.classSize[c] {
+			// The whole class moves: the row lands in its basis in place.
+			addClass = append(addClass, int32(c))
+			addMovers = append(addMovers, m)
+			addSrc = append(addSrc, -1)
+		} else {
+			id := int32(len(mc.bases))
+			mc.bases = append(mc.bases, nil) // cloned in pass 2
+			mc.classSize[c] -= m
+			mc.classSize = append(mc.classSize, m)
+			target[c] = id
+			addClass = append(addClass, id)
+			addMovers = append(addMovers, m)
+			addSrc = append(addSrc, int32(c))
+		}
+		movers[c] = 0
+	}
+	mc.addClass, mc.addMovers, mc.addSrc = addClass, addMovers, addSrc
+	if cap(mc.addOK) < len(addClass) {
+		mc.addOK = make([]bool, len(addClass))
+	}
+	addOK := mc.addOK[:len(addClass)]
+
+	// Pass 2: clone and extend the receiving bases. Each entry owns its
+	// basis (a split source is never itself a receiver), so workers never
+	// contend.
+	if len(addClass) > 0 {
+		cols, vals := mc.rowCols[path], mc.rowVals[path]
+		var next atomic.Int64
+		runShards(minInt(poolSize(), len(addClass)), func(int) {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(addClass) {
+					return
+				}
+				b := mc.bases[addClass[i]]
+				if src := addSrc[i]; src >= 0 {
+					b = mc.bases[src].Clone()
+					mc.bases[addClass[i]] = b
+				}
+				added, _, _ := b.AddSparse(cols, vals)
+				addOK[i] = added
+			}
+		})
+	}
+
+	// Pass 3 (serial): fold hits in ascending class order and reassign the
+	// movers of split classes.
+	hits := 0
+	for i := range addClass {
+		if addOK[i] {
+			hits += int(addMovers[i])
+		}
+	}
+	classOf := mc.classOf
+	for w, m := range mask {
+		base := w << 6
+		for m != 0 {
+			s := base + bits.TrailingZeros64(m)
+			m &= m - 1
+			if t := target[classOf[s]]; t != classOf[s] {
+				classOf[s] = t
+			}
+		}
+	}
+	mc.value += float64(hits) / float64(mc.set.N())
 }
 
 // Value implements Incremental.
 func (mc *MonteCarloInc) Value() float64 { return mc.value }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

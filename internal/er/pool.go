@@ -1,0 +1,81 @@
+package er
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The er kernels share one persistent worker pool, started lazily on first
+// use and sized to GOMAXPROCS at that moment. A lazy-greedy selection
+// issues tens of thousands of small Gain evaluations; persistent workers
+// amortize the goroutine spawn that per-call fan-out would pay every time.
+//
+// Determinism contract: the pool only ever executes *sharded* work — fixed
+// index ranges whose partial results land in per-shard slots and are folded
+// on the caller's goroutine in shard order. Since the hot-path partials are
+// integer hit counts, the fold is exact regardless of which worker ran
+// which shard or in what order, so results are bit-identical to a serial
+// run (DESIGN.md §7).
+var (
+	poolOnce    sync.Once
+	poolTasks   chan poolTask
+	poolWorkers int
+)
+
+type poolTask struct {
+	fn func()
+	wg *sync.WaitGroup
+}
+
+func startPool() {
+	poolWorkers = runtime.GOMAXPROCS(0)
+	if poolWorkers < 1 {
+		poolWorkers = 1
+	}
+	if poolWorkers == 1 {
+		return // single-threaded: runShards executes everything inline
+	}
+	poolTasks = make(chan poolTask, 4*poolWorkers)
+	for w := 0; w < poolWorkers-1; w++ {
+		go func() {
+			for t := range poolTasks {
+				t.fn()
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// poolSize returns how many shards the pool can run concurrently (the
+// calling goroutine counts as one worker).
+func poolSize() int {
+	poolOnce.Do(startPool)
+	return poolWorkers
+}
+
+// runShards invokes fn(shard) for every shard in [0, shards) and waits for
+// all of them. Shard 0 runs on the calling goroutine, the rest on pool
+// workers. fn must not call runShards itself (single-level parallelism).
+func runShards(shards int, fn func(shard int)) {
+	if shards <= 1 {
+		if shards == 1 {
+			fn(0)
+		}
+		return
+	}
+	poolOnce.Do(startPool)
+	if poolTasks == nil {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		s := s
+		poolTasks <- poolTask{fn: func() { fn(s) }, wg: &wg}
+	}
+	fn(0)
+	wg.Wait()
+}

@@ -1,0 +1,83 @@
+package er
+
+import (
+	"math/rand/v2"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/linalg"
+	"robusttomo/internal/tomo"
+)
+
+// This file keeps the original scenario-major Monte Carlo implementations
+// as executable references for the bit-packed kernel in montecarlo.go. The
+// kernel is required to be bit-identical to these (equivalence tests in
+// kernel_test.go), which is what makes the parallel fast path safe to use
+// everywhere the serial oracle was.
+
+// MonteCarloSerial estimates ER(R) exactly like MonteCarlo but walks every
+// scenario's bool failure vector on one goroutine. Given the same rng
+// state, MonteCarlo returns the identical value.
+func MonteCarloSerial(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rng *rand.Rand) float64 {
+	if len(idx) == 0 || n <= 0 {
+		return 0
+	}
+	scenarios := failure.SampleScenarios(model, rng, n)
+	sum := 0
+	for _, sc := range scenarios {
+		sum += pm.RankUnder(idx, sc)
+	}
+	return float64(sum) / float64(n)
+}
+
+// serialMonteCarloInc is the pre-kernel MonteCarloInc: scenario-major
+// storage, per-edge availability walks, allocating Dependent probes.
+type serialMonteCarloInc struct {
+	pm        *tomo.PathMatrix
+	scenarios []failure.Scenario
+	bases     []linalg.RowBasis
+	value     float64
+}
+
+var _ Incremental = (*serialMonteCarloInc)(nil)
+
+// NewMonteCarloIncSerial draws runs scenarios from the model and returns
+// the serial reference oracle. It consumes the rng exactly like
+// NewMonteCarloInc, so equal seeds give equal panels.
+func NewMonteCarloIncSerial(pm *tomo.PathMatrix, model failure.Sampler, runs int, rng *rand.Rand) Incremental {
+	scenarios := failure.SampleScenarios(model, rng, runs)
+	bases := make([]linalg.RowBasis, runs)
+	for i := range bases {
+		bases[i] = linalg.NewSparseBasis(pm.NumLinks())
+	}
+	return &serialMonteCarloInc{pm: pm, scenarios: scenarios, bases: bases}
+}
+
+func (mc *serialMonteCarloInc) Gain(path int) float64 {
+	row := mc.pm.Row(path)
+	hits := 0
+	for s, sc := range mc.scenarios {
+		if !mc.pm.Available(path, sc) {
+			continue
+		}
+		if dep, _ := mc.bases[s].Dependent(row); !dep {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(mc.scenarios))
+}
+
+func (mc *serialMonteCarloInc) Add(path int) {
+	row := mc.pm.Row(path)
+	hits := 0
+	for s, sc := range mc.scenarios {
+		if !mc.pm.Available(path, sc) {
+			continue
+		}
+		if added, _, _ := mc.bases[s].Add(row); added {
+			hits++
+		}
+	}
+	mc.value += float64(hits) / float64(len(mc.scenarios))
+}
+
+func (mc *serialMonteCarloInc) Value() float64 { return mc.value }

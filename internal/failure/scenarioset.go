@@ -1,0 +1,156 @@
+package failure
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// ScenarioSet is a bit-packed panel of failure scenarios laid out for the
+// Monte Carlo hot path. Instead of n Scenario values each holding a []bool
+// over links (scenario-major), the set stores one bit-column per link
+// (link-major): bit s of cols[l] is set iff link l is down in scenario s.
+//
+// The transposed layout turns the inner loop of "does path q survive
+// scenario s?" inside out: OR-ing the bit-columns of the path's links and
+// complementing yields the path's survival mask over all n scenarios in
+// |E_path| word passes, instead of n × |E_path| bool loads. Consumers then
+// iterate only the surviving scenarios via trailing-zero scans, or count
+// them with a popcount. DESIGN.md §7 documents the layout and why sharded
+// consumers stay deterministic.
+type ScenarioSet struct {
+	n     int // scenarios in the panel
+	links int
+	words int        // ceil(n / 64)
+	cols  [][]uint64 // cols[link][word]: failure bit-column of one link
+	tail  uint64     // valid-bit mask of the final word (all-ones when n%64 == 0)
+}
+
+// NewScenarioSet packs the given scenarios. All scenarios must cover the
+// same positive number of links.
+func NewScenarioSet(scenarios []Scenario) (*ScenarioSet, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("failure: empty scenario panel")
+	}
+	links := len(scenarios[0].Failed)
+	if links == 0 {
+		return nil, fmt.Errorf("failure: scenario 0 covers no links")
+	}
+	n := len(scenarios)
+	ss := &ScenarioSet{
+		n:     n,
+		links: links,
+		words: (n + 63) / 64,
+		tail:  tailMask(n),
+	}
+	ss.cols = make([][]uint64, links)
+	backing := make([]uint64, links*ss.words) // one allocation for all columns
+	for l := range ss.cols {
+		ss.cols[l] = backing[l*ss.words : (l+1)*ss.words : (l+1)*ss.words]
+	}
+	for s, sc := range scenarios {
+		if len(sc.Failed) != links {
+			return nil, fmt.Errorf("failure: scenario %d covers %d links, scenario 0 covers %d", s, len(sc.Failed), links)
+		}
+		w, bit := s>>6, uint64(1)<<(s&63)
+		for l, failed := range sc.Failed {
+			if failed {
+				ss.cols[l][w] |= bit
+			}
+		}
+	}
+	return ss, nil
+}
+
+// SampleScenarioSet draws n scenarios from the sampler and packs them. The
+// draws use the exact same rng consumption order as SampleScenarios, so a
+// packed panel and an unpacked panel built from the same seed describe the
+// same scenarios.
+func SampleScenarioSet(s Sampler, rng *rand.Rand, n int) (*ScenarioSet, error) {
+	return NewScenarioSet(SampleScenarios(s, rng, n))
+}
+
+func tailMask(n int) uint64 {
+	if r := n & 63; r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// N returns the panel size.
+func (ss *ScenarioSet) N() int { return ss.n }
+
+// Links returns the number of links covered.
+func (ss *ScenarioSet) Links() int { return ss.links }
+
+// Words returns the number of 64-bit words per bit-column (and per mask).
+func (ss *ScenarioSet) Words() int { return ss.words }
+
+// Failed reports whether link l is down in scenario s.
+func (ss *ScenarioSet) Failed(l, s int) bool {
+	return ss.cols[l][s>>6]&(uint64(1)<<(s&63)) != 0
+}
+
+// Scenario reconstructs scenario s as the scenario-major representation.
+func (ss *ScenarioSet) Scenario(s int) Scenario {
+	failed := make([]bool, ss.links)
+	w, bit := s>>6, uint64(1)<<(s&63)
+	for l := range failed {
+		failed[l] = ss.cols[l][w]&bit != 0
+	}
+	return Scenario{Failed: failed}
+}
+
+// ResetMask returns dst resized to Words() and zeroed, allocating only when
+// dst is too small.
+func (ss *ScenarioSet) ResetMask(dst []uint64) []uint64 {
+	if cap(dst) < ss.words {
+		return make([]uint64, ss.words)
+	}
+	dst = dst[:ss.words]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}
+
+// OrLink ORs link l's failure bit-column into dst (len Words()).
+func (ss *ScenarioSet) OrLink(dst []uint64, l int) {
+	col := ss.cols[l]
+	for i := range dst {
+		dst[i] |= col[i]
+	}
+}
+
+// Complement flips dst in place and clears the padding bits past scenario
+// n−1, turning an any-link-failed mask into a survival mask.
+func (ss *ScenarioSet) Complement(dst []uint64) {
+	for i := range dst {
+		dst[i] = ^dst[i]
+	}
+	if ss.words > 0 {
+		dst[ss.words-1] &= ss.tail
+	}
+}
+
+// SurvivalMask writes into dst (reusing its storage when possible) the mask
+// of scenarios in which every listed link is up: the complement of the OR
+// of the links' failure columns. An empty link list survives everything.
+func (ss *ScenarioSet) SurvivalMask(links []int, dst []uint64) []uint64 {
+	dst = ss.ResetMask(dst)
+	for _, l := range links {
+		ss.OrLink(dst, l)
+	}
+	ss.Complement(dst)
+	return dst
+}
+
+// CountBits returns the number of set bits in a mask — e.g. how many
+// scenarios a path survives.
+func CountBits(mask []uint64) int {
+	c := 0
+	for _, w := range mask {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -1,0 +1,138 @@
+package failure
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randomScenarios(rng *rand.Rand, links, n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		failed := make([]bool, links)
+		for l := range failed {
+			failed[l] = rng.Float64() < 0.3
+		}
+		out[i] = Scenario{Failed: failed}
+	}
+	return out
+}
+
+func TestScenarioSetValidation(t *testing.T) {
+	if _, err := NewScenarioSet(nil); err == nil {
+		t.Fatal("empty panel accepted")
+	}
+	if _, err := NewScenarioSet([]Scenario{{Failed: nil}}); err == nil {
+		t.Fatal("zero-link scenario accepted")
+	}
+	if _, err := NewScenarioSet([]Scenario{
+		{Failed: []bool{true, false}},
+		{Failed: []bool{true}},
+	}); err == nil {
+		t.Fatal("ragged panel accepted")
+	}
+}
+
+// Pack/unpack roundtrip: every (link, scenario) bit survives, including at
+// panel sizes that straddle word boundaries.
+func TestScenarioSetRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{1, 63, 64, 65, 70, 128, 200} {
+		scs := randomScenarios(rng, 11, n)
+		ss, err := NewScenarioSet(scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.N() != n || ss.Links() != 11 || ss.Words() != (n+63)/64 {
+			t.Fatalf("n=%d: N=%d Links=%d Words=%d", n, ss.N(), ss.Links(), ss.Words())
+		}
+		for s := range scs {
+			rt := ss.Scenario(s)
+			for l := range scs[s].Failed {
+				if scs[s].Failed[l] != rt.Failed[l] || scs[s].Failed[l] != ss.Failed(l, s) {
+					t.Fatalf("n=%d: bit (link %d, scenario %d) corrupted", n, l, s)
+				}
+			}
+		}
+	}
+}
+
+// SurvivalMask must agree with the brute-force per-scenario link walk, and
+// padding bits past the panel must stay clear.
+func TestScenarioSetSurvivalMask(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, n := range []int{5, 64, 70, 130} {
+		scs := randomScenarios(rng, 9, n)
+		ss, err := NewScenarioSet(scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mask []uint64
+		for trial := 0; trial < 20; trial++ {
+			k := rng.IntN(4)
+			links := make([]int, 0, k)
+			for len(links) < k {
+				links = append(links, rng.IntN(9))
+			}
+			mask = ss.SurvivalMask(links, mask) // reuse across trials
+			survivors := 0
+			for s := range scs {
+				want := true
+				for _, l := range links {
+					if scs[s].Failed[l] {
+						want = false
+						break
+					}
+				}
+				got := mask[s>>6]&(uint64(1)<<(s&63)) != 0
+				if got != want {
+					t.Fatalf("n=%d links=%v scenario %d: mask says %v, walk says %v", n, links, s, got, want)
+				}
+				if want {
+					survivors++
+				}
+			}
+			if got := CountBits(mask); got != survivors {
+				t.Fatalf("n=%d links=%v: CountBits=%d, want %d", n, links, got, survivors)
+			}
+			// Padding bits must be clear or CountBits overcounts.
+			if r := n & 63; r != 0 {
+				if mask[len(mask)-1]&^((uint64(1)<<r)-1) != 0 {
+					t.Fatalf("n=%d: padding bits set in final word", n)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioSetEmptyLinkListSurvivesAll(t *testing.T) {
+	scs := randomScenarios(rand.New(rand.NewPCG(3, 3)), 6, 70)
+	ss, err := NewScenarioSet(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := ss.SurvivalMask(nil, nil)
+	if CountBits(mask) != 70 {
+		t.Fatalf("empty link list survives %d of 70", CountBits(mask))
+	}
+}
+
+// SampleScenarioSet must consume the rng exactly like SampleScenarios so
+// packed and unpacked panels from one seed agree bit for bit.
+func TestSampleScenarioSetMatchesSampleScenarios(t *testing.T) {
+	model, err := NewModel(Config{Links: 20, ExpectedFailures: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := SampleScenarios(model, rand.New(rand.NewPCG(9, 9)), 77)
+	ss, err := SampleScenarioSet(model, rand.New(rand.NewPCG(9, 9)), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range plain {
+		for l := range plain[s].Failed {
+			if plain[s].Failed[l] != ss.Failed(l, s) {
+				t.Fatalf("scenario %d link %d differs between packed and unpacked draws", s, l)
+			}
+		}
+	}
+}

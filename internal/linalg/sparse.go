@@ -40,6 +40,13 @@ func (r *sparseRow) nnz() int { return len(r.cols) }
 type SparseBasis struct {
 	dim int
 	tol float64
+	// rankOnly disables representation-support tracking (combos): Add and
+	// Dependent then report nil supports. Acceptance decisions, ranks and
+	// row evolution are bit-identical to the tracking mode — the combo
+	// bookkeeping never feeds back into the reduction — while Add skips
+	// the O(members) coefficient upkeep and its allocations. Monte Carlo
+	// scenario panels, which only consume ranks, run in this mode.
+	rankOnly bool
 
 	rows   []sparseRow
 	pivots []int
@@ -48,17 +55,29 @@ type SparseBasis struct {
 	pivotOf []int
 	combos  [][]float64
 
-	// scratch is the dense working vector reused across operations; the
-	// touched-column list (deduplicated via mark) bounds the re-zeroing
-	// cost to the work done.
-	scratch []float64
-	touched []int
-	mark    []bool
+	// mergeCols/mergeVals are the axpy merge scratch: each RREF-restore
+	// update merges into them and swaps them with the row's old storage, so
+	// a warmed-up basis performs Add without allocating.
+	mergeCols []int
+	mergeVals []float64
+
+	// ws is the workspace the basis's own (mutating) operations reduce in;
+	// read-only probes may substitute an external one via InSpanWith.
+	ws *Workspace
 }
 
 // NewSparseBasis returns an empty sparse basis for vectors of the given
 // dimension.
 func NewSparseBasis(dim int) *SparseBasis { return NewSparseBasisTol(dim, DefaultTol) }
+
+// NewSparseBasisRankOnly returns an empty sparse basis with support
+// tracking disabled — for consumers that only need ranks and membership
+// booleans (Monte Carlo scenario panels, basis-index selection).
+func NewSparseBasisRankOnly(dim int) *SparseBasis {
+	b := NewSparseBasisTol(dim, DefaultTol)
+	b.rankOnly = true
+	return b
+}
 
 // NewSparseBasisTol is NewSparseBasis with an explicit zero tolerance.
 func NewSparseBasisTol(dim int, tol float64) *SparseBasis {
@@ -70,8 +89,7 @@ func NewSparseBasisTol(dim int, tol float64) *SparseBasis {
 		dim:     dim,
 		tol:     tol,
 		pivotOf: pv,
-		scratch: make([]float64, dim),
-		mark:    make([]bool, dim),
+		ws:      NewWorkspace(dim),
 	}
 }
 
@@ -81,71 +99,57 @@ func (b *SparseBasis) Rank() int { return len(b.rows) }
 // Dim implements RowBasis.
 func (b *SparseBasis) Dim() int { return b.dim }
 
-// load scatters v into the scratch vector, tracking touched columns.
-func (b *SparseBasis) load(v []float64) {
-	for j, x := range v {
-		if x != 0 {
-			b.scratch[j] = x
-			b.touch(j)
-		}
+// Reset empties the basis for reuse, keeping its allocated workspace. Hot
+// loops that rank many row subsets of the same dimension (Monte Carlo
+// scenario panels) reset one basis instead of allocating per subset.
+func (b *SparseBasis) Reset() {
+	b.rows = b.rows[:0]
+	b.pivots = b.pivots[:0]
+	b.combos = b.combos[:0]
+	for i := range b.pivotOf {
+		b.pivotOf[i] = -1
 	}
 }
 
-func (b *SparseBasis) touch(j int) {
-	if !b.mark[j] {
-		b.mark[j] = true
-		b.touched = append(b.touched, j)
-	}
-}
-
-// clear re-zeroes scratch.
-func (b *SparseBasis) clear() {
-	for _, j := range b.touched {
-		b.scratch[j] = 0
-		b.mark[j] = false
-	}
-	b.touched = b.touched[:0]
-}
-
-// reduceScratch eliminates pivot-column components of the scratch vector.
+// reduce eliminates pivot-column components of the workspace vector.
 // Because rows satisfy the RREF invariant, each pivot column needs at most
 // one elimination, and eliminating with a row never reintroduces another
-// pivot column. Newly touched columns are processed as they appear.
-func (b *SparseBasis) reduceScratch() (factors []float64) {
-	factors = make([]float64, len(b.rows))
-	for k := 0; k < len(b.touched); k++ {
-		col := b.touched[k]
+// pivot column. Newly touched columns are processed as they appear. When
+// factors is non-nil (length = number of rows) the elimination factor of
+// each row is recorded there.
+func (b *SparseBasis) reduce(ws *Workspace, factors []float64) {
+	dense, mark := ws.dense, ws.mark
+	for k := 0; k < len(ws.touched); k++ {
+		col := ws.touched[k]
 		row := b.pivotOf[col]
 		if row < 0 {
 			continue
 		}
-		f := b.scratch[col]
+		f := dense[col]
 		if nearZero(f, b.tol) {
 			continue
 		}
-		factors[row] = f
-		r := &b.rows[row]
-		for i, c := range r.cols {
-			b.touch(c)
-			b.scratch[c] -= f * r.vals[i]
+		if factors != nil {
+			factors[row] = f
 		}
-		b.scratch[col] = 0
+		r := &b.rows[row]
+		vals := r.vals
+		for i, c := range r.cols {
+			if !mark[c] {
+				mark[c] = true
+				ws.touched = append(ws.touched, c)
+			}
+			dense[c] -= f * vals[i]
+		}
+		dense[col] = 0
 	}
-	return factors
 }
 
-// residualPivot returns the first column with a surviving nonzero, or -1.
-func (b *SparseBasis) residualPivot() int {
-	best := -1
-	for _, j := range b.touched {
-		if nearZero(b.scratch[j], b.tol) {
-			continue
-		}
-		if best < 0 || j < best {
-			best = j
-		}
-	}
-	return best
+// reduceScratch runs reduce in the basis's own workspace, recording factors.
+func (b *SparseBasis) reduceScratch() (factors []float64) {
+	factors = make([]float64, len(b.rows))
+	b.reduce(b.ws, factors)
+	return factors
 }
 
 func (b *SparseBasis) memberCoeffs(factors []float64) []float64 {
@@ -161,15 +165,18 @@ func (b *SparseBasis) memberCoeffs(factors []float64) []float64 {
 	return coeffs
 }
 
-// Dependent implements RowBasis.
+// Dependent implements RowBasis. In rank-only mode the support is nil.
 func (b *SparseBasis) Dependent(v []float64) (dependent bool, support []int) {
 	if len(v) != b.dim {
 		panic(fmt.Sprintf("linalg: sparse basis dim %d, vector dim %d", b.dim, len(v)))
 	}
-	b.load(v)
+	if b.rankOnly {
+		return b.InSpanWith(v, b.ws), nil
+	}
+	b.ws.load(v)
 	factors := b.reduceScratch()
-	pivot := b.residualPivot()
-	b.clear()
+	pivot := b.ws.residualPivot(b.tol)
+	b.ws.clear()
 	if pivot >= 0 {
 		return false, nil
 	}
@@ -181,16 +188,74 @@ func (b *SparseBasis) Dependent(v []float64) (dependent bool, support []int) {
 	return true, support
 }
 
+// InSpanWith reports whether v lies in the row span, reducing in the
+// caller-supplied workspace and allocating nothing. It performs exactly the
+// eliminations Dependent performs (so the answer is bit-identical) but
+// skips the factor and support bookkeeping. The basis itself is only read:
+// concurrent InSpanWith calls on one shared basis are safe as long as each
+// goroutine brings its own workspace and no mutation (Add, Reset) runs
+// concurrently.
+func (b *SparseBasis) InSpanWith(v []float64, ws *Workspace) bool {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: sparse basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	ws.checkDim(b.dim)
+	if len(b.rows) == 0 {
+		// Empty basis spans only the zero vector.
+		for _, x := range v {
+			if !nearZero(x, b.tol) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(b.rows) == b.dim {
+		return true // full column rank spans everything
+	}
+	ws.load(v)
+	b.reduce(ws, nil)
+	pivot := ws.residualPivot(b.tol)
+	ws.clear()
+	return pivot < 0
+}
+
+// InSpanSparseWith is InSpanWith for a vector given in sparse form (parallel
+// cols/vals sorted by column, columns within [0, dim)). Bit-identical to
+// InSpanWith on the equivalent dense vector.
+func (b *SparseBasis) InSpanSparseWith(cols []int, vals []float64, ws *Workspace) bool {
+	ws.checkDim(b.dim)
+	if len(b.rows) == 0 {
+		// Empty basis spans only the zero vector; omitted columns are zero.
+		for _, x := range vals {
+			if !nearZero(x, b.tol) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(b.rows) == b.dim {
+		return true // full column rank spans everything
+	}
+	ws.loadSparse(cols, vals)
+	b.reduce(ws, nil)
+	pivot := ws.residualPivot(b.tol)
+	ws.clear()
+	return pivot < 0
+}
+
 // Representation returns the coefficients over accepted members that
-// reproduce v, when v lies in the span.
+// reproduce v, when v lies in the span. Not available in rank-only mode.
 func (b *SparseBasis) Representation(v []float64) (coeffs []float64, ok bool) {
 	if len(v) != b.dim {
 		panic(fmt.Sprintf("linalg: sparse basis dim %d, vector dim %d", b.dim, len(v)))
 	}
-	b.load(v)
+	if b.rankOnly {
+		panic("linalg: Representation called on a rank-only sparse basis")
+	}
+	b.ws.load(v)
 	factors := b.reduceScratch()
-	pivot := b.residualPivot()
-	b.clear()
+	pivot := b.ws.residualPivot(b.tol)
+	b.ws.clear()
 	if pivot >= 0 {
 		return nil, false
 	}
@@ -202,11 +267,32 @@ func (b *SparseBasis) Add(v []float64) (added bool, member int, support []int) {
 	if len(v) != b.dim {
 		panic(fmt.Sprintf("linalg: sparse basis dim %d, vector dim %d", b.dim, len(v)))
 	}
-	b.load(v)
-	factors := b.reduceScratch()
-	pivotCol := b.residualPivot()
+	b.ws.load(v)
+	return b.addLoaded()
+}
+
+// AddSparse is Add for a vector given in sparse form: parallel cols/vals
+// sorted by column, all columns within [0, dim). It skips the dense scan
+// that load performs, and because loadSparse touches columns in the same
+// order, the outcome is bit-identical to Add on the equivalent dense vector.
+func (b *SparseBasis) AddSparse(cols []int, vals []float64) (added bool, member int, support []int) {
+	b.ws.loadSparse(cols, vals)
+	return b.addLoaded()
+}
+
+// addLoaded runs the Add body on the vector already scattered into b.ws.
+func (b *SparseBasis) addLoaded() (added bool, member int, support []int) {
+	var factors []float64
+	if !b.rankOnly {
+		factors = make([]float64, len(b.rows))
+	}
+	b.reduce(b.ws, factors)
+	pivotCol := b.ws.residualPivot(b.tol)
 	if pivotCol < 0 {
-		b.clear()
+		b.ws.clear()
+		if b.rankOnly {
+			return false, -1, nil
+		}
 		for k, c := range b.memberCoeffs(factors) {
 			if !nearZero(c, b.tol) {
 				support = append(support, k)
@@ -216,35 +302,46 @@ func (b *SparseBasis) Add(v []float64) (added bool, member int, support []int) {
 	}
 
 	member = len(b.rows)
-	combo := make([]float64, member+1)
-	combo[member] = 1
-	for i, f := range factors {
-		if f == 0 {
-			continue
-		}
-		for k, c := range b.combos[i] {
-			combo[k] -= f * c
+	var combo []float64
+	if !b.rankOnly {
+		combo = make([]float64, member+1)
+		combo[member] = 1
+		for i, f := range factors {
+			if f == 0 {
+				continue
+			}
+			for k, c := range b.combos[i] {
+				combo[k] -= f * c
+			}
 		}
 	}
-	// Extract, normalize and sort the residual row.
-	pv := b.scratch[pivotCol]
+	// Extract, normalize and sort the residual row. A retired row left
+	// behind by Reset (beyond len, within cap) donates its storage, so
+	// panel-style reuse (Reset + re-Add) settles into zero allocations.
+	pv := b.ws.dense[pivotCol]
 	var newRow sparseRow
-	insertSorted := func(c int, x float64) {
-		// touched is unsorted; gather then sort once below.
-		newRow.cols = append(newRow.cols, c)
-		newRow.vals = append(newRow.vals, x)
+	if cap(b.rows) > member {
+		newRow = b.rows[:member+1][member]
+		newRow.cols = newRow.cols[:0]
+		newRow.vals = newRow.vals[:0]
 	}
-	for _, j := range b.touched {
-		x := b.scratch[j] / pv
+	if cap(newRow.cols) < len(b.ws.touched) {
+		newRow.cols = make([]int, 0, len(b.ws.touched))
+		newRow.vals = make([]float64, 0, len(b.ws.touched))
+	}
+	for _, j := range b.ws.touched {
+		// touched is unsorted; gather then sort once below.
+		x := b.ws.dense[j] / pv
 		if j == pivotCol {
 			x = 1
 		}
 		if nearZero(x, b.tol) {
 			continue
 		}
-		insertSorted(j, x)
+		newRow.cols = append(newRow.cols, j)
+		newRow.vals = append(newRow.vals, x)
 	}
-	b.clear()
+	b.ws.clear()
 	sortSparse(&newRow)
 	for k := range combo {
 		combo[k] /= pv
@@ -257,7 +354,10 @@ func (b *SparseBasis) Add(v []float64) (added bool, member int, support []int) {
 		if nearZero(f, b.tol) {
 			continue
 		}
-		r.axpy(-f, &newRow, b.tol)
+		b.mergeCols, b.mergeVals = r.axpy(-f, &newRow, b.tol, b.mergeCols, b.mergeVals)
+		if b.rankOnly {
+			continue
+		}
 		// combos[i] -= f·combo.
 		ci := b.combos[i]
 		for len(ci) < member+1 {
@@ -272,7 +372,9 @@ func (b *SparseBasis) Add(v []float64) (added bool, member int, support []int) {
 	b.rows = append(b.rows, newRow)
 	b.pivots = append(b.pivots, pivotCol)
 	b.pivotOf[pivotCol] = member
-	b.combos = append(b.combos, combo)
+	if !b.rankOnly {
+		b.combos = append(b.combos, combo)
+	}
 	return true, member, nil
 }
 
@@ -280,6 +382,7 @@ func (b *SparseBasis) Add(v []float64) (added bool, member int, support []int) {
 // explored without mutating the original.
 func (b *SparseBasis) Clone() *SparseBasis {
 	c := NewSparseBasisTol(b.dim, b.tol)
+	c.rankOnly = b.rankOnly
 	c.rows = make([]sparseRow, len(b.rows))
 	c.combos = make([][]float64, len(b.combos))
 	c.pivots = append([]int{}, b.pivots...)
@@ -289,6 +392,8 @@ func (b *SparseBasis) Clone() *SparseBasis {
 			cols: append([]int{}, b.rows[i].cols...),
 			vals: append([]float64{}, b.rows[i].vals...),
 		}
+	}
+	for i := range b.combos {
 		c.combos[i] = append([]float64{}, b.combos[i]...)
 	}
 	return c
@@ -312,10 +417,16 @@ func (r *sparseRow) at(c int) float64 {
 }
 
 // axpy performs r += f·other with merge semantics, dropping entries within
-// tol of zero.
-func (r *sparseRow) axpy(f float64, other *sparseRow, tol float64) {
-	cols := make([]int, 0, len(r.cols)+other.nnz())
-	vals := make([]float64, 0, len(r.cols)+other.nnz())
+// tol of zero. The merge lands in the caller-provided scratch slices; the
+// row's previous storage is returned as the next call's scratch, so a warm
+// caller never allocates.
+func (r *sparseRow) axpy(f float64, other *sparseRow, tol float64, scratchCols []int, scratchVals []float64) ([]int, []float64) {
+	cols := scratchCols[:0]
+	vals := scratchVals[:0]
+	if need := len(r.cols) + other.nnz(); cap(cols) < need {
+		cols = make([]int, 0, need)
+		vals = make([]float64, 0, need)
+	}
 	i, j := 0, 0
 	for i < len(r.cols) || j < len(other.cols) {
 		switch {
@@ -340,7 +451,9 @@ func (r *sparseRow) axpy(f float64, other *sparseRow, tol float64) {
 			j++
 		}
 	}
+	oldCols, oldVals := r.cols, r.vals
 	r.cols, r.vals = cols, vals
+	return oldCols[:0], oldVals[:0]
 }
 
 func sortSparse(r *sparseRow) {

@@ -135,7 +135,7 @@ func TestSparseBasisDimMismatchPanics(t *testing.T) {
 func TestSparseRowAxpy(t *testing.T) {
 	r := sparseRow{cols: []int{1, 3}, vals: []float64{2, 4}}
 	other := sparseRow{cols: []int{0, 3, 5}, vals: []float64{1, -4, 2}}
-	r.axpy(1, &other, DefaultTol)
+	r.axpy(1, &other, DefaultTol, nil, nil)
 	// Expect: col0=1, col1=2, col3=0 (dropped), col5=2.
 	if r.nnz() != 3 {
 		t.Fatalf("nnz = %d: %+v", r.nnz(), r)

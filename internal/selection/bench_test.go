@@ -37,6 +37,36 @@ func BenchmarkRoMeProbBoundNaive(b *testing.B) {
 	}
 }
 
+// BenchmarkMonteRoMe and BenchmarkMonteRoMeSerial time the full MonteRoMe
+// greedy — selection loop plus ER oracle — on a Rocketfuel topology at a
+// 1000-scenario panel: the bit-packed parallel kernel with the parallel
+// greedy against the serial reference oracle with the serial loop.
+// cmd/benchregress pairs them into the speedup recorded in
+// BENCH_selection.json.
+func BenchmarkMonteRoMe(b *testing.B) {
+	pm, model, costs := rocketfuelSelection(b, 150, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := er.NewMonteCarloInc(pm, model, 1000, rand.New(rand.NewPCG(uint64(i), 6)))
+		if _, err := RoMe(pm, costs, 25, oracle, NewOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1000, "panel") // after the loop: ResetTimer clears metrics
+}
+
+func BenchmarkMonteRoMeSerial(b *testing.B) {
+	pm, model, costs := rocketfuelSelection(b, 150, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := er.NewMonteCarloIncSerial(pm, model, 1000, rand.New(rand.NewPCG(uint64(i), 6)))
+		if _, err := RoMe(pm, costs, 25, oracle, Options{Lazy: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1000, "panel")
+}
+
 func BenchmarkMatRoMe(b *testing.B) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	pm, model := randomInstance(rng, 80, 200)

@@ -18,6 +18,7 @@ package selection
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 
 	"robusttomo/internal/er"
 	"robusttomo/internal/tomo"
@@ -29,8 +30,15 @@ type Result struct {
 	Cost      float64 // total probing cost of the selection
 	Objective float64 // the algorithm's own objective estimate for Selected
 	// GainEvaluations counts oracle gain computations, for the lazy vs
-	// naive ablation.
+	// naive ablation. Parallel mode reports exactly the serial count: wave
+	// refreshes replay the serial pop order to decide which evaluations
+	// "count", so the lazy-vs-naive ablation is unaffected by Parallel.
 	GainEvaluations int
+	// SpeculativeEvaluations counts the extra gain computations the
+	// parallel wave refresh performed beyond what the serial lazy greedy
+	// would have: stale entries batch-evaluated speculatively whose refresh
+	// the replay then discarded. Always zero in serial or naive mode.
+	SpeculativeEvaluations int
 }
 
 // Options tunes the RoMe greedy.
@@ -39,14 +47,25 @@ type Options struct {
 	// mode recomputes every candidate's gain each round; results are
 	// identical, evaluation counts are not.
 	Lazy bool
+	// Parallel fans gain evaluations out through the oracle's GainBatch
+	// when it implements er.BatchGainer (the bit-packed Monte Carlo oracle
+	// does): the initial sweep, the lazy stale-refresh waves, and the
+	// naive-mode rescans. The selection, objective, heap evolution and
+	// GainEvaluations are identical to the serial loop — lazy waves only
+	// prefetch the refreshes the serial pop order is about to demand, and
+	// each prefetched gain is consumed exactly where the serial loop would
+	// have computed it. Oracles without GainBatch fall back to the serial
+	// loop.
+	Parallel bool
 	// MinGain stops the greedy once the best available marginal gain
 	// drops to or below this threshold (paths past it cannot improve the
 	// objective). Zero is a sensible default for ER oracles.
 	MinGain float64
 }
 
-// NewOptions returns the default options (lazy evaluation, zero MinGain).
-func NewOptions() Options { return Options{Lazy: true} }
+// NewOptions returns the default options (lazy evaluation, parallel batch
+// evaluation, zero MinGain).
+func NewOptions() Options { return Options{Lazy: true, Parallel: true} }
 
 // gainHeap is a max-heap of candidate paths keyed by stale weight.
 type gainHeap []gainEntry
@@ -93,14 +112,30 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 		return Result{}, fmt.Errorf("selection: negative budget %v", budget)
 	}
 
+	batcher, _ := oracle.(er.BatchGainer)
+	if !opts.Parallel {
+		batcher = nil
+	}
+
 	res := Result{}
 	// Initial gains double as the best-singleton scan: on the empty set,
 	// Gain(q) is the oracle's ER({q}).
 	initial := make([]float64, n)
+	if batcher != nil {
+		all := make([]int, n)
+		for q := range all {
+			all[q] = q
+		}
+		batcher.GainBatch(all, initial)
+		res.GainEvaluations += n
+	} else {
+		for q := 0; q < n; q++ {
+			initial[q] = oracle.Gain(q)
+			res.GainEvaluations++
+		}
+	}
 	bestSingle, bestSingleVal := -1, 0.0
 	for q := 0; q < n; q++ {
-		initial[q] = oracle.Gain(q)
-		res.GainEvaluations++
 		if costs[q] <= budget && initial[q] > bestSingleVal {
 			bestSingle, bestSingleVal = q, initial[q]
 		}
@@ -115,11 +150,36 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 		}
 		heap.Init(&h)
 		round := 0
+		// pending holds wave-prefetched refresh gains, valid for the current
+		// committed set only (cleared on every Add). Consuming an entry is
+		// exactly the refresh the serial loop performs at that pop, so heap
+		// evolution and GainEvaluations match the serial loop; entries
+		// batched but never consumed before the set changes are the
+		// speculative overhead.
+		var pending map[int]float64
+		var wavePaths []int
+		var waveGains []float64
+		if batcher != nil {
+			pending = make(map[int]float64, refreshWaveSize())
+		}
 		for h.Len() > 0 {
 			top := heap.Pop(&h).(gainEntry)
 			if top.round != round {
 				// Stale: refresh against the current set and re-insert.
-				g := oracle.Gain(top.path)
+				var g float64
+				if batcher != nil {
+					got, ok := pending[top.path]
+					if !ok {
+						wavePaths, waveGains = refreshWave(&h, top.path, round, batcher, pending, wavePaths, waveGains)
+						res.SpeculativeEvaluations += len(wavePaths)
+						got = pending[top.path]
+					}
+					delete(pending, top.path)
+					res.SpeculativeEvaluations--
+					g = got
+				} else {
+					g = oracle.Gain(top.path)
+				}
 				res.GainEvaluations++
 				heap.Push(&h, gainEntry{path: top.path, gain: g, weight: weightOf(g, costs[top.path]), round: round})
 				continue
@@ -132,8 +192,10 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 				selected = append(selected, top.path)
 				spent += costs[top.path]
 				// Entries computed in earlier rounds are now stale; the
-				// round tag invalidates them lazily on pop.
+				// round tag invalidates them lazily on pop. Prefetched
+				// gains reference the pre-Add set and are dropped.
 				round++
+				clear(pending)
 			}
 			// Whether added or discarded for budget, the path leaves R.
 		}
@@ -159,10 +221,25 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 				oracle.Add(best)
 				selected = append(selected, best)
 				spent += costs[best]
-				for q := 0; q < n; q++ {
-					if !remaining[q] && q != best {
-						gains[q] = oracle.Gain(q)
-						res.GainEvaluations++
+				if batcher != nil {
+					paths := make([]int, 0, n)
+					for q := 0; q < n; q++ {
+						if !remaining[q] && q != best {
+							paths = append(paths, q)
+						}
+					}
+					out := make([]float64, len(paths))
+					batcher.GainBatch(paths, out)
+					for i, q := range paths {
+						gains[q] = out[i]
+					}
+					res.GainEvaluations += len(paths)
+				} else {
+					for q := 0; q < n; q++ {
+						if !remaining[q] && q != best {
+							gains[q] = oracle.Gain(q)
+							res.GainEvaluations++
+						}
 					}
 				}
 			}
@@ -183,6 +260,56 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 	res.Cost = spent
 	res.Objective = greedyVal
 	return res, nil
+}
+
+// refreshWaveSize bounds how many stale refreshes one GainBatch call
+// prefetches: enough to keep the oracle's worker pool busy, small enough
+// that the speculative overhead per selection round stays bounded. It does
+// not affect the selection or GainEvaluations — only how evaluations are
+// grouped into batches (and hence SpeculativeEvaluations, which is
+// machine-dependent by design).
+func refreshWaveSize() int {
+	w := 2 * runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// refreshWave prefetches refresh gains for the popped stale path plus the
+// next stale entries in heap pop order — the candidates the serial loop is
+// most likely to refresh next this round — in a single GainBatch call, and
+// stores them into pending. Peeked entries are pushed back unchanged, so
+// the heap is exactly as the serial loop would leave it. The wave stops at
+// the first fresh entry: once it surfaces, the round ends before anything
+// below it is refreshed. Returns the scratch slices for reuse; wavePaths
+// holds only the newly evaluated paths.
+func refreshWave(h *gainHeap, first int, round int, batcher er.BatchGainer, pending map[int]float64, wavePaths []int, waveGains []float64) ([]int, []float64) {
+	wavePaths = append(wavePaths[:0], first)
+	limit := refreshWaveSize()
+	var peeked []gainEntry
+	for len(wavePaths) < limit && h.Len() > 0 {
+		e := heap.Pop(h).(gainEntry)
+		peeked = append(peeked, e)
+		if e.round == round {
+			break
+		}
+		if _, dup := pending[e.path]; dup {
+			continue
+		}
+		wavePaths = append(wavePaths, e.path)
+	}
+	for _, e := range peeked {
+		heap.Push(h, e)
+	}
+	for len(waveGains) < len(wavePaths) {
+		waveGains = append(waveGains, 0)
+	}
+	batcher.GainBatch(wavePaths, waveGains[:len(wavePaths)])
+	for i, p := range wavePaths {
+		pending[p] = waveGains[i]
+	}
+	return wavePaths, waveGains
 }
 
 func weightOf(gain, cost float64) float64 {

@@ -1,0 +1,55 @@
+package tomo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/stats"
+)
+
+// Bit s of SurvivalMask must equal Available(i, scenario s) for every path
+// and scenario, including panels that straddle word boundaries.
+func TestSurvivalMask(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 31))
+	const links = 15
+	paths := make([]routing.Path, 25)
+	for i := range paths {
+		hops := 1 + rng.IntN(4)
+		edges := make([]graph.EdgeID, 0, hops)
+		for _, l := range stats.SampleWithoutReplacement(rng, links, hops) {
+			edges = append(edges, graph.EdgeID(l))
+		}
+		paths[i] = routing.Path{Src: 0, Dst: 1, Edges: edges}
+	}
+	pm, err := NewPathMatrix(paths, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 64, 70, 130} {
+		scenarios := make([]failure.Scenario, n)
+		for s := range scenarios {
+			failed := make([]bool, links)
+			for l := range failed {
+				failed[l] = rng.Float64() < 0.25
+			}
+			scenarios[s] = failure.Scenario{Failed: failed}
+		}
+		set, err := failure.NewScenarioSet(scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mask []uint64
+		for i := 0; i < pm.NumPaths(); i++ {
+			mask = pm.SurvivalMask(set, i, mask)
+			for s := range scenarios {
+				got := mask[s>>6]&(uint64(1)<<(s&63)) != 0
+				if want := pm.Available(i, scenarios[s]); got != want {
+					t.Fatalf("n=%d path %d scenario %d: mask %v, Available %v", n, i, s, got, want)
+				}
+			}
+		}
+	}
+}

@@ -99,6 +99,21 @@ func (pm *PathMatrix) Available(i int, sc failure.Scenario) bool {
 	return true
 }
 
+// SurvivalMask writes into dst (reusing its storage when large enough) the
+// bit-packed mask of panel scenarios under which path i survives: bit s is
+// set iff none of the path's links failed in scenario s. One call costs
+// |E_path| word-OR passes over the set's bit-columns instead of the
+// n × |E_path| bool loads of calling Available per scenario; bit s of the
+// result always equals Available(i, scenario s) (see TestSurvivalMask).
+func (pm *PathMatrix) SurvivalMask(ss *failure.ScenarioSet, i int, dst []uint64) []uint64 {
+	dst = ss.ResetMask(dst)
+	for _, e := range pm.paths[i].Edges {
+		ss.OrLink(dst, int(e))
+	}
+	ss.Complement(dst)
+	return dst
+}
+
 // Surviving filters idx down to the paths available under the scenario.
 func (pm *PathMatrix) Surviving(idx []int, sc failure.Scenario) []int {
 	out := make([]int, 0, len(idx))
