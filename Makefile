@@ -20,11 +20,14 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Run the Monte Carlo kernel benchmarks and record ns/op, allocs/op and
-# scenario throughput (plus kernel-vs-serial speedups) in
-# BENCH_selection.json, tracking the perf trajectory across PRs.
+# Run the tracked benchmark suites and record ns/op, allocs/op and
+# throughput (plus optimized-vs-baseline speedups) in BENCH_selection.json
+# (Monte Carlo kernels) and BENCH_bandit.json (epoch-incremental LSR +
+# trial-sharded experiment runners), tracking the perf trajectory across
+# PRs.
 bench-json:
-	$(GO) run ./cmd/benchregress -out BENCH_selection.json
+	$(GO) run ./cmd/benchregress -suite selection
+	$(GO) run ./cmd/benchregress -suite bandit
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/

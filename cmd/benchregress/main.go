@@ -1,15 +1,21 @@
-// Command benchregress runs the Monte Carlo kernel benchmarks and records
-// their results in a JSON file (BENCH_selection.json by default), so the
-// performance trajectory of the MonteRoMe hot path is tracked across PRs.
+// Command benchregress runs a benchmark suite and records the results in a
+// JSON file, so the performance trajectory of the optimized hot paths is
+// tracked across PRs. Two suites exist:
 //
-// Each kernel benchmark is paired with its *Serial reference (e.g.
-// BenchmarkMonteCarlo vs BenchmarkMonteCarloSerial) and the derived speedup
-// is recorded alongside ns/op, B/op, allocs/op and — for benchmarks that
-// report a "panel" metric — the scenario throughput in scenarios/second.
+//   - selection (default): the Monte Carlo kernel benchmarks →
+//     BENCH_selection.json
+//   - bandit: the epoch-incremental LSR and trial-sharded experiment
+//     benchmarks → BENCH_bandit.json
+//
+// Each benchmark is paired with its baseline reference — a *Serial variant
+// (one worker) or a *Fresh variant (from-scratch-per-epoch LSR) — and the
+// derived speedup is recorded alongside ns/op, B/op, allocs/op, the
+// allocation ratio for Fresh pairs, and — for benchmarks that report a
+// "panel" metric — the scenario throughput in scenarios/second.
 //
 // Usage:
 //
-//	go run ./cmd/benchregress [-out BENCH_selection.json] [-benchtime 5x]
+//	go run ./cmd/benchregress [-suite selection|bandit] [-out FILE] [-benchtime 5x]
 package main
 
 import (
@@ -21,17 +27,52 @@ import (
 	"time"
 )
 
+// suites maps each -suite name to its benchmark pattern, packages and
+// default output file.
+var suites = map[string]struct {
+	out      string
+	pattern  string
+	packages []string
+}{
+	"selection": {
+		out: "BENCH_selection.json",
+		pattern: "^(BenchmarkMonteCarlo|BenchmarkMonteCarloSerial|" +
+			"BenchmarkMonteCarloInc|BenchmarkMonteCarloIncSerial|" +
+			"BenchmarkMonteRoMe|BenchmarkMonteRoMeSerial)$",
+		packages: []string{"./internal/er/", "./internal/selection/"},
+	},
+	"bandit": {
+		out: "BENCH_bandit.json",
+		pattern: "^(BenchmarkLSREpochSteady|BenchmarkLSREpochSteadyFresh|" +
+			"BenchmarkFig8Quick|BenchmarkFig8QuickSerial|" +
+			"BenchmarkFig5Quick|BenchmarkFig5QuickSerial)$",
+		packages: []string{"./internal/bandit/", "./internal/experiments/"},
+	},
+}
+
 func main() {
-	out := flag.String("out", "BENCH_selection.json", "output JSON path")
+	suiteName := flag.String("suite", "selection", "benchmark suite: selection or bandit")
+	out := flag.String("out", "", "output JSON path (default per suite)")
 	benchtime := flag.String("benchtime", "5x", "go test -benchtime value")
-	pattern := flag.String("bench", defaultPattern, "go test -bench regexp")
+	pattern := flag.String("bench", "", "go test -bench regexp override (default per suite)")
 	flag.Parse()
 
-	args := []string{
+	suite, ok := suites[*suiteName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchregress: unknown suite %q (selection, bandit)\n", *suiteName)
+		os.Exit(1)
+	}
+	if *out == "" {
+		*out = suite.out
+	}
+	if *pattern == "" {
+		*pattern = suite.pattern
+	}
+
+	args := append([]string{
 		"test", "-run=^$", "-bench", *pattern, "-benchmem",
 		"-benchtime", *benchtime,
-		"./internal/er/", "./internal/selection/",
-	}
+	}, suite.packages...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -57,11 +98,11 @@ func main() {
 	fmt.Printf("benchregress: wrote %d benchmarks, %d speedup pairs to %s\n",
 		len(report.Benchmarks), len(report.Speedups), *out)
 	for _, p := range report.Speedups {
-		fmt.Printf("  %-24s %8.2fx  (%.1fms vs %.1fms serial)\n",
-			p.Name, p.Speedup, p.NsPerOp/1e6, p.SerialNsPerOp/1e6)
+		fmt.Printf("  %-28s %8.2fx vs %s  (%.2fms vs %.2fms)",
+			p.Name, p.Speedup, p.Serial, p.NsPerOp/1e6, p.SerialNsPerOp/1e6)
+		if p.AllocsRatio > 0 {
+			fmt.Printf("  allocs %.0f vs %.0f (%.0fx)", p.AllocsPerOp, p.SerialAllocsPerOp, p.AllocsRatio)
+		}
+		fmt.Println()
 	}
 }
-
-const defaultPattern = "^(BenchmarkMonteCarlo|BenchmarkMonteCarloSerial|" +
-	"BenchmarkMonteCarloInc|BenchmarkMonteCarloIncSerial|" +
-	"BenchmarkMonteRoMe|BenchmarkMonteRoMeSerial)$"

@@ -21,13 +21,21 @@ type Entry struct {
 	ScenariosPerSecond float64 `json:"scenarios_per_second,omitempty"`
 }
 
-// Pair relates a kernel benchmark to its *Serial reference.
+// Pair relates a benchmark to its baseline reference — a *Serial variant
+// (parallelism speedup) or a *Fresh variant (epoch-incremental speedup).
+// The JSON field names keep the original "serial" spelling for continuity
+// of the recorded trajectory.
 type Pair struct {
 	Name          string  `json:"name"`
 	Serial        string  `json:"serial"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	SerialNsPerOp float64 `json:"serial_ns_per_op"`
 	Speedup       float64 `json:"speedup"`
+	// AllocsRatio is baseline allocs/op over optimized allocs/op, recorded
+	// when both sides report allocations (the Fresh pairs' headline metric).
+	AllocsPerOp       float64 `json:"allocs_per_op,omitempty"`
+	SerialAllocsPerOp float64 `json:"serial_allocs_per_op,omitempty"`
+	AllocsRatio       float64 `json:"allocs_ratio,omitempty"`
 }
 
 // Report is the BENCH_selection.json schema.
@@ -99,8 +107,13 @@ func trimProcSuffix(name string) string {
 	return name[:i]
 }
 
-// BuildReport pairs every benchmark with its <Name>Serial counterpart and
-// derives the speedups.
+// baselineSuffixes are the recognized baseline-variant suffixes: Serial
+// marks a one-worker reference, Fresh a from-scratch-per-epoch reference.
+var baselineSuffixes = []string{"Serial", "Fresh"}
+
+// BuildReport pairs every benchmark with its <Name>Serial and <Name>Fresh
+// counterparts and derives the speedups (and, when reported, the
+// allocation ratios).
 func BuildReport(entries []Entry) Report {
 	r := Report{Benchmarks: entries}
 	byName := make(map[string]Entry, len(entries))
@@ -108,20 +121,37 @@ func BuildReport(entries []Entry) Report {
 		byName[e.Name] = e
 	}
 	for _, e := range entries {
-		if strings.HasSuffix(e.Name, "Serial") {
+		if isBaseline(e.Name) {
 			continue
 		}
-		s, ok := byName[e.Name+"Serial"]
-		if !ok || e.NsPerOp <= 0 {
-			continue
+		for _, suffix := range baselineSuffixes {
+			s, ok := byName[e.Name+suffix]
+			if !ok || e.NsPerOp <= 0 {
+				continue
+			}
+			p := Pair{
+				Name:          e.Name,
+				Serial:        s.Name,
+				NsPerOp:       e.NsPerOp,
+				SerialNsPerOp: s.NsPerOp,
+				Speedup:       s.NsPerOp / e.NsPerOp,
+			}
+			if e.AllocsPerOp > 0 && s.AllocsPerOp > 0 {
+				p.AllocsPerOp = e.AllocsPerOp
+				p.SerialAllocsPerOp = s.AllocsPerOp
+				p.AllocsRatio = s.AllocsPerOp / e.AllocsPerOp
+			}
+			r.Speedups = append(r.Speedups, p)
 		}
-		r.Speedups = append(r.Speedups, Pair{
-			Name:          e.Name,
-			Serial:        s.Name,
-			NsPerOp:       e.NsPerOp,
-			SerialNsPerOp: s.NsPerOp,
-			Speedup:       s.NsPerOp / e.NsPerOp,
-		})
 	}
 	return r
+}
+
+func isBaseline(name string) bool {
+	for _, suffix := range baselineSuffixes {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
 }

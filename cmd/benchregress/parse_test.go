@@ -56,6 +56,40 @@ func TestBuildReportPairsSerial(t *testing.T) {
 	}
 }
 
+const banditOutput = `pkg: robusttomo/internal/bandit
+BenchmarkLSREpochSteady-4     	   78000	     15336 ns/op	      56 B/op	       1 allocs/op
+BenchmarkLSREpochSteadyFresh-4	   58000	     20443 ns/op	   11368 B/op	      89 allocs/op
+PASS
+pkg: robusttomo/internal/experiments
+BenchmarkFig8Quick-4       	       5	  80000000 ns/op	 1000000 B/op	   10000 allocs/op
+BenchmarkFig8QuickSerial-4 	       5	 240000000 ns/op	 1000000 B/op	   10000 allocs/op
+PASS
+`
+
+func TestBuildReportPairsFresh(t *testing.T) {
+	report := BuildReport(ParseBenchOutput(banditOutput))
+	if len(report.Speedups) != 2 {
+		t.Fatalf("got %d pairs, want 2: %+v", len(report.Speedups), report.Speedups)
+	}
+	fresh := report.Speedups[0]
+	if fresh.Name != "BenchmarkLSREpochSteady" || fresh.Serial != "BenchmarkLSREpochSteadyFresh" {
+		t.Fatalf("fresh pair = %+v", fresh)
+	}
+	if want := 20443.0 / 15336.0; fresh.Speedup != want {
+		t.Fatalf("fresh speedup = %v, want %v", fresh.Speedup, want)
+	}
+	if want := 89.0 / 1.0; fresh.AllocsRatio != want {
+		t.Fatalf("fresh allocs ratio = %v, want %v", fresh.AllocsRatio, want)
+	}
+	serial := report.Speedups[1]
+	if serial.Name != "BenchmarkFig8Quick" || serial.Serial != "BenchmarkFig8QuickSerial" {
+		t.Fatalf("serial pair = %+v", serial)
+	}
+	if serial.Speedup != 3 {
+		t.Fatalf("serial speedup = %v, want 3", serial.Speedup)
+	}
+}
+
 func TestTrimProcSuffix(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkMonteCarlo":     "BenchmarkMonteCarlo",

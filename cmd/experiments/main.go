@@ -3,13 +3,16 @@
 // Usage:
 //
 //	experiments -run all -scale quick
-//	experiments -run fig5 -scale paper -workload AS3257:1600
+//	experiments -run fig5 -scale paper -workload AS3257:1600 -parallel 0 -progress
 //	experiments -run tableI,fig3,fig4
 //
 // Output is tab-separated text, one block per figure, matching the series
 // the paper plots. Paper scale reproduces Section VI-A parameters (5
 // monitor sets × 500 scenarios) and can take hours on the large topology;
 // quick and medium scales preserve the shapes at a fraction of the cost.
+// -parallel shards each runner's independent trials across workers
+// (-parallel 0 uses every CPU); the output is byte-identical at any worker
+// count, so parallelism is purely a wall-clock knob.
 package main
 
 import (
@@ -37,6 +40,8 @@ func run(args []string) error {
 	workload := fs.String("workload", "", "override workload as PRESET:PATHS (e.g. AS3257:1600); default per figure")
 	epochs := fs.String("epochs", "500,1000", "LSR learning horizons for fig10")
 	format := fs.String("format", "text", "output format: text or json")
+	parallel := fs.Int("parallel", 1, "trial workers per runner: 1 serial, N fixed, 0 = all CPUs; output is identical at any value")
+	progress := fs.Bool("progress", false, "report per-runner trial completion on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,6 +49,19 @@ func run(args []string) error {
 	scale, err := parseScale(*scaleName)
 	if err != nil {
 		return err
+	}
+	if *parallel == 0 {
+		scale.Workers = -1 // resolves to GOMAXPROCS
+	} else {
+		scale.Workers = *parallel
+	}
+	if *progress {
+		scale.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	if *format != "text" && *format != "json" {
 		return fmt.Errorf("unknown format %q (text, json)", *format)
@@ -69,7 +87,7 @@ func run(args []string) error {
 	want := func(name string) bool { return all || selected[name] }
 
 	if want("tableI") {
-		rows, err := experiments.TableI()
+		rows, err := experiments.TableIWith(scale)
 		if err != nil {
 			return err
 		}

@@ -53,6 +53,68 @@ func BenchmarkLSREpoch(b *testing.B) {
 	}
 }
 
+// steadyLearner builds a 64-path learner, runs it past the initialization
+// phase (every path observed at least once), and pre-draws a panel of
+// availability epochs, so the benchmark loop below measures only the
+// learner's steady-state epoch — the regime the epoch-incremental engine
+// targets, where the fresh baseline pays O(n) allocation per epoch and the
+// incremental engine O(played paths).
+func steadyLearner(b *testing.B, fresh bool) (*LSR, [][]bool) {
+	b.Helper()
+	rng := stats.NewRNG(7, 94)
+	pm, model := randomLearnerInstance(rng, 40, 64)
+	learner, err := New(pm, benchUnitCosts(pm.NumPaths()), 10, Options{FreshEpoch: fresh})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := NewFailureEnv(pm, model, stats.NewRNG(7, 95))
+	for learner.unobserved() >= 0 {
+		if _, _, err := learner.Step(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	epochs := make([][]bool, 256)
+	for i := range epochs {
+		epochs[i] = env.Epoch()
+	}
+	return learner, epochs
+}
+
+// BenchmarkLSREpochSteady measures one steady-state epoch of the
+// incremental engine; BenchmarkLSREpochSteadyFresh is the identical
+// workload on the fresh-per-epoch baseline (benchregress pairs them by the
+// Fresh suffix). The differential test TestLSRFreshMatchesIncremental
+// guarantees both compute the same action sequence.
+func BenchmarkLSREpochSteady(b *testing.B) {
+	learner, epochs := steadyLearner(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		action, err := learner.SelectAction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := learner.Observe(action, epochs[i%len(epochs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSREpochSteadyFresh(b *testing.B) {
+	learner, epochs := steadyLearner(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		action, err := learner.SelectAction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := learner.Observe(action, epochs[i%len(epochs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkLSRMatroidEpoch(b *testing.B) {
 	pm, model := benchInstance(b)
 	learner, err := New(pm, benchUnitCosts(pm.NumPaths()), 3, Options{Matroid: true, MatroidBudget: 3})

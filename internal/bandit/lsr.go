@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"robusttomo/internal/er"
+	"robusttomo/internal/linalg"
 	"robusttomo/internal/selection"
 	"robusttomo/internal/tomo"
 )
@@ -42,6 +43,13 @@ type Options struct {
 	// width. Zero derives it from the budget and cheapest path (or
 	// MatroidBudget in matroid mode).
 	L int
+	// FreshEpoch disables the epoch-incremental engine: every epoch
+	// rebuilds its oracle, greedy workspace and rank basis from scratch,
+	// as the original implementation did. Action sequences and rewards are
+	// bit-identical in both modes (see TestLSRFreshMatchesIncremental);
+	// the flag exists as the differential/benchmark baseline for the
+	// steady-state allocation win.
+	FreshEpoch bool
 }
 
 // LSR is the learner state.
@@ -53,10 +61,28 @@ type LSR struct {
 
 	sumX  []float64 // per-path sum of observed availabilities
 	count []int     // per-path observation counts (μ)
+	mu    []float64 // sumX/count, maintained incrementally on observation
+	width []float64 // sqrt((L+1)/count), maintained incrementally
 	epoch int       // completed epochs (n)
 	l     int       // the L constant
 
 	cumulativeReward float64
+
+	// Epoch-incremental workspace (unused when opts.FreshEpoch). Only
+	// played paths dirty μ/width, so per-epoch state is rebuilt from these
+	// persistent buffers with O(played paths) allocation instead of O(n):
+	// the UCB vector lands in ucbBuf, the oracle is Reset rather than
+	// rebuilt, RoMe reuses romeScratch, and Observe ranks the surviving
+	// subset in a private basis via RankOfWith.
+	ucbBuf      []float64
+	oracle      *er.ThetaBoundInc
+	romeScratch *selection.Scratch
+	rankBasis   *linalg.SparseBasis
+	upBuf       []int
+	seenBuf     []bool
+	// firstUnobserved is the initialization-phase cursor: every path below
+	// it has been observed at least once (counts never decrease).
+	firstUnobserved int
 }
 
 // New validates the problem and returns a fresh learner.
@@ -105,6 +131,8 @@ func New(pm *tomo.PathMatrix, costs []float64, budget float64, opts Options) (*L
 		opts:   opts,
 		sumX:   make([]float64, n),
 		count:  make([]int, n),
+		mu:     make([]float64, n),
+		width:  make([]float64, n),
 		l:      l,
 	}, nil
 }
@@ -137,31 +165,69 @@ func (b *LSR) Counts() []int {
 	return out
 }
 
+// recordObs folds one availability sample for path q into the sufficient
+// statistics, keeping μ and the count-dependent width factor current. This
+// is the only place the per-path learner state changes, which is what makes
+// the cross-epoch workspace reuse sound: everything else is a pure function
+// of (μ, width, epoch).
+func (b *LSR) recordObs(q int, x float64) {
+	b.sumX[q] += x
+	b.count[q]++
+	c := float64(b.count[q])
+	b.mu[q] = b.sumX[q] / c
+	b.width[q] = math.Sqrt(float64(b.l+1) / c)
+}
+
+// syncDerived rebuilds everything recordObs maintains incrementally — the
+// μ/width factors and the initialization cursor — after sumX/count were
+// overwritten wholesale (snapshot restore, window rebuild).
+func (b *LSR) syncDerived() {
+	b.firstUnobserved = 0
+	for i, c := range b.count {
+		if c == 0 {
+			b.mu[i], b.width[i] = 0, 0
+			continue
+		}
+		b.mu[i] = b.sumX[i] / float64(c)
+		b.width[i] = math.Sqrt(float64(b.l+1) / float64(c))
+	}
+}
+
 // ucb returns θ̂ + C per Eq. 10, with unobserved paths treated as maximally
-// optimistic.
+// optimistic. The width is factored as sqrt((L+1)/count_i)·sqrt(ln n) so the
+// per-path part updates only on observation and the epoch part is one
+// scalar — both modes (fresh and incremental) evaluate this same factored
+// expression, which keeps their float results bit-identical.
 func (b *LSR) ucb() []float64 {
+	return b.ucbInto(make([]float64, len(b.sumX)))
+}
+
+// ucbInto is ucb writing into out (len = NumPaths), allocating nothing.
+func (b *LSR) ucbInto(out []float64) []float64 {
 	n := float64(b.epoch)
 	if n < 2 {
 		n = 2
 	}
-	out := make([]float64, len(b.sumX))
+	s := math.Sqrt(math.Log(n))
 	for i := range out {
 		if b.count[i] == 0 {
 			out[i] = 1
 			continue
 		}
-		out[i] = b.sumX[i]/float64(b.count[i]) +
-			math.Sqrt(float64(b.l+1)*math.Log(n)/float64(b.count[i]))
+		out[i] = b.mu[i] + b.width[i]*s
 	}
 	return out
 }
 
-// unobserved returns the lowest-index never-probed path, or -1.
+// unobserved returns the lowest-index never-probed path, or -1. Counts
+// never decrease, so the scan resumes from a cursor instead of restarting
+// at 0 every epoch.
 func (b *LSR) unobserved() int {
-	for i, c := range b.count {
-		if c == 0 {
-			return i
-		}
+	for b.firstUnobserved < len(b.count) && b.count[b.firstUnobserved] > 0 {
+		b.firstUnobserved++
+	}
+	if b.firstUnobserved < len(b.count) {
+		return b.firstUnobserved
 	}
 	return -1
 }
@@ -170,7 +236,13 @@ func (b *LSR) unobserved() int {
 // initialization, an action covering a not-yet-observed path; afterwards
 // the RoMe maximizer of ER(R; θ̂ + C).
 func (b *LSR) SelectAction() ([]int, error) {
-	theta := b.ucb()
+	var theta []float64
+	if b.opts.FreshEpoch {
+		theta = b.ucb()
+	} else {
+		b.ucbBuf = growFloats(b.ucbBuf, len(b.sumX))
+		theta = b.ucbInto(b.ucbBuf)
+	}
 	if forced := b.unobserved(); forced >= 0 {
 		return b.actionWith(forced, theta)
 	}
@@ -185,6 +257,8 @@ func (b *LSR) actionWith(forced int, theta []float64) ([]int, error) {
 		// probed, so mark it observed-unavailable to avoid deadlock.
 		b.count[forced] = 1
 		b.sumX[forced] = 0
+		b.mu[forced] = 0
+		b.width[forced] = math.Sqrt(float64(b.l + 1))
 		return b.SelectAction()
 	}
 	return b.maximize(theta, forced)
@@ -200,7 +274,22 @@ func (b *LSR) maximize(theta []float64, forced int) ([]int, error) {
 		}
 		return res, nil
 	}
-	oracle := er.NewThetaBoundInc(b.pm, theta)
+	var oracle *er.ThetaBoundInc
+	opts := selection.NewOptions()
+	if b.opts.FreshEpoch {
+		oracle = er.NewThetaBoundInc(b.pm, theta)
+	} else {
+		if b.oracle == nil {
+			b.oracle = er.NewThetaBoundInc(b.pm, theta)
+		} else {
+			b.oracle.Reset(theta)
+		}
+		oracle = b.oracle
+		if b.romeScratch == nil {
+			b.romeScratch = &selection.Scratch{}
+		}
+		opts.Scratch = b.romeScratch
+	}
 	budget := b.budget
 	var pre []int
 	if forced >= 0 {
@@ -208,12 +297,16 @@ func (b *LSR) maximize(theta []float64, forced int) ([]int, error) {
 		budget -= b.costs[forced]
 		pre = []int{forced}
 	}
-	res, err := selection.RoMe(b.pm, b.costs, budget, oracle, selection.NewOptions())
+	res, err := selection.RoMe(b.pm, b.costs, budget, oracle, opts)
 	if err != nil {
 		return nil, err
 	}
 	action := append(pre, res.Selected...)
-	return dedupe(action), nil
+	if b.opts.FreshEpoch {
+		return dedupe(action), nil
+	}
+	b.seenBuf = growSeen(b.seenBuf, b.pm.NumPaths())
+	return dedupeWith(action, b.seenBuf), nil
 }
 
 func (b *LSR) matroidMaximize(theta []float64, forced int) ([]int, error) {
@@ -248,13 +341,50 @@ func dedupe(idx []int) []int {
 	return out
 }
 
+// dedupeWith is dedupe against a persistent seen buffer (len ≥ NumPaths,
+// all false on entry, restored to all false before return), so the
+// steady-state epoch skips the map allocation.
+func dedupeWith(idx []int, seen []bool) []int {
+	out := idx[:0]
+	for _, q := range idx {
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	for _, q := range out {
+		seen[q] = false
+	}
+	return out
+}
+
+// growFloats resizes buf to n, reallocating only on capacity growth.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growSeen resizes buf to n; new storage starts all false and dedupeWith
+// restores that invariant, so no clearing is needed here.
+func growSeen(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
 // Observe records one epoch's feedback for a played action and returns the
 // reward (the rank of the surviving subset, Eq. 8).
 func (b *LSR) Observe(action []int, avail []bool) (reward int, err error) {
 	if len(avail) != b.pm.NumPaths() {
 		return 0, fmt.Errorf("bandit: availability vector of %d for %d paths", len(avail), b.pm.NumPaths())
 	}
-	var up []int
+	up := b.upBuf[:0]
+	if b.opts.FreshEpoch {
+		up = nil
+	}
 	for _, q := range action {
 		if q < 0 || q >= b.pm.NumPaths() {
 			return 0, fmt.Errorf("bandit: action path %d out of range", q)
@@ -264,10 +394,17 @@ func (b *LSR) Observe(action []int, avail []bool) (reward int, err error) {
 			x = 1
 			up = append(up, q)
 		}
-		b.sumX[q] += x
-		b.count[q]++
+		b.recordObs(q, x)
 	}
-	reward = b.pm.RankOf(up)
+	if b.opts.FreshEpoch {
+		reward = b.pm.RankOf(up)
+	} else {
+		b.upBuf = up
+		if b.rankBasis == nil {
+			b.rankBasis = b.pm.NewRankBasis()
+		}
+		reward = b.pm.RankOfWith(up, b.rankBasis)
+	}
 	b.cumulativeReward += float64(reward)
 	b.epoch++
 	return reward, nil

@@ -66,5 +66,6 @@ func (b *LSR) Restore(data []byte) error {
 	b.epoch = st.Epoch
 	b.cumulativeReward = st.CumulativeReward
 	b.l = st.L
+	b.syncDerived()
 	return nil
 }

@@ -92,6 +92,7 @@ func (w *WindowedObserver) rebuild() {
 		w.learner.count[i] = count
 		w.learner.sumX[i] = sum
 	}
+	w.learner.syncDerived()
 }
 
 // Window returns the configured window size.

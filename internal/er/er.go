@@ -46,6 +46,18 @@ type BatchGainer interface {
 	GainBatch(paths []int, out []float64)
 }
 
+// InitialGainer is an optional extension of Incremental for oracles that
+// can produce every candidate's marginal gain against the *empty* committed
+// set in one O(n) pass, without touching the elimination basis. The greedy's
+// initial sweep uses it to skip n basis probes. InitialGains must store
+// exactly Gain(i) into out[i]; it reports false (leaving out untouched)
+// once anything has been committed, in which case callers fall back to
+// per-path Gain.
+type InitialGainer interface {
+	Incremental
+	InitialGains(out []float64) bool
+}
+
 // ExpectedAvailability returns EA(q) = Π_{l∈q} (1 − p_l) for candidate
 // path q (Eq. 3 of the paper).
 func ExpectedAvailability(pm *tomo.PathMatrix, model *failure.Model, path int) float64 {

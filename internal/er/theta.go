@@ -18,42 +18,87 @@ type ThetaBoundInc struct {
 	pm    *tomo.PathMatrix
 	theta []float64
 
-	basis   linalg.RowBasis
+	basis   *linalg.SparseBasis
 	members []int
 	value   float64
+	adds    int
+
+	// supportScratch backs the representation support reported by Gain's
+	// dependence probe, so a greedy sweep's many probes allocate nothing.
+	supportScratch []int
 }
 
-var _ Incremental = (*ThetaBoundInc)(nil)
+var (
+	_ Incremental   = (*ThetaBoundInc)(nil)
+	_ InitialGainer = (*ThetaBoundInc)(nil)
+)
 
 // NewThetaBoundInc returns an empty oracle for the given per-path
 // availabilities. Values are clamped into [0, 1] so UCB-inflated θ̂ + C
 // inputs remain probabilities, as in the LSR analysis.
 func NewThetaBoundInc(pm *tomo.PathMatrix, theta []float64) *ThetaBoundInc {
-	cl := make([]float64, len(theta))
+	tb := &ThetaBoundInc{pm: pm, basis: linalg.NewSparseBasis(pm.NumLinks())}
+	tb.Reset(theta)
+	return tb
+}
+
+// Reset re-arms the oracle with new availabilities, emptying the committed
+// set while keeping all allocated storage. A learner that re-optimizes
+// every epoch resets one persistent oracle instead of building a fresh one;
+// the resulting gains are identical to a newly constructed oracle's.
+func (tb *ThetaBoundInc) Reset(theta []float64) {
+	if cap(tb.theta) < len(theta) {
+		tb.theta = make([]float64, len(theta))
+	}
+	tb.theta = tb.theta[:len(theta)]
 	for i, v := range theta {
 		switch {
 		case v < 0:
-			cl[i] = 0
+			tb.theta[i] = 0
 		case v > 1:
-			cl[i] = 1
+			tb.theta[i] = 1
 		default:
-			cl[i] = v
+			tb.theta[i] = v
 		}
 	}
-	return &ThetaBoundInc{pm: pm, theta: cl, basis: linalg.NewSparseBasis(pm.NumLinks())}
+	tb.basis.Reset()
+	tb.members = tb.members[:0]
+	tb.value = 0
+	tb.adds = 0
 }
 
 // Gain implements Incremental.
 func (tb *ThetaBoundInc) Gain(path int) float64 {
-	dep, support := tb.basis.Dependent(tb.pm.Row(path))
+	dep, support := tb.basis.DependentScratch(tb.pm.Row(path), tb.supportScratch)
 	if !dep {
 		return tb.theta[path]
+	}
+	if cap(support) > cap(tb.supportScratch) {
+		tb.supportScratch = support
 	}
 	return tb.dependentGain(path, support)
 }
 
+// InitialGains implements InitialGainer: against the empty committed set,
+// every path with at least one link is independent, so its gain is exactly
+// θ_q; zero-edge paths contribute 0 (the zero row is already in the span).
+func (tb *ThetaBoundInc) InitialGains(out []float64) bool {
+	if tb.adds > 0 {
+		return false
+	}
+	for i := range out {
+		if len(tb.pm.Path(i).Edges) == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = tb.theta[i]
+	}
+	return true
+}
+
 // Add implements Incremental.
 func (tb *ThetaBoundInc) Add(path int) {
+	tb.adds++
 	added, _, support := tb.basis.Add(tb.pm.Row(path))
 	if added {
 		tb.members = append(tb.members, path)

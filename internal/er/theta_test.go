@@ -1,0 +1,106 @@
+package er
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"robusttomo/internal/routing"
+	"robusttomo/internal/tomo"
+)
+
+// Property: a Reset oracle is indistinguishable from a freshly constructed
+// one — same gains before and after commits, same value. This is what lets
+// the LSR learner keep one persistent oracle across epochs.
+func TestThetaBoundResetMatchesFresh(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 12))
+		pm, _ := randomInstance(rng, 8, 10)
+		n := pm.NumPaths()
+
+		reused := NewThetaBoundInc(pm, make([]float64, n))
+		// Dirty the reused oracle with an unrelated run first.
+		for i := 0; i < n; i += 2 {
+			reused.Add(i)
+		}
+
+		theta := make([]float64, n)
+		for i := range theta {
+			theta[i] = 2*rng.Float64() - 0.5 // exercise clamping too
+		}
+		reused.Reset(theta)
+		fresh := NewThetaBoundInc(pm, theta)
+
+		order := rng.Perm(n)
+		for _, q := range order[:n/2] {
+			if reused.Gain(q) != fresh.Gain(q) {
+				return false
+			}
+			reused.Add(q)
+			fresh.Add(q)
+			if reused.Value() != fresh.Value() {
+				return false
+			}
+		}
+		for q := 0; q < n; q++ {
+			if reused.Gain(q) != fresh.Gain(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InitialGains reproduces per-path Gain bit-for-bit on the empty
+// committed set, and refuses once anything has been committed.
+func TestThetaBoundInitialGains(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		pm, _ := randomInstance(rng, 8, 10)
+		n := pm.NumPaths()
+		theta := make([]float64, n)
+		for i := range theta {
+			theta[i] = rng.Float64()
+		}
+		tb := NewThetaBoundInc(pm, theta)
+		got := make([]float64, n)
+		if !tb.InitialGains(got) {
+			return false
+		}
+		for q := 0; q < n; q++ {
+			if got[q] != tb.Gain(q) {
+				return false
+			}
+		}
+		tb.Add(int(seed % uint64(n)))
+		return !tb.InitialGains(got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A zero-edge path is already in the span of the empty basis, so its
+// empty-set gain is 0 — InitialGains must agree with Gain on that case.
+func TestThetaBoundInitialGainsZeroRow(t *testing.T) {
+	pm, err := tomo.NewPathMatrix([]routing.Path{synthPath(), synthPath(0)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewThetaBoundInc(pm, []float64{0.9, 0.7})
+	got := make([]float64, 2)
+	if !tb.InitialGains(got) {
+		t.Fatal("InitialGains refused on empty set")
+	}
+	for q := 0; q < 2; q++ {
+		if got[q] != tb.Gain(q) {
+			t.Fatalf("path %d: InitialGains %v vs Gain %v", q, got[q], tb.Gain(q))
+		}
+	}
+	if got[0] != 0 {
+		t.Fatalf("zero-edge path gain = %v, want 0", got[0])
+	}
+}

@@ -58,28 +58,41 @@ func IntensitySweep(w Workload, sc Scale, intensities []float64, multiplier floa
 	}
 	probSeries := Series{Name: AlgProbRoMe}
 	spSeries := Series{Name: AlgSelectPath}
-	for _, intensity := range intensities {
+	// Trial = one intensity (streams 1000+intensity*10 and intensity*100 are
+	// per-intensity already).
+	type cell struct{ prob, sp Point }
+	cells := make([]cell, len(intensities))
+	err := forTrials(effectiveWorkers(sc.Workers), len(intensities), sc.Progress, func(i int) error {
+		intensity := intensities[i]
 		scI := sc
 		scI.ExpectedFailures = intensity
 		in, err := BuildInstance(w, scI, 0)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
 		budget := multiplier * instanceBasisCost(in)
 		scenarios := in.Model.SampleN(stats.NewRNG(scI.Seed, 1000+uint64(intensity*10)), scI.Scenarios)
 		for _, alg := range []string{AlgProbRoMe, AlgSelectPath} {
 			selected, err := in.Select(alg, budget, scI, uint64(intensity*100))
 			if err != nil {
-				return Figure{}, err
+				return err
 			}
 			ranks, _ := in.EvalMetrics(selected, scenarios, false)
 			point := Point{X: intensity, Mean: stats.Mean(ranks), Std: stats.StdDev(ranks)}
 			if alg == AlgProbRoMe {
-				probSeries.Points = append(probSeries.Points, point)
+				cells[i].prob = point
 			} else {
-				spSeries.Points = append(spSeries.Points, point)
+				cells[i].sp = point
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, c := range cells {
+		probSeries.Points = append(probSeries.Points, c.prob)
+		spSeries.Points = append(spSeries.Points, c.sp)
 	}
 	fig.Series = []Series{probSeries, spSeries}
 	return fig, nil

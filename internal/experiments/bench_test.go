@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// benchFig8 runs the Figure 8/9 driver — the heaviest trial-sharded runner
+// (each trial builds an instance, runs MatRoMe and SelectPath and evaluates
+// both under every scenario) — at the given worker count.
+// BenchmarkFig8Quick / BenchmarkFig8QuickSerial form a benchregress pair
+// (Serial suffix) whose ratio is the measured trial-sharding speedup on the
+// host; TestRunnersParallelMatchSerial guarantees both compute identical
+// figures.
+func benchFig8(b *testing.B, workers int) {
+	sc := Scale{MonitorSets: 2, Scenarios: 40, MonteCarloRuns: 20, ExpectedFailures: 2, Seed: 7, Workers: workers}
+	cfg := MatroidLossConfig{Base: testWorkload(), PathCounts: []int{24, 48}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatroidLoss(cfg, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Quick(b *testing.B)       { benchFig8(b, 4) }
+func BenchmarkFig8QuickSerial(b *testing.B) { benchFig8(b, 1) }
+
+// BenchmarkFig5Quick / Serial: the budget-sweep driver (Figure 5/7), whose
+// trials are monitor sets.
+func benchFig5(b *testing.B, workers int) {
+	sc := Scale{MonitorSets: 2, Scenarios: 40, MonteCarloRuns: 20, ExpectedFailures: 2, Seed: 7, Workers: workers}
+	cfg := BudgetSweepConfig{Workload: testWorkload(), Multiplier: []float64{0.5, 1.0}, WithIdentifiability: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BudgetSweep(cfg, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Quick(b *testing.B)       { benchFig5(b, 4) }
+func BenchmarkFig5QuickSerial(b *testing.B) { benchFig5(b, 1) }

@@ -41,47 +41,63 @@ func Learning(cfg LearningConfig, sc Scale) (Figure, error) {
 		samples[name] = map[float64][]float64{}
 	}
 
-	for set := 0; set < sc.MonitorSets; set++ {
+	// Trial = monitor set: streams 800+set, 900+set*7+horizon and set*11 all
+	// depend only on the set index. cells[set][m*len(names)+ni] is the rank
+	// sample vector for multiplier m and series ni, in names order.
+	cells := make([][][]float64, sc.MonitorSets)
+	err := forTrials(effectiveWorkers(sc.Workers), sc.MonitorSets, sc.Progress, func(set int) error {
 		in, err := BuildInstance(cfg.Workload, sc, set)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
 		basisCost := instanceBasisCost(in)
 		scRng := stats.NewRNG(sc.Seed, 800+uint64(set))
 		scenarios := in.Model.SampleN(scRng, sc.Scenarios)
 
-		for _, mult := range cfg.Multiplier {
+		cell := make([][]float64, len(cfg.Multiplier)*len(names))
+		for m, mult := range cfg.Multiplier {
 			budget := mult * basisCost
 
 			// LSR at each horizon: learn online against the true failure
 			// process, then evaluate its exploitation-time selection.
-			for _, horizon := range cfg.Epochs {
+			for h, horizon := range cfg.Epochs {
 				learner, err := bandit.New(in.PM, in.Costs, budget, bandit.Options{})
 				if err != nil {
-					return Figure{}, err
+					return err
 				}
 				env := bandit.NewFailureEnv(in.PM, in.Model, stats.NewRNG(sc.Seed, 900+uint64(set)*7+uint64(horizon)))
 				for e := 0; e < horizon; e++ {
 					if _, _, err := learner.Step(env); err != nil {
-						return Figure{}, err
+						return err
 					}
 				}
 				selected, err := learner.Exploit()
 				if err != nil {
-					return Figure{}, err
+					return err
 				}
 				ranks, _ := in.EvalMetrics(selected, scenarios, false)
-				name := fmt.Sprintf("LSR-%d", horizon)
-				samples[name][mult] = append(samples[name][mult], ranks...)
+				cell[m*len(names)+h] = ranks
 			}
 
-			for _, alg := range []string{AlgProbRoMe, AlgSelectPath} {
+			for a, alg := range []string{AlgProbRoMe, AlgSelectPath} {
 				selected, err := in.Select(alg, budget, sc, uint64(set)*11)
 				if err != nil {
-					return Figure{}, err
+					return err
 				}
 				ranks, _ := in.EvalMetrics(selected, scenarios, false)
-				samples[alg][mult] = append(samples[alg][mult], ranks...)
+				cell[m*len(names)+len(cfg.Epochs)+a] = ranks
+			}
+		}
+		cells[set] = cell
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for set := range cells {
+		for m, mult := range cfg.Multiplier {
+			for ni, name := range names {
+				samples[name][mult] = append(samples[name][mult], cells[set][m*len(names)+ni]...)
 			}
 		}
 	}

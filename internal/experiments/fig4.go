@@ -53,14 +53,28 @@ func Fig4(cfg Fig4Config, sc Scale) (Figure, error) {
 	bound := Series{Name: "ProbBound"}
 	small := Series{Name: fmt.Sprintf("MC-%d", cfg.SmallRuns)}
 
-	for d := 0; d <= cfg.MaxDependent; d++ {
+	// Trial = one x-axis point d (streams 40+d and 400+d are per-point).
+	type cell struct{ ref, bound, small Point }
+	cells := make([]cell, cfg.MaxDependent+1)
+	err = forTrials(effectiveWorkers(sc.Workers), len(cells), sc.Progress, func(d int) error {
 		set := append(append([]int{}, basis...), dependents[:d]...)
 		x := float64(d)
 		refRng := stats.NewRNG(sc.Seed, 40+uint64(d))
 		smallRng := stats.NewRNG(sc.Seed, 400+uint64(d))
-		ref.Points = append(ref.Points, Point{X: x, Mean: er.MonteCarlo(in.PM, in.Model, set, cfg.ReferenceRuns, refRng)})
-		bound.Points = append(bound.Points, Point{X: x, Mean: er.Bound(in.PM, in.Model, set)})
-		small.Points = append(small.Points, Point{X: x, Mean: er.MonteCarlo(in.PM, in.Model, set, cfg.SmallRuns, smallRng)})
+		cells[d] = cell{
+			ref:   Point{X: x, Mean: er.MonteCarlo(in.PM, in.Model, set, cfg.ReferenceRuns, refRng)},
+			bound: Point{X: x, Mean: er.Bound(in.PM, in.Model, set)},
+			small: Point{X: x, Mean: er.MonteCarlo(in.PM, in.Model, set, cfg.SmallRuns, smallRng)},
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, c := range cells {
+		ref.Points = append(ref.Points, c.ref)
+		bound.Points = append(bound.Points, c.bound)
+		small.Points = append(small.Points, c.small)
 	}
 
 	return Figure{

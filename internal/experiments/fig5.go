@@ -57,35 +57,61 @@ func BudgetSweep(cfg BudgetSweepConfig, sc Scale) (BudgetSweepResult, error) {
 		},
 	}
 
-	// samples[alg][multiplier] accumulates across monitor sets × scenarios.
+	// Trial = monitor set: every RNG stream below depends only on the set
+	// index, so trials are independent and fold back in set order.
+	type cell struct{ ranks, idents []float64 }
+	type trialResult struct {
+		basisCost float64
+		// cells[alg index][multiplier index], in config order.
+		cells [][]cell
+	}
+	trials := make([]trialResult, sc.MonitorSets)
+	err := forTrials(effectiveWorkers(sc.Workers), sc.MonitorSets, sc.Progress, func(set int) error {
+		in, err := BuildInstance(cfg.Workload, sc, set)
+		if err != nil {
+			return err
+		}
+		basisCost := instanceBasisCost(in)
+		scRng := stats.NewRNG(sc.Seed, 500+uint64(set))
+		scenarios := in.Model.SampleN(scRng, sc.Scenarios)
+
+		tr := trialResult{basisCost: basisCost, cells: make([][]cell, len(cfg.Algorithms))}
+		for a := range tr.cells {
+			tr.cells[a] = make([]cell, len(cfg.Multiplier))
+		}
+		for m, mult := range cfg.Multiplier {
+			budget := mult * basisCost
+			for a, alg := range cfg.Algorithms {
+				selected, err := in.Select(alg, budget, sc, uint64(set)*31+uint64(mult*100))
+				if err != nil {
+					return err
+				}
+				ranks, idents := in.EvalMetrics(selected, scenarios, cfg.WithIdentifiability)
+				tr.cells[a][m] = cell{ranks: ranks, idents: idents}
+			}
+		}
+		trials[set] = tr
+		return nil
+	})
+	if err != nil {
+		return BudgetSweepResult{}, err
+	}
+
+	// Serial fold in set order, appending exactly as the serial loop did.
 	rankSamples := map[string]map[float64][]float64{}
 	identSamples := map[string]map[float64][]float64{}
 	for _, alg := range cfg.Algorithms {
 		rankSamples[alg] = map[float64][]float64{}
 		identSamples[alg] = map[float64][]float64{}
 	}
-
-	for set := 0; set < sc.MonitorSets; set++ {
-		in, err := BuildInstance(cfg.Workload, sc, set)
-		if err != nil {
-			return BudgetSweepResult{}, err
-		}
-		basisCost := instanceBasisCost(in)
-		res.BasisCosts = append(res.BasisCosts, basisCost)
-		scRng := stats.NewRNG(sc.Seed, 500+uint64(set))
-		scenarios := in.Model.SampleN(scRng, sc.Scenarios)
-
-		for _, mult := range cfg.Multiplier {
-			budget := mult * basisCost
-			for _, alg := range cfg.Algorithms {
-				selected, err := in.Select(alg, budget, sc, uint64(set)*31+uint64(mult*100))
-				if err != nil {
-					return BudgetSweepResult{}, err
-				}
-				ranks, idents := in.EvalMetrics(selected, scenarios, cfg.WithIdentifiability)
-				rankSamples[alg][mult] = append(rankSamples[alg][mult], ranks...)
+	for set := range trials {
+		res.BasisCosts = append(res.BasisCosts, trials[set].basisCost)
+		for m, mult := range cfg.Multiplier {
+			for a, alg := range cfg.Algorithms {
+				c := trials[set].cells[a][m]
+				rankSamples[alg][mult] = append(rankSamples[alg][mult], c.ranks...)
 				if cfg.WithIdentifiability {
-					identSamples[alg][mult] = append(identSamples[alg][mult], idents...)
+					identSamples[alg][mult] = append(identSamples[alg][mult], c.idents...)
 				}
 			}
 		}
@@ -148,22 +174,34 @@ func RankCDF(cfg RankCDFConfig, sc Scale) (Figure, error) {
 		XLabel: "rank",
 		YLabel: "CDF",
 	}
-	samples := map[string][]float64{}
-	for set := 0; set < sc.MonitorSets; set++ {
+	// Trial = monitor set (streams 600+set and set*17 are per-set).
+	trials := make([][][]float64, sc.MonitorSets) // [set][alg index]ranks
+	err := forTrials(effectiveWorkers(sc.Workers), sc.MonitorSets, sc.Progress, func(set int) error {
 		in, err := BuildInstance(cfg.Workload, sc, set)
 		if err != nil {
-			return Figure{}, err
+			return err
 		}
 		budget := cfg.Multiplier * instanceBasisCost(in)
 		scRng := stats.NewRNG(sc.Seed, 600+uint64(set))
 		scenarios := in.Model.SampleN(scRng, sc.Scenarios)
-		for _, alg := range cfg.Algorithms {
+		byAlg := make([][]float64, len(cfg.Algorithms))
+		for a, alg := range cfg.Algorithms {
 			selected, err := in.Select(alg, budget, sc, uint64(set)*17)
 			if err != nil {
-				return Figure{}, err
+				return err
 			}
-			ranks, _ := in.EvalMetrics(selected, scenarios, false)
-			samples[alg] = append(samples[alg], ranks...)
+			byAlg[a], _ = in.EvalMetrics(selected, scenarios, false)
+		}
+		trials[set] = byAlg
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	samples := map[string][]float64{}
+	for set := range trials {
+		for a, alg := range cfg.Algorithms {
+			samples[alg] = append(samples[alg], trials[set][a]...)
 		}
 	}
 	for _, alg := range cfg.Algorithms {

@@ -51,41 +51,57 @@ func MatroidLoss(cfg MatroidLossConfig, sc Scale) (MatroidLossResult, error) {
 		identLoss[alg] = map[int][]float64{}
 	}
 
-	for _, count := range cfg.PathCounts {
+	// Trial = one (path count, monitor set) pair; stream 700+set*13+count
+	// depends only on the pair, so trials are independent.
+	type cell struct {
+		rankLoss, identLoss [][]float64 // per algorithm, in algs order
+	}
+	cells := make([]cell, len(cfg.PathCounts)*sc.MonitorSets)
+	err := forTrials(effectiveWorkers(sc.Workers), len(cells), sc.Progress, func(trial int) error {
+		count := cfg.PathCounts[trial/sc.MonitorSets]
+		set := trial % sc.MonitorSets
 		w := cfg.Base
 		w.CandidatePaths = count
+		in, err := BuildInstance(w, sc, set)
+		if err != nil {
+			return err
+		}
+		// Unit costs; budget = rank of the full candidate set, per the
+		// paper's matroid setting.
+		budget := in.PM.Rank()
+
+		ea := er.Availabilities(in.PM, in.Model)
+		mat, err := selection.MatRoMe(in.PM, ea, budget, selection.MatRoMeOptions{})
+		if err != nil {
+			return err
+		}
+		sp := selection.SelectPath(in.PM)
+
+		scRng := stats.NewRNG(sc.Seed, 700+uint64(set)*13+uint64(count))
+		scenarios := in.Model.SampleN(scRng, sc.Scenarios)
+
+		c := cell{rankLoss: make([][]float64, len(algs)), identLoss: make([][]float64, len(algs))}
+		for a, idx := range [][]int{mat.Selected, sp} {
+			baseRankInt, baseIdentInt := in.PM.RankAndIdentifiable(idx)
+			baseRank, baseIdent := float64(baseRankInt), float64(baseIdentInt)
+			ranks, idents := in.EvalMetrics(idx, scenarios, true)
+			for s := range scenarios {
+				c.rankLoss[a] = append(c.rankLoss[a], baseRank-ranks[s])
+				c.identLoss[a] = append(c.identLoss[a], baseIdent-idents[s])
+			}
+		}
+		cells[trial] = c
+		return nil
+	})
+	if err != nil {
+		return MatroidLossResult{}, err
+	}
+	for ci, count := range cfg.PathCounts {
 		for set := 0; set < sc.MonitorSets; set++ {
-			in, err := BuildInstance(w, sc, set)
-			if err != nil {
-				return MatroidLossResult{}, err
-			}
-			// Unit costs; budget = rank of the full candidate set, per the
-			// paper's matroid setting.
-			budget := in.PM.Rank()
-
-			ea := er.Availabilities(in.PM, in.Model)
-			mat, err := selection.MatRoMe(in.PM, ea, budget, selection.MatRoMeOptions{})
-			if err != nil {
-				return MatroidLossResult{}, err
-			}
-			sp := selection.SelectPath(in.PM)
-
-			scRng := stats.NewRNG(sc.Seed, 700+uint64(set)*13+uint64(count))
-			scenarios := in.Model.SampleN(scRng, sc.Scenarios)
-
-			selections := []struct {
-				alg string
-				idx []int
-			}{{AlgMatRoMe, mat.Selected}, {AlgSelectPath, sp}}
-			for _, sel := range selections {
-				alg, idx := sel.alg, sel.idx
-				baseRankInt, baseIdentInt := in.PM.RankAndIdentifiable(idx)
-				baseRank, baseIdent := float64(baseRankInt), float64(baseIdentInt)
-				ranks, idents := in.EvalMetrics(idx, scenarios, true)
-				for s := range scenarios {
-					rankLoss[alg][count] = append(rankLoss[alg][count], baseRank-ranks[s])
-					identLoss[alg][count] = append(identLoss[alg][count], baseIdent-idents[s])
-				}
+			c := cells[ci*sc.MonitorSets+set]
+			for a, alg := range algs {
+				rankLoss[alg][count] = append(rankLoss[alg][count], c.rankLoss[a]...)
+				identLoss[alg][count] = append(identLoss[alg][count], c.identLoss[a]...)
 			}
 		}
 	}

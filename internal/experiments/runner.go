@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the trial-sharded experiment runner. Every figure driver
+// decomposes its work into independent trials (monitor sets, x-axis points,
+// or combinations of both), runs them through forTrials, and folds the
+// per-trial result slots back together in trial-index order. Two
+// disciplines make the parallel results byte-identical to the serial ones
+// at any worker count:
+//
+//  1. Per-trial RNG streams. A trial never reads an RNG another trial
+//     advances: each derives its own stats.NewRNG stream, either from the
+//     figure's fixed stream-numbering scheme or via trialStream for
+//     figures that used to thread one serial RNG (Fig3).
+//  2. Slot-then-fold accumulation. Trials write only their own result
+//     slot; all shared accumulation (sample appends, series assembly)
+//     happens in a serial fold over slots in trial order, exactly as the
+//     serial loop would have appended.
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
+// pseudorandom number generators"): a bijective avalanche mix used to
+// derive well-separated RNG stream IDs from structured trial coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// trialStream derives the RNG stream for a trial from a figure-level base
+// stream and the trial's coordinate. The mix keeps streams of neighboring
+// trials (and neighboring figures) statistically independent even though
+// the inputs differ in a couple of low bits.
+func trialStream(base, trial uint64) uint64 {
+	return splitmix64(base ^ splitmix64(trial))
+}
+
+// effectiveWorkers resolves a Scale.Workers value: 0 and 1 mean serial,
+// negative values mean GOMAXPROCS.
+func effectiveWorkers(workers int) int {
+	if workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		return 1
+	}
+	return workers
+}
+
+// forTrials runs fn(trial) for every trial in [0, n), sharded over the
+// given number of workers (≤1 runs inline, no goroutines). fn must confine
+// its writes to the trial's own result slot; under that contract the
+// caller's fold over slots is byte-identical at any worker count. progress
+// (may be nil) receives monotone completion ticks; calls are serialized.
+//
+// On failure the workers drain and the lowest-indexed *observed* error is
+// returned. Remaining trials are abandoned, so — unlike the outputs — the
+// specific error value may depend on scheduling when several trials fail.
+func forTrials(workers, n int, progress func(done, total int), fn func(trial int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			if err := fn(t); err != nil {
+				return err
+			}
+			if progress != nil {
+				progress(t+1, n)
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu            sync.Mutex
+		done          int
+		firstErr      error
+		firstErrTrial = n
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1) - 1)
+				if t >= n || failed.Load() {
+					return
+				}
+				err := fn(t)
+				mu.Lock()
+				if err != nil {
+					if t < firstErrTrial {
+						firstErr, firstErrTrial = err, t
+					}
+					failed.Store(true)
+				} else {
+					done++
+					if progress != nil && firstErr == nil {
+						progress(done, n)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

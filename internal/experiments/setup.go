@@ -35,6 +35,15 @@ type Scale struct {
 	// concurrently failed links per epoch (DESIGN.md §4).
 	ExpectedFailures float64
 	Seed             uint64
+	// Workers shards each runner's independent trials (monitor sets,
+	// x-axis points) across goroutines: 0 or 1 runs serially, negative
+	// resolves to GOMAXPROCS. Results are byte-identical at any value —
+	// every trial owns its RNG streams and result slot (see runner.go).
+	Workers int
+	// Progress, when non-nil, is called as trials complete with the number
+	// finished so far and the total for the current runner. Calls are
+	// serialized and done is strictly increasing within a runner.
+	Progress func(done, total int)
 }
 
 // PaperScale mirrors Section VI-A.
@@ -176,21 +185,25 @@ func buildOn(tp *topo.Topology, candidatePaths int, sc Scale, monitorSet int) (*
 }
 
 // EvalMetrics evaluates a selection under sampled failure scenarios and
-// returns the per-scenario rank and link-identifiability samples.
+// returns the per-scenario rank and link-identifiability samples. One
+// survivor buffer and one elimination basis serve the whole scenario loop,
+// so evaluation cost is dominated by the rank computations themselves.
 func (in *Instance) EvalMetrics(selected []int, scenarios []failure.Scenario, withIdent bool) (ranks, idents []float64) {
 	ranks = make([]float64, len(scenarios))
 	if withIdent {
 		idents = make([]float64, len(scenarios))
 	}
+	var surv []int
+	basis := in.PM.NewRankBasis()
 	for s, sc := range scenarios {
-		surv := in.PM.Surviving(selected, sc)
+		surv = in.PM.SurvivingInto(surv, selected, sc)
 		if withIdent {
-			rank, ident := in.PM.RankAndIdentifiable(surv)
+			rank, ident := in.PM.RankAndIdentifiableWith(surv, basis)
 			ranks[s] = float64(rank)
 			idents[s] = float64(ident)
 			continue
 		}
-		ranks[s] = float64(in.PM.RankOf(surv))
+		ranks[s] = float64(in.PM.RankOfWith(surv, basis))
 	}
 	return ranks, idents
 }

@@ -18,23 +18,33 @@ type TableIRow struct {
 	Connected bool
 }
 
-// TableI regenerates the paper's Table I from the topology presets.
-func TableI() ([]TableIRow, error) {
-	rows := make([]TableIRow, 0, 3)
-	for _, name := range topo.PresetNames() {
-		tp, err := topo.Preset(name)
+// TableI regenerates the paper's Table I from the topology presets,
+// serially.
+func TableI() ([]TableIRow, error) { return TableIWith(Scale{}) }
+
+// TableIWith is TableI on the trial-sharded runner (trial = one preset;
+// generation is deterministic, so sharding cannot change the rows).
+func TableIWith(sc Scale) ([]TableIRow, error) {
+	names := topo.PresetNames()
+	rows := make([]TableIRow, len(names))
+	err := forTrials(effectiveWorkers(sc.Workers), len(names), sc.Progress, func(i int) error {
+		tp, err := topo.Preset(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		deg := tp.Graph.Degrees()
-		rows = append(rows, TableIRow{
-			Name:      name,
+		rows[i] = TableIRow{
+			Name:      names[i],
 			Nodes:     tp.Graph.NumNodes(),
 			Links:     tp.Graph.NumEdges(),
 			MeanDeg:   deg.Mean,
 			Monitors:  len(tp.Access),
 			Connected: tp.Graph.Connected(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -61,6 +61,13 @@ type SparseBasis struct {
 	mergeCols []int
 	mergeVals []float64
 
+	// factorsScratch/coeffsScratch back the per-operation elimination-factor
+	// and member-coefficient vectors, so steady-state Add/Dependent calls in
+	// support-tracking mode allocate nothing. They are only valid within a
+	// single operation (the basis is single-writer by contract).
+	factorsScratch []float64
+	coeffsScratch  []float64
+
 	// ws is the workspace the basis's own (mutating) operations reduce in;
 	// read-only probes may substitute an external one via InSpanWith.
 	ws *Workspace
@@ -145,15 +152,33 @@ func (b *SparseBasis) reduce(ws *Workspace, factors []float64) {
 	}
 }
 
-// reduceScratch runs reduce in the basis's own workspace, recording factors.
+// reduceScratch runs reduce in the basis's own workspace, recording factors
+// into the reusable factor scratch (valid until the next basis operation).
 func (b *SparseBasis) reduceScratch() (factors []float64) {
-	factors = make([]float64, len(b.rows))
+	factors = b.factorBuf(len(b.rows))
 	b.reduce(b.ws, factors)
 	return factors
 }
 
+// factorBuf returns the factor scratch zeroed and resized to n.
+func (b *SparseBasis) factorBuf(n int) []float64 {
+	if cap(b.factorsScratch) < n {
+		b.factorsScratch = make([]float64, n)
+	}
+	b.factorsScratch = b.factorsScratch[:n]
+	clear(b.factorsScratch)
+	return b.factorsScratch
+}
+
+// memberCoeffs expands elimination factors into coefficients over the
+// accepted members, in the reusable coefficient scratch (valid until the
+// next basis operation).
 func (b *SparseBasis) memberCoeffs(factors []float64) []float64 {
-	coeffs := make([]float64, len(b.rows))
+	if cap(b.coeffsScratch) < len(b.rows) {
+		b.coeffsScratch = make([]float64, len(b.rows))
+	}
+	coeffs := b.coeffsScratch[:len(b.rows)]
+	clear(coeffs)
 	for i, f := range factors {
 		if f == 0 {
 			continue
@@ -167,6 +192,15 @@ func (b *SparseBasis) memberCoeffs(factors []float64) []float64 {
 
 // Dependent implements RowBasis. In rank-only mode the support is nil.
 func (b *SparseBasis) Dependent(v []float64) (dependent bool, support []int) {
+	return b.DependentScratch(v, nil)
+}
+
+// DependentScratch is Dependent with a caller-provided support scratch: the
+// reported support is appended into scratch[:0], so a hot caller probing
+// many vectors against one basis performs no per-probe allocation. The
+// returned slice aliases scratch (when its capacity sufficed) and is valid
+// until the caller's next use of it.
+func (b *SparseBasis) DependentScratch(v []float64, scratch []int) (dependent bool, support []int) {
 	if len(v) != b.dim {
 		panic(fmt.Sprintf("linalg: sparse basis dim %d, vector dim %d", b.dim, len(v)))
 	}
@@ -180,6 +214,7 @@ func (b *SparseBasis) Dependent(v []float64) (dependent bool, support []int) {
 	if pivot >= 0 {
 		return false, nil
 	}
+	support = scratch[:0]
 	for k, c := range b.memberCoeffs(factors) {
 		if !nearZero(c, b.tol) {
 			support = append(support, k)
@@ -259,7 +294,9 @@ func (b *SparseBasis) Representation(v []float64) (coeffs []float64, ok bool) {
 	if pivot >= 0 {
 		return nil, false
 	}
-	return b.memberCoeffs(factors), true
+	// The coefficient scratch is reused by the next operation; hand the
+	// caller its own copy.
+	return append([]float64(nil), b.memberCoeffs(factors)...), true
 }
 
 // Add implements RowBasis.
@@ -284,7 +321,7 @@ func (b *SparseBasis) AddSparse(cols []int, vals []float64) (added bool, member 
 func (b *SparseBasis) addLoaded() (added bool, member int, support []int) {
 	var factors []float64
 	if !b.rankOnly {
-		factors = make([]float64, len(b.rows))
+		factors = b.factorBuf(len(b.rows))
 	}
 	b.reduce(b.ws, factors)
 	pivotCol := b.ws.residualPivot(b.tol)
@@ -304,7 +341,17 @@ func (b *SparseBasis) addLoaded() (added bool, member int, support []int) {
 	member = len(b.rows)
 	var combo []float64
 	if !b.rankOnly {
-		combo = make([]float64, member+1)
+		// A retired combo left behind by Reset (beyond len, within cap)
+		// donates its storage, mirroring the row-storage reuse below.
+		if cap(b.combos) > member {
+			combo = b.combos[:member+1][member]
+		}
+		if cap(combo) < member+1 {
+			combo = make([]float64, member+1)
+		} else {
+			combo = combo[:member+1]
+			clear(combo)
+		}
 		combo[member] = 1
 		for i, f := range factors {
 			if f == 0 {

@@ -16,7 +16,6 @@
 package selection
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime"
 
@@ -61,13 +60,66 @@ type Options struct {
 	// drops to or below this threshold (paths past it cannot improve the
 	// objective). Zero is a sensible default for ER oracles.
 	MinGain float64
+	// Scratch supplies reusable working storage for the greedy's O(n)
+	// buffers. Callers that run RoMe many times over one instance (the LSR
+	// learner runs it every epoch) pass the same Scratch to skip the
+	// per-run setup allocations; results are identical either way, but
+	// Result.Selected then aliases the Scratch (valid until its next run).
+	// Nil allocates fresh storage. A Scratch must not be shared across
+	// concurrent RoMe calls.
+	Scratch *Scratch
+}
+
+// Scratch holds RoMe's reusable working storage; see Options.Scratch. The
+// zero value is ready to use. Result.Selected of a scratch-backed run
+// aliases the Scratch and is only valid until the next run with it; copy
+// it to retain the selection.
+type Scratch struct {
+	initial   []float64
+	all       []int
+	entries   gainHeap
+	pending   map[int]float64
+	wavePaths []int
+	waveGains []float64
+	remaining []bool
+	gains     []float64
+	selected  []int
+}
+
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // NewOptions returns the default options (lazy evaluation, parallel batch
 // evaluation, zero MinGain).
 func NewOptions() Options { return Options{Lazy: true, Parallel: true} }
 
-// gainHeap is a max-heap of candidate paths keyed by stale weight.
+// gainHeap is a max-heap of candidate paths keyed by stale weight. It is a
+// typed reimplementation of the container/heap operations: the standard
+// package's any-valued Push/Pop box every gainEntry, which made heap
+// traffic the dominant allocation of a greedy run. The entry ordering is a
+// strict total order — weights tie-break on the unique path index — so the
+// pop sequence is implementation-independent and results are identical to
+// the container/heap version.
 type gainHeap []gainEntry
 
 type gainEntry struct {
@@ -78,20 +130,64 @@ type gainEntry struct {
 }
 
 func (h gainHeap) Len() int { return len(h) }
-func (h gainHeap) Less(i, j int) bool {
+func (h gainHeap) less(i, j int) bool {
 	if h[i].weight != h[j].weight {
 		return h[i].weight > h[j].weight
 	}
 	return h[i].path < h[j].path // deterministic tie-break
 }
-func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
-func (h *gainHeap) Pop() any {
+
+func (h gainHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *gainHeap) push(e gainEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *gainHeap) pop() gainEntry {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	e := old[n]
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
 	return e
+}
+
+func (h gainHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h gainHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && h.less(right, left) {
+			best = right
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }
 
 // RoMe runs Algorithm 1 over the candidates of pm with per-path costs and
@@ -116,13 +212,24 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 	if !opts.Parallel {
 		batcher = nil
 	}
+	sc := opts.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
 
 	res := Result{}
 	// Initial gains double as the best-singleton scan: on the empty set,
 	// Gain(q) is the oracle's ER({q}).
-	initial := make([]float64, n)
-	if batcher != nil {
-		all := make([]int, n)
+	initial := growF64(sc.initial, n)
+	sc.initial = initial
+	if ig, ok := oracle.(er.InitialGainer); ok && ig.InitialGains(initial) {
+		// The probe-free empty-set sweep; gains are exactly what the
+		// per-path loop below would compute, and it counts the same so the
+		// lazy-vs-naive ablation is unaffected.
+		res.GainEvaluations += n
+	} else if batcher != nil {
+		all := growInts(sc.all, n)
+		sc.all = all
 		for q := range all {
 			all[q] = q
 		}
@@ -141,14 +248,17 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 		}
 	}
 
-	var selected []int
+	selected := sc.selected[:0]
 	spent := 0.0
 	if opts.Lazy {
-		h := make(gainHeap, 0, n)
+		if cap(sc.entries) < n {
+			sc.entries = make(gainHeap, 0, n)
+		}
+		h := sc.entries[:0]
 		for q := 0; q < n; q++ {
 			h = append(h, gainEntry{path: q, gain: initial[q], weight: weightOf(initial[q], costs[q]), round: 0})
 		}
-		heap.Init(&h)
+		h.init()
 		round := 0
 		// pending holds wave-prefetched refresh gains, valid for the current
 		// committed set only (cleared on every Add). Consuming an entry is
@@ -157,13 +267,17 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 		// batched but never consumed before the set changes are the
 		// speculative overhead.
 		var pending map[int]float64
-		var wavePaths []int
-		var waveGains []float64
+		wavePaths := sc.wavePaths
+		waveGains := sc.waveGains
 		if batcher != nil {
-			pending = make(map[int]float64, refreshWaveSize())
+			if sc.pending == nil {
+				sc.pending = make(map[int]float64, refreshWaveSize())
+			}
+			clear(sc.pending)
+			pending = sc.pending
 		}
 		for h.Len() > 0 {
-			top := heap.Pop(&h).(gainEntry)
+			top := h.pop()
 			if top.round != round {
 				// Stale: refresh against the current set and re-insert.
 				var g float64
@@ -181,7 +295,7 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 					g = oracle.Gain(top.path)
 				}
 				res.GainEvaluations++
-				heap.Push(&h, gainEntry{path: top.path, gain: g, weight: weightOf(g, costs[top.path]), round: round})
+				h.push(gainEntry{path: top.path, gain: g, weight: weightOf(g, costs[top.path]), round: round})
 				continue
 			}
 			if top.gain <= opts.MinGain {
@@ -199,9 +313,13 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 			}
 			// Whether added or discarded for budget, the path leaves R.
 		}
+		sc.entries = h[:0]
+		sc.wavePaths, sc.waveGains = wavePaths, waveGains
 	} else {
-		remaining := make([]bool, n)
-		gains := make([]float64, n)
+		remaining := growBools(sc.remaining, n)
+		sc.remaining = remaining
+		gains := growF64(sc.gains, n)
+		sc.gains = gains
 		copy(gains, initial)
 		for {
 			best, bestWeight := -1, 0.0
@@ -247,6 +365,7 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 		}
 	}
 
+	sc.selected = selected
 	greedyVal := oracle.Value()
 	if bestSingle >= 0 && bestSingleVal > greedyVal {
 		return Result{
@@ -289,7 +408,7 @@ func refreshWave(h *gainHeap, first int, round int, batcher er.BatchGainer, pend
 	limit := refreshWaveSize()
 	var peeked []gainEntry
 	for len(wavePaths) < limit && h.Len() > 0 {
-		e := heap.Pop(h).(gainEntry)
+		e := h.pop()
 		peeked = append(peeked, e)
 		if e.round == round {
 			break
@@ -300,7 +419,7 @@ func refreshWave(h *gainHeap, first int, round int, batcher er.BatchGainer, pend
 		wavePaths = append(wavePaths, e.path)
 	}
 	for _, e := range peeked {
-		heap.Push(h, e)
+		h.push(e)
 	}
 	for len(waveGains) < len(wavePaths) {
 		waveGains = append(waveGains, 0)

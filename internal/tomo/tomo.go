@@ -9,6 +9,7 @@ package tomo
 
 import (
 	"fmt"
+	"sync"
 
 	"robusttomo/internal/failure"
 	"robusttomo/internal/linalg"
@@ -21,6 +22,13 @@ type PathMatrix struct {
 	paths []routing.Path
 	links int
 	mat   *linalg.Matrix
+
+	// basisPool recycles rank-only elimination bases across RankOf /
+	// RankAndIdentifiable / SelectBasisIndices calls, so evaluation loops
+	// that rank thousands of row subsets reuse warmed-up storage instead of
+	// allocating a fresh basis per call. Safe under concurrent trials: the
+	// pool hands each goroutine its own basis.
+	basisPool sync.Pool
 }
 
 // NewPathMatrix builds A from candidate paths over a network with the given
@@ -73,12 +81,32 @@ func (pm *PathMatrix) Rank() int { return linalg.Rank(pm.mat) }
 // RankOf returns the rank of the sub-matrix formed by the given path
 // indices. Incremental sparse elimination exploits the sparsity of path
 // rows; the result is identical to dense Gaussian elimination (covered by
-// the linalg differential tests plus TestRankOfMatchesDense here).
+// the linalg differential tests plus TestRankOfMatchesDense here). The
+// elimination basis comes from the matrix's pool, so looping callers pay no
+// per-call allocation; hot loops that want full control can hold their own
+// basis and call RankOfWith directly.
 func (pm *PathMatrix) RankOf(idx []int) int {
 	if len(idx) == 0 {
 		return 0
 	}
-	basis := linalg.NewSparseBasis(pm.links)
+	basis := pm.acquireBasis()
+	r := pm.RankOfWith(idx, basis)
+	pm.basisPool.Put(basis)
+	return r
+}
+
+// NewRankBasis returns an empty rank-only elimination basis sized for this
+// matrix, for callers that rank many subsets and want to reuse one basis
+// (see RankOfWith).
+func (pm *PathMatrix) NewRankBasis() *linalg.SparseBasis {
+	return linalg.NewSparseBasisRankOnly(pm.links)
+}
+
+// RankOfWith is RankOf against a caller-held basis (obtained from
+// NewRankBasis), which it resets before use: the steady state performs no
+// allocation. Results are identical to RankOf.
+func (pm *PathMatrix) RankOfWith(idx []int, basis *linalg.SparseBasis) int {
+	basis.Reset()
 	for _, i := range idx {
 		basis.Add(pm.Row(i))
 		if basis.Rank() == pm.links {
@@ -86,6 +114,15 @@ func (pm *PathMatrix) RankOf(idx []int) int {
 		}
 	}
 	return basis.Rank()
+}
+
+// acquireBasis takes a rank-only basis from the pool (or makes one).
+// Callers must return it with basisPool.Put; the next user resets it.
+func (pm *PathMatrix) acquireBasis() *linalg.SparseBasis {
+	if b, ok := pm.basisPool.Get().(*linalg.SparseBasis); ok {
+		return b
+	}
+	return pm.NewRankBasis()
 }
 
 // Available reports whether path i survives the scenario (none of its
@@ -116,13 +153,19 @@ func (pm *PathMatrix) SurvivalMask(ss *failure.ScenarioSet, i int, dst []uint64)
 
 // Surviving filters idx down to the paths available under the scenario.
 func (pm *PathMatrix) Surviving(idx []int, sc failure.Scenario) []int {
-	out := make([]int, 0, len(idx))
+	return pm.SurvivingInto(nil, idx, sc)
+}
+
+// SurvivingInto is Surviving appending into dst[:0], so scenario-evaluation
+// loops reuse one buffer across scenarios.
+func (pm *PathMatrix) SurvivingInto(dst []int, idx []int, sc failure.Scenario) []int {
+	dst = dst[:0]
 	for _, i := range idx {
 		if pm.Available(i, sc) {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // RankUnder returns the rank delivered by the subset idx in the scenario:
@@ -180,7 +223,16 @@ func (pm *PathMatrix) UncoveredLinks() []int {
 // path avoids the dense RREF and is what the evaluation harness uses on
 // large instances.
 func (pm *PathMatrix) RankAndIdentifiable(idx []int) (rank, identifiable int) {
-	basis := linalg.NewSparseBasis(pm.links)
+	basis := pm.acquireBasis()
+	rank, identifiable = pm.RankAndIdentifiableWith(idx, basis)
+	pm.basisPool.Put(basis)
+	return rank, identifiable
+}
+
+// RankAndIdentifiableWith is RankAndIdentifiable against a caller-held
+// basis (see NewRankBasis), which it resets before use.
+func (pm *PathMatrix) RankAndIdentifiableWith(idx []int, basis *linalg.SparseBasis) (rank, identifiable int) {
+	basis.Reset()
 	for _, i := range idx {
 		basis.Add(pm.Row(i))
 		if basis.Rank() == pm.links {
@@ -202,12 +254,14 @@ func (pm *PathMatrix) RankAndIdentifiable(idx []int) (rank, identifiable int) {
 // SelectBasisIndices returns a maximal independent subset of the given
 // candidate indices, scanning in the given order (first-come greedy).
 func (pm *PathMatrix) SelectBasisIndices(order []int) []int {
-	basis := linalg.NewSparseBasis(pm.links)
+	basis := pm.acquireBasis()
+	basis.Reset()
 	var out []int
 	for _, i := range order {
 		if added, _, _ := basis.Add(pm.Row(i)); added {
 			out = append(out, i)
 		}
 	}
+	pm.basisPool.Put(basis)
 	return out
 }
