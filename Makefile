@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json fuzz experiments examples clean
+.PHONY: all build test race cover bench bench-json fuzz soak-agent experiments examples clean
 
 all: build test
 
@@ -32,6 +32,12 @@ bench-json:
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
 	$(GO) test -fuzz=FuzzLoadWeights -fuzztime=30s ./internal/topo/
+
+# Hammer the fault-tolerant collection plane (retries, circuit breakers,
+# persistent sessions) with scripted faults and concurrent collectors
+# under the race detector. Bounded well under 30s.
+soak-agent:
+	AGENT_SOAK=1 $(GO) test -race -run TestAgentSoak -count=1 -timeout 60s -v ./internal/agent/
 
 # Regenerate every paper table/figure at quick scale (seconds). Use
 # SCALE=medium or SCALE=paper for the larger runs.

@@ -7,6 +7,7 @@
 //	tomo place    -monitors 8 [-failures 3]                      monitor placement
 //	tomo simulate -epochs 200 -mode learning                     closed-loop run
 //	tomo diagnose -failures 2                                    failure localization
+//	tomo collect  -epochs 12 -kill-epoch 4                       fault-tolerant collection demo
 //
 // Every subcommand is deterministic in its -seed flag.
 package main
@@ -39,7 +40,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: tomo <topo|select|infer|learn|place|simulate|diagnose> [flags]")
+		return fmt.Errorf("usage: tomo <topo|select|infer|learn|place|simulate|diagnose|collect> [flags]")
 	}
 	switch args[0] {
 	case "topo":
@@ -56,8 +57,10 @@ func run(args []string) error {
 		return runSimulate(args[1:])
 	case "diagnose":
 		return runDiagnose(args[1:])
+	case "collect":
+		return runCollect(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (topo, select, infer, learn, place, simulate, diagnose)", args[0])
+		return fmt.Errorf("unknown subcommand %q (topo, select, infer, learn, place, simulate, diagnose, collect)", args[0])
 	}
 }
 

@@ -108,3 +108,24 @@ func TestRunLearnSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunCollect(t *testing.T) {
+	// Full arc: healthy epochs, monitor killed mid-run, degraded epochs,
+	// breaker opening — and the loop still completes.
+	if err := run([]string{"collect", "-epochs", "6", "-kill-epoch", "2",
+		"-backoff", "1ms", "-cooldown", "50ms"}); err != nil {
+		t.Fatal(err)
+	}
+	// No kill: every epoch healthy.
+	if err := run([]string{"collect", "-epochs", "3", "-kill-epoch", "-1"}); err != nil {
+		t.Fatal(err)
+	}
+	// FailFast mode reports degraded epochs but the command still succeeds.
+	if err := run([]string{"collect", "-epochs", "4", "-kill-epoch", "1",
+		"-backoff", "1ms", "-fail-fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"collect", "-epochs", "0"}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}

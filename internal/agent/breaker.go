@@ -1,0 +1,128 @@
+package agent
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state of one monitor.
+type BreakerState int
+
+// Breaker states. Closed admits every attempt; Open rejects attempts until
+// the cooldown elapses; HalfOpen admits exactly one probe whose outcome
+// decides between Closed (success) and Open again (failure).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-monitor circuit breaker:
+//
+//	closed --[FailureThreshold consecutive failures]--> open
+//	open   --[Cooldown elapsed, one probe admitted]--> half-open
+//	half-open --[probe succeeds]--> closed
+//	half-open --[probe fails]--> open (cooldown restarts)
+//
+// All methods are safe for concurrent use.
+type breaker struct {
+	pol BreakerPolicy
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int       // consecutive failures while closed
+	openedAt    time.Time // when the breaker last tripped
+	probing     bool      // a half-open probe is in flight
+}
+
+func newBreaker(pol BreakerPolicy) *breaker {
+	return &breaker{pol: pol.withDefaults(), now: time.Now}
+}
+
+// allow reports whether an attempt may proceed, transitioning open →
+// half-open once the cooldown has elapsed. In half-open state only one
+// probe is admitted at a time.
+func (b *breaker) allow() bool {
+	if b.pol.Disabled {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.pol.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// success records a successful exchange: the breaker closes and the
+// failure count resets.
+func (b *breaker) success() {
+	if b.pol.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// failure records a failed attempt: a half-open probe re-opens the breaker
+// (restarting the cooldown); in closed state the consecutive count may
+// trip it.
+func (b *breaker) failure() {
+	if b.pol.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.pol.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// State returns the current breaker state (open → half-open transitions
+// only happen on allow, so an expired cooldown still reads as open here).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -26,10 +26,16 @@ type Monitor struct {
 	name   string
 	oracle LinkOracle
 
-	ln   net.Listener
-	mu   sync.Mutex
-	wg   sync.WaitGroup
-	done chan struct{}
+	ln        net.Listener
+	mu        sync.Mutex
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// conns tracks live sessions so Close can tear them down: NOC
+	// sessions are persistent (they span epochs), so draining the accept
+	// loop alone would wait forever.
+	conns map[net.Conn]struct{}
 
 	probesServed int
 }
@@ -44,7 +50,21 @@ func StartMonitor(name, addr string, oracle LinkOracle) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("agent: listen %s: %w", addr, err)
 	}
-	m := &Monitor{name: name, oracle: oracle, ln: ln, done: make(chan struct{})}
+	return StartMonitorOn(name, ln, oracle)
+}
+
+// StartMonitorOn launches a monitor over an existing listener — the hook
+// for fault injection (wrap the listener in a FaultyListener) and custom
+// transports. The monitor takes ownership of the listener and closes it on
+// Close.
+func StartMonitorOn(name string, ln net.Listener, oracle LinkOracle) (*Monitor, error) {
+	if oracle == nil {
+		return nil, fmt.Errorf("agent: monitor %s needs a link oracle", name)
+	}
+	if ln == nil {
+		return nil, fmt.Errorf("agent: monitor %s needs a listener", name)
+	}
+	m := &Monitor{name: name, oracle: oracle, ln: ln, done: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return m, nil
@@ -85,7 +105,22 @@ func (m *Monitor) acceptLoop() {
 }
 
 func (m *Monitor) serve(conn net.Conn) {
-	defer conn.Close()
+	m.mu.Lock()
+	select {
+	case <-m.done:
+		m.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	m.conns[conn] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.conns, conn)
+		m.mu.Unlock()
+		conn.Close()
+	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
@@ -131,10 +166,20 @@ func (m *Monitor) serve(conn net.Conn) {
 	}
 }
 
-// Close stops accepting connections and waits for in-flight sessions.
+// Close stops accepting connections, tears down live sessions (persistent
+// NOC sessions would otherwise never end) and waits for their goroutines.
+// Close is idempotent.
 func (m *Monitor) Close() error {
-	close(m.done)
-	err := m.ln.Close()
+	var err error
+	m.closeOnce.Do(func() {
+		close(m.done)
+		err = m.ln.Close()
+		m.mu.Lock()
+		for conn := range m.conns {
+			conn.Close()
+		}
+		m.mu.Unlock()
+	})
 	m.wg.Wait()
 	if err != nil && !errors.Is(err, net.ErrClosed) {
 		return err

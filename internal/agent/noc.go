@@ -1,15 +1,17 @@
 package agent
 
 import (
-	"bufio"
 	"context"
 	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
 	"robusttomo/internal/failure"
+	"robusttomo/internal/stats"
 	"robusttomo/internal/tomo"
 )
 
@@ -17,12 +19,34 @@ import (
 // paths, maps each path to the monitor at its source, and collects one
 // round of end-to-end measurements per epoch by fanning probe requests out
 // over TCP.
+//
+// The collection plane is fault-tolerant: each monitor gets a persistent
+// session (reconnect-on-error instead of dial-per-epoch), a bounded retry
+// policy with exponential backoff and deterministic jitter, and a circuit
+// breaker that stops hammering a monitor that keeps failing. By default an
+// epoch degrades instead of aborting: CollectEpoch returns the
+// measurements it did get plus a *CollectionError describing the monitors
+// that delivered nothing; FailFast restores the abort-the-epoch behavior.
 type NOC struct {
 	pm       *tomo.PathMatrix
-	monitors map[string]string // monitor name → address
 	srcOf    func(path int) string
+	retry    RetryPolicy
+	failFast bool
 
-	dialTimeout time.Duration
+	// state is populated at construction and read-only afterwards; each
+	// entry carries its own lock.
+	state map[string]*monitorState
+}
+
+// monitorState is the per-monitor collection state, persistent across
+// epochs.
+type monitorState struct {
+	name string
+
+	mu   sync.Mutex // serializes exchanges (and their retries) per monitor
+	sess *session
+	brk  *breaker
+	rng  *rand.Rand // deterministic backoff jitter stream, guarded by mu
 }
 
 // NOCConfig wires up a collector.
@@ -32,8 +56,44 @@ type NOCConfig struct {
 	Monitors map[string]string
 	// SourceOf returns the monitor name responsible for probing a path
 	// (the path's source endpoint).
-	SourceOf    func(path int) string
-	DialTimeout time.Duration // 0 means 5s
+	SourceOf func(path int) string
+
+	// Retry bounds per-monitor attempts within one epoch; zero fields take
+	// DefaultRetryPolicy values.
+	Retry RetryPolicy
+	// Breaker configures the per-monitor circuit breaker; zero fields take
+	// DefaultBreakerPolicy values.
+	Breaker BreakerPolicy
+	// Timeouts groups the dial and exchange deadlines; zero fields take
+	// DefaultTimeouts values.
+	Timeouts Timeouts
+	// FailFast makes CollectEpoch abort the whole epoch on the first
+	// failed monitor (returning no measurements), the pre-degradation
+	// behavior. The error is still a *CollectionError.
+	FailFast bool
+	// Seed derives the deterministic per-monitor jitter streams
+	// (stats.NewRNG(Seed, fnv(monitor name))).
+	Seed uint64
+	// Dial overrides the TCP dialer — fault injection and tests. Nil means
+	// the default net.Dialer.
+	Dial DialFunc
+
+	// DialTimeout bounds one connection attempt.
+	//
+	// Deprecated: set Timeouts.Dial. A non-zero DialTimeout is mapped onto
+	// Timeouts.Dial when the latter is unset, so existing callers compile
+	// and behave unchanged.
+	DialTimeout time.Duration
+}
+
+// DefaultNOCConfig returns a config with the retry, breaker and timeout
+// blocks at their defaults; the caller fills PM, Monitors and SourceOf.
+func DefaultNOCConfig() NOCConfig {
+	return NOCConfig{
+		Retry:    DefaultRetryPolicy(),
+		Breaker:  DefaultBreakerPolicy(),
+		Timeouts: DefaultTimeouts(),
+	}
 }
 
 // NewNOC validates the wiring.
@@ -47,15 +107,40 @@ func NewNOC(cfg NOCConfig) (*NOC, error) {
 	if cfg.SourceOf == nil {
 		return nil, fmt.Errorf("agent: NOC needs a path→monitor mapping")
 	}
-	dt := cfg.DialTimeout
-	if dt == 0 {
-		dt = 5 * time.Second
+	timeouts := cfg.Timeouts
+	if timeouts.Dial == 0 && cfg.DialTimeout != 0 {
+		timeouts.Dial = cfg.DialTimeout // deprecated field mapped forward
 	}
-	monitors := make(map[string]string, len(cfg.Monitors))
-	for k, v := range cfg.Monitors {
-		monitors[k] = v
+	timeouts = timeouts.withDefaults()
+	dial := cfg.Dial
+	if dial == nil {
+		dial = (&net.Dialer{}).DialContext
 	}
-	return &NOC{pm: cfg.PM, monitors: monitors, srcOf: cfg.SourceOf, dialTimeout: dt}, nil
+	breakerPol := cfg.Breaker.withDefaults()
+
+	n := &NOC{
+		pm:       cfg.PM,
+		srcOf:    cfg.SourceOf,
+		retry:    cfg.Retry.withDefaults(),
+		failFast: cfg.FailFast,
+		state:    make(map[string]*monitorState, len(cfg.Monitors)),
+	}
+	for name, addr := range cfg.Monitors {
+		n.state[name] = &monitorState{
+			name: name,
+			sess: newSession(name, addr, dial, timeouts),
+			brk:  newBreaker(breakerPol),
+			rng:  stats.NewRNG(cfg.Seed, streamOf(name)),
+		}
+	}
+	return n, nil
+}
+
+// streamOf hashes a monitor name into a deterministic RNG stream.
+func streamOf(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // Measurement is one collected end-to-end measurement.
@@ -65,103 +150,155 @@ type Measurement struct {
 	Value  float64
 }
 
-// CollectEpoch probes the selected paths for the given epoch, one TCP
-// session per involved monitor, requests pipelined per session and
-// sessions fanned out concurrently. Results come back sorted by path ID.
+// CollectEpoch probes the selected paths for the given epoch through the
+// persistent per-monitor sessions, fanned out concurrently with requests
+// pipelined per session. Results come back sorted by path ID.
+//
+// Failed monitors degrade the epoch instead of aborting it: the returned
+// measurements cover the monitors that answered, and the error is a
+// *CollectionError listing each failed monitor's outcome (attempts, last
+// error, breaker state). errors.Is works through it — expect
+// ErrMonitorUnreachable or ErrCircuitOpen. With FailFast set, any failed
+// monitor discards the epoch (nil measurements, same *CollectionError).
+//
+// Wiring bugs — a path index out of range (ErrPathOutOfRange) or a path
+// whose source has no registered monitor (ErrUnknownMonitor) — fail the
+// epoch outright regardless of mode.
 func (n *NOC) CollectEpoch(ctx context.Context, epoch int, selected []int) ([]Measurement, error) {
-	// Group paths by their source monitor.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Group paths by their source monitor, preserving first-seen order.
 	byMonitor := map[string][]int{}
+	var order []string
 	for _, p := range selected {
 		if p < 0 || p >= n.pm.NumPaths() {
-			return nil, fmt.Errorf("agent: path %d out of range", p)
+			return nil, fmt.Errorf("%w: path %d (matrix has %d)", ErrPathOutOfRange, p, n.pm.NumPaths())
 		}
 		name := n.srcOf(p)
-		if _, ok := n.monitors[name]; !ok {
-			return nil, fmt.Errorf("agent: no monitor registered for %q (path %d)", name, p)
+		if _, ok := n.state[name]; !ok {
+			return nil, fmt.Errorf("%w: %q (path %d)", ErrUnknownMonitor, name, p)
+		}
+		if _, seen := byMonitor[name]; !seen {
+			order = append(order, name)
 		}
 		byMonitor[name] = append(byMonitor[name], p)
 	}
 
 	type batch struct {
 		results []Measurement
-		err     error
+		outcome MonitorOutcome
 	}
-	out := make(chan batch, len(byMonitor))
+	batches := make([]batch, len(order))
 	var wg sync.WaitGroup
-	for name, paths := range byMonitor {
+	for i, name := range order {
 		wg.Add(1)
-		go func(name string, paths []int) {
+		go func(i int, name string, paths []int) {
 			defer wg.Done()
-			results, err := n.probeSession(ctx, name, epoch, paths)
-			out <- batch{results: results, err: err}
-		}(name, paths)
+			ms, outcome := n.collectMonitor(ctx, n.state[name], epoch, paths)
+			batches[i] = batch{results: ms, outcome: outcome}
+		}(i, name, byMonitor[name])
 	}
 	wg.Wait()
-	close(out)
 
 	var all []Measurement
-	for b := range out {
-		if b.err != nil {
-			return nil, b.err
+	var failed []MonitorOutcome
+	for _, b := range batches {
+		if b.outcome.Err != nil {
+			failed = append(failed, b.outcome)
+			continue
 		}
 		all = append(all, b.results...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].PathID < all[j].PathID })
+
+	if len(failed) > 0 {
+		sort.Slice(failed, func(i, j int) bool { return failed[i].Monitor < failed[j].Monitor })
+		cerr := &CollectionError{Epoch: epoch, Outcomes: failed}
+		if n.failFast {
+			return nil, cerr
+		}
+		return all, cerr
+	}
 	return all, nil
 }
 
-// probeSession opens one connection to a monitor and pipelines the probes
-// for all its paths.
-func (n *NOC) probeSession(ctx context.Context, name string, epoch int, paths []int) ([]Measurement, error) {
-	dialer := net.Dialer{Timeout: n.dialTimeout}
-	conn, err := dialer.DialContext(ctx, "tcp", n.monitors[name])
-	if err != nil {
-		return nil, fmt.Errorf("agent: dial monitor %s: %w", name, err)
-	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		if err := conn.SetDeadline(deadline); err != nil {
-			return nil, fmt.Errorf("agent: set deadline: %w", err)
-		}
-	}
+// collectMonitor runs the per-monitor retry loop for one epoch. The
+// monitor's mutex serializes concurrent epochs over the shared persistent
+// session.
+func (n *NOC) collectMonitor(ctx context.Context, st *monitorState, epoch int, paths []int) ([]Measurement, MonitorOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 
-	w := bufio.NewWriter(conn)
-	for _, p := range paths {
-		req := ProbeRequest{
+	outcome := MonitorOutcome{Monitor: st.name, Paths: paths}
+	reqs := make([]ProbeRequest, len(paths))
+	for i, p := range paths {
+		reqs[i] = ProbeRequest{
 			Type:    MsgProbe,
 			Epoch:   epoch,
 			PathID:  p,
 			Links:   n.pm.EdgesOf(p),
 			DstName: fmt.Sprintf("path-%d-dst", p),
 		}
-		if err := writeMsg(w, req); err != nil {
-			return nil, err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		return nil, fmt.Errorf("agent: flush to %s: %w", name, err)
 	}
 
-	r := bufio.NewReader(conn)
-	results := make([]Measurement, 0, len(paths))
-	for range paths {
-		line, err := readLine(r)
-		if err != nil {
-			return nil, fmt.Errorf("agent: read from %s: %w", name, err)
+	for attempt := 1; attempt <= n.retry.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			outcome.Err = fmt.Errorf("%w: %s: %w", ErrMonitorUnreachable, st.name, err)
+			break
 		}
-		var res ProbeResult
-		if err := unmarshalStrict(line, &res); err != nil {
-			return nil, err
+		if !st.brk.allow() {
+			outcome.Err = fmt.Errorf("%w: monitor %s cooling down", ErrCircuitOpen, st.name)
+			break
 		}
-		if res.Type != MsgResult {
-			return nil, fmt.Errorf("agent: unexpected %q from %s", res.Type, name)
+		outcome.Attempts++
+		ms, err := st.sess.exchange(ctx, epoch, reqs)
+		if err == nil {
+			st.brk.success()
+			outcome.Err = nil // earlier attempts may have failed; this epoch recovered
+			outcome.Breaker = st.brk.State()
+			return ms, outcome
 		}
-		if res.Epoch != epoch {
-			return nil, fmt.Errorf("agent: stale epoch %d from %s (want %d)", res.Epoch, name, epoch)
+		st.brk.failure()
+		outcome.Err = fmt.Errorf("%w: %s attempt %d/%d: %w", ErrMonitorUnreachable, st.name, attempt, n.retry.MaxAttempts, err)
+		if attempt < n.retry.MaxAttempts {
+			if !sleepCtx(ctx, n.retry.backoff(attempt, st.rng)) {
+				break // context cancelled during backoff; outcome.Err already set
+			}
 		}
-		results = append(results, Measurement{PathID: res.PathID, OK: res.OK, Value: res.Value})
 	}
-	return results, nil
+	outcome.Breaker = st.brk.State()
+	return nil, outcome
+}
+
+// BreakerStates reports each monitor's current circuit-breaker state, for
+// health dashboards and tests.
+func (n *NOC) BreakerStates() map[string]BreakerState {
+	out := make(map[string]BreakerState, len(n.state))
+	for name, st := range n.state {
+		out[name] = st.brk.State()
+	}
+	return out
+}
+
+// Close tears down every persistent monitor session. The NOC remains
+// usable — the next CollectEpoch redials — so Close doubles as a
+// "drop all connections" control.
+func (n *NOC) Close() error {
+	for _, st := range n.state {
+		st.mu.Lock()
+		st.sess.reset()
+		st.mu.Unlock()
+	}
+	return nil
+}
+
+// setClock overrides every breaker's clock; deterministic breaker tests
+// use it to step through cooldowns without sleeping.
+func (n *NOC) setClock(now func() time.Time) {
+	for _, st := range n.state {
+		st.brk.now = now
+	}
 }
 
 // EpochOracle is the LinkOracle used across this repository's examples and

@@ -1,0 +1,160 @@
+package agent
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy bounds how hard the NOC tries to collect from one monitor
+// within one epoch. Zero fields take the DefaultRetryPolicy values; set
+// MaxAttempts to 1 to disable retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of connect+exchange attempts per
+	// monitor per epoch (not per probe). 0 means 3.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry. 0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. 0 means 2s.
+	MaxBackoff time.Duration
+	// Multiplier is the exponential growth factor. 0 means 2.
+	Multiplier float64
+	// Jitter is the fraction of the backoff randomized away, in [0, 1]:
+	// the k-th retry sleeps min(Base·Mult^(k−1), Max) · (1 − Jitter·U)
+	// with U uniform in [0, 1) drawn from a deterministic per-monitor
+	// stream (stats.NewRNG seeded by NOCConfig.Seed). 0 means 0.5; set a
+	// negative value for no jitter.
+	Jitter float64
+}
+
+// DefaultRetryPolicy returns the retry defaults: 3 attempts, 50ms base
+// backoff doubling up to 2s, half-range deterministic jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}
+}
+
+// withDefaults fills zero fields with the default values.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter == 0 {
+		p.Jitter = d.Jitter
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number attempt (attempt ≥ 1 is
+// the retry after the attempt-th failure). The rng supplies the
+// deterministic jitter stream; it must not be shared across goroutines.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseBackoff)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 - p.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// BreakerPolicy configures the per-monitor circuit breaker. Zero fields
+// take the DefaultBreakerPolicy values.
+type BreakerPolicy struct {
+	// FailureThreshold is the number of consecutive failed attempts that
+	// trips the breaker from closed to open. 0 means 5.
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects attempts before
+	// admitting one half-open probe. 0 means 2s.
+	Cooldown time.Duration
+	// Disabled turns the breaker into a pass-through (every attempt is
+	// admitted, state stays closed).
+	Disabled bool
+}
+
+// DefaultBreakerPolicy returns the breaker defaults: trip after 5
+// consecutive failures, 2s cooldown before the half-open probe.
+func DefaultBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{FailureThreshold: 5, Cooldown: 2 * time.Second}
+}
+
+// withDefaults fills zero fields with the default values.
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	d := DefaultBreakerPolicy()
+	if p.FailureThreshold == 0 {
+		p.FailureThreshold = d.FailureThreshold
+	}
+	if p.Cooldown == 0 {
+		p.Cooldown = d.Cooldown
+	}
+	return p
+}
+
+// Timeouts groups the collection deadlines. Zero fields take the
+// DefaultTimeouts values.
+type Timeouts struct {
+	// Dial bounds one connection attempt. 0 means 5s.
+	Dial time.Duration
+	// Exchange bounds one request/response exchange with a monitor (the
+	// whole pipelined epoch batch for that monitor). 0 means 10s; the
+	// context deadline still applies when sooner.
+	Exchange time.Duration
+}
+
+// DefaultTimeouts returns the timeout defaults: 5s dial, 10s exchange.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{Dial: 5 * time.Second, Exchange: 10 * time.Second}
+}
+
+// withDefaults fills zero fields with the default values.
+func (t Timeouts) withDefaults() Timeouts {
+	d := DefaultTimeouts()
+	if t.Dial == 0 {
+		t.Dial = d.Dial
+	}
+	if t.Exchange == 0 {
+		t.Exchange = d.Exchange
+	}
+	return t
+}
+
+// sleepCtx sleeps for d or until the context is done, reporting whether
+// the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

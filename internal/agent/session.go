@@ -1,0 +1,131 @@
+package agent
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// DialFunc opens a connection to a monitor; it matches
+// (*net.Dialer).DialContext so custom dialers (fault injection, proxies,
+// in-memory transports) drop in.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// session is one persistent NOC→monitor connection. It survives across
+// epochs — reconnecting lazily after any error — so steady-state
+// collection pays one dial per monitor lifetime, not per epoch. A session
+// is not safe for concurrent use; the NOC serializes access per monitor.
+type session struct {
+	name     string
+	addr     string
+	dial     DialFunc
+	timeouts Timeouts
+
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func newSession(name, addr string, dial DialFunc, timeouts Timeouts) *session {
+	return &session{name: name, addr: addr, dial: dial, timeouts: timeouts}
+}
+
+// connected reports whether the session currently holds a live connection
+// (as far as it knows — a dead peer is only discovered on the next
+// exchange).
+func (s *session) connected() bool { return s.conn != nil }
+
+// connect ensures a live connection, dialing if needed.
+func (s *session) connect(ctx context.Context) error {
+	if s.conn != nil {
+		return nil
+	}
+	dctx := ctx
+	if s.timeouts.Dial > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, s.timeouts.Dial)
+		defer cancel()
+	}
+	conn, err := s.dial(dctx, "tcp", s.addr)
+	if err != nil {
+		return fmt.Errorf("dial %s (%s): %w", s.name, s.addr, err)
+	}
+	s.conn = conn
+	s.r = bufio.NewReader(conn)
+	s.w = bufio.NewWriter(conn)
+	return nil
+}
+
+// reset tears the connection down so the next exchange redials. Called
+// after any exchange error: a failed pipelined batch leaves the stream in
+// an unknown position, and a fresh connection is the only safe recovery.
+func (s *session) reset() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.r = nil
+		s.w = nil
+	}
+}
+
+// exchange pipelines the probe requests for one epoch over the session and
+// reads the matching results. Any failure resets the session before
+// returning, so the caller's retry redials.
+func (s *session) exchange(ctx context.Context, epoch int, reqs []ProbeRequest) ([]Measurement, error) {
+	if err := s.connect(ctx); err != nil {
+		return nil, err
+	}
+	deadline := time.Time{}
+	if s.timeouts.Exchange > 0 {
+		deadline = time.Now().Add(s.timeouts.Exchange)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if err := s.conn.SetDeadline(deadline); err != nil {
+		s.reset()
+		return nil, fmt.Errorf("set deadline for %s: %w", s.name, err)
+	}
+
+	for i := range reqs {
+		if err := writeMsg(s.w, reqs[i]); err != nil {
+			s.reset()
+			return nil, fmt.Errorf("write to %s: %w", s.name, err)
+		}
+	}
+	if err := s.w.Flush(); err != nil {
+		s.reset()
+		return nil, fmt.Errorf("flush to %s: %w", s.name, err)
+	}
+
+	results := make([]Measurement, 0, len(reqs))
+	for range reqs {
+		line, err := readLine(s.r)
+		if err != nil {
+			s.reset()
+			return nil, fmt.Errorf("read from %s: %w", s.name, err)
+		}
+		var res ProbeResult
+		if err := unmarshalStrict(line, &res); err != nil {
+			s.reset()
+			return nil, fmt.Errorf("decode from %s: %w", s.name, err)
+		}
+		if res.Type != MsgResult {
+			s.reset()
+			return nil, fmt.Errorf("unexpected %q from %s", res.Type, s.name)
+		}
+		if res.Epoch != epoch {
+			s.reset()
+			return nil, fmt.Errorf("stale epoch %d from %s (want %d)", res.Epoch, s.name, epoch)
+		}
+		results = append(results, Measurement{PathID: res.PathID, OK: res.OK, Value: res.Value})
+	}
+	// Clear the deadline so an idle epoch gap cannot poison the next
+	// exchange on this connection.
+	if err := s.conn.SetDeadline(time.Time{}); err != nil {
+		s.reset()
+	}
+	return results, nil
+}

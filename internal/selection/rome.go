@@ -16,6 +16,7 @@
 package selection
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -60,6 +61,13 @@ type Options struct {
 	// drops to or below this threshold (paths past it cannot improve the
 	// objective). Zero is a sensible default for ER oracles.
 	MinGain float64
+	// Ctx, when non-nil, is checked between greedy iterations: once it is
+	// cancelled, RoMe returns ctx.Err() (wrapped) instead of completing
+	// the selection. Long MonteRoMe runs become interruptible; a nil Ctx
+	// never cancels. The check sits between iterations, so cancellation
+	// latency is one gain evaluation (or one batch wave), not one full
+	// run.
+	Ctx context.Context
 	// Scratch supplies reusable working storage for the greedy's O(n)
 	// buffers. Callers that run RoMe many times over one instance (the LSR
 	// learner runs it every epoch) pass the same Scratch to skip the
@@ -207,6 +215,9 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 	if budget < 0 {
 		return Result{}, fmt.Errorf("selection: negative budget %v", budget)
 	}
+	if err := cancelErr(opts.Ctx); err != nil {
+		return Result{}, err
+	}
 
 	batcher, _ := oracle.(er.BatchGainer)
 	if !opts.Parallel {
@@ -277,6 +288,9 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 			pending = sc.pending
 		}
 		for h.Len() > 0 {
+			if err := cancelErr(opts.Ctx); err != nil {
+				return Result{}, err
+			}
 			top := h.pop()
 			if top.round != round {
 				// Stale: refresh against the current set and re-insert.
@@ -322,6 +336,9 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 		sc.gains = gains
 		copy(gains, initial)
 		for {
+			if err := cancelErr(opts.Ctx); err != nil {
+				return Result{}, err
+			}
 			best, bestWeight := -1, 0.0
 			for q := 0; q < n; q++ {
 				if remaining[q] {
@@ -379,6 +396,17 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 	res.Cost = spent
 	res.Objective = greedyVal
 	return res, nil
+}
+
+// cancelErr reports a cancelled Options.Ctx (nil contexts never cancel).
+func cancelErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("selection: cancelled: %w", err)
+	}
+	return nil
 }
 
 // refreshWaveSize bounds how many stale refreshes one GainBatch call

@@ -1,10 +1,13 @@
 package selection
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"robusttomo/internal/er"
 	"robusttomo/internal/failure"
@@ -331,5 +334,51 @@ func TestRoMeZeroCostPaths(t *testing.T) {
 	}
 	if res.Selected[0] != 0 {
 		t.Fatalf("zero-cost path not selected first: %v", res.Selected)
+	}
+}
+
+func TestRoMeCancellation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	pm, model := randomInstance(rng, 12, 30)
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1
+	}
+
+	// Already-cancelled context: the greedy loop must bail before selecting
+	// anything, in both the lazy and naive variants.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, lazy := range []bool{true, false} {
+		opts := NewOptions()
+		opts.Lazy = lazy
+		opts.Ctx = ctx
+		_, err := RoMe(pm, costs, 10, er.NewProbBoundInc(pm, model), opts)
+		if err == nil {
+			t.Fatalf("lazy=%v: cancelled context accepted", lazy)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("lazy=%v: error %v does not wrap context.Canceled", lazy, err)
+		}
+	}
+
+	// A nil Ctx (the default) never cancels.
+	opts := NewOptions()
+	if opts.Ctx != nil {
+		t.Fatal("NewOptions should leave Ctx nil")
+	}
+	if _, err := RoMe(pm, costs, 10, er.NewProbBoundInc(pm, model), opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// An expired deadline reads the same as cancellation.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	time.Sleep(time.Millisecond)
+	opts = NewOptions()
+	opts.Ctx = dctx
+	_, err := RoMe(pm, costs, 10, er.NewProbBoundInc(pm, model), opts)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RoMe under expired deadline: %v", err)
 	}
 }

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"robusttomo/internal/agent"
@@ -64,6 +65,22 @@ type Config struct {
 	Seed  uint64
 }
 
+// CollectionHealth records how measurement collection went for one epoch.
+// A degraded epoch is not an error: paths of unreachable monitors are
+// treated as failed paths, and the surviving rows feed the same
+// surviving-rank machinery as link failures.
+type CollectionHealth struct {
+	// Degraded reports whether any monitor delivered nothing this epoch.
+	Degraded bool
+	// FailedMonitors lists the monitors with no data, sorted by name.
+	FailedMonitors []string
+	// Attempts sums the connection attempts spent on failed monitors.
+	Attempts int
+	// LostPaths counts selected paths that produced no measurement
+	// (collector-side loss, on top of network-side probe failures).
+	LostPaths int
+}
+
 // EpochReport summarizes one epoch of the loop.
 type EpochReport struct {
 	Epoch        int
@@ -73,6 +90,8 @@ type EpochReport struct {
 	Identifiable int
 	// Implicated lists links proven down by Boolean localization.
 	Implicated []int
+	// Collection records per-epoch measurement-plane health.
+	Collection CollectionHealth
 }
 
 // Runner owns the loop state.
@@ -200,15 +219,22 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 	}
 
 	ms, err := r.collector.CollectEpoch(ctx, r.epoch, selected)
-	if err != nil {
+	var cerr *agent.CollectionError
+	if err != nil && !errors.As(err, &cerr) {
+		// A partially collected epoch degrades instead of aborting: the
+		// paths of unreachable monitors become failed paths, absorbed by
+		// the same surviving-rank machinery as link failures. Anything
+		// other than a *agent.CollectionError stays fatal.
 		return EpochReport{}, err
 	}
 
 	report := EpochReport{Epoch: r.epoch, Probed: len(selected)}
 	obs := diagnose.Observation{}
 	avail := make([]bool, r.cfg.PM.NumPaths())
+	measured := make(map[int]bool, len(ms))
 	var surviving []int
 	for _, m := range ms {
+		measured[m.PathID] = true
 		obs.Paths = append(obs.Paths, m.PathID)
 		obs.OK = append(obs.OK, m.OK)
 		if m.OK {
@@ -216,6 +242,22 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 			surviving = append(surviving, m.PathID)
 			if err := r.agg.Observe(m.PathID, m.Value); err != nil {
 				return EpochReport{}, err
+			}
+		}
+	}
+	if cerr != nil {
+		report.Collection.Degraded = true
+		report.Collection.FailedMonitors = cerr.FailedMonitors()
+		for _, o := range cerr.Outcomes {
+			report.Collection.Attempts += o.Attempts
+		}
+		// Selected paths that produced no measurement read as failed
+		// paths: the learner and the Boolean diagnoser observe them down.
+		for _, p := range selected {
+			if !measured[p] {
+				report.Collection.LostPaths++
+				obs.Paths = append(obs.Paths, p)
+				obs.OK = append(obs.OK, false)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"testing"
+	"time"
 
 	"robusttomo/internal/agent"
 	"robusttomo/internal/failure"
@@ -274,4 +275,83 @@ func exampleConfigFixedHorizon(t *testing.T, horizon int) Config {
 	cfg := exampleConfig(t, Static)
 	cfg.Horizon = horizon
 	return cfg
+}
+
+// TestRunnerSurvivesDeadMonitor is the degradation acceptance test: with
+// one TCP monitor down for the whole run, Runner.Run still completes all
+// epochs, the dead monitor's paths read as failed paths, and per-epoch
+// collection health lands in EpochReport.Collection.
+func TestRunnerSurvivesDeadMonitor(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	cfg.Horizon = 4
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := topo.NewExample()
+	srcOf := func(p int) string { return ex.Graph.Label(cfg.PM.Path(p).Src) }
+	// Kill the monitor sourcing the first selected path so every epoch is
+	// guaranteed to lose at least one path.
+	dead := srcOf(r.StaticSelection()[0])
+	addrs := map[string]string{}
+	for _, mn := range ex.Monitors {
+		name := ex.Graph.Label(mn)
+		mon, err := agent.StartMonitor(name, "127.0.0.1:0", r.Oracle())
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[name] = mon.Addr()
+		if name == dead {
+			mon.Close() // address stays in the map; dials get refused
+		} else {
+			t.Cleanup(func() { mon.Close() })
+		}
+	}
+	noc, err := agent.NewNOC(agent.NOCConfig{
+		PM:       cfg.PM,
+		Monitors: addrs,
+		SourceOf: srcOf,
+		Retry:    agent.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Multiplier: 2, Jitter: -1},
+		Breaker:  agent.BreakerPolicy{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UseCollector(noc); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := r.Run(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("Run aborted instead of degrading: %v", err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d, want 4", len(reports))
+	}
+	for i, rep := range reports {
+		h := rep.Collection
+		if !h.Degraded {
+			t.Fatalf("epoch %d: not marked degraded: %+v", i, h)
+		}
+		if len(h.FailedMonitors) != 1 || h.FailedMonitors[0] != dead {
+			t.Fatalf("epoch %d: FailedMonitors = %v, want [%s]", i, h.FailedMonitors, dead)
+		}
+		if h.LostPaths == 0 || h.Attempts == 0 {
+			t.Fatalf("epoch %d: lost paths/attempts not recorded: %+v", i, h)
+		}
+		if rep.Survived+h.LostPaths > rep.Probed {
+			t.Fatalf("epoch %d: survived %d + lost %d > probed %d", i, rep.Survived, h.LostPaths, rep.Probed)
+		}
+	}
+	// The surviving monitors' data must still be exact: compare against a
+	// local run restricted to links the degraded run identified.
+	values, ident, err := r.Estimates(1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range cfg.Metrics {
+		if ident[j] && math.Abs(values[j]-cfg.Metrics[j]) > 1e-8 {
+			t.Fatalf("link %d inferred %v, want %v", j, values[j], cfg.Metrics[j])
+		}
+	}
 }

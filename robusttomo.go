@@ -19,6 +19,7 @@
 package robusttomo
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"robusttomo/internal/agent"
@@ -227,9 +228,11 @@ var (
 type (
 	// Monitor is a TCP vantage-point agent answering probe requests.
 	Monitor = agent.Monitor
-	// NOC is the measurement collector fanning probes out to monitors.
+	// NOC is the fault-tolerant measurement collector fanning probes out
+	// to monitors over persistent sessions.
 	NOC = agent.NOC
-	// NOCConfig wires a NOC to its monitors and path matrix.
+	// NOCConfig wires a NOC to its monitors and path matrix, with retry,
+	// breaker and timeout blocks.
 	NOCConfig = agent.NOCConfig
 	// Measurement is one collected end-to-end measurement.
 	Measurement = agent.Measurement
@@ -238,16 +241,77 @@ type (
 	// EpochOracle is a LinkOracle over ground-truth metrics and a failure
 	// schedule.
 	EpochOracle = agent.EpochOracle
+	// RetryPolicy bounds per-monitor collection attempts per epoch.
+	RetryPolicy = agent.RetryPolicy
+	// BreakerPolicy configures the per-monitor circuit breaker.
+	BreakerPolicy = agent.BreakerPolicy
+	// CollectorTimeouts groups the NOC's dial/exchange deadlines.
+	CollectorTimeouts = agent.Timeouts
+	// BreakerState is one monitor's circuit-breaker state.
+	BreakerState = agent.BreakerState
+	// CollectionError reports a partially failed epoch (per-monitor
+	// outcomes alongside the measurements that did arrive).
+	CollectionError = agent.CollectionError
+	// MonitorOutcome is one monitor's collection outcome for one epoch.
+	MonitorOutcome = agent.MonitorOutcome
+	// DialFunc customizes how the NOC reaches monitors.
+	DialFunc = agent.DialFunc
+	// FaultyDialer scripts NOC-side dial faults for tests.
+	FaultyDialer = agent.FaultyDialer
+	// DialFault scripts one faulty dial attempt.
+	DialFault = agent.DialFault
+	// FaultyListener scripts monitor-side connection faults for tests.
+	FaultyListener = agent.FaultyListener
+	// ConnFault scripts one faulty accepted connection.
+	ConnFault = agent.ConnFault
+)
+
+// Circuit-breaker states.
+const (
+	BreakerClosed   = agent.BreakerClosed
+	BreakerOpen     = agent.BreakerOpen
+	BreakerHalfOpen = agent.BreakerHalfOpen
+)
+
+// Collection sentinel errors; match with errors.Is through a
+// *CollectionError.
+var (
+	// ErrMonitorUnreachable marks a monitor that delivered nothing after
+	// the retry budget (dial failures, resets, protocol garbage).
+	ErrMonitorUnreachable = agent.ErrMonitorUnreachable
+	// ErrUnknownMonitor marks a path whose source has no registered
+	// monitor.
+	ErrUnknownMonitor = agent.ErrUnknownMonitor
+	// ErrPathOutOfRange marks a selected path index outside the matrix.
+	ErrPathOutOfRange = agent.ErrPathOutOfRange
+	// ErrCircuitOpen marks a monitor skipped while its breaker cools down.
+	ErrCircuitOpen = agent.ErrCircuitOpen
 )
 
 // Measurement-collection construction.
 var (
 	// StartMonitor launches a monitor agent on a TCP address.
 	StartMonitor = agent.StartMonitor
+	// StartMonitorOn launches a monitor over an existing listener (the
+	// fault-injection hook).
+	StartMonitorOn = agent.StartMonitorOn
 	// NewNOC builds the measurement collector.
 	NewNOC = agent.NewNOC
+	// DefaultNOCConfig returns a NOCConfig with the retry, breaker and
+	// timeout blocks at their defaults.
+	DefaultNOCConfig = agent.DefaultNOCConfig
+	// DefaultRetryPolicy returns the collection retry defaults.
+	DefaultRetryPolicy = agent.DefaultRetryPolicy
+	// DefaultBreakerPolicy returns the circuit-breaker defaults.
+	DefaultBreakerPolicy = agent.DefaultBreakerPolicy
+	// DefaultCollectorTimeouts returns the collection deadline defaults.
+	DefaultCollectorTimeouts = agent.DefaultTimeouts
 	// NewEpochOracle builds the simulated per-epoch network state.
 	NewEpochOracle = agent.NewEpochOracle
+	// NewFaultyDialer scripts faults over a dialer (tests).
+	NewFaultyDialer = agent.NewFaultyDialer
+	// NewFaultyListener scripts faults over a listener (tests).
+	NewFaultyListener = agent.NewFaultyListener
 )
 
 // Failure localization, monitor placement and the closed-loop runner.
@@ -262,6 +326,9 @@ type (
 	PlacementResult = placement.Result
 	// SimConfig parameterizes the closed-loop tomography runner.
 	SimConfig = sim.Config
+	// CollectionHealth is per-epoch measurement-plane health in an
+	// EpochReport.
+	CollectionHealth = sim.CollectionHealth
 	// SimRunner drives collection, aggregation, learning and localization
 	// epoch by epoch.
 	SimRunner = sim.Runner
@@ -291,14 +358,36 @@ var (
 	NewSimRunner = sim.New
 )
 
-// SelectRobustPaths is the one-call happy path: run ProbRoMe (RoMe with
-// the efficient ER bound) over the candidates and return the selection.
+// SelectRobustPathsCtx is the context-first one-call happy path: run
+// ProbRoMe (RoMe with the efficient ER bound) over the candidates and
+// return the selection. The context is checked between greedy iterations,
+// so cancelling it interrupts a long selection promptly.
+func SelectRobustPathsCtx(ctx context.Context, pm *PathMatrix, model *FailureModel, costs []float64, budget float64) (SelectionResult, error) {
+	opts := selection.NewOptions()
+	opts.Ctx = ctx
+	return selection.RoMe(pm, costs, budget, er.NewProbBoundInc(pm, model), opts)
+}
+
+// SelectRobustPathsMCCtx is SelectRobustPathsCtx with the Monte Carlo
+// oracle (MonteRoMe) over the given number of sampled scenarios —
+// MonteRoMe is the expensive variant, so cancellation matters most here.
+func SelectRobustPathsMCCtx(ctx context.Context, pm *PathMatrix, model *FailureModel, costs []float64, budget float64, runs int, rng *rand.Rand) (SelectionResult, error) {
+	opts := selection.NewOptions()
+	opts.Ctx = ctx
+	return selection.RoMe(pm, costs, budget, er.NewMonteCarloInc(pm, model, runs, rng), opts)
+}
+
+// SelectRobustPaths is the non-context one-call happy path: run ProbRoMe
+// (RoMe with the efficient ER bound) over the candidates and return the
+// selection. It is a thin wrapper over SelectRobustPathsCtx with
+// context.Background().
 func SelectRobustPaths(pm *PathMatrix, model *FailureModel, costs []float64, budget float64) (SelectionResult, error) {
-	return selection.RoMe(pm, costs, budget, er.NewProbBoundInc(pm, model), selection.NewOptions())
+	return SelectRobustPathsCtx(context.Background(), pm, model, costs, budget)
 }
 
 // SelectRobustPathsMC is SelectRobustPaths with the Monte Carlo oracle
-// (MonteRoMe) over the given number of sampled scenarios.
+// (MonteRoMe) over the given number of sampled scenarios; a thin wrapper
+// over SelectRobustPathsMCCtx with context.Background().
 func SelectRobustPathsMC(pm *PathMatrix, model *FailureModel, costs []float64, budget float64, runs int, rng *rand.Rand) (SelectionResult, error) {
-	return selection.RoMe(pm, costs, budget, er.NewMonteCarloInc(pm, model, runs, rng), selection.NewOptions())
+	return SelectRobustPathsMCCtx(context.Background(), pm, model, costs, budget, runs, rng)
 }

@@ -2,8 +2,10 @@ package robusttomo
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 // TestFacadeEndToEnd exercises the public API exactly the way the README
@@ -230,5 +232,108 @@ func TestFacadeLearner(t *testing.T) {
 	mean /= float64(len(theta))
 	if math.IsNaN(mean) || mean <= 0 {
 		t.Fatalf("learned availabilities look wrong: %v", theta)
+	}
+}
+
+// TestFacadeCtxSelection covers the context-aware selection entry points:
+// a live context matches the non-ctx wrappers exactly, and a cancelled one
+// aborts with context.Canceled for both the deterministic and Monte Carlo
+// variants.
+func TestFacadeCtxSelection(t *testing.T) {
+	ex := NewExampleNetwork()
+	paths, err := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPathMatrix(paths, ex.Graph.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, pm.NumLinks())
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	model, err := FailureFromProbabilities(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1
+	}
+
+	plain, err := SelectRobustPaths(pm, model, costs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := SelectRobustPathsCtx(context.Background(), pm, model, costs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Selected) != len(withCtx.Selected) || plain.Objective != withCtx.Objective {
+		t.Fatalf("ctx variant diverged: %+v vs %+v", plain, withCtx)
+	}
+	for i := range plain.Selected {
+		if plain.Selected[i] != withCtx.Selected[i] {
+			t.Fatalf("selection diverged at %d: %v vs %v", i, plain.Selected, withCtx.Selected)
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SelectRobustPathsCtx(cancelled, pm, model, costs, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectRobustPathsCtx under cancelled ctx: %v", err)
+	}
+	if _, err := SelectRobustPathsMCCtx(cancelled, pm, model, costs, 8, 50, NewRNG(1, 1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectRobustPathsMCCtx under cancelled ctx: %v", err)
+	}
+}
+
+// TestFacadeFaultToleranceSurface smoke-tests the re-exported collection
+// API: a NOC built from DefaultNOCConfig over a fault-injected monitor
+// degrades with the re-exported sentinels and typed error.
+func TestFacadeFaultToleranceSurface(t *testing.T) {
+	paths := []Path{{Src: 0, Dst: 1, Edges: []EdgeID{0}}}
+	pm, err := NewPathMatrix(paths, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewEpochOracle([]float64{2.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := StartMonitor("m", "127.0.0.1:0", oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := mon.Addr()
+	mon.Close() // dead monitor: every dial refused
+
+	cfg := DefaultNOCConfig()
+	cfg.PM = pm
+	cfg.Monitors = map[string]string{"m": addr}
+	cfg.SourceOf = func(int) string { return "m" }
+	cfg.Retry = RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Multiplier: 2, Jitter: -1}
+	cfg.Timeouts = CollectorTimeouts{Dial: 200 * time.Millisecond, Exchange: time.Second}
+	noc, err := NewNOC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := noc.CollectEpoch(context.Background(), 0, []int{0})
+	if len(ms) != 0 {
+		t.Fatalf("measurements from a dead monitor: %v", ms)
+	}
+	if !errors.Is(err, ErrMonitorUnreachable) {
+		t.Fatalf("error %v does not wrap ErrMonitorUnreachable", err)
+	}
+	var cerr *CollectionError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("error %T is not a *CollectionError", err)
+	}
+	if got := cerr.FailedMonitors(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("FailedMonitors = %v", got)
+	}
+	if st := noc.BreakerStates()["m"]; st != BreakerClosed && st != BreakerOpen {
+		t.Fatalf("unexpected breaker state %v", st)
 	}
 }
