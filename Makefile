@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json fuzz soak-agent experiments examples clean
+.PHONY: all build test race cover bench bench-json fuzz soak-agent serve-smoke experiments examples clean
 
 all: build test
 
@@ -22,12 +22,14 @@ bench:
 
 # Run the tracked benchmark suites and record ns/op, allocs/op and
 # throughput (plus optimized-vs-baseline speedups) in BENCH_selection.json
-# (Monte Carlo kernels) and BENCH_bandit.json (epoch-incremental LSR +
-# trial-sharded experiment runners), tracking the perf trajectory across
-# PRs.
+# (Monte Carlo kernels), BENCH_bandit.json (epoch-incremental LSR +
+# trial-sharded experiment runners) and BENCH_obs.json (observability hot
+# paths, proving the nil-registry cost is a single nil check), tracking
+# the perf trajectory across PRs.
 bench-json:
 	$(GO) run ./cmd/benchregress -suite selection
 	$(GO) run ./cmd/benchregress -suite bandit
+	$(GO) run ./cmd/benchregress -suite obs
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
@@ -38,6 +40,14 @@ fuzz:
 # under the race detector. Bounded well under 30s.
 soak-agent:
 	AGENT_SOAK=1 $(GO) test -race -run TestAgentSoak -count=1 -timeout 60s -v ./internal/agent/
+
+# Boot the `tomo serve` daemon on a random port under the race detector
+# and drive its whole HTTP surface: /readyz, the breaker-aware /healthz
+# flip after the monitor kill, Prometheus metric families from every
+# instrumented layer on /metrics, /statusz JSON, pprof, expvar, and a real
+# SIGTERM graceful shutdown.
+serve-smoke:
+	$(GO) test -race -run 'TestServe' -count=1 -timeout 120s -v ./cmd/tomo/
 
 # Regenerate every paper table/figure at quick scale (seconds). Use
 # SCALE=medium or SCALE=paper for the larger runs.
@@ -53,6 +63,7 @@ examples:
 	$(GO) run ./examples/agents
 	$(GO) run ./examples/closedloop
 	$(GO) run ./examples/learning
+	$(GO) run ./examples/observability
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,9 @@
 //     BENCH_selection.json
 //   - bandit: the epoch-incremental LSR and trial-sharded experiment
 //     benchmarks → BENCH_bandit.json
+//   - obs: the observability hot paths (counter add, histogram observe,
+//     nil-handle no-ops, /metrics render) → BENCH_obs.json; the *Nil
+//     variants prove the unobserved cost is a single nil check
 //
 // Each benchmark is paired with its baseline reference — a *Serial variant
 // (one worker) or a *Fresh variant (from-scratch-per-epoch LSR) — and the
@@ -15,7 +18,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchregress [-suite selection|bandit] [-out FILE] [-benchtime 5x]
+//	go run ./cmd/benchregress [-suite selection|bandit|obs] [-out FILE] [-benchtime 5x]
 package main
 
 import (
@@ -28,11 +31,15 @@ import (
 )
 
 // suites maps each -suite name to its benchmark pattern, packages and
-// default output file.
+// default output file. A suite may override the default -benchtime: the
+// algorithmic suites run a fixed 5 iterations of expensive benchmarks,
+// while the obs suite measures sub-nanosecond operations that need a
+// time-based budget to produce meaningful figures.
 var suites = map[string]struct {
-	out      string
-	pattern  string
-	packages []string
+	out       string
+	pattern   string
+	packages  []string
+	benchtime string
 }{
 	"selection": {
 		out: "BENCH_selection.json",
@@ -48,12 +55,21 @@ var suites = map[string]struct {
 			"BenchmarkFig5Quick|BenchmarkFig5QuickSerial)$",
 		packages: []string{"./internal/bandit/", "./internal/experiments/"},
 	},
+	"obs": {
+		out: "BENCH_obs.json",
+		pattern: "^(BenchmarkCounterAdd|BenchmarkCounterAddNil|" +
+			"BenchmarkGaugeSet|BenchmarkGaugeSetNil|" +
+			"BenchmarkHistogramObserve|BenchmarkHistogramObserveNil|" +
+			"BenchmarkCounterAddContended|BenchmarkPrometheusRender)$",
+		packages:  []string{"./internal/obs/"},
+		benchtime: "1s",
+	},
 }
 
 func main() {
-	suiteName := flag.String("suite", "selection", "benchmark suite: selection or bandit")
+	suiteName := flag.String("suite", "selection", "benchmark suite: selection, bandit or obs")
 	out := flag.String("out", "", "output JSON path (default per suite)")
-	benchtime := flag.String("benchtime", "5x", "go test -benchtime value")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (default per suite)")
 	pattern := flag.String("bench", "", "go test -bench regexp override (default per suite)")
 	flag.Parse()
 
@@ -67,6 +83,12 @@ func main() {
 	}
 	if *pattern == "" {
 		*pattern = suite.pattern
+	}
+	if *benchtime == "" {
+		*benchtime = suite.benchtime
+		if *benchtime == "" {
+			*benchtime = "5x"
+		}
 	}
 
 	args := append([]string{

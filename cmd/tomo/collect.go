@@ -4,22 +4,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
-
-	"robusttomo/internal/agent"
-	"robusttomo/internal/failure"
-	"robusttomo/internal/routing"
-	"robusttomo/internal/sim"
-	"robusttomo/internal/tomo"
-	"robusttomo/internal/topo"
 )
 
 // runCollect demonstrates the fault-tolerant collection plane end to end:
 // real TCP monitors on the example network, a NOC with retries and circuit
 // breakers, and a monitor killed mid-run. The loop degrades — partial
-// epochs, failed paths, breaker opening — instead of aborting.
+// epochs, failed paths, breaker opening — instead of aborting. With
+// -strict the command exits non-zero when the final epoch was degraded
+// (or, in -fail-fast mode, failed), so scripted health checks can gate on
+// a clean steady state.
 func runCollect(args []string) error {
 	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
 	epochs := fs.Int("epochs", 12, "epochs to run")
@@ -29,6 +24,7 @@ func runCollect(args []string) error {
 	threshold := fs.Int("breaker-threshold", 3, "consecutive failures before the breaker opens")
 	cooldown := fs.Duration("cooldown", 100*time.Millisecond, "breaker cool-down before a half-open probe")
 	failFast := fs.Bool("fail-fast", false, "abort degraded epochs instead of keeping partial data")
+	strict := fs.Bool("strict", false, "exit non-zero if the final epoch was degraded")
 	seed := fs.Uint64("seed", 2014, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,126 +33,65 @@ func runCollect(args []string) error {
 		return fmt.Errorf("epochs must be positive")
 	}
 
-	ex := topo.NewExample()
-	paths, err := routing.MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
-	if err != nil {
-		return err
-	}
-	pm, err := tomo.NewPathMatrix(paths, ex.Graph.NumEdges())
-	if err != nil {
-		return err
-	}
-	probs := make([]float64, pm.NumLinks())
-	for i := range probs {
-		probs[i] = 0.05
-	}
-	probs[ex.Bridge] = 0.3
-	model, err := failure.FromProbabilities(probs)
-	if err != nil {
-		return err
-	}
-	costs := make([]float64, pm.NumPaths())
-	for i := range costs {
-		costs[i] = 1
-	}
-	metrics := make([]float64, pm.NumLinks())
-	for i := range metrics {
-		metrics[i] = 1 + float64(i)*0.5
-	}
-	runner, err := sim.New(sim.Config{
-		PM:       pm,
-		Costs:    costs,
-		Budget:   10,
-		Metrics:  metrics,
-		Failures: model,
-		Horizon:  *epochs,
-		Mode:     sim.Static,
-		Model:    model,
-		Seed:     *seed,
+	d, err := newDemoLoop(demoConfig{
+		Horizon:   *epochs,
+		Retries:   *retries,
+		Backoff:   *backoff,
+		Threshold: *threshold,
+		Cooldown:  *cooldown,
+		FailFast:  *failFast,
+		Seed:      *seed,
 	})
 	if err != nil {
 		return err
 	}
-
-	srcOf := func(p int) string { return ex.Graph.Label(pm.Path(p).Src) }
-	// The victim is the monitor sourcing the first selected path, so the
-	// kill is guaranteed to cost measurements.
-	victim := srcOf(runner.StaticSelection()[0])
-	monitors := map[string]*agent.Monitor{}
-	addrs := map[string]string{}
-	for _, mn := range ex.Monitors {
-		name := ex.Graph.Label(mn)
-		mon, err := agent.StartMonitor(name, "127.0.0.1:0", runner.Oracle())
-		if err != nil {
-			return err
-		}
-		defer mon.Close()
-		monitors[name] = mon
-		addrs[name] = mon.Addr()
-	}
-
-	cfg := agent.DefaultNOCConfig()
-	cfg.PM = pm
-	cfg.Monitors = addrs
-	cfg.SourceOf = srcOf
-	cfg.Retry = agent.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *backoff, MaxBackoff: 20 * *backoff, Multiplier: 2, Jitter: 0.5}
-	cfg.Breaker = agent.BreakerPolicy{FailureThreshold: *threshold, Cooldown: *cooldown}
-	cfg.Timeouts = agent.Timeouts{Dial: 250 * time.Millisecond, Exchange: 2 * time.Second}
-	cfg.FailFast = *failFast
-	cfg.Seed = *seed
-	noc, err := agent.NewNOC(cfg)
-	if err != nil {
-		return err
-	}
-	defer noc.Close()
-	if err := runner.UseCollector(noc); err != nil {
-		return err
-	}
+	defer d.Close()
 
 	fmt.Printf("fault-tolerant collection on %s: %d monitors, %d selected paths, %d epochs\n",
-		ex.Graph, len(addrs), len(runner.StaticSelection()), *epochs)
+		d.Ex.Graph, len(d.Addrs), len(d.Runner.StaticSelection()), *epochs)
 	if *killEpoch >= 0 {
 		fmt.Printf("monitor %s dies before epoch %d (retries %d, breaker threshold %d, cooldown %v)\n",
-			victim, *killEpoch, *retries, *threshold, *cooldown)
+			d.Victim, *killEpoch, *retries, *threshold, *cooldown)
 	}
 	fmt.Println("epoch  probed  survived  rank  health")
 	ctx := context.Background()
+	finalDegraded := false
 	for e := 0; e < *epochs; e++ {
 		if e == *killEpoch {
-			monitors[victim].Close()
+			d.KillVictim()
 		}
-		rep, err := runner.Step(ctx)
+		rep, err := d.Runner.Step(ctx)
 		if err != nil {
 			// FailFast mode surfaces degraded epochs as errors; report and
 			// keep going so the breaker arc is still visible.
 			fmt.Printf("%5d  collection failed: %v\n", e, err)
+			finalDegraded = true
 			continue
 		}
 		health := "ok"
+		finalDegraded = rep.Collection.Degraded
 		if rep.Collection.Degraded {
 			health = fmt.Sprintf("degraded: lost %d path(s) via %s after %d attempt(s)",
 				rep.Collection.LostPaths, strings.Join(rep.Collection.FailedMonitors, ","), rep.Collection.Attempts)
 		}
 		fmt.Printf("%5d  %6d  %8d  %4d  %s\n", rep.Epoch, rep.Probed, rep.Survived, rep.Rank, health)
 	}
-	var states []string
-	for name, st := range noc.BreakerStates() {
-		states = append(states, fmt.Sprintf("%s=%s", name, st))
-	}
-	sort.Strings(states)
-	fmt.Printf("breakers: %s\n", strings.Join(states, " "))
+	fmt.Printf("breakers: %s\n", d.BreakerLine())
 
-	values, ident, err := runner.Estimates(1, 1e-6)
+	values, ident, err := d.Runner.Estimates(1, 1e-6)
 	if err != nil {
 		return err
 	}
 	identified := 0
-	for j := range metrics {
+	for j := range ident {
 		if ident[j] {
 			identified++
 			_ = values[j]
 		}
 	}
-	fmt.Printf("inference from the surviving data: %d/%d links identified\n", identified, pm.NumLinks())
+	fmt.Printf("inference from the surviving data: %d/%d links identified\n", identified, d.PM.NumLinks())
+	if *strict && finalDegraded {
+		return fmt.Errorf("strict: final epoch was degraded")
+	}
 	return nil
 }

@@ -7,7 +7,8 @@
 //	tomo place    -monitors 8 [-failures 3]                      monitor placement
 //	tomo simulate -epochs 200 -mode learning                     closed-loop run
 //	tomo diagnose -failures 2                                    failure localization
-//	tomo collect  -epochs 12 -kill-epoch 4                       fault-tolerant collection demo
+//	tomo collect  -epochs 12 -kill-epoch 4 [-strict]             fault-tolerant collection demo
+//	tomo serve    -addr 127.0.0.1:8321 [-kill-epoch 20]          observability daemon: /metrics, /healthz, /statusz, pprof
 //
 // Every subcommand is deterministic in its -seed flag.
 package main
@@ -40,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: tomo <topo|select|infer|learn|place|simulate|diagnose|collect> [flags]")
+		return fmt.Errorf("usage: tomo <topo|select|infer|learn|place|simulate|diagnose|collect|serve> [flags]")
 	}
 	switch args[0] {
 	case "topo":
@@ -59,8 +60,10 @@ func run(args []string) error {
 		return runDiagnose(args[1:])
 	case "collect":
 		return runCollect(args[1:])
+	case "serve":
+		return runServe(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (topo, select, infer, learn, place, simulate, diagnose, collect)", args[0])
+		return fmt.Errorf("unknown subcommand %q (topo, select, infer, learn, place, simulate, diagnose, collect, serve)", args[0])
 	}
 }
 

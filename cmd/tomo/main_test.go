@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -127,5 +128,28 @@ func TestRunCollect(t *testing.T) {
 	}
 	if err := run([]string{"collect", "-epochs", "0"}); err == nil {
 		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestRunCollectStrict(t *testing.T) {
+	// A monitor killed with a long breaker cooldown leaves the final epoch
+	// degraded: -strict turns that into a non-zero exit.
+	err := run([]string{"collect", "-epochs", "5", "-kill-epoch", "1",
+		"-backoff", "1ms", "-cooldown", "1h", "-strict"})
+	if err == nil {
+		t.Fatal("strict mode accepted a degraded final epoch")
+	}
+	if !strings.Contains(err.Error(), "degraded") {
+		t.Fatalf("strict error %q does not mention degradation", err)
+	}
+	// All monitors healthy: strict mode passes.
+	if err := run([]string{"collect", "-epochs", "3", "-kill-epoch", "-1", "-strict"}); err != nil {
+		t.Fatalf("strict mode rejected a healthy run: %v", err)
+	}
+	// In fail-fast mode the degraded final epoch surfaces as a step error;
+	// strict treats that as a failure too.
+	if err := run([]string{"collect", "-epochs", "4", "-kill-epoch", "2",
+		"-backoff", "1ms", "-cooldown", "1h", "-fail-fast", "-strict"}); err == nil {
+		t.Fatal("strict + fail-fast accepted a failing final epoch")
 	}
 }

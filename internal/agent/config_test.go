@@ -1,0 +1,65 @@
+package agent
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDialTimeoutCombinations covers the full matrix of the deprecated
+// NOCConfig.DialTimeout against the canonical Timeouts.Dial: unset/unset
+// takes the default, either alone wins, both-and-equal is accepted, and
+// both-and-different is a typed *ConfigError instead of a silent
+// preference.
+func TestDialTimeoutCombinations(t *testing.T) {
+	pm := twoLinkPM(t)
+	base := func() NOCConfig {
+		return NOCConfig{
+			PM:       pm,
+			Monitors: map[string]string{"a": "127.0.0.1:1", "b": "127.0.0.1:1"},
+			SourceOf: sourceAB(pm),
+		}
+	}
+	cases := []struct {
+		name      string
+		legacy    time.Duration // DialTimeout
+		canonical time.Duration // Timeouts.Dial
+		wantDial  time.Duration // 0 means "expect the default"
+		wantErr   bool
+	}{
+		{name: "neither set takes the default", wantDial: DefaultTimeouts().Dial},
+		{name: "only deprecated DialTimeout", legacy: 123 * time.Millisecond, wantDial: 123 * time.Millisecond},
+		{name: "only Timeouts.Dial", canonical: 456 * time.Millisecond, wantDial: 456 * time.Millisecond},
+		{name: "both set and equal", legacy: 789 * time.Millisecond, canonical: 789 * time.Millisecond, wantDial: 789 * time.Millisecond},
+		{name: "both set and different", legacy: 123 * time.Millisecond, canonical: 456 * time.Millisecond, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			cfg.DialTimeout = tc.legacy
+			cfg.Timeouts.Dial = tc.canonical
+			noc, err := NewNOC(cfg)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("conflicting config accepted")
+				}
+				var ce *ConfigError
+				if !errors.As(err, &ce) {
+					t.Fatalf("err = %v (%T), want *ConfigError", err, err)
+				}
+				if ce.Field != "DialTimeout" {
+					t.Fatalf("ConfigError.Field = %q, want DialTimeout", ce.Field)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range noc.state {
+				if st.sess.timeouts.Dial != tc.wantDial {
+					t.Fatalf("Timeouts.Dial = %v, want %v", st.sess.timeouts.Dial, tc.wantDial)
+				}
+			}
+		})
+	}
+}

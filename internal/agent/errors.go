@@ -26,6 +26,24 @@ var (
 	ErrCircuitOpen = errors.New("agent: circuit open")
 )
 
+// ConfigError reports an invalid NOCConfig combination detected by
+// NewNOC — currently the deprecated DialTimeout conflicting with
+// Timeouts.Dial. Match with errors.As:
+//
+//	var ce *agent.ConfigError
+//	if errors.As(err, &ce) { ... ce.Field ... }
+type ConfigError struct {
+	// Field names the offending NOCConfig field.
+	Field string
+	// Reason explains the conflict, with both values spelled out.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("agent: invalid config %s: %s", e.Field, e.Reason)
+}
+
 // MonitorOutcome records how collection went for one monitor in one epoch.
 type MonitorOutcome struct {
 	// Monitor is the monitor's registered name.

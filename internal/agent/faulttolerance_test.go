@@ -582,21 +582,18 @@ func TestDeprecatedDialTimeoutMapsToTimeouts(t *testing.T) {
 			t.Fatalf("Timeouts.Dial = %v, want the deprecated DialTimeout", st.sess.timeouts.Dial)
 		}
 	}
-	// An explicit Timeouts.Dial wins over the deprecated field.
-	noc2, err := NewNOC(NOCConfig{
+	// Setting both to different values is a config conflict; see
+	// TestDialTimeoutCombinations for the full matrix.
+	_, err = NewNOC(NOCConfig{
 		PM:          pm,
 		Monitors:    map[string]string{"a": "127.0.0.1:1", "b": "127.0.0.1:1"},
 		SourceOf:    sourceAB(pm),
 		DialTimeout: 123 * time.Millisecond,
 		Timeouts:    Timeouts{Dial: 456 * time.Millisecond},
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, st := range noc2.state {
-		if st.sess.timeouts.Dial != 456*time.Millisecond {
-			t.Fatalf("Timeouts.Dial = %v, want the explicit value", st.sess.timeouts.Dial)
-		}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("conflicting timeouts: err = %v, want *ConfigError", err)
 	}
 }
 

@@ -1,0 +1,64 @@
+package agent
+
+import (
+	"robusttomo/internal/obs"
+)
+
+// nocMetrics holds the NOC's pre-interned instrument handles. With no
+// observer registry installed every field is nil, and each update is the
+// obs package's single nil check — the collection hot path never branches
+// on a registry pointer or allocates for observability.
+type nocMetrics struct {
+	reg *obs.Registry
+
+	// dialSeconds / exchangeSeconds time one TCP dial attempt and one
+	// pipelined epoch exchange respectively.
+	dialSeconds     *obs.Histogram
+	exchangeSeconds *obs.Histogram
+	// attempts counts connect+exchange attempts; retries counts the
+	// attempts beyond the first per monitor-epoch; backoffSeconds records
+	// the backoff sleeps the retry loop actually paid.
+	attempts       *obs.Counter
+	retries        *obs.Counter
+	backoffSeconds *obs.Histogram
+	// circuitDenied counts attempts rejected by an open breaker.
+	circuitDenied *obs.Counter
+	// epochs / degradedEpochs / lostPaths summarize CollectEpoch outcomes;
+	// lostPaths counts selected paths that produced no measurement because
+	// their monitor delivered nothing (the partial-epoch currency).
+	epochs         *obs.Counter
+	degradedEpochs *obs.Counter
+	lostPaths      *obs.Counter
+	// breakerState is a per-monitor gauge of the circuit-breaker state
+	// (0 closed, 1 open, 2 half-open), pre-interned per monitor at NOC
+	// construction.
+	breakerState *obs.GaugeVec
+}
+
+// newNOCMetrics registers the agent metric families. A nil registry
+// yields all-nil handles (the unobserved mode).
+func newNOCMetrics(reg *obs.Registry) *nocMetrics {
+	return &nocMetrics{
+		reg: reg,
+		dialSeconds: reg.Histogram("tomo_agent_dial_seconds",
+			"Latency of one TCP dial attempt to a monitor.", obs.DefBuckets),
+		exchangeSeconds: reg.Histogram("tomo_agent_exchange_seconds",
+			"Latency of one pipelined epoch exchange with a monitor.", obs.DefBuckets),
+		attempts: reg.Counter("tomo_agent_attempts_total",
+			"Connect+exchange attempts across all monitors."),
+		retries: reg.Counter("tomo_agent_retries_total",
+			"Attempts beyond the first within one monitor-epoch."),
+		backoffSeconds: reg.Histogram("tomo_agent_backoff_seconds",
+			"Backoff sleeps paid between retry attempts.", obs.DefBuckets),
+		circuitDenied: reg.Counter("tomo_agent_circuit_denied_total",
+			"Attempts rejected because a monitor's circuit breaker was open."),
+		epochs: reg.Counter("tomo_agent_epochs_total",
+			"CollectEpoch calls."),
+		degradedEpochs: reg.Counter("tomo_agent_degraded_epochs_total",
+			"Epochs in which at least one monitor delivered nothing."),
+		lostPaths: reg.Counter("tomo_agent_lost_paths_total",
+			"Selected paths that produced no measurement due to monitor failure."),
+		breakerState: reg.GaugeVec("tomo_agent_breaker_state",
+			"Per-monitor circuit-breaker state: 0 closed, 1 open, 2 half-open.", "monitor"),
+	}
+}

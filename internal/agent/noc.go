@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"robusttomo/internal/failure"
+	"robusttomo/internal/obs"
 	"robusttomo/internal/stats"
 	"robusttomo/internal/tomo"
 )
@@ -32,6 +33,7 @@ type NOC struct {
 	srcOf    func(path int) string
 	retry    RetryPolicy
 	failFast bool
+	m        *nocMetrics
 
 	// state is populated at construction and read-only afterwards; each
 	// entry carries its own lock.
@@ -47,6 +49,10 @@ type monitorState struct {
 	sess *session
 	brk  *breaker
 	rng  *rand.Rand // deterministic backoff jitter stream, guarded by mu
+
+	// brkGauge is the pre-interned per-monitor breaker-state gauge (nil
+	// when no observer is installed).
+	brkGauge *obs.Gauge
 }
 
 // NOCConfig wires up a collector.
@@ -77,12 +83,18 @@ type NOCConfig struct {
 	// Dial overrides the TCP dialer — fault injection and tests. Nil means
 	// the default net.Dialer.
 	Dial DialFunc
+	// Observer, when non-nil, receives the collection plane's metrics
+	// (dial/exchange latency, retries, breaker states, degraded epochs)
+	// and trace events. Nil runs unobserved at the cost of one nil check
+	// per instrumented operation.
+	Observer *obs.Registry
 
 	// DialTimeout bounds one connection attempt.
 	//
 	// Deprecated: set Timeouts.Dial. A non-zero DialTimeout is mapped onto
-	// Timeouts.Dial when the latter is unset, so existing callers compile
-	// and behave unchanged.
+	// Timeouts.Dial when the latter is unset; setting both to different
+	// values is a configuration conflict and NewNOC returns a *ConfigError
+	// instead of silently preferring one.
 	DialTimeout time.Duration
 }
 
@@ -108,7 +120,14 @@ func NewNOC(cfg NOCConfig) (*NOC, error) {
 		return nil, fmt.Errorf("agent: NOC needs a path→monitor mapping")
 	}
 	timeouts := cfg.Timeouts
-	if timeouts.Dial == 0 && cfg.DialTimeout != 0 {
+	if cfg.DialTimeout != 0 {
+		if timeouts.Dial != 0 && timeouts.Dial != cfg.DialTimeout {
+			return nil, &ConfigError{
+				Field: "DialTimeout",
+				Reason: fmt.Sprintf("deprecated DialTimeout (%v) conflicts with Timeouts.Dial (%v); set only Timeouts.Dial",
+					cfg.DialTimeout, timeouts.Dial),
+			}
+		}
 		timeouts.Dial = cfg.DialTimeout // deprecated field mapped forward
 	}
 	timeouts = timeouts.withDefaults()
@@ -118,20 +137,27 @@ func NewNOC(cfg NOCConfig) (*NOC, error) {
 	}
 	breakerPol := cfg.Breaker.withDefaults()
 
+	m := newNOCMetrics(cfg.Observer)
 	n := &NOC{
 		pm:       cfg.PM,
 		srcOf:    cfg.SourceOf,
 		retry:    cfg.Retry.withDefaults(),
 		failFast: cfg.FailFast,
+		m:        m,
 		state:    make(map[string]*monitorState, len(cfg.Monitors)),
 	}
 	for name, addr := range cfg.Monitors {
-		n.state[name] = &monitorState{
-			name: name,
-			sess: newSession(name, addr, dial, timeouts),
-			brk:  newBreaker(breakerPol),
-			rng:  stats.NewRNG(cfg.Seed, streamOf(name)),
+		sess := newSession(name, addr, dial, timeouts)
+		sess.dialSeconds = m.dialSeconds
+		st := &monitorState{
+			name:     name,
+			sess:     sess,
+			brk:      newBreaker(breakerPol),
+			rng:      stats.NewRNG(cfg.Seed, streamOf(name)),
+			brkGauge: m.breakerState.With(name),
 		}
+		st.brkGauge.Set(float64(BreakerClosed))
+		n.state[name] = st
 	}
 	return n, nil
 }
@@ -168,15 +194,19 @@ func (n *NOC) CollectEpoch(ctx context.Context, epoch int, selected []int) ([]Me
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	n.m.epochs.Inc()
+	sp := n.m.reg.StartSpan("agent.collect_epoch")
 	// Group paths by their source monitor, preserving first-seen order.
 	byMonitor := map[string][]int{}
 	var order []string
 	for _, p := range selected {
 		if p < 0 || p >= n.pm.NumPaths() {
+			sp.EndDetail("wiring bug: path out of range")
 			return nil, fmt.Errorf("%w: path %d (matrix has %d)", ErrPathOutOfRange, p, n.pm.NumPaths())
 		}
 		name := n.srcOf(p)
 		if _, ok := n.state[name]; !ok {
+			sp.EndDetail("wiring bug: unknown monitor")
 			return nil, fmt.Errorf("%w: %q (path %d)", ErrUnknownMonitor, name, p)
 		}
 		if _, seen := byMonitor[name]; !seen {
@@ -215,11 +245,17 @@ func (n *NOC) CollectEpoch(ctx context.Context, epoch int, selected []int) ([]Me
 	if len(failed) > 0 {
 		sort.Slice(failed, func(i, j int) bool { return failed[i].Monitor < failed[j].Monitor })
 		cerr := &CollectionError{Epoch: epoch, Outcomes: failed}
+		n.m.degradedEpochs.Inc()
+		for _, o := range failed {
+			n.m.lostPaths.Add(uint64(len(o.Paths)))
+		}
+		sp.EndDetail(fmt.Sprintf("epoch=%d degraded monitors=%d", epoch, len(failed)))
 		if n.failFast {
 			return nil, cerr
 		}
 		return all, cerr
 	}
+	sp.EndDetail(fmt.Sprintf("epoch=%d ok", epoch))
 	return all, nil
 }
 
@@ -248,26 +284,43 @@ func (n *NOC) collectMonitor(ctx context.Context, st *monitorState, epoch int, p
 			break
 		}
 		if !st.brk.allow() {
+			n.m.circuitDenied.Inc()
 			outcome.Err = fmt.Errorf("%w: monitor %s cooling down", ErrCircuitOpen, st.name)
 			break
 		}
 		outcome.Attempts++
+		n.m.attempts.Inc()
+		if attempt > 1 {
+			n.m.retries.Inc()
+		}
+		var exchangeStart time.Time
+		if n.m.exchangeSeconds != nil {
+			exchangeStart = time.Now()
+		}
 		ms, err := st.sess.exchange(ctx, epoch, reqs)
+		if n.m.exchangeSeconds != nil {
+			n.m.exchangeSeconds.Observe(time.Since(exchangeStart).Seconds())
+		}
 		if err == nil {
 			st.brk.success()
 			outcome.Err = nil // earlier attempts may have failed; this epoch recovered
 			outcome.Breaker = st.brk.State()
+			st.brkGauge.Set(float64(outcome.Breaker))
 			return ms, outcome
 		}
 		st.brk.failure()
+		st.brkGauge.Set(float64(st.brk.State()))
 		outcome.Err = fmt.Errorf("%w: %s attempt %d/%d: %w", ErrMonitorUnreachable, st.name, attempt, n.retry.MaxAttempts, err)
 		if attempt < n.retry.MaxAttempts {
-			if !sleepCtx(ctx, n.retry.backoff(attempt, st.rng)) {
+			backoff := n.retry.backoff(attempt, st.rng)
+			n.m.backoffSeconds.Observe(backoff.Seconds())
+			if !sleepCtx(ctx, backoff) {
 				break // context cancelled during backoff; outcome.Err already set
 			}
 		}
 	}
 	outcome.Breaker = st.brk.State()
+	st.brkGauge.Set(float64(outcome.Breaker))
 	return nil, outcome
 }
 

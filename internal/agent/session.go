@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"robusttomo/internal/obs"
 )
 
 // DialFunc opens a connection to a monitor; it matches
@@ -22,6 +24,10 @@ type session struct {
 	addr     string
 	dial     DialFunc
 	timeouts Timeouts
+
+	// dialSeconds, when non-nil, times each dial attempt (success or
+	// failure); nil skips the clock reads entirely.
+	dialSeconds *obs.Histogram
 
 	conn net.Conn
 	r    *bufio.Reader
@@ -48,7 +54,14 @@ func (s *session) connect(ctx context.Context) error {
 		dctx, cancel = context.WithTimeout(ctx, s.timeouts.Dial)
 		defer cancel()
 	}
+	var dialStart time.Time
+	if s.dialSeconds != nil {
+		dialStart = time.Now()
+	}
 	conn, err := s.dial(dctx, "tcp", s.addr)
+	if s.dialSeconds != nil {
+		s.dialSeconds.Observe(time.Since(dialStart).Seconds())
+	}
 	if err != nil {
 		return fmt.Errorf("dial %s (%s): %w", s.name, s.addr, err)
 	}

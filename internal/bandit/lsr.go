@@ -19,6 +19,7 @@ import (
 
 	"robusttomo/internal/er"
 	"robusttomo/internal/linalg"
+	"robusttomo/internal/obs"
 	"robusttomo/internal/selection"
 	"robusttomo/internal/tomo"
 )
@@ -50,6 +51,12 @@ type Options struct {
 	// the flag exists as the differential/benchmark baseline for the
 	// steady-state allocation win.
 	FreshEpoch bool
+	// Observer, when non-nil, receives learner metrics (epoch counts,
+	// rewards, UCB width spread, exploration picks) and is forwarded to the
+	// inner RoMe maximization. Instrumentation reads state the learner
+	// already maintains and never changes the action sequence; a nil
+	// Observer leaves every metric handle nil.
+	Observer *obs.Registry
 }
 
 // LSR is the learner state.
@@ -67,6 +74,8 @@ type LSR struct {
 	l     int       // the L constant
 
 	cumulativeReward float64
+
+	m *banditMetrics
 
 	// Epoch-incremental workspace (unused when opts.FreshEpoch). Only
 	// played paths dirty μ/width, so per-epoch state is rebuilt from these
@@ -134,6 +143,7 @@ func New(pm *tomo.PathMatrix, costs []float64, budget float64, opts Options) (*L
 		mu:     make([]float64, n),
 		width:  make([]float64, n),
 		l:      l,
+		m:      newBanditMetrics(opts.Observer),
 	}, nil
 }
 
@@ -236,6 +246,7 @@ func (b *LSR) unobserved() int {
 // initialization, an action covering a not-yet-observed path; afterwards
 // the RoMe maximizer of ER(R; θ̂ + C).
 func (b *LSR) SelectAction() ([]int, error) {
+	b.recordUCBSpread()
 	var theta []float64
 	if b.opts.FreshEpoch {
 		theta = b.ucb()
@@ -266,7 +277,41 @@ func (b *LSR) actionWith(forced int, theta []float64) ([]int, error) {
 
 // maximize runs the paper's inner optimization with an optional forced
 // first pick.
+// recordUCBSpread publishes the spread (max − min) of the Eq. 10
+// confidence widths over observed paths. Only computed when the gauge is
+// installed, so the unobserved learner pays nothing here.
+func (b *LSR) recordUCBSpread() {
+	if b.m.ucbSpread == nil {
+		return
+	}
+	n := float64(b.epoch)
+	if n < 2 {
+		n = 2
+	}
+	s := math.Sqrt(math.Log(n))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, c := range b.count {
+		if c == 0 {
+			continue
+		}
+		w := b.width[i] * s
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if hi < lo {
+		return // nothing observed yet
+	}
+	b.m.ucbSpread.Set(hi - lo)
+}
+
 func (b *LSR) maximize(theta []float64, forced int) ([]int, error) {
+	if forced >= 0 {
+		b.m.explorePicks.Inc()
+	}
 	if b.opts.Matroid {
 		res, err := b.matroidMaximize(theta, forced)
 		if err != nil {
@@ -276,6 +321,7 @@ func (b *LSR) maximize(theta []float64, forced int) ([]int, error) {
 	}
 	var oracle *er.ThetaBoundInc
 	opts := selection.NewOptions()
+	opts.Observer = b.opts.Observer
 	if b.opts.FreshEpoch {
 		oracle = er.NewThetaBoundInc(b.pm, theta)
 	} else {
@@ -407,6 +453,9 @@ func (b *LSR) Observe(action []int, avail []bool) (reward int, err error) {
 	}
 	b.cumulativeReward += float64(reward)
 	b.epoch++
+	b.m.epochs.Inc()
+	b.m.reward.Set(float64(reward))
+	b.m.rewardTotal.Add(uint64(reward))
 	return reward, nil
 }
 

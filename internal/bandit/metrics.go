@@ -1,0 +1,50 @@
+package bandit
+
+import (
+	"robusttomo/internal/obs"
+)
+
+// banditMetrics holds the learner's pre-interned instrument handles. With
+// no observer registry every field is nil and each update costs the obs
+// package's single nil check; derived quantities (the UCB width spread)
+// are only computed when their gauge is installed. Instrumentation never
+// changes the action sequence — everything recorded is read off state the
+// learner already maintains.
+type banditMetrics struct {
+	// epochs counts completed Observe calls (= learning epochs).
+	epochs *obs.Counter
+	// reward is the last epoch's rank reward; rewardTotal accumulates it.
+	reward      *obs.Gauge
+	rewardTotal *obs.Counter
+	// ucbSpread is the max−min spread of the Eq. 10 confidence widths over
+	// observed paths: wide early (heterogeneous counts), shrinking toward 0
+	// as exploration evens out.
+	ucbSpread *obs.Gauge
+	// explorePicks counts initialization-phase actions forced to cover a
+	// never-observed path.
+	explorePicks *obs.Counter
+}
+
+// noBanditMetrics is the shared all-nil handle set for unobserved
+// learners.
+var noBanditMetrics = &banditMetrics{}
+
+// newBanditMetrics registers the learner metric families on reg; a nil
+// registry returns the shared all-nil handle set.
+func newBanditMetrics(reg *obs.Registry) *banditMetrics {
+	if reg == nil {
+		return noBanditMetrics
+	}
+	return &banditMetrics{
+		epochs: reg.Counter("tomo_bandit_epochs_total",
+			"Completed learning epochs (Observe calls)."),
+		reward: reg.Gauge("tomo_bandit_reward",
+			"Rank reward of the most recent epoch."),
+		rewardTotal: reg.Counter("tomo_bandit_reward_total",
+			"Cumulative rank reward across epochs."),
+		ucbSpread: reg.Gauge("tomo_bandit_ucb_width_spread",
+			"Max minus min confidence width over observed paths (Eq. 10)."),
+		explorePicks: reg.Counter("tomo_bandit_exploration_picks_total",
+			"Actions forced to cover a never-observed path."),
+	}
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are nil-safe no-ops, so unobserved code holds
+// nil handles at the cost of one branch per update.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. Set is one atomic
+// store; Add is a compare-and-swap loop. Nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: per-bucket atomic counters plus
+// an atomic float sum. Observe is a short linear bucket scan (bucket
+// layouts are small by design) and two atomic adds. Nil-safe.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; the +Inf bucket is counts[len(upper)]
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// cumulative returns the per-bucket cumulative counts including the +Inf
+// bucket (so the last entry equals Count up to racing observations).
+func (h *Histogram) cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out
+}
+
+// DefBuckets is the default histogram layout, suited to latencies in
+// seconds (the Prometheus client's default layout).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExponentialBuckets returns n upper bounds starting at start and growing
+// by factor — the standard layout for duration and size histograms.
+// Panics if start ≤ 0, factor ≤ 1 or n < 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// normalizeBuckets sorts, deduplicates and copies the upper bounds,
+// dropping a trailing +Inf (always implied). Nil/empty means DefBuckets.
+// NaN bounds panic.
+func normalizeBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	out := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if math.IsNaN(b) {
+			panic("obs: NaN histogram bucket")
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, b := range out {
+		if i == 0 || b != out[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return dedup
+}
+
+// CounterVec is a labeled counter family. Nil-safe: With on a nil vec
+// returns a nil *Counter.
+type CounterVec struct {
+	fam *family
+}
+
+// With interns and returns the child for the given label values. Resolve
+// once at wiring time and keep the handle — the hot path should never
+// call With.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(values).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family. Nil-safe.
+type GaugeVec struct {
+	fam *family
+}
+
+// With interns and returns the child for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(values).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family. Nil-safe.
+type HistogramVec struct {
+	fam *family
+}
+
+// With interns and returns the child for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(values).(*Histogram)
+}

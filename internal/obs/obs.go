@@ -1,0 +1,348 @@
+// Package obs is the repository's zero-dependency observability plane:
+// a concurrent-safe metrics registry (counters, gauges, fixed-bucket
+// histograms, labeled families), Prometheus text-format exposition,
+// expvar publishing, and a lightweight span/event tracer backed by a
+// ring buffer of recent events.
+//
+// The paper measures a degraded system — surviving rank under failures —
+// and the runtime deserves the same treatment: the collection plane's
+// retries and breaker trips, the greedy's gain evaluations and the
+// learner's confidence widths are all continuously observable through
+// one registry, scraped by `tomo serve`.
+//
+// # Nil safety
+//
+// Every handle type is safe to use with a nil receiver: a nil *Counter,
+// *Gauge, *Histogram, *CounterVec, *GaugeVec, *HistogramVec, *Span and a
+// nil *Registry all turn their methods into no-ops guarded by a single
+// nil check. Instrumented code therefore holds plain handle fields,
+// populated only when an observer registry is installed, and pays one
+// predictable branch — no interface dispatch, no allocation — when
+// observability is off. The hot-path cost with a registry installed is
+// one atomic add (counters, histogram buckets) or one atomic store
+// (gauges).
+//
+// # Labeled families
+//
+// A *Vec is a metric family with a fixed label-name schema. Children are
+// interned on first access and returned as plain handles, so callers
+// resolve their label sets once at wiring time (per monitor, per
+// algorithm) and keep the child — the hot path never touches the intern
+// map.
+//
+// # Determinism
+//
+// The registry's clock is injectable (Config.Now), so span durations and
+// event timestamps are deterministic in tests. Metric updates never
+// consult the clock.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// kind discriminates the metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a Registry.
+type Config struct {
+	// Now overrides the clock used for span durations and event
+	// timestamps. Nil means time.Now.
+	Now func() time.Time
+	// EventCapacity bounds the recent-events ring buffer. 0 means 256;
+	// negative disables event recording entirely.
+	EventCapacity int
+}
+
+// Registry is a concurrent-safe collection of metric families plus the
+// recent-events ring. The zero value is not usable; construct with New or
+// NewWith. All methods are safe on a nil *Registry (they return nil
+// handles / do nothing), which is how instrumented code runs unobserved.
+type Registry struct {
+	now func() time.Time
+
+	mu       sync.Mutex
+	families map[string]*family
+
+	events *eventRing
+}
+
+// New returns a registry with the default configuration (time.Now clock,
+// 256-event ring).
+func New() *Registry { return NewWith(Config{}) }
+
+// NewWith returns a registry with the given configuration.
+func NewWith(cfg Config) *Registry {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	capacity := cfg.EventCapacity
+	if capacity == 0 {
+		capacity = 256
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Registry{
+		now:      now,
+		families: make(map[string]*family),
+		events:   newEventRing(capacity),
+	}
+}
+
+// family is one named metric family: an unlabeled singleton or a labeled
+// vec with interned children.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string
+	upper  []float64 // histogram bucket upper bounds (sorted, +Inf implied)
+
+	mu       sync.Mutex
+	children map[string]any // *Counter | *Gauge | *Histogram, keyed by joined label values
+	keys     []string       // child keys in first-interned order
+	values   [][]string     // label values per key, aligned with keys
+}
+
+// labelSep joins label values into intern keys; it cannot appear in a
+// valid label value because values are escaped at render time, but a
+// separator outside the printable range avoids collisions regardless.
+const labelSep = "\xff"
+
+// lookup returns the named family, creating it on first registration.
+// Re-registration with a different kind, label schema or bucket layout is
+// a programmer error and panics — the same contract as the Prometheus
+// client, because the alternative is silently splitting a family.
+func (r *Registry) lookup(name, help string, k kind, labels []string, upper []float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k {
+			panic(fmt.Sprintf("obs: %q re-registered as %s, was %s", name, k, f.kind))
+		}
+		if !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: %q re-registered with labels %v, was %v", name, labels, f.labels))
+		}
+		if !equalFloats(f.upper, upper) {
+			panic(fmt.Sprintf("obs: %q re-registered with buckets %v, was %v", name, upper, f.upper))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     k,
+		labels:   append([]string(nil), labels...),
+		upper:    upper,
+		children: make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// child interns the metric for the given label values.
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += labelSep
+		}
+		key += v
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var c any
+	switch f.kind {
+	case kindCounter:
+		c = &Counter{}
+	case kindGauge:
+		c = &Gauge{}
+	case kindHistogram:
+		c = newHistogram(f.upper)
+	}
+	f.children[key] = c
+	f.keys = append(f.keys, key)
+	f.values = append(f.values, append([]string(nil), values...))
+	return c
+}
+
+// Counter returns the unlabeled counter for name, registering the family
+// on first use. Nil-safe: a nil registry returns a nil handle.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, nil, nil).child(nil).(*Counter)
+}
+
+// Gauge returns the unlabeled gauge for name. Nil-safe.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// Histogram returns the unlabeled fixed-bucket histogram for name.
+// Buckets are upper bounds; they are sorted and deduplicated, and a +Inf
+// overflow bucket is always implied. Nil or empty buckets take
+// DefBuckets. Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, nil, normalizeBuckets(buckets)).child(nil).(*Histogram)
+}
+
+// CounterVec registers a labeled counter family. Nil-safe.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec registers a labeled gauge family. Nil-safe.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec registers a labeled histogram family. Nil-safe.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{fam: r.lookup(name, help, kindHistogram, labels, normalizeBuckets(buckets))}
+}
+
+// sortedFamilies snapshots the family list in name order for rendering.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// snapshotChildren returns the family's children with their label values,
+// sorted by intern key, under the family lock.
+func (f *family) snapshotChildren() (values [][]string, children []any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	idx := make([]int, len(f.keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return f.keys[idx[a]] < f.keys[idx[b]] })
+	values = make([][]string, 0, len(idx))
+	children = make([]any, 0, len(idx))
+	for _, i := range idx {
+		values = append(values, f.values[i])
+		children = append(children, f.children[f.keys[i]])
+	}
+	return values, children
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

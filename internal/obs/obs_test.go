@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name returns the same series.
+	if r.Counter("test_total", "a counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-55.65) > 1e-9 {
+		t.Fatalf("sum = %v, want 55.65", got)
+	}
+	cum := h.cumulative()
+	want := []uint64{2, 3, 4, 5} // ≤0.1, ≤1, ≤10, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+}
+
+func TestNormalizeBuckets(t *testing.T) {
+	got := normalizeBuckets([]float64{5, 1, 5, math.Inf(1), 0.1})
+	want := []float64{0.1, 1, 5}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	if len(normalizeBuckets(nil)) != len(DefBuckets) {
+		t.Fatal("nil buckets should take DefBuckets")
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad parameters accepted")
+		}
+	}()
+	ExponentialBuckets(0, 2, 3)
+}
+
+func TestVecInterning(t *testing.T) {
+	r := New()
+	v := r.CounterVec("vec_total", "labeled", "monitor")
+	a := v.With("a")
+	a.Inc()
+	if v.With("a") != a {
+		t.Fatal("With did not intern the child")
+	}
+	if v.With("b") == a {
+		t.Fatal("distinct label values shared a child")
+	}
+	if got := v.With("a").Value(); got != 1 {
+		t.Fatalf("interned counter = %d, want 1", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// Every handle off a nil registry is nil and every method a no-op.
+	c := r.Counter("x_total", "")
+	c.Inc()
+	c.Add(3)
+	if c != nil || c.Value() != 0 {
+		t.Fatal("nil registry produced a live counter")
+	}
+	g := r.Gauge("x", "")
+	g.Set(1)
+	g.Add(1)
+	if g != nil || g.Value() != 0 {
+		t.Fatal("nil registry produced a live gauge")
+	}
+	h := r.Histogram("x_seconds", "", nil)
+	h.Observe(1)
+	if h != nil || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil registry produced a live histogram")
+	}
+	if r.CounterVec("v_total", "", "l").With("x") != nil {
+		t.Fatal("nil CounterVec produced a child")
+	}
+	if r.GaugeVec("v", "", "l").With("x") != nil {
+		t.Fatal("nil GaugeVec produced a child")
+	}
+	if r.HistogramVec("v_seconds", "", nil, "l").With("x") != nil {
+		t.Fatal("nil HistogramVec produced a child")
+	}
+	sp := r.StartSpan("op")
+	if sp != nil || sp.End() != 0 {
+		t.Fatal("nil registry produced a live span")
+	}
+	r.Event("op", "")
+	if r.Events() != nil {
+		t.Fatal("nil registry recorded events")
+	}
+	if r.PrometheusText() != "" {
+		t.Fatal("nil registry rendered output")
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry produced a snapshot")
+	}
+	if err := r.PublishExpvar("nil_reg"); err != nil {
+		t.Fatalf("nil registry PublishExpvar: %v", err)
+	}
+}
+
+func TestReRegistrationMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("dup_total", "")
+	for name, f := range map[string]func(){
+		"kind":    func() { r.Gauge("dup_total", "") },
+		"labels":  func() { r.CounterVec("dup_total", "", "l") },
+		"buckets": func() { r.Histogram("dup_seconds", "", []float64{1}); r.Histogram("dup_seconds", "", []float64{2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := New()
+	for name, f := range map[string]func(){
+		"empty metric": func() { r.Counter("", "") },
+		"digit start":  func() { r.Counter("1x", "") },
+		"bad char":     func() { r.Counter("a-b", "") },
+		"empty label":  func() { r.CounterVec("ok_total2", "", "") },
+		"le label":     func() { r.HistogramVec("ok_seconds2", "", nil, "le") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := New()
+	v := r.CounterVec("arity_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity accepted")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_seconds", "", []float64{1, 10})
+	v := r.CounterVec("conc_vec_total", "", "w")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := v.With("shared")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 20))
+				child.Inc()
+				r.Event("tick", "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := v.With("shared").Value(); got != workers*per {
+		t.Fatalf("vec counter = %d, want %d", got, workers*per)
+	}
+}

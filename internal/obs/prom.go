@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, children by
+// label values, histograms expanded into cumulative _bucket series plus
+// _sum and _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		values, children := f.snapshotChildren()
+		if len(children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for i, c := range children {
+			labels := labelPairs(f.labels, values[i])
+			switch m := c.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, wrapLabels(labels), m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, wrapLabels(labels), formatFloat(m.Value()))
+			case *Histogram:
+				cum := m.cumulative()
+				for j, upper := range m.upper {
+					le := labels + maybeComma(labels) + `le="` + formatFloat(upper) + `"`
+					fmt.Fprintf(bw, "%s_bucket{%s} %d\n", f.name, le, cum[j])
+				}
+				le := labels + maybeComma(labels) + `le="+Inf"`
+				fmt.Fprintf(bw, "%s_bucket{%s} %d\n", f.name, le, cum[len(cum)-1])
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, wrapLabels(labels), formatFloat(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, wrapLabels(labels), m.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// PrometheusText renders the registry into a string; the /metrics handler
+// and tests use it.
+func (r *Registry) PrometheusText() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// Snapshot returns a JSON-friendly view of every series: counters and
+// gauges as numbers, histograms as {count, sum} objects, keyed by
+// name{label="value",...}. A nil registry returns an empty map.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	for _, f := range r.sortedFamilies() {
+		values, children := f.snapshotChildren()
+		for i, c := range children {
+			key := f.name + wrapLabels(labelPairs(f.labels, values[i]))
+			switch m := c.(type) {
+			case *Counter:
+				out[key] = m.Value()
+			case *Gauge:
+				out[key] = m.Value()
+			case *Histogram:
+				out[key] = map[string]any{"count": m.Count(), "sum": m.Sum()}
+			}
+		}
+	}
+	return out
+}
+
+// expvarMu serializes the Get-then-Publish pair: expvar.Publish panics on
+// duplicate names, and the registry turns that into an error instead.
+var expvarMu sync.Mutex
+
+// PublishExpvar publishes the registry's Snapshot under the given expvar
+// name (readable at /debug/vars alongside the runtime's memstats). The
+// expvar namespace is process-global and permanent, so publishing the
+// same name twice returns an error rather than panicking; a nil registry
+// publishes nothing.
+func (r *Registry) PublishExpvar(name string) error {
+	if r == nil {
+		return nil
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}
+
+// labelPairs renders `k1="v1",k2="v2"` (no braces) or "".
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func wrapLabels(pairs string) string {
+	if pairs == "" {
+		return ""
+	}
+	return "{" + pairs + "}"
+}
+
+func maybeComma(pairs string) string {
+	if pairs == "" {
+		return ""
+	}
+	return ","
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

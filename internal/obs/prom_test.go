@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter("app_requests_total", "requests served").Add(3)
+	r.Gauge("app_temperature", "current temperature").Set(36.6)
+	h := r.Histogram("app_latency_seconds", "request latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	r.CounterVec("app_errors_total", "errors by kind", "kind").With("timeout").Add(2)
+
+	text := r.PrometheusText()
+	for _, want := range []string{
+		"# HELP app_requests_total requests served\n# TYPE app_requests_total counter\napp_requests_total 3\n",
+		"# TYPE app_temperature gauge\napp_temperature 36.6\n",
+		"# TYPE app_latency_seconds histogram\n",
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		"app_latency_seconds_sum 2.55",
+		"app_latency_seconds_count 3",
+		`app_errors_total{kind="timeout"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in rendered output:\n%s", want, text)
+		}
+	}
+	// Families render sorted by name.
+	if strings.Index(text, "app_errors_total") > strings.Index(text, "app_latency_seconds") {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+}
+
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("rpc_seconds", "rpc latency", []float64{1}, "method")
+	v.With("get").Observe(0.5)
+	text := r.PrometheusText()
+	for _, want := range []string{
+		`rpc_seconds_bucket{method="get",le="1"} 1`,
+		`rpc_seconds_bucket{method="get",le="+Inf"} 1`,
+		`rpc_seconds_sum{method="get"} 0.5`,
+		`rpc_seconds_count{method="get"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("esc_total", "line1\nline2 \\slash", "l").With("quote\"back\\slash\nnl").Inc()
+	text := r.PrometheusText()
+	if !strings.Contains(text, `# HELP esc_total line1\nline2 \\slash`) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `esc_total{l="quote\"back\\slash\nnl"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("snap_total", "").Add(7)
+	r.GaugeVec("snap_gauge", "", "m").With("a").Set(1.5)
+	h := r.Histogram("snap_seconds", "", []float64{1})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if got := snap["snap_total"]; got != uint64(7) {
+		t.Fatalf("snap_total = %v (%T)", got, got)
+	}
+	if got := snap[`snap_gauge{m="a"}`]; got != 1.5 {
+		t.Fatalf("snap_gauge = %v", got)
+	}
+	hist, ok := snap["snap_seconds"].(map[string]any)
+	if !ok || hist["count"] != uint64(1) || hist["sum"] != 0.5 {
+		t.Fatalf("snap_seconds = %v", snap["snap_seconds"])
+	}
+	// The snapshot must be JSON-marshalable (it backs expvar and /statusz).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := New()
+	r.Counter("exp_total", "").Add(2)
+	if err := r.PublishExpvar("obs_test_registry"); err != nil {
+		t.Fatal(err)
+	}
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	if !strings.Contains(v.String(), `"exp_total":2`) {
+		t.Fatalf("expvar output = %s", v.String())
+	}
+	// The name is process-global: a second publish errors instead of
+	// panicking.
+	if err := r.PublishExpvar("obs_test_registry"); err == nil {
+		t.Fatal("duplicate publish accepted")
+	}
+}

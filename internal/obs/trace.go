@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one recorded trace event: a point event (zero Dur) or a
+// completed span.
+type Event struct {
+	// Time is when the event was recorded (span end time for spans).
+	Time time.Time `json:"time"`
+	// Name identifies the operation, metric-style ("agent.collect_epoch").
+	Name string `json:"name"`
+	// Detail is optional free-form context ("monitor=a attempts=3").
+	Detail string `json:"detail,omitempty"`
+	// Dur is the span duration; zero for point events.
+	Dur time.Duration `json:"dur_ns"`
+}
+
+// eventRing is a fixed-capacity ring buffer of recent events. Recording
+// is O(1) under one mutex; capacity 0 disables recording.
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	n    int // events stored (≤ len(buf))
+}
+
+func newEventRing(capacity int) *eventRing {
+	return &eventRing{buf: make([]Event, capacity)}
+}
+
+func (er *eventRing) record(e Event) {
+	if len(er.buf) == 0 {
+		return
+	}
+	er.mu.Lock()
+	er.buf[er.next] = e
+	er.next = (er.next + 1) % len(er.buf)
+	if er.n < len(er.buf) {
+		er.n++
+	}
+	er.mu.Unlock()
+}
+
+// snapshot returns the stored events oldest-first.
+func (er *eventRing) snapshot() []Event {
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	out := make([]Event, 0, er.n)
+	start := er.next - er.n
+	if start < 0 {
+		start += len(er.buf)
+	}
+	for i := 0; i < er.n; i++ {
+		out = append(out, er.buf[(start+i)%len(er.buf)])
+	}
+	return out
+}
+
+// Event records a point event in the ring buffer. Nil-safe.
+func (r *Registry) Event(name, detail string) {
+	if r == nil {
+		return
+	}
+	r.events.record(Event{Time: r.now(), Name: name, Detail: detail})
+}
+
+// Events returns the recent events, oldest first. A nil registry returns
+// nil.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events.snapshot()
+}
+
+// Span is an in-flight traced operation. Obtain one from StartSpan and
+// finish it with End; a nil span (from a nil registry) is a no-op, so
+// instrumented code never branches on observability.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span. Nil-safe: a nil registry returns a nil span.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, start: r.now()}
+}
+
+// End closes the span, records it in the event ring and returns its
+// duration. Nil-safe (returns 0).
+func (s *Span) End() time.Duration { return s.EndDetail("") }
+
+// EndDetail is End with free-form context attached to the recorded event.
+func (s *Span) EndDetail(detail string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	end := s.reg.now()
+	d := end.Sub(s.start)
+	s.reg.events.record(Event{Time: end, Name: s.name, Detail: detail, Dur: d})
+	return d
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable deterministic clock used across the tracer
+// tests.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time             { return c.t }
+func (c *fakeClock) advance(d time.Duration)    { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                  { return &fakeClock{t: time.Unix(1000, 0)} }
+func newClockedRegistry(c *fakeClock) *Registry { return NewWith(Config{Now: c.now}) }
+
+func TestSpanDeterministicDurations(t *testing.T) {
+	clock := newFakeClock()
+	r := newClockedRegistry(clock)
+	sp := r.StartSpan("agent.collect_epoch")
+	clock.advance(250 * time.Millisecond)
+	if d := sp.EndDetail("monitor=a"); d != 250*time.Millisecond {
+		t.Fatalf("span duration = %v, want 250ms", d)
+	}
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Name != "agent.collect_epoch" || e.Detail != "monitor=a" || e.Dur != 250*time.Millisecond {
+		t.Fatalf("event = %+v", e)
+	}
+	if !e.Time.Equal(time.Unix(1000, 0).Add(250 * time.Millisecond)) {
+		t.Fatalf("event time = %v", e.Time)
+	}
+}
+
+func TestPointEvents(t *testing.T) {
+	clock := newFakeClock()
+	r := newClockedRegistry(clock)
+	r.Event("breaker.open", "monitor=b")
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Dur != 0 || evs[0].Name != "breaker.open" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestEventRingWrapsOldestFirst(t *testing.T) {
+	clock := newFakeClock()
+	r := NewWith(Config{Now: clock.now, EventCapacity: 3})
+	for i := 0; i < 5; i++ {
+		clock.advance(time.Second)
+		r.Event("e", string(rune('a'+i)))
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events, want 3", len(evs))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if evs[i].Detail != want {
+			t.Fatalf("event %d = %q, want %q (oldest first)", i, evs[i].Detail, want)
+		}
+	}
+}
+
+func TestEventRingDisabled(t *testing.T) {
+	r := NewWith(Config{EventCapacity: -1})
+	r.Event("dropped", "")
+	r.StartSpan("s").End()
+	if evs := r.Events(); len(evs) != 0 {
+		t.Fatalf("disabled ring stored %d events", len(evs))
+	}
+}
+
+func TestEventsSnapshotIsACopy(t *testing.T) {
+	r := New()
+	r.Event("one", "")
+	evs := r.Events()
+	evs[0].Name = "mutated"
+	if r.Events()[0].Name != "one" {
+		t.Fatal("snapshot aliases the ring buffer")
+	}
+}

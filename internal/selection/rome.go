@@ -19,8 +19,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"robusttomo/internal/er"
+	"robusttomo/internal/obs"
 	"robusttomo/internal/tomo"
 )
 
@@ -76,6 +78,12 @@ type Options struct {
 	// Nil allocates fresh storage. A Scratch must not be shared across
 	// concurrent RoMe calls.
 	Scratch *Scratch
+	// Observer, when non-nil, receives selection metrics (run counts, gain
+	// evaluation totals, per-run and per-iteration durations). Metrics are
+	// read off the computed Result and never influence the selection; with
+	// a nil Observer the greedy performs zero clock reads and holds only
+	// nil metric handles.
+	Observer *obs.Registry
 }
 
 // Scratch holds RoMe's reusable working storage; see Options.Scratch. The
@@ -227,6 +235,12 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 	if sc == nil {
 		sc = &Scratch{}
 	}
+	m := newSelMetrics(opts.Observer)
+	var runStart, iterStart time.Time
+	if m.runSeconds != nil {
+		runStart = time.Now()
+		iterStart = runStart
+	}
 
 	res := Result{}
 	// Initial gains double as the best-singleton scan: on the empty set,
@@ -319,6 +333,11 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 				oracle.Add(top.path)
 				selected = append(selected, top.path)
 				spent += costs[top.path]
+				if m.iterSeconds != nil {
+					now := time.Now()
+					m.iterSeconds.Observe(now.Sub(iterStart).Seconds())
+					iterStart = now
+				}
 				// Entries computed in earlier rounds are now stale; the
 				// round tag invalidates them lazily on pop. Prefetched
 				// gains reference the pre-Add set and are dropped.
@@ -356,6 +375,11 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 				oracle.Add(best)
 				selected = append(selected, best)
 				spent += costs[best]
+				if m.iterSeconds != nil {
+					now := time.Now()
+					m.iterSeconds.Observe(now.Sub(iterStart).Seconds())
+					iterStart = now
+				}
 				if batcher != nil {
 					paths := make([]int, 0, n)
 					for q := 0; q < n; q++ {
@@ -385,6 +409,9 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 	sc.selected = selected
 	greedyVal := oracle.Value()
 	if bestSingle >= 0 && bestSingleVal > greedyVal {
+		// Record the work actually performed (res still carries the
+		// speculative count the fallback Result drops).
+		m.record(&res, runStart)
 		return Result{
 			Selected:        []int{bestSingle},
 			Cost:            costs[bestSingle],
@@ -395,6 +422,7 @@ func RoMe(pm *tomo.PathMatrix, costs []float64, budget float64, oracle er.Increm
 	res.Selected = selected
 	res.Cost = spent
 	res.Objective = greedyVal
+	m.record(&res, runStart)
 	return res, nil
 }
 

@@ -15,12 +15,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"robusttomo/internal/agent"
 	"robusttomo/internal/bandit"
 	"robusttomo/internal/diagnose"
 	"robusttomo/internal/er"
 	"robusttomo/internal/failure"
+	"robusttomo/internal/obs"
 	"robusttomo/internal/selection"
 	"robusttomo/internal/stats"
 	"robusttomo/internal/tomo"
@@ -63,6 +65,12 @@ type Config struct {
 	// selection); ignored in Learning mode.
 	Model *failure.Model
 	Seed  uint64
+	// Observer, when non-nil, receives loop metrics (epoch counts and
+	// durations, degraded-epoch and lost-path totals, rank/survived/
+	// identifiable gauges) and is forwarded to the selection greedy and —
+	// in Learning mode — the LSR learner. A nil Observer leaves every
+	// metric handle nil and the loop performs zero clock reads.
+	Observer *obs.Registry
 }
 
 // CollectionHealth records how measurement collection went for one epoch.
@@ -103,6 +111,7 @@ type Runner struct {
 	agg       *tomo.Aggregator
 	static    []int
 	epoch     int
+	m         *simMetrics
 }
 
 // New validates the configuration, fixes the failure schedule, and wires
@@ -141,6 +150,7 @@ func New(cfg Config) (*Runner, error) {
 		oracle:    oracle,
 		collector: &localCollector{oracle: oracle, pm: cfg.PM},
 		agg:       agg,
+		m:         newSimMetrics(cfg.Observer),
 	}
 
 	switch cfg.Mode {
@@ -148,14 +158,16 @@ func New(cfg Config) (*Runner, error) {
 		if cfg.Model == nil {
 			return nil, fmt.Errorf("sim: static mode needs a failure model")
 		}
+		opts := selection.NewOptions()
+		opts.Observer = cfg.Observer
 		res, err := selection.RoMe(cfg.PM, cfg.Costs, cfg.Budget,
-			er.NewProbBoundInc(cfg.PM, cfg.Model), selection.NewOptions())
+			er.NewProbBoundInc(cfg.PM, cfg.Model), opts)
 		if err != nil {
 			return nil, err
 		}
 		r.static = res.Selected
 	case Learning:
-		learner, err := bandit.New(cfg.PM, cfg.Costs, cfg.Budget, bandit.Options{})
+		learner, err := bandit.New(cfg.PM, cfg.Costs, cfg.Budget, bandit.Options{Observer: cfg.Observer})
 		if err != nil {
 			return nil, err
 		}
@@ -207,6 +219,10 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 	if r.epoch >= r.cfg.Horizon {
 		return EpochReport{}, fmt.Errorf("sim: horizon %d exhausted", r.cfg.Horizon)
 	}
+	var stepStart time.Time
+	if r.m.epochSeconds != nil {
+		stepStart = time.Now()
+	}
 	var selected []int
 	var err error
 	if r.learner != nil {
@@ -229,14 +245,14 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 	}
 
 	report := EpochReport{Epoch: r.epoch, Probed: len(selected)}
-	obs := diagnose.Observation{}
+	ob := diagnose.Observation{}
 	avail := make([]bool, r.cfg.PM.NumPaths())
 	measured := make(map[int]bool, len(ms))
 	var surviving []int
 	for _, m := range ms {
 		measured[m.PathID] = true
-		obs.Paths = append(obs.Paths, m.PathID)
-		obs.OK = append(obs.OK, m.OK)
+		ob.Paths = append(ob.Paths, m.PathID)
+		ob.OK = append(ob.OK, m.OK)
 		if m.OK {
 			avail[m.PathID] = true
 			surviving = append(surviving, m.PathID)
@@ -256,10 +272,12 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 		for _, p := range selected {
 			if !measured[p] {
 				report.Collection.LostPaths++
-				obs.Paths = append(obs.Paths, p)
-				obs.OK = append(obs.OK, false)
+				ob.Paths = append(ob.Paths, p)
+				ob.OK = append(ob.OK, false)
 			}
 		}
+		r.m.degradedEpochs.Inc()
+		r.m.lostPaths.Add(uint64(report.Collection.LostPaths))
 	}
 	report.Survived = len(surviving)
 	report.Rank = r.cfg.PM.RankOf(surviving)
@@ -276,7 +294,7 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 	}
 	report.Identifiable = sys.NumIdentifiable()
 
-	diag, err := diagnose.Localize(r.cfg.PM, obs)
+	diag, err := diagnose.Localize(r.cfg.PM, ob)
 	if err != nil {
 		return EpochReport{}, err
 	}
@@ -287,6 +305,13 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 	}
 
 	r.epoch++
+	r.m.epochs.Inc()
+	r.m.rank.Set(float64(report.Rank))
+	r.m.survived.Set(float64(report.Survived))
+	r.m.identifiable.Set(float64(report.Identifiable))
+	if r.m.epochSeconds != nil {
+		r.m.epochSeconds.Observe(time.Since(stepStart).Seconds())
+	}
 	return report, nil
 }
 

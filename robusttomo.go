@@ -29,6 +29,7 @@ import (
 	"robusttomo/internal/er"
 	"robusttomo/internal/failure"
 	"robusttomo/internal/graph"
+	"robusttomo/internal/obs"
 	"robusttomo/internal/placement"
 	"robusttomo/internal/routing"
 	"robusttomo/internal/selection"
@@ -264,6 +265,10 @@ type (
 	FaultyListener = agent.FaultyListener
 	// ConnFault scripts one faulty accepted connection.
 	ConnFault = agent.ConnFault
+	// ConfigError reports an invalid NOCConfig combination (e.g. the
+	// deprecated DialTimeout conflicting with Timeouts.Dial); match with
+	// errors.As.
+	ConfigError = agent.ConfigError
 )
 
 // Circuit-breaker states.
@@ -312,6 +317,45 @@ var (
 	NewFaultyDialer = agent.NewFaultyDialer
 	// NewFaultyListener scripts faults over a listener (tests).
 	NewFaultyListener = agent.NewFaultyListener
+)
+
+// Observability: the dependency-free metrics/tracing registry. Install an
+// Observer on NOCConfig, SimConfig, SelectionOptions or LearnerOptions and
+// every layer reports into it; a nil Observer costs one nil check per
+// instrumented operation.
+type (
+	// Observer is the concurrent-safe metric registry (counters, gauges,
+	// fixed-bucket histograms, labeled families) with Prometheus text
+	// exposition, expvar publishing and a ring-buffered event/span tracer.
+	Observer = obs.Registry
+	// ObserverConfig tunes a new Observer (injectable clock, event-ring
+	// capacity).
+	ObserverConfig = obs.Config
+	// MetricCounter is a monotonically increasing counter handle.
+	MetricCounter = obs.Counter
+	// MetricGauge is a set/add float gauge handle.
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a fixed-bucket histogram handle.
+	MetricHistogram = obs.Histogram
+	// TraceSpan is an in-flight timed operation recorded into the
+	// Observer's event ring on End.
+	TraceSpan = obs.Span
+	// TraceEvent is one recorded point-in-time or span-end event.
+	TraceEvent = obs.Event
+)
+
+// Observability construction.
+var (
+	// NewObserver returns a metric registry with the default configuration.
+	NewObserver = obs.New
+	// NewObserverWith returns a metric registry with an injectable clock
+	// and event-ring capacity.
+	NewObserverWith = obs.NewWith
+	// DefaultMetricBuckets is the default latency histogram layout
+	// (seconds).
+	DefaultMetricBuckets = obs.DefBuckets
+	// ExponentialMetricBuckets builds a geometric histogram layout.
+	ExponentialMetricBuckets = obs.ExponentialBuckets
 )
 
 // Failure localization, monitor placement and the closed-loop runner.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -335,5 +336,85 @@ func TestFacadeFaultToleranceSurface(t *testing.T) {
 	}
 	if st := noc.BreakerStates()["m"]; st != BreakerClosed && st != BreakerOpen {
 		t.Fatalf("unexpected breaker state %v", st)
+	}
+}
+
+// TestFacadeObservability wires an Observer through the public surface:
+// selection metrics land in the registry, the Prometheus text is
+// well-formed, spans record into the event ring, and the DialTimeout
+// conflict surfaces as a *ConfigError.
+func TestFacadeObservability(t *testing.T) {
+	ex := NewExampleNetwork()
+	paths, err := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPathMatrix(paths, ex.Graph.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, pm.NumLinks())
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	model, err := FailureFromProbabilities(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1
+	}
+
+	reg := NewObserver()
+	opts := DefaultSelectionOptions()
+	opts.Observer = reg
+	res, err := RoMe(pm, costs, 8, NewProbBoundOracle(pm, model), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same run without an Observer must select identically:
+	// instrumentation is read-only.
+	plain, err := RoMe(pm, costs, 8, NewProbBoundOracle(pm, model), DefaultSelectionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Selected) != len(res.Selected) || plain.GainEvaluations != res.GainEvaluations {
+		t.Fatalf("observed run diverged: %v vs %v", res, plain)
+	}
+
+	text := reg.PrometheusText()
+	for _, want := range []string{
+		"# TYPE tomo_selection_runs_total counter",
+		"tomo_selection_runs_total 1",
+		"tomo_selection_gain_evaluations_total",
+		"# TYPE tomo_selection_run_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	sp := reg.StartSpan("facade.work")
+	sp.End()
+	events := reg.Events()
+	if len(events) == 0 || events[len(events)-1].Name != "facade.work" {
+		t.Fatalf("span did not land in the event ring: %+v", events)
+	}
+
+	cfg := DefaultNOCConfig()
+	cfg.PM = pm
+	cfg.Monitors = map[string]string{"m": "127.0.0.1:1"}
+	cfg.SourceOf = func(int) string { return "m" }
+	cfg.DialTimeout = time.Second
+	cfg.Timeouts.Dial = 2 * time.Second
+	if _, err := NewNOC(cfg); err == nil {
+		t.Fatal("conflicting dial timeouts accepted")
+	} else {
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err %v (%T) is not a *ConfigError", err, err)
+		}
 	}
 }
