@@ -1,8 +1,32 @@
 GO ?= go
+FUZZTIME ?= 30s
+MAX_REGRESS ?= 0.25
 
-.PHONY: all build test race cover bench bench-json fuzz soak-agent serve-smoke experiments examples clean
+.PHONY: all build test race cover bench bench-json bench-gate ci fmt-check fuzz fuzz-smoke soak-agent serve-smoke experiments examples clean
 
 all: build test
+
+# Everything the lint + test CI jobs run, reproducible offline. The
+# network-installed linters (staticcheck, govulncheck) only run when they
+# are already on PATH, so `make ci` gives the same verdict on an
+# air-gapped machine as in CI minus those two advisory steps.
+ci: fmt-check build test
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "ci: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "ci: govulncheck not installed, skipping"; \
+	fi
+
+# gofmt -l prints offending files but always exits 0; fail explicitly.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -31,9 +55,26 @@ bench-json:
 	$(GO) run ./cmd/benchregress -suite bandit
 	$(GO) run ./cmd/benchregress -suite obs
 
-fuzz:
-	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
-	$(GO) test -fuzz=FuzzLoadWeights -fuzztime=30s ./internal/topo/
+# CI perf gate: rerun every tracked suite and fail if any benchmark lost
+# more than MAX_REGRESS (default 25%) of its committed-baseline
+# throughput, or disappeared from the suite without a re-baseline.
+bench-gate:
+	$(GO) run ./cmd/benchregress -suite selection -compare -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/benchregress -suite bandit -compare -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/benchregress -suite obs -compare -max-regress $(MAX_REGRESS)
+
+fuzz: fuzz-smoke
+
+# Native fuzzing smoke: every target gets FUZZTIME (go test accepts one
+# -fuzz pattern per invocation, hence one line per target). Each target
+# ships a seed corpus via f.Add, so even -fuzztime 0 replays the known
+# tricky frames.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -fuzz=FuzzLoadWeights -fuzztime=$(FUZZTIME) ./internal/topo/
+	$(GO) test -fuzz=FuzzCanonicalKey -fuzztime=$(FUZZTIME) ./internal/selection/
+	$(GO) test -fuzz=FuzzWireFrame -fuzztime=$(FUZZTIME) ./internal/agent/
+	$(GO) test -fuzz=FuzzWireRoundTrip -fuzztime=$(FUZZTIME) ./internal/agent/
 
 # Hammer the fault-tolerant collection plane (retries, circuit breakers,
 # persistent sessions) with scripted faults and concurrent collectors
@@ -41,13 +82,15 @@ fuzz:
 soak-agent:
 	AGENT_SOAK=1 $(GO) test -race -run TestAgentSoak -count=1 -timeout 60s -v ./internal/agent/
 
-# Boot the `tomo serve` daemon on a random port under the race detector
-# and drive its whole HTTP surface: /readyz, the breaker-aware /healthz
-# flip after the monitor kill, Prometheus metric families from every
-# instrumented layer on /metrics, /statusz JSON, pprof, expvar, and a real
-# SIGTERM graceful shutdown.
+# Drive the `tomo serve` daemon two ways: the in-process race-detector
+# tests over the whole HTTP surface, then scripts/serve_smoke.sh, which
+# boots the real binary on a random port, walks the job API with curl and
+# shuts it down with SIGTERM. The script traps EXIT/INT/TERM and kills
+# the daemon PID on every exit path, so a failing assertion can never
+# leave an orphaned daemon hanging a CI runner.
 serve-smoke:
-	$(GO) test -race -run 'TestServe' -count=1 -timeout 120s -v ./cmd/tomo/
+	$(GO) test -race -run 'TestServe|TestAPI' -count=1 -timeout 120s -v ./cmd/tomo/
+	./scripts/serve_smoke.sh
 
 # Regenerate every paper table/figure at quick scale (seconds). Use
 # SCALE=medium or SCALE=paper for the larger runs.
@@ -64,6 +107,7 @@ examples:
 	$(GO) run ./examples/closedloop
 	$(GO) run ./examples/learning
 	$(GO) run ./examples/observability
+	$(GO) run ./examples/service
 
 clean:
 	$(GO) clean ./...

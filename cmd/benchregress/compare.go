@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Regression is one benchmark whose current throughput fell outside the
+// allowed envelope of its committed baseline, or that vanished from the
+// suite entirely.
+type Regression struct {
+	Name string `json:"name"`
+	// BaselineNsPerOp and CurrentNsPerOp are the compared figures; both
+	// zero when Missing.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	CurrentNsPerOp  float64 `json:"current_ns_per_op,omitempty"`
+	// Ratio is current over baseline ns/op (> 1 means slower).
+	Ratio float64 `json:"ratio,omitempty"`
+	// Missing marks a baseline benchmark absent from the current run — a
+	// renamed or deleted benchmark must be re-baselined, not ignored.
+	Missing bool `json:"missing,omitempty"`
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: missing from current run (baseline %.0f ns/op)", r.Name, r.BaselineNsPerOp)
+	}
+	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx slower)",
+		r.Name, r.CurrentNsPerOp, r.BaselineNsPerOp, r.Ratio)
+}
+
+// CompareReports checks every baseline benchmark against the current
+// run. maxRegress is a throughput fraction: 0.25 means a benchmark may
+// lose up to 25% throughput before it counts as a regression, i.e. its
+// ns/op may grow to baseline/(1−0.25). Benchmarks present only in the
+// current run are new and pass; benchmarks present only in the baseline
+// are reported as missing. Returned regressions follow baseline order,
+// so output is deterministic.
+func CompareReports(baseline, current Report, maxRegress float64) []Regression {
+	if maxRegress < 0 || maxRegress >= 1 {
+		// A nonsense envelope would silently pass or reject everything;
+		// clamp to the conventional gate instead.
+		maxRegress = 0.25
+	}
+	cur := make(map[string]Entry, len(current.Benchmarks))
+	for _, e := range current.Benchmarks {
+		cur[e.Name] = e
+	}
+	var regs []Regression
+	for _, base := range baseline.Benchmarks {
+		if base.NsPerOp <= 0 {
+			continue // unusable baseline line; nothing to gate against
+		}
+		e, ok := cur[base.Name]
+		if !ok {
+			regs = append(regs, Regression{Name: base.Name, BaselineNsPerOp: base.NsPerOp, Missing: true})
+			continue
+		}
+		limit := base.NsPerOp / (1 - maxRegress)
+		if e.NsPerOp > limit {
+			regs = append(regs, Regression{
+				Name:            base.Name,
+				BaselineNsPerOp: base.NsPerOp,
+				CurrentNsPerOp:  e.NsPerOp,
+				Ratio:           e.NsPerOp / base.NsPerOp,
+			})
+		}
+	}
+	return regs
+}
+
+// loadReport reads a committed BENCH_*.json baseline.
+func loadReport(path string) (Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return r, nil
+}

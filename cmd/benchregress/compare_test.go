@@ -1,0 +1,181 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(entries ...Entry) Report {
+	return Report{Benchmarks: entries}
+}
+
+func TestCompareReportsWithinEnvelope(t *testing.T) {
+	base := report(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000},
+		Entry{Name: "BenchmarkB", NsPerOp: 500},
+	)
+	// 25% throughput loss allows ns/op up to 1000/0.75 ≈ 1333.
+	cur := report(
+		Entry{Name: "BenchmarkA", NsPerOp: 1300},
+		Entry{Name: "BenchmarkB", NsPerOp: 400}, // faster is always fine
+	)
+	if regs := CompareReports(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("in-envelope run flagged: %v", regs)
+	}
+}
+
+func TestCompareReportsFlagsRegression(t *testing.T) {
+	base := report(Entry{Name: "BenchmarkA", NsPerOp: 1000})
+	cur := report(Entry{Name: "BenchmarkA", NsPerOp: 1400}) // > 1333 limit
+	regs := CompareReports(base, cur, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Name != "BenchmarkA" || r.Missing {
+		t.Fatalf("regression %+v", r)
+	}
+	if r.Ratio < 1.39 || r.Ratio > 1.41 {
+		t.Fatalf("ratio %.3f, want 1.4", r.Ratio)
+	}
+	if !strings.Contains(r.String(), "slower") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestCompareReportsBoundaryExact(t *testing.T) {
+	// Exactly at the limit passes; one ns over fails.
+	base := report(Entry{Name: "BenchmarkA", NsPerOp: 750})
+	limit := 750 / (1 - 0.25) // = 1000
+	if regs := CompareReports(base, report(Entry{Name: "BenchmarkA", NsPerOp: limit}), 0.25); len(regs) != 0 {
+		t.Fatalf("exact-limit run flagged: %v", regs)
+	}
+	if regs := CompareReports(base, report(Entry{Name: "BenchmarkA", NsPerOp: limit + 1}), 0.25); len(regs) != 1 {
+		t.Fatalf("over-limit run passed")
+	}
+}
+
+func TestCompareReportsMissingBenchmark(t *testing.T) {
+	base := report(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000},
+		Entry{Name: "BenchmarkGone", NsPerOp: 2000},
+	)
+	cur := report(Entry{Name: "BenchmarkA", NsPerOp: 1000})
+	regs := CompareReports(base, cur, 0.25)
+	if len(regs) != 1 || !regs[0].Missing || regs[0].Name != "BenchmarkGone" {
+		t.Fatalf("missing benchmark not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("String() = %q", regs[0].String())
+	}
+}
+
+func TestCompareReportsNewBenchmarkPasses(t *testing.T) {
+	base := report(Entry{Name: "BenchmarkA", NsPerOp: 1000})
+	cur := report(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000},
+		Entry{Name: "BenchmarkNew", NsPerOp: 9e9}, // no baseline: not gated
+	)
+	if regs := CompareReports(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged: %v", regs)
+	}
+}
+
+func TestCompareReportsSkipsUnusableBaseline(t *testing.T) {
+	base := report(Entry{Name: "BenchmarkZero", NsPerOp: 0})
+	cur := report() // empty current run
+	if regs := CompareReports(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("zero-ns baseline gated: %v", regs)
+	}
+}
+
+func TestCompareReportsClampsBadEnvelope(t *testing.T) {
+	base := report(Entry{Name: "BenchmarkA", NsPerOp: 1000})
+	cur := report(Entry{Name: "BenchmarkA", NsPerOp: 1300})
+	// maxRegress 1.0 would make the limit infinite; the clamp restores
+	// the conventional 25% gate, under which 1300 passes and 1400 fails.
+	if regs := CompareReports(base, cur, 1.0); len(regs) != 0 {
+		t.Fatalf("clamped envelope flagged in-envelope run: %v", regs)
+	}
+	cur = report(Entry{Name: "BenchmarkA", NsPerOp: 1400})
+	if regs := CompareReports(base, cur, -3); len(regs) != 1 {
+		t.Fatalf("clamped envelope passed over-limit run")
+	}
+}
+
+func TestCompareReportsDeterministicOrder(t *testing.T) {
+	base := report(
+		Entry{Name: "BenchmarkC", NsPerOp: 100},
+		Entry{Name: "BenchmarkA", NsPerOp: 100},
+		Entry{Name: "BenchmarkB", NsPerOp: 100},
+	)
+	cur := report() // everything missing
+	regs := CompareReports(base, cur, 0.25)
+	want := []string{"BenchmarkC", "BenchmarkA", "BenchmarkB"}
+	for i, r := range regs {
+		if r.Name != want[i] {
+			t.Fatalf("order %v, want baseline order %v", regs, want)
+		}
+	}
+}
+
+func TestLoadReport(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"benchmarks":[{"name":"BenchmarkA","iterations":5,"ns_per_op":123}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := loadReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 1 || r.Benchmarks[0].NsPerOp != 123 {
+		t.Fatalf("loaded %+v", r)
+	}
+	if _, err := loadReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("absent baseline loaded")
+	}
+	badFile := filepath.Join(dir, "bad.json")
+	os.WriteFile(badFile, []byte("{broken"), 0o644)
+	if _, err := loadReport(badFile); err == nil {
+		t.Fatal("corrupt baseline loaded")
+	}
+}
+
+// TestCompareGateExitsNonZero is the acceptance check for the CI gate:
+// against an intentionally broken baseline (absurdly fast figures no
+// real run can match), `benchregress -compare` must exit non-zero. The
+// obs suite keeps the wall-clock cost low.
+func TestCompareGateExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real obs benchmark suite")
+	}
+	dir := t.TempDir()
+	broken := filepath.Join(dir, "broken.json")
+	// 0.0001 ns/op: any real benchmark is thousands of times slower.
+	blob := []byte(`{"benchmarks":[{"name":"BenchmarkCounterAdd","iterations":1,"ns_per_op":0.0001}]}`)
+	if err := os.WriteFile(broken, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/benchregress",
+		"-suite", "obs", "-bench", "^BenchmarkCounterAdd$", "-benchtime", "100x",
+		"-compare", "-baseline", broken)
+	cmd.Dir = repoRoot
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("gate passed against broken baseline:\n%s", out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("gate did not run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "regression") {
+		t.Fatalf("gate output does not report the regression:\n%s", out)
+	}
+}

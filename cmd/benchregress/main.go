@@ -19,6 +19,14 @@
 // Usage:
 //
 //	go run ./cmd/benchregress [-suite selection|bandit|obs] [-out FILE] [-benchtime 5x]
+//
+// With -compare the command becomes a CI gate: instead of rewriting the
+// JSON, it runs the suite, compares against the committed baseline
+// (-baseline FILE, default the suite's own output file) and exits
+// non-zero when any benchmark lost more than -max-regress (default 25%)
+// of its baseline throughput or disappeared from the suite:
+//
+//	go run ./cmd/benchregress -suite selection -compare [-max-regress 0.25]
 package main
 
 import (
@@ -71,6 +79,9 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default per suite)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (default per suite)")
 	pattern := flag.String("bench", "", "go test -bench regexp override (default per suite)")
+	compare := flag.Bool("compare", false, "gate mode: compare against the committed baseline instead of rewriting it")
+	baselinePath := flag.String("baseline", "", "baseline JSON for -compare (default: the suite's output file)")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed throughput loss fraction before -compare fails")
 	flag.Parse()
 
 	suite, ok := suites[*suiteName]
@@ -106,6 +117,28 @@ func main() {
 	report := BuildReport(ParseBenchOutput(string(raw)))
 	report.Date = time.Now().UTC().Format(time.RFC3339)
 	report.BenchTime = *benchtime
+
+	if *compare {
+		if *baselinePath == "" {
+			*baselinePath = suite.out
+		}
+		baseline, err := loadReport(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchregress: load baseline: %v\n", err)
+			os.Exit(1)
+		}
+		regs := CompareReports(baseline, report, *maxRegress)
+		if len(regs) == 0 {
+			fmt.Printf("benchregress: %d benchmarks within %.0f%% of %s\n",
+				len(report.Benchmarks), *maxRegress*100, *baselinePath)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchregress: %d regression(s) vs %s:\n", len(regs), *baselinePath)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

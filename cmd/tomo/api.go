@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"robusttomo/internal/service"
+)
+
+// maxJobBody bounds a POST /api/v1/jobs body so a hostile client cannot
+// balloon memory before validation runs: 8 MiB comfortably holds a
+// 10k-path instance while staying far below any real heap.
+const maxJobBody = 8 << 20
+
+// apiError is the JSON error envelope for every non-2xx API response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeAPIError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// mountJobAPI registers the selection-service job routes. Method and
+// path-wildcard routing come from the stdlib mux.
+func (s *server) mountJobAPI() {
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleServiceStats)
+}
+
+// handleSubmitJob accepts a selection job: 202 Accepted for queued or
+// deduped work, 200 OK for a cache answer, 400 for invalid specs, 429 +
+// Retry-After when the queue is full, 503 once shutdown has begun.
+func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec service.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeAPIError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	out, err := s.svc.Submit(spec)
+	switch {
+	case err == nil:
+		code := http.StatusAccepted
+		if out.Cached {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, out)
+	case errors.Is(err, service.ErrOverloaded):
+		var oe *service.OverloadError
+		if errors.As(err, &oe) {
+			secs := int(oe.RetryAfter.Seconds() + 0.999) // ceil; header granularity is 1s
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeAPIError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, service.ErrClosed):
+		writeAPIError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeAPIError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Status(r.PathValue("id"))
+	if err != nil {
+		writeAPIError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobResult serves the completed result: 404 for unknown IDs, 409
+// (with the current state in the error) while the job is not done.
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.svc.Result(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, service.ErrUnknownJob):
+		writeAPIError(w, http.StatusNotFound, err)
+	case errors.Is(err, service.ErrNotDone):
+		writeAPIError(w, http.StatusConflict, err)
+	default:
+		writeAPIError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeAPIError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleServiceStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}

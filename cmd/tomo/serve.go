@@ -19,6 +19,7 @@ import (
 
 	"robusttomo/internal/agent"
 	"robusttomo/internal/obs"
+	"robusttomo/internal/service"
 	"robusttomo/internal/sim"
 )
 
@@ -35,6 +36,15 @@ type serveConfig struct {
 	Threshold int
 	Cooldown  time.Duration
 	Seed      uint64
+
+	// Selection-service knobs (POST /api/v1/jobs). Zeros take the
+	// service defaults.
+	Workers    int
+	QueueDepth int
+	CacheBytes int64
+	RetryAfter time.Duration
+	// beforeRun is the service's test seam; production leaves it nil.
+	beforeRun func(service.JobSpec)
 }
 
 // serveHorizon bounds the failure schedule when -epochs is 0: large enough
@@ -48,6 +58,7 @@ type server struct {
 	cfg  serveConfig
 	d    *demoLoop
 	reg  *obs.Registry
+	svc  *service.Service
 	ln   net.Listener
 	mux  *http.ServeMux
 	http *http.Server
@@ -88,7 +99,15 @@ func newServer(cfg serveConfig) (*server, error) {
 		d.Close()
 		return nil, err
 	}
-	s := &server{cfg: cfg, d: d, reg: reg, ln: ln}
+	svc := service.New(service.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		CacheBytes: cfg.CacheBytes,
+		RetryAfter: cfg.RetryAfter,
+		Observer:   reg,
+		BeforeRun:  cfg.beforeRun,
+	})
+	s := &server{cfg: cfg, d: d, reg: reg, svc: svc, ln: ln}
 	// A second server in the same process (tests) hits the
 	// already-published name; the expvar surface then reflects the first
 	// registry, which is fine for a debug endpoint.
@@ -104,6 +123,7 @@ func newServer(cfg serveConfig) (*server, error) {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mountJobAPI()
 	s.http = &http.Server{Handler: s.mux}
 	return s, nil
 }
@@ -262,6 +282,14 @@ func (s *server) Run(ctx context.Context) error {
 	}
 	stopLoop()
 	wg.Wait()
+	// Drain the selection service after the listener stops accepting new
+	// submissions: queued jobs are canceled, running jobs get the drain
+	// window, stragglers are cut at the deadline.
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if derr := s.svc.Close(dctx); derr != nil {
+		s.reg.Event("serve.drain_cut_short", derr.Error())
+	}
+	dcancel()
 	s.d.Close()
 	if err == http.ErrServerClosed {
 		err = nil
@@ -285,6 +313,10 @@ func runServe(args []string, out io.Writer) error {
 	threshold := fs.Int("breaker-threshold", 3, "consecutive failures before the breaker opens")
 	cooldown := fs.Duration("cooldown", 10*time.Second, "breaker cool-down before a half-open probe")
 	seed := fs.Uint64("seed", 2014, "random seed")
+	workers := fs.Int("workers", 0, "selection-service worker pool size (0: GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "queued jobs before load shedding kicks in (0: default 64)")
+	cacheMB := fs.Int("cache-mb", 16, "result cache byte budget in MiB")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint attached to shed submissions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -308,11 +340,18 @@ func runServe(args []string, out io.Writer) error {
 		Threshold: *threshold,
 		Cooldown:  *cooldown,
 		Seed:      *seed,
+
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheBytes: int64(*cacheMB) << 20,
+		RetryAfter: *retryAfter,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "tomo serve listening on http://%s (metrics /metrics, health /healthz, status /statusz, pprof /debug/pprof)\n", s.Addr())
+	fmt.Fprintf(out, "selection service: POST /api/v1/jobs (workers %d, queue %d, cache %d MiB)\n",
+		s.svc.Stats().Workers, s.svc.QueueDepth(), *cacheMB)
 	fmt.Fprintf(out, "closed loop: %s mode, epoch every %v; SIGINT/SIGTERM to stop\n", *mode, *interval)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,154 @@
+// Service: the multi-tenant selection-job subsystem, embedded.
+//
+// The same engine that backs `tomo serve`'s POST /api/v1/jobs can be
+// embedded directly: submit selection instances as jobs, let the bounded
+// worker pool run them, and watch the content-addressed cache and
+// singleflight dedup amortize repeated queries. This example submits the
+// same instance from several goroutines (exactly one execution), shows a
+// cache hit answering instantly, trips the load shedder against a tiny
+// queue, and reads the canonical cache key that makes it all work.
+//
+// Run: go run ./examples/service
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"robusttomo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Build a small instance: the paper's example network, candidate
+	// paths between monitors, a skewed failure model.
+	ex := robusttomo.NewExampleNetwork()
+	paths, err := robusttomo.MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	if err != nil {
+		return err
+	}
+	pm, err := robusttomo.NewPathMatrix(paths, ex.Graph.NumEdges())
+	if err != nil {
+		return err
+	}
+	probs := make([]float64, pm.NumLinks())
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	probs[ex.Bridge] = 0.3
+
+	// A JobSpec is self-contained: the path matrix rows as link lists,
+	// the failure probabilities, and the algorithm + budget.
+	spec := robusttomo.SelectionJobSpec{
+		Links:     pm.NumLinks(),
+		Paths:     pathLinks(pm),
+		Probs:     probs,
+		Budget:    4,
+		Algorithm: "probrome",
+	}
+
+	svc := robusttomo.NewSelectionService(robusttomo.SelectionServiceConfig{
+		Workers:    2,
+		QueueDepth: 4,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+
+	// 1. Singleflight: five goroutines submit the identical instance;
+	// the service executes it once and attaches the rest.
+	var wg sync.WaitGroup
+	var id string
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := svc.Submit(spec)
+			if err != nil {
+				log.Printf("submit: %v", err)
+				return
+			}
+			mu.Lock()
+			id = out.ID
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	st, err := svc.Wait(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	res, err := svc.Result(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s…: %s, selected %d paths, ER %.3f\n",
+		id[:12], st.State, len(res.Selected), res.Objective)
+
+	// 2. Content-addressed cache: the same instance resubmitted is
+	// answered without a new execution — bit-identical by construction.
+	again, err := svc.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resubmission: cached=%v (same ID: %v)\n", again.Cached, again.ID == id)
+
+	// 3. Load shedding: flood distinct instances past the queue bound
+	// and count deterministic rejections with their Retry-After hint.
+	shed := 0
+	var retryAfter time.Duration
+	for n := 0; n < 32; n++ {
+		variant := spec
+		variant.Budget = 3 + float64(n)*0.25
+		if _, err := svc.Submit(variant); err != nil {
+			var oe *robusttomo.ServiceOverloadError
+			if errors.As(err, &oe) {
+				shed++
+				retryAfter = oe.RetryAfter
+				continue
+			}
+			return err
+		}
+	}
+	fmt.Printf("flood of 32: %d shed with Retry-After %v\n", shed, retryAfter)
+
+	stats := svc.Stats()
+	fmt.Printf("stats: submitted %d, executed %d, dedup %d, cache hits %d, shed %d\n",
+		stats.Submitted, stats.Executed, stats.DedupHits, stats.CacheHits, stats.Shed)
+
+	// 4. The canonical key behind it all: the hash of everything the
+	// result depends on, computable without a service.
+	model, err := robusttomo.FailureFromProbabilities(probs)
+	if err != nil {
+		return err
+	}
+	costs := make([]float64, pm.NumPaths())
+	for i := range costs {
+		costs[i] = 1
+	}
+	key := robusttomo.CanonicalSelectionKey(pm, model.Probs(), costs, 4, "probrome", 0, 0)
+	fmt.Printf("canonical key: %s… (matches job ID: %v)\n", key[:12], key == id)
+	return nil
+}
+
+// pathLinks flattens a path matrix back into per-path link lists, the
+// wire form a JobSpec carries.
+func pathLinks(pm *robusttomo.PathMatrix) [][]int {
+	out := make([][]int, pm.NumPaths())
+	for i := range out {
+		out[i] = pm.EdgesOf(i)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package selection
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"robusttomo/internal/tomo"
+)
+
+// CanonicalInputs is the complete set of inputs that determines a
+// selection result. Two selection runs with byte-equal canonical inputs
+// produce bit-identical results (every algorithm in this package is
+// deterministic in them), which is what makes the content-addressed
+// result cache in internal/service sound: the cache key is Key() and a
+// cache hit stands in for a cold run.
+//
+// Paths are given as per-path link-ID lists (the sparse rows of the path
+// matrix); Probs are per-link failure probabilities; Costs are per-path
+// probing costs. MCRuns and Seed only matter to the Monte Carlo oracle
+// but are always part of the key — hashing them unconditionally keeps the
+// canonicalization rule free of per-algorithm special cases.
+type CanonicalInputs struct {
+	Links     int
+	Paths     [][]int
+	Probs     []float64
+	Costs     []float64
+	Budget    float64
+	Algorithm string
+	MCRuns    int
+	Seed      uint64
+}
+
+// Key returns the canonical content hash of the inputs as a fixed-length
+// hex string. The encoding is injective: every variable-length section is
+// length-prefixed and every number is encoded in a fixed width (floats by
+// their IEEE-754 bit patterns, so 0.0 and -0.0 hash differently and NaN
+// payloads are preserved), so distinct inputs cannot collide by
+// concatenation ambiguity.
+func (ci CanonicalInputs) Key() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u64(uint64(len(ci.Algorithm)))
+	h.Write([]byte(ci.Algorithm))
+	u64(uint64(ci.Links))
+	u64(uint64(len(ci.Paths)))
+	for _, p := range ci.Paths {
+		u64(uint64(len(p)))
+		for _, l := range p {
+			u64(uint64(l))
+		}
+	}
+	u64(uint64(len(ci.Probs)))
+	for _, p := range ci.Probs {
+		f64(p)
+	}
+	u64(uint64(len(ci.Costs)))
+	for _, c := range ci.Costs {
+		f64(c)
+	}
+	f64(ci.Budget)
+	u64(uint64(ci.MCRuns))
+	u64(ci.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalKey hashes a selection instance given as a built path matrix:
+// the matrix contributes its link count and every candidate path's link
+// list, in candidate order. It is exactly
+// CanonicalInputs{...}.Key() over the matrix's sparse rows, so services
+// that hash a client-submitted path list and callers that hash a built
+// matrix derive the same key for the same instance.
+func CanonicalKey(pm *tomo.PathMatrix, probs, costs []float64, budget float64, algorithm string, mcRuns int, seed uint64) string {
+	paths := make([][]int, pm.NumPaths())
+	for i := range paths {
+		paths[i] = pm.EdgesOf(i)
+	}
+	return CanonicalInputs{
+		Links:     pm.NumLinks(),
+		Paths:     paths,
+		Probs:     probs,
+		Costs:     costs,
+		Budget:    budget,
+		Algorithm: algorithm,
+		MCRuns:    mcRuns,
+		Seed:      seed,
+	}.Key()
+}

@@ -1,0 +1,123 @@
+package selection
+
+import (
+	"strings"
+	"testing"
+
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/tomo"
+)
+
+func testInputs() CanonicalInputs {
+	return CanonicalInputs{
+		Links:     4,
+		Paths:     [][]int{{0, 1}, {1, 2}, {3}},
+		Probs:     []float64{0.1, 0.2, 0.3, 0.05},
+		Costs:     []float64{1, 2, 3},
+		Budget:    4,
+		Algorithm: "probrome",
+		MCRuns:    100,
+		Seed:      2014,
+	}
+}
+
+// clone deep-copies the inputs so mutation tests cannot alias.
+func (ci CanonicalInputs) clone() CanonicalInputs {
+	cp := ci
+	cp.Paths = make([][]int, len(ci.Paths))
+	for i, p := range ci.Paths {
+		cp.Paths[i] = append([]int(nil), p...)
+	}
+	cp.Probs = append([]float64(nil), ci.Probs...)
+	cp.Costs = append([]float64(nil), ci.Costs...)
+	return cp
+}
+
+func TestCanonicalKeyDeterministic(t *testing.T) {
+	a, b := testInputs(), testInputs().clone()
+	ka, kb := a.Key(), b.Key()
+	if ka != kb {
+		t.Fatalf("equal inputs hash differently: %s vs %s", ka, kb)
+	}
+	if len(ka) != 64 || strings.ToLower(ka) != ka {
+		t.Fatalf("key %q is not lowercase 64-hex", ka)
+	}
+}
+
+// TestCanonicalKeySensitivity flips every field and asserts the key
+// changes: the cache must never serve a result computed for different
+// inputs.
+func TestCanonicalKeySensitivity(t *testing.T) {
+	base := testInputs().Key()
+	mutations := map[string]func(*CanonicalInputs){
+		"links":       func(ci *CanonicalInputs) { ci.Links = 5 },
+		"path edge":   func(ci *CanonicalInputs) { ci.Paths[0][1] = 2 },
+		"path order":  func(ci *CanonicalInputs) { ci.Paths[0], ci.Paths[1] = ci.Paths[1], ci.Paths[0] },
+		"path added":  func(ci *CanonicalInputs) { ci.Paths = append(ci.Paths, []int{2}) },
+		"empty path":  func(ci *CanonicalInputs) { ci.Paths[2] = nil },
+		"prob":        func(ci *CanonicalInputs) { ci.Probs[3] = 0.06 },
+		"cost":        func(ci *CanonicalInputs) { ci.Costs[0] = 1.5 },
+		"budget":      func(ci *CanonicalInputs) { ci.Budget = 5 },
+		"algorithm":   func(ci *CanonicalInputs) { ci.Algorithm = "monterome" },
+		"mc runs":     func(ci *CanonicalInputs) { ci.MCRuns = 101 },
+		"seed":        func(ci *CanonicalInputs) { ci.Seed = 7 },
+		"signed zero": func(ci *CanonicalInputs) { ci.Budget = negZero() },
+	}
+	// "signed zero" needs a 0.0 baseline to differ from.
+	zeroed := testInputs()
+	zeroed.Budget = 0
+	zeroBase := zeroed.Key()
+	for name, mutate := range mutations {
+		ci := testInputs().clone()
+		mutate(&ci)
+		got := ci.Key()
+		ref := base
+		if name == "signed zero" {
+			ref = zeroBase
+		}
+		if got == ref {
+			t.Errorf("%s mutation did not change the key", name)
+		}
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
+// TestCanonicalKeyShiftResistance exercises the injectivity of the
+// length-prefixed encoding: moving a link from one path to the next keeps
+// the flattened edge stream identical, so a naive concatenation hash
+// would collide.
+func TestCanonicalKeyShiftResistance(t *testing.T) {
+	a := testInputs().clone()
+	a.Paths = [][]int{{0, 1}, {2}}
+	b := testInputs().clone()
+	b.Paths = [][]int{{0}, {1, 2}}
+	if a.Key() == b.Key() {
+		t.Fatal("path boundary shift collided")
+	}
+}
+
+// TestCanonicalKeyFromMatrix asserts the matrix-based helper derives the
+// same key as hashing the raw path lists, so service-side (raw spec) and
+// library-side (built matrix) keys agree.
+func TestCanonicalKeyFromMatrix(t *testing.T) {
+	ci := testInputs()
+	paths := make([]routing.Path, len(ci.Paths))
+	for i, p := range ci.Paths {
+		for _, e := range p {
+			paths[i].Edges = append(paths[i].Edges, graph.EdgeID(e))
+		}
+	}
+	pm, err := tomo.NewPathMatrix(paths, ci.Links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CanonicalKey(pm, ci.Probs, ci.Costs, ci.Budget, ci.Algorithm, ci.MCRuns, ci.Seed)
+	if want := ci.Key(); got != want {
+		t.Fatalf("matrix key %s != raw key %s", got, want)
+	}
+}

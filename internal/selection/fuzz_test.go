@@ -1,0 +1,100 @@
+package selection
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCanonicalKey drives the cache-key canonicalizer with arbitrary
+// decoded inputs and asserts the properties the content-addressed cache
+// relies on: hashing never panics, equal inputs (including deep copies)
+// hash equal, and single-field perturbations change the key. The byte
+// blob is decoded into path/probability/cost shapes, so the fuzzer
+// explores ragged path lists, empty sections, NaN/Inf floats and huge
+// link IDs.
+func FuzzCanonicalKey(f *testing.F) {
+	// Seed corpus: a plain instance, an empty one, ragged paths, extreme
+	// floats, and a long single path.
+	f.Add(uint64(2014), 4, []byte{2, 0, 1, 1, 2}, []byte{10, 20, 30, 40}, "probrome", 100)
+	f.Add(uint64(0), 0, []byte{}, []byte{}, "", 0)
+	f.Add(uint64(7), 2, []byte{0, 3, 1, 1, 1, 0}, []byte{255, 0}, "monterome", 1)
+	f.Add(uint64(1), 1, []byte{5, 0, 0, 0, 0, 0}, []byte{1}, "matrome", -3)
+	f.Add(uint64(42), 8, []byte{7, 1, 2, 3, 4, 5, 6, 7}, []byte{9, 9, 9, 9, 9, 9, 9, 9}, "selectpath", 1<<20)
+
+	f.Fuzz(func(t *testing.T, seed uint64, links int, pathBytes, probBytes []byte, alg string, runs int) {
+		ci := decodeInputs(seed, links, pathBytes, probBytes, alg, runs)
+		k1 := ci.Key()
+		k2 := ci.Key()
+		if k1 != k2 {
+			t.Fatalf("key not deterministic: %s vs %s", k1, k2)
+		}
+		cp := ci.clone()
+		if k3 := cp.Key(); k3 != k1 {
+			t.Fatalf("deep copy hashed differently: %s vs %s", k3, k1)
+		}
+		if len(k1) != 64 {
+			t.Fatalf("key length %d, want 64", len(k1))
+		}
+		// Any single-field perturbation must change the key.
+		cp.Seed = ci.Seed + 1
+		if cp.Key() == k1 {
+			t.Fatal("seed perturbation collided")
+		}
+		cp = ci.clone()
+		cp.Budget = ci.Budget + 1
+		if cp.Key() == k1 {
+			t.Fatal("budget perturbation collided")
+		}
+		cp = ci.clone()
+		cp.Algorithm = ci.Algorithm + "x"
+		if cp.Key() == k1 {
+			t.Fatal("algorithm perturbation collided")
+		}
+		cp = ci.clone()
+		cp.Paths = append(cp.Paths, []int{0})
+		if cp.Key() == k1 {
+			t.Fatal("appended path collided")
+		}
+		if len(ci.Probs) > 0 {
+			cp = ci.clone()
+			cp.Probs[0] = flipFloat(cp.Probs[0])
+			if cp.Key() == k1 {
+				t.Fatal("probability perturbation collided")
+			}
+		}
+	})
+}
+
+// decodeInputs shapes the fuzzer's raw bytes into CanonicalInputs: the
+// first byte of pathBytes is the path count, the rest are link IDs dealt
+// round-robin; probBytes become both probabilities and costs.
+func decodeInputs(seed uint64, links int, pathBytes, probBytes []byte, alg string, runs int) CanonicalInputs {
+	ci := CanonicalInputs{
+		Links:     links,
+		Algorithm: alg,
+		MCRuns:    runs,
+		Seed:      seed,
+		Budget:    float64(links) / 2,
+	}
+	if len(pathBytes) > 0 {
+		n := int(pathBytes[0])%8 + 1
+		ci.Paths = make([][]int, n)
+		for i, b := range pathBytes[1:] {
+			ci.Paths[i%n] = append(ci.Paths[i%n], int(b))
+		}
+	}
+	for i := 0; i+7 < len(probBytes); i += 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(probBytes[i : i+8]))
+		ci.Probs = append(ci.Probs, v)
+	}
+	for _, b := range probBytes {
+		ci.Costs = append(ci.Costs, float64(b))
+	}
+	return ci
+}
+
+// flipFloat returns a float guaranteed to have a different bit pattern.
+func flipFloat(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ 1)
+}

@@ -1,0 +1,116 @@
+package service
+
+import "robusttomo/internal/selection"
+
+// resultCache is the content-addressed selection-result cache: a
+// map keyed by canonical input hash with an intrusive LRU list and a
+// byte budget. Entries are charged an estimated in-memory size; inserts
+// evict least-recently-used entries until the total fits. A single
+// result larger than the whole budget is not cached at all.
+//
+// The cache is not concurrency-safe on its own — the owning Service
+// serializes access under its mutex (the cache sits on the submit path,
+// not the selection hot path).
+type resultCache struct {
+	capacity int64
+	entries  map[string]*cacheEntry
+	// head is most recently used, tail least; nil when empty.
+	head, tail *cacheEntry
+	bytes      int64
+	evictions  uint64
+}
+
+type cacheEntry struct {
+	key        string
+	res        selection.Result
+	size       int64
+	prev, next *cacheEntry
+}
+
+func newResultCache(capacity int64) *resultCache {
+	return &resultCache{capacity: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+// resultSize estimates the in-memory footprint of a cached result: the
+// entry struct, the key string, and the selected-path slice. The
+// estimate only needs to be proportional for the byte budget to bound
+// real memory.
+func resultSize(key string, res selection.Result) int64 {
+	return int64(len(key)) + int64(8*len(res.Selected)) + 128
+}
+
+// get returns the cached result for key and marks it most recently
+// used. The returned Selected slice is shared with the cache; callers
+// copy before handing it out (see Service.resultCopy).
+func (c *resultCache) get(key string) (selection.Result, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return selection.Result{}, false
+	}
+	c.moveToFront(e)
+	return e.res, true
+}
+
+// put inserts (or refreshes) the result under key, evicting LRU entries
+// until the byte budget holds.
+func (c *resultCache) put(key string, res selection.Result) {
+	if e, ok := c.entries[key]; ok {
+		// Same key means same canonical inputs, hence an identical
+		// result; refreshing recency is all there is to do.
+		c.moveToFront(e)
+		return
+	}
+	size := resultSize(key, res)
+	if size > c.capacity {
+		return
+	}
+	e := &cacheEntry{key: key, res: res, size: size}
+	c.entries[key] = e
+	c.pushFront(e)
+	c.bytes += size
+	for c.bytes > c.capacity && c.tail != nil {
+		c.evict(c.tail)
+	}
+}
+
+func (c *resultCache) evict(e *cacheEntry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	c.evictions++
+}
+
+func (c *resultCache) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *resultCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *resultCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *resultCache) len() int { return len(c.entries) }

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"robusttomo/internal/selection"
+)
+
+// Supported selection algorithms, matching the `tomo select -alg` names.
+const (
+	AlgProbRoMe   = "probrome"
+	AlgMonteRoMe  = "monterome"
+	AlgMatRoMe    = "matrome"
+	AlgSelectPath = "selectpath"
+)
+
+// DefaultMCRuns is the Monte Carlo scenario count applied when a
+// monterome job omits mc_runs.
+const DefaultMCRuns = 200
+
+// JobSpec is one client-submitted selection query: a self-contained
+// instance (path matrix as per-path link lists, per-link failure
+// probabilities, per-path costs) plus the algorithm and its budget. The
+// JSON field names are the wire format of POST /api/v1/jobs.
+type JobSpec struct {
+	// Links is the number of links in the network (path matrix columns).
+	Links int `json:"links"`
+	// Paths lists each candidate path's link IDs (path matrix rows).
+	Paths [][]int `json:"paths"`
+	// Probs holds per-link failure probabilities in [0, 1).
+	Probs []float64 `json:"probs"`
+	// Costs holds per-path probing costs; empty means unit costs.
+	Costs []float64 `json:"costs,omitempty"`
+	// Budget is the probing budget (for matrome: the path-count budget).
+	Budget float64 `json:"budget"`
+	// Algorithm is one of probrome (default), monterome, matrome,
+	// selectpath.
+	Algorithm string `json:"algorithm,omitempty"`
+	// MCRuns is the Monte Carlo scenario count (monterome only; default
+	// DefaultMCRuns).
+	MCRuns int `json:"mc_runs,omitempty"`
+	// Seed drives the Monte Carlo scenario stream (monterome only).
+	Seed uint64 `json:"seed,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a
+	// priority. It does not enter the cache key — the result does not
+	// depend on it.
+	Priority int `json:"priority,omitempty"`
+}
+
+// normalize validates the spec and fills defaults, returning the
+// canonical form that is hashed and executed. Canonicalization rules
+// (DESIGN.md §12): empty algorithm becomes probrome; empty costs become
+// explicit unit costs; monterome defaults MCRuns; non-Monte-Carlo
+// algorithms zero MCRuns and Seed so equivalent queries share one cache
+// entry.
+func (spec JobSpec) normalize() (JobSpec, error) {
+	if spec.Links <= 0 {
+		return spec, fmt.Errorf("service: need a positive link count, got %d", spec.Links)
+	}
+	if len(spec.Paths) == 0 {
+		return spec, fmt.Errorf("service: no candidate paths")
+	}
+	for i, p := range spec.Paths {
+		for _, l := range p {
+			if l < 0 || l >= spec.Links {
+				return spec, fmt.Errorf("service: path %d uses link %d outside [0,%d)", i, l, spec.Links)
+			}
+		}
+	}
+	if len(spec.Probs) != spec.Links {
+		return spec, fmt.Errorf("service: %d probabilities for %d links", len(spec.Probs), spec.Links)
+	}
+	for l, p := range spec.Probs {
+		if !(p >= 0 && p < 1) { // also rejects NaN
+			return spec, fmt.Errorf("service: probability %v for link %d out of [0,1)", p, l)
+		}
+	}
+	if spec.Budget < 0 || spec.Budget != spec.Budget {
+		return spec, fmt.Errorf("service: invalid budget %v", spec.Budget)
+	}
+	switch len(spec.Costs) {
+	case 0:
+		unit := make([]float64, len(spec.Paths))
+		for i := range unit {
+			unit[i] = 1
+		}
+		spec.Costs = unit
+	case len(spec.Paths):
+		for i, c := range spec.Costs {
+			if !(c >= 0) {
+				return spec, fmt.Errorf("service: invalid cost %v for path %d", c, i)
+			}
+		}
+	default:
+		return spec, fmt.Errorf("service: %d costs for %d paths", len(spec.Costs), len(spec.Paths))
+	}
+	if spec.Algorithm == "" {
+		spec.Algorithm = AlgProbRoMe
+	}
+	switch spec.Algorithm {
+	case AlgMonteRoMe:
+		if spec.MCRuns == 0 {
+			spec.MCRuns = DefaultMCRuns
+		}
+		if spec.MCRuns < 0 {
+			return spec, fmt.Errorf("service: invalid mc_runs %d", spec.MCRuns)
+		}
+	case AlgProbRoMe, AlgMatRoMe, AlgSelectPath:
+		// Deterministic in the instance alone: the scenario-stream knobs
+		// must not split the cache key.
+		spec.MCRuns = 0
+		spec.Seed = 0
+	default:
+		return spec, fmt.Errorf("service: unknown algorithm %q (probrome, monterome, matrome, selectpath)", spec.Algorithm)
+	}
+	return spec, nil
+}
+
+// key returns the content-addressed job ID of a normalized spec: the
+// canonical hash of everything the selection result depends on. Priority
+// is deliberately excluded.
+func (spec JobSpec) key() string {
+	return selection.CanonicalInputs{
+		Links:     spec.Links,
+		Paths:     spec.Paths,
+		Probs:     spec.Probs,
+		Costs:     spec.Costs,
+		Budget:    spec.Budget,
+		Algorithm: spec.Algorithm,
+		MCRuns:    spec.MCRuns,
+		Seed:      spec.Seed,
+	}.Key()
+}
+
+// JobState is a job's position in the lifecycle state machine
+// (DESIGN.md §12): Queued → Running → Done | Failed | Canceled, with
+// Queued → Canceled for jobs canceled before a worker picks them up.
+type JobState int
+
+// Job lifecycle states.
+const (
+	StateQueued JobState = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s >= StateDone }
+
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the state as its string name.
+func (s JobState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a state name.
+func (s *JobState) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		if st.String() == name {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("service: unknown job state %q", name)
+}
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	// ID is the job's content-addressed identifier (the cache key).
+	ID string `json:"id"`
+	// State is the lifecycle state at snapshot time.
+	State JobState `json:"state"`
+	// Algorithm echoes the normalized spec's algorithm.
+	Algorithm string `json:"algorithm"`
+	// Priority echoes the submission priority.
+	Priority int `json:"priority"`
+	// Cached reports that the result was served from the content cache
+	// (or a retained completed job) without a new execution.
+	Cached bool `json:"cached"`
+	// Deduped counts later identical submissions that attached to this
+	// job while it was in flight.
+	Deduped int `json:"deduped"`
+	// Error carries the failure or cancellation reason for terminal
+	// non-Done states.
+	Error string `json:"error,omitempty"`
+}

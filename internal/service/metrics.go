@@ -1,0 +1,62 @@
+package service
+
+import "robusttomo/internal/obs"
+
+// svcMetrics holds the service's pre-interned instrument handles,
+// following the repo-wide nil discipline: with no observer registry
+// every handle is nil and each update costs one nil check.
+type svcMetrics struct {
+	submitted  *obs.Counter
+	executed   *obs.Counter
+	failed     *obs.Counter
+	canceled   *obs.Counter
+	dedupHits  *obs.Counter
+	cacheHits  *obs.Counter
+	cacheMiss  *obs.Counter
+	evictions  *obs.Counter
+	shed       *obs.Counter
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	cacheBytes *obs.Gauge
+	jobSeconds *obs.Histogram
+}
+
+var noSvcMetrics = &svcMetrics{}
+
+// jobBuckets span sub-millisecond ProbRoMe queries to multi-second
+// MonteRoMe runs.
+var jobBuckets = obs.ExponentialBuckets(1e-4, 4, 10)
+
+func newSvcMetrics(reg *obs.Registry) *svcMetrics {
+	if reg == nil {
+		return noSvcMetrics
+	}
+	return &svcMetrics{
+		submitted: reg.Counter("tomo_service_jobs_submitted_total",
+			"Accepted job submissions (cache hits and dedups included, shed excluded)."),
+		executed: reg.Counter("tomo_service_jobs_executed_total",
+			"Selection executions actually performed by the worker pool."),
+		failed: reg.Counter("tomo_service_jobs_failed_total",
+			"Jobs that ended in the failed state."),
+		canceled: reg.Counter("tomo_service_jobs_canceled_total",
+			"Jobs canceled while queued or running (drain included)."),
+		dedupHits: reg.Counter("tomo_service_dedup_hits_total",
+			"Submissions attached to an identical in-flight job."),
+		cacheHits: reg.Counter("tomo_service_cache_hits_total",
+			"Submissions answered from the content-addressed result cache."),
+		cacheMiss: reg.Counter("tomo_service_cache_misses_total",
+			"Submissions that required a new execution."),
+		evictions: reg.Counter("tomo_service_cache_evictions_total",
+			"Results evicted from the cache under the byte budget."),
+		shed: reg.Counter("tomo_service_shed_total",
+			"Submissions rejected with 429 because the queue was full."),
+		queueDepth: reg.Gauge("tomo_service_queue_depth",
+			"Jobs currently queued (running jobs excluded)."),
+		running: reg.Gauge("tomo_service_running_jobs",
+			"Jobs currently executing on the worker pool."),
+		cacheBytes: reg.Gauge("tomo_service_cache_bytes",
+			"Estimated bytes held by the result cache."),
+		jobSeconds: reg.Histogram("tomo_service_job_seconds",
+			"Duration of one executed selection job.", jobBuckets),
+	}
+}

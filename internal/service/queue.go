@@ -1,0 +1,67 @@
+package service
+
+// jobHeap is the pending-job priority queue: a typed max-heap ordered by
+// (priority descending, submission sequence ascending), so higher
+// priorities run first and equal priorities run FIFO. The ordering is a
+// strict total order (the sequence number is unique), making the pop
+// order deterministic for a given submission history — load shedding and
+// scheduling are reproducible in tests. Same typed-heap idiom as the
+// selection package's gainHeap: no container/heap interface boxing.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *jobHeap) push(j *job) {
+	*h = append(*h, j)
+	h.up(len(*h) - 1)
+}
+
+func (h *jobHeap) pop() *job {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	j := old[n]
+	old[n] = nil // drop the reference so retained capacity doesn't pin jobs
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	return j
+}
+
+func (h jobHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h jobHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && h.less(right, left) {
+			best = right
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"robusttomo/internal/er"
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/obs"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/selection"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/tomo"
+)
+
+// mcStream is the RNG stream constant for service Monte Carlo jobs, so a
+// job's scenario stream depends only on its spec seed.
+const mcStream = 0x5e1ec7
+
+// runJob executes one normalized spec: it materializes the path matrix
+// and failure model and dispatches to the selected algorithm, with ctx
+// wired into the greedy for cancellation. Every algorithm here is
+// deterministic in the normalized spec (Monte Carlo scenarios come from
+// a stats.NewRNG(spec.Seed, mcStream) stream), which is the property the
+// content-addressed cache relies on.
+func runJob(ctx context.Context, spec JobSpec, reg *obs.Registry) (selection.Result, error) {
+	paths := make([]routing.Path, len(spec.Paths))
+	for i, p := range spec.Paths {
+		edges := make([]graph.EdgeID, len(p))
+		for k, l := range p {
+			edges[k] = graph.EdgeID(l)
+		}
+		paths[i].Edges = edges
+	}
+	pm, err := tomo.NewPathMatrix(paths, spec.Links)
+	if err != nil {
+		return selection.Result{}, err
+	}
+	model, err := failure.FromProbabilities(spec.Probs)
+	if err != nil {
+		return selection.Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return selection.Result{}, fmt.Errorf("service: canceled: %w", err)
+	}
+
+	opts := selection.NewOptions()
+	opts.Ctx = ctx
+	opts.Observer = reg
+	switch spec.Algorithm {
+	case AlgProbRoMe:
+		return selection.RoMe(pm, spec.Costs, spec.Budget, er.NewProbBoundInc(pm, model), opts)
+	case AlgMonteRoMe:
+		rng := stats.NewRNG(spec.Seed, mcStream)
+		return selection.RoMe(pm, spec.Costs, spec.Budget, er.NewMonteCarloInc(pm, model, spec.MCRuns, rng), opts)
+	case AlgMatRoMe:
+		return selection.MatRoMe(pm, er.Availabilities(pm, model), int(spec.Budget), selection.MatRoMeOptions{})
+	case AlgSelectPath:
+		return selection.SelectPathBudgeted(pm, spec.Costs, spec.Budget)
+	default:
+		// normalize rejects unknown algorithms; reaching this is a bug.
+		return selection.Result{}, fmt.Errorf("service: unknown algorithm %q", spec.Algorithm)
+	}
+}

@@ -1,0 +1,559 @@
+// Package service is the multi-tenant selection service behind `tomo
+// serve`: an asynchronous job subsystem that lets many clients submit
+// their own selection instances (topology, failure model, costs, budget,
+// algorithm) and poll for results, amortizing work across queries.
+//
+// Three mechanisms make it production-shaped:
+//
+//   - A bounded worker pool drains a FIFO-with-priority queue; every job
+//     runs under its own context wired into selection.Options.Ctx, so
+//     cancellation interrupts even a long MonteRoMe run between greedy
+//     iterations.
+//   - A content-addressed result cache (key = canonical hash of every
+//     input the result depends on, see selection.CanonicalInputs) answers
+//     repeated queries without recomputation, and identical in-flight
+//     submissions dedup onto one execution (singleflight). Selection is
+//     deterministic in its canonical inputs, so a cache hit is
+//     bit-identical to a cold run.
+//   - Deterministic load shedding: once the queue holds Config.QueueDepth
+//     jobs, submissions fail fast with *OverloadError (HTTP maps it to
+//     429 + Retry-After) instead of growing memory without bound.
+//
+// Shutdown is graceful: Close cancels queued-but-unstarted jobs, lets
+// running jobs finish (until the drain context expires, at which point
+// they are canceled), and rejects new submissions.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"robusttomo/internal/obs"
+	"robusttomo/internal/selection"
+)
+
+// Sentinel errors; match with errors.Is.
+var (
+	// ErrClosed marks submissions after Close.
+	ErrClosed = errors.New("service: closed")
+	// ErrUnknownJob marks lookups of job IDs the service does not retain.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotDone marks Result calls on jobs that have not completed
+	// successfully.
+	ErrNotDone = errors.New("service: job not done")
+	// ErrOverloaded is matched by *OverloadError.
+	ErrOverloaded = errors.New("service: overloaded")
+)
+
+// OverloadError reports a shed submission: the queue already held Depth
+// jobs. RetryAfter is the configured back-off hint (the Retry-After
+// header value).
+type OverloadError struct {
+	Depth      int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded: %d jobs queued, retry after %v", e.Depth, e.RetryAfter)
+}
+
+// Is reports ErrOverloaded so callers can errors.Is without the type.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the worker-pool size. Zero means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are shed. Zero means 64.
+	QueueDepth int
+	// CacheBytes is the result cache's byte budget. Zero means 16 MiB;
+	// negative disables caching.
+	CacheBytes int64
+	// RetryAfter is the back-off hint attached to shed submissions.
+	// Zero means 1s.
+	RetryAfter time.Duration
+	// RetainJobs bounds how many terminal job records stay addressable
+	// by ID (oldest evicted first); queued and running jobs are always
+	// retained. Zero means 1024.
+	RetainJobs int
+	// Observer, when non-nil, receives service metrics (queue depth,
+	// cache hit/miss/eviction and shed counters, job durations) and job
+	// lifecycle events, and is passed to the selection greedy.
+	Observer *obs.Registry
+	// BeforeRun, when non-nil, is called by the worker immediately
+	// before executing a job. It is a test seam: scheduling tests block
+	// in it to hold a job in the running state deterministically.
+	// Production configurations leave it nil.
+	BeforeRun func(spec JobSpec)
+}
+
+// job is the internal record behind one content-addressed job ID.
+type job struct {
+	id       string
+	spec     JobSpec // normalized
+	priority int
+	seq      uint64
+
+	state   JobState
+	res     selection.Result
+	err     error
+	cached  bool
+	deduped int
+	cancel  context.CancelFunc // set while running
+	done    chan struct{}      // closed on terminal state
+}
+
+// SubmitOutcome reports how a submission was satisfied.
+type SubmitOutcome struct {
+	// ID is the job's content-addressed identifier; poll Status/Result
+	// with it.
+	ID string `json:"id"`
+	// State is the job state right after submission: queued for new
+	// work, running/queued when deduped onto an in-flight job, done when
+	// answered from the cache.
+	State JobState `json:"state"`
+	// Cached reports a cache answer (no new execution will happen).
+	Cached bool `json:"cached"`
+	// Deduped reports attachment to an identical in-flight job.
+	Deduped bool `json:"deduped"`
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	QueueDepth     int    `json:"queue_depth"`
+	MaxQueueDepth  int    `json:"max_queue_depth"`
+	Running        int    `json:"running"`
+	Workers        int    `json:"workers"`
+	Submitted      uint64 `json:"submitted"`
+	Executed       uint64 `json:"executed"`
+	DedupHits      uint64 `json:"dedup_hits"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheBytes     int64  `json:"cache_bytes"`
+	CacheCapacity  int64  `json:"cache_capacity"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	Shed           uint64 `json:"shed"`
+	Canceled       uint64 `json:"canceled"`
+	Failed         uint64 `json:"failed"`
+	Closed         bool   `json:"closed"`
+}
+
+// Service is the asynchronous selection-job subsystem. Construct with
+// New; all methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+	reg *obs.Registry
+	m   *svcMetrics
+
+	ctx    context.Context // parent of every job context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers: queue non-empty or closing
+	queue    jobHeap
+	jobs     map[string]*job
+	retained []*job // terminal jobs in completion order, oldest first
+	cache    *resultCache
+	seq      uint64
+	closed   bool
+
+	running  int
+	maxDepth int
+	// evictionsExported tracks the cache eviction count already pushed to
+	// the obs counter, so the monotonic counter follows the cache tally.
+	evictionsExported uint64
+	submitted         uint64
+	executed          uint64
+	dedup             uint64
+	hits              uint64
+	misses            uint64
+	shed              uint64
+	canceled          uint64
+	failed            uint64
+}
+
+// New starts the worker pool and returns the service.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 16 << 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:    cfg,
+		reg:    cfg.Observer,
+		m:      newSvcMetrics(cfg.Observer),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*job),
+		cache:  newResultCache(cfg.CacheBytes),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// shortKey trims a job ID for event details.
+func shortKey(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// Submit enqueues a selection job (or answers it from the cache /
+// attaches it to an identical in-flight job) and returns its
+// content-addressed ID. It fails fast with *OverloadError when the
+// queue is full and ErrClosed after Close; invalid specs fail
+// synchronously.
+func (s *Service) Submit(spec JobSpec) (SubmitOutcome, error) {
+	norm, err := spec.normalize()
+	if err != nil {
+		return SubmitOutcome{}, err
+	}
+	key := norm.key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SubmitOutcome{}, ErrClosed
+	}
+	// Singleflight: an identical job already queued or running absorbs
+	// this submission; a retained completed job answers it outright.
+	if j, ok := s.jobs[key]; ok && j.state != StateFailed && j.state != StateCanceled {
+		s.submitted++
+		s.m.submitted.Inc()
+		if j.state == StateDone {
+			s.hits++
+			s.m.cacheHits.Inc()
+			return SubmitOutcome{ID: key, State: StateDone, Cached: true}, nil
+		}
+		j.deduped++
+		s.dedup++
+		s.m.dedupHits.Inc()
+		return SubmitOutcome{ID: key, State: j.state, Deduped: true}, nil
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.submitted++
+		s.m.submitted.Inc()
+		s.hits++
+		s.m.cacheHits.Inc()
+		j := &job{id: key, spec: norm, priority: norm.Priority, state: StateDone, res: res, cached: true, done: make(chan struct{})}
+		close(j.done)
+		s.rememberLocked(j)
+		return SubmitOutcome{ID: key, State: StateDone, Cached: true}, nil
+	}
+	// Cold: shed or enqueue.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.shed++
+		s.m.shed.Inc()
+		s.reg.Event("service.job_shed", shortKey(key))
+		return SubmitOutcome{}, &OverloadError{Depth: len(s.queue), RetryAfter: s.cfg.RetryAfter}
+	}
+	s.submitted++
+	s.m.submitted.Inc()
+	s.misses++
+	s.m.cacheMiss.Inc()
+	s.seq++
+	j := &job{id: key, spec: norm, priority: norm.Priority, seq: s.seq, state: StateQueued, done: make(chan struct{})}
+	s.jobs[key] = j
+	s.queue.push(j)
+	if d := len(s.queue); d > s.maxDepth {
+		s.maxDepth = d
+	}
+	s.m.queueDepth.Set(float64(len(s.queue)))
+	s.reg.Event("service.job_enqueued", shortKey(key))
+	s.cond.Signal()
+	return SubmitOutcome{ID: key, State: StateQueued}, nil
+}
+
+// worker drains the queue until the service closes and the queue is
+// empty.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue.pop()
+		s.m.queueDepth.Set(float64(len(s.queue)))
+		if j.state != StateQueued {
+			// Canceled while queued; already terminal.
+			s.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		ctx, cancel := context.WithCancel(s.ctx)
+		j.cancel = cancel
+		s.running++
+		s.m.running.Set(float64(s.running))
+		s.mu.Unlock()
+
+		if s.cfg.BeforeRun != nil {
+			s.cfg.BeforeRun(j.spec)
+		}
+		s.reg.Event("service.job_started", shortKey(j.id))
+		span := s.reg.StartSpan("service.job_run")
+		res, err := runJob(ctx, j.spec, s.reg)
+		dur := span.EndDetail(shortKey(j.id))
+		cancel()
+
+		s.mu.Lock()
+		s.running--
+		s.m.running.Set(float64(s.running))
+		s.executed++
+		s.m.executed.Inc()
+		if s.m.jobSeconds != nil {
+			s.m.jobSeconds.Observe(dur.Seconds())
+		}
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.res = res
+			s.cache.put(j.id, res)
+			s.m.cacheBytes.Set(float64(s.cache.bytes))
+			s.syncEvictionsLocked()
+			s.reg.Event("service.job_done", shortKey(j.id))
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.state = StateCanceled
+			j.err = err
+			s.canceled++
+			s.m.canceled.Inc()
+			s.reg.Event("service.job_canceled", shortKey(j.id))
+		default:
+			j.state = StateFailed
+			j.err = err
+			s.failed++
+			s.m.failed.Inc()
+			s.reg.Event("service.job_failed", shortKey(j.id)+": "+err.Error())
+		}
+		j.cancel = nil
+		close(j.done)
+		s.rememberLocked(j)
+		s.mu.Unlock()
+	}
+}
+
+func (s *Service) syncEvictionsLocked() {
+	// The obs counter is monotonic; the cache tally is authoritative.
+	// Add the delta since the last sync.
+	delta := s.cache.evictions - s.evictionsExported
+	if delta > 0 {
+		s.m.evictions.Add(delta)
+		s.evictionsExported = s.cache.evictions
+	}
+}
+
+// rememberLocked records a terminal job for later Status/Result lookups
+// and trims retention to the configured bound. Queued/running jobs never
+// enter the retained list, so they are never evicted.
+func (s *Service) rememberLocked(j *job) {
+	s.jobs[j.id] = j
+	s.retained = append(s.retained, j)
+	for len(s.retained) > s.cfg.RetainJobs {
+		old := s.retained[0]
+		s.retained[0] = nil
+		s.retained = s.retained[1:]
+		// A newer job may have replaced the record under this ID (e.g. a
+		// retry after a failure); only drop the mapping it still owns.
+		if s.jobs[old.id] == old {
+			delete(s.jobs, old.id)
+		}
+	}
+}
+
+// Status returns a snapshot of the job.
+func (s *Service) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: job %q: %w", shortKey(id), ErrUnknownJob)
+	}
+	return s.statusLocked(j), nil
+}
+
+func (s *Service) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Algorithm: j.spec.Algorithm,
+		Priority:  j.priority,
+		Cached:    j.cached,
+		Deduped:   j.deduped,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Result returns the completed job's selection result. It fails with
+// ErrNotDone (wrapped with the current state) until the job reaches
+// Done, and ErrUnknownJob for unretained IDs.
+func (s *Service) Result(id string) (selection.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return selection.Result{}, fmt.Errorf("service: job %q: %w", shortKey(id), ErrUnknownJob)
+	}
+	if j.state != StateDone {
+		return selection.Result{}, fmt.Errorf("service: job %q is %s: %w", shortKey(id), j.state, ErrNotDone)
+	}
+	return resultCopy(j.res), nil
+}
+
+// resultCopy clones the mutable parts of a result so callers cannot
+// corrupt the cached copy.
+func resultCopy(res selection.Result) selection.Result {
+	res.Selected = append([]int(nil), res.Selected...)
+	return res
+}
+
+// Cancel cancels a job: queued jobs terminate immediately, running jobs
+// have their context canceled (the greedy notices between iterations).
+// Canceling a terminal job is a no-op. The returned status reflects the
+// state after the cancel request.
+func (s *Service) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: job %q: %w", shortKey(id), ErrUnknownJob)
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = fmt.Errorf("service: canceled before start: %w", context.Canceled)
+		s.canceled++
+		s.m.canceled.Inc()
+		close(j.done)
+		s.rememberLocked(j)
+		s.reg.Event("service.job_canceled", shortKey(j.id))
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return s.statusLocked(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires)
+// and returns its final status.
+func (s *Service) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: job %q: %w", shortKey(id), ErrUnknownJob)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(j), nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		QueueDepth:     len(s.queue),
+		MaxQueueDepth:  s.maxDepth,
+		Running:        s.running,
+		Workers:        s.cfg.Workers,
+		Submitted:      s.submitted,
+		Executed:       s.executed,
+		DedupHits:      s.dedup,
+		CacheHits:      s.hits,
+		CacheMisses:    s.misses,
+		CacheEntries:   s.cache.len(),
+		CacheBytes:     s.cache.bytes,
+		CacheCapacity:  s.cache.capacity,
+		CacheEvictions: s.cache.evictions,
+		Shed:           s.shed,
+		Canceled:       s.canceled,
+		Failed:         s.failed,
+		Closed:         s.closed,
+	}
+}
+
+// QueueDepth returns the configured shedding bound.
+func (s *Service) QueueDepth() int { return s.cfg.QueueDepth }
+
+// RetryAfter returns the configured shed back-off hint.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Close drains the service: new submissions fail with ErrClosed,
+// queued-but-unstarted jobs are canceled, and running jobs are given
+// until ctx expires to finish — then their contexts are canceled and
+// Close waits for the workers to acknowledge. Returns ctx.Err() when the
+// drain deadline cut running jobs short, nil on a clean drain. Close is
+// idempotent; concurrent calls all wait for the drain.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for len(s.queue) > 0 {
+			j := s.queue.pop()
+			if j.state != StateQueued {
+				continue
+			}
+			j.state = StateCanceled
+			j.err = fmt.Errorf("service: canceled by shutdown: %w", context.Canceled)
+			s.canceled++
+			s.m.canceled.Inc()
+			close(j.done)
+			s.rememberLocked(j)
+			s.reg.Event("service.job_canceled", shortKey(j.id))
+		}
+		s.m.queueDepth.Set(0)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // abort running jobs; selection notices between iterations
+		<-done
+		return ctx.Err()
+	}
+}

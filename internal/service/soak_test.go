@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSoakOverload hammers a small service from many goroutines with a
+// mix of duplicate and distinct specs, far more than the queue admits.
+// It asserts the overload contract: the queue depth never exceeds its
+// bound (memory stays bounded), shedding actually happens, every
+// accepted job reaches a terminal state, and the drain is clean. Run
+// with -race; the value of the test is the interleaving coverage.
+func TestSoakOverload(t *testing.T) {
+	const (
+		submitters = 8
+		perWorker  = 40
+		queueBound = 4
+	)
+	s := New(Config{Workers: 2, QueueDepth: queueBound, CacheBytes: 4 << 10})
+
+	var (
+		mu       sync.Mutex
+		accepted = make(map[string]struct{})
+		shed     int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Half the submissions collide on purpose to exercise
+				// dedup and cache paths under contention.
+				spec := testSpec((w*perWorker + i) % (submitters * perWorker / 2))
+				spec.Priority = i % 3
+				out, err := s.Submit(spec)
+				switch {
+				case err == nil:
+					mu.Lock()
+					accepted[out.ID] = struct{}{}
+					mu.Unlock()
+				case errors.Is(err, ErrOverloaded):
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				default:
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every accepted job must reach a terminal state.
+	for id := range accepted {
+		st := waitDone(t, s, id)
+		if !st.State.Terminal() {
+			t.Fatalf("job %s not terminal: %s", shortKey(id), st.State)
+		}
+	}
+	closeNow(t, s)
+
+	stats := s.Stats()
+	if stats.MaxQueueDepth > queueBound {
+		t.Fatalf("queue depth reached %d, bound %d", stats.MaxQueueDepth, queueBound)
+	}
+	if shed == 0 || stats.Shed == 0 {
+		t.Fatalf("soak never shed (local %d, stats %d): overload path untested", shed, stats.Shed)
+	}
+	if uint64(shed) != stats.Shed {
+		t.Fatalf("shed mismatch: callers saw %d, stats say %d", shed, stats.Shed)
+	}
+	if stats.QueueDepth != 0 || stats.Running != 0 {
+		t.Fatalf("post-close stats %+v: residual work", stats)
+	}
+	total := int(stats.Submitted) + shed
+	if want := submitters * perWorker; total != want {
+		t.Fatalf("accounted for %d submissions, want %d", total, want)
+	}
+	if stats.CacheBytes > 4<<10 {
+		t.Fatalf("cache %d bytes over its 4 KiB budget", stats.CacheBytes)
+	}
+	// Amortization must actually happen under collision-heavy load:
+	// executions strictly fewer than accepted submissions.
+	if stats.Executed >= stats.Submitted {
+		t.Fatalf("executed %d of %d submissions: no dedup or cache amortization",
+			stats.Executed, stats.Submitted)
+	}
+}
+
+// TestSoakSubmitDuringClose races Close against a burst of submitters:
+// every submission either lands and terminates or fails with ErrClosed /
+// ErrOverloaded; nothing hangs.
+func TestSoakSubmitDuringClose(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	var wg sync.WaitGroup
+	ids := make(chan string, 256)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				out, err := s.Submit(testSpec(w*50 + i))
+				if err != nil {
+					if errors.Is(err, ErrClosed) || errors.Is(err, ErrOverloaded) {
+						continue
+					}
+					t.Errorf("submit: %v", err)
+					return
+				}
+				ids <- out.ID
+			}
+		}(w)
+	}
+	time.Sleep(2 * time.Millisecond) // let some work land first
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	close(ids)
+	for id := range ids {
+		st := waitDone(t, s, id)
+		if !st.State.Terminal() {
+			t.Fatalf("job %s not terminal after close: %s", shortKey(id), st.State)
+		}
+	}
+}

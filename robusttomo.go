@@ -33,6 +33,7 @@ import (
 	"robusttomo/internal/placement"
 	"robusttomo/internal/routing"
 	"robusttomo/internal/selection"
+	"robusttomo/internal/service"
 	"robusttomo/internal/sim"
 	"robusttomo/internal/stats"
 	"robusttomo/internal/tomo"
@@ -356,6 +357,66 @@ var (
 	DefaultMetricBuckets = obs.DefBuckets
 	// ExponentialMetricBuckets builds a geometric histogram layout.
 	ExponentialMetricBuckets = obs.ExponentialBuckets
+)
+
+// Selection service: the asynchronous multi-tenant job subsystem behind
+// `tomo serve` (POST /api/v1/jobs). Embed it directly to get the worker
+// pool, content-addressed result cache, singleflight dedup and load
+// shedding without the HTTP layer.
+type (
+	// SelectionService runs client-submitted selection jobs on a bounded
+	// worker pool with a content-addressed result cache.
+	SelectionService = service.Service
+	// SelectionServiceConfig parameterizes a SelectionService.
+	SelectionServiceConfig = service.Config
+	// SelectionJobSpec is one submitted selection instance (also the
+	// POST /api/v1/jobs wire format).
+	SelectionJobSpec = service.JobSpec
+	// SelectionJobState is a job's lifecycle state.
+	SelectionJobState = service.JobState
+	// SelectionJobStatus is a point-in-time job snapshot.
+	SelectionJobStatus = service.JobStatus
+	// SelectionSubmitOutcome reports how a submission was satisfied
+	// (queued, deduped onto an in-flight job, or answered from cache).
+	SelectionSubmitOutcome = service.SubmitOutcome
+	// SelectionServiceStats is a snapshot of the service counters.
+	SelectionServiceStats = service.Stats
+	// ServiceOverloadError reports a shed submission with its Retry-After
+	// hint; match with errors.As or errors.Is(err, ErrServiceOverloaded).
+	ServiceOverloadError = service.OverloadError
+	// CanonicalSelectionInputs is the canonical, hashable form of a
+	// selection instance; its Key is the content-addressed job/cache ID.
+	CanonicalSelectionInputs = selection.CanonicalInputs
+)
+
+// Selection-service job lifecycle states.
+const (
+	JobQueued   = service.StateQueued
+	JobRunning  = service.StateRunning
+	JobDone     = service.StateDone
+	JobFailed   = service.StateFailed
+	JobCanceled = service.StateCanceled
+)
+
+// Selection-service sentinel errors; match with errors.Is.
+var (
+	// ErrServiceClosed marks submissions after shutdown began.
+	ErrServiceClosed = service.ErrClosed
+	// ErrServiceUnknownJob marks lookups of unretained job IDs.
+	ErrServiceUnknownJob = service.ErrUnknownJob
+	// ErrServiceJobNotDone marks result fetches before completion.
+	ErrServiceJobNotDone = service.ErrNotDone
+	// ErrServiceOverloaded marks shed submissions (*ServiceOverloadError).
+	ErrServiceOverloaded = service.ErrOverloaded
+)
+
+// Selection-service construction.
+var (
+	// NewSelectionService starts the worker pool and returns the service.
+	NewSelectionService = service.New
+	// CanonicalSelectionKey hashes a path matrix plus failure/cost/budget
+	// inputs into the content-addressed cache key.
+	CanonicalSelectionKey = selection.CanonicalKey
 )
 
 // Failure localization, monitor placement and the closed-loop runner.
