@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 MAX_REGRESS ?= 0.25
 
-.PHONY: all build test race cover bench bench-json bench-gate ci fmt-check fuzz fuzz-smoke soak-agent serve-smoke experiments examples clean
+.PHONY: all build test race cover bench bench-json bench-gate alloc-gate ci fmt-check fuzz fuzz-smoke soak-agent serve-smoke experiments examples clean
 
 all: build test
 
@@ -63,6 +63,15 @@ bench-gate:
 	$(GO) run ./cmd/benchregress -suite bandit -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite obs -compare -max-regress $(MAX_REGRESS)
 
+# CI allocation gate: the steady-state zero-allocation contracts asserted
+# with testing.AllocsPerRun — the Monte Carlo incremental oracle (Gain,
+# GainBatch, splitless Add on both kernels), the GF(2) basis slab reuse and
+# the sparse-basis scratch pre-sizing. Gated, not just documented.
+alloc-gate:
+	$(GO) test -run 'TestMonteCarloIncSteadyStateZeroAlloc' -count=1 -v ./internal/er/
+	$(GO) test -run 'TestGF2BasisSteadyStateAllocs|TestSparseBasisScratchPresized|TestSparseBasisDependentScratchAllocFree' -count=1 -v ./internal/linalg/
+	$(GO) test -run 'TestRankOfWithGF2' -count=1 -v ./internal/tomo/
+
 fuzz: fuzz-smoke
 
 # Native fuzzing smoke: every target gets FUZZTIME (go test accepts one
@@ -70,6 +79,7 @@ fuzz: fuzz-smoke
 # ships a seed corpus via f.Add, so even -fuzztime 0 replays the known
 # tricky frames.
 fuzz-smoke:
+	$(GO) test -fuzz=FuzzGF2VsFloat64Rank -fuzztime=$(FUZZTIME) ./internal/linalg/
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -fuzz=FuzzLoadWeights -fuzztime=$(FUZZTIME) ./internal/topo/
 	$(GO) test -fuzz=FuzzCanonicalKey -fuzztime=$(FUZZTIME) ./internal/selection/

@@ -53,8 +53,10 @@ var suites = map[string]struct {
 		out: "BENCH_selection.json",
 		pattern: "^(BenchmarkMonteCarlo|BenchmarkMonteCarloSerial|" +
 			"BenchmarkMonteCarloInc|BenchmarkMonteCarloIncSerial|" +
+			"BenchmarkMonteCarloIncGF2|BenchmarkMonteCarloIncGF2Serial|" +
+			"BenchmarkGF2Rank|BenchmarkGF2RankSerial|" +
 			"BenchmarkMonteRoMe|BenchmarkMonteRoMeSerial)$",
-		packages: []string{"./internal/er/", "./internal/selection/"},
+		packages: []string{"./internal/er/", "./internal/selection/", "./internal/linalg/"},
 	},
 	"bandit": {
 		out: "BENCH_bandit.json",

@@ -1,0 +1,144 @@
+package er
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+// The GF(2) kernels must be bit-identical to their own serial references —
+// same field, same panel, same verdicts — exactly like the float64 pairing
+// in kernel_test.go.
+func TestMonteCarloGF2MatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{3, 9} {
+		pm, model := rocketfuelInstance(t, 80, seed)
+		idx := idxUpTo(pm.NumPaths())
+		for _, n := range []int{1, 64, 200} {
+			kernel := MonteCarloKernel(pm, model, idx, n, rand.New(rand.NewPCG(seed, 5)), KernelGF2)
+			serial := MonteCarloSerialKernel(pm, model, idx, n, rand.New(rand.NewPCG(seed, 5)), KernelGF2)
+			if kernel != serial {
+				t.Fatalf("seed %d n=%d: GF2 MonteCarlo = %v, serial %v", seed, n, kernel, serial)
+			}
+		}
+	}
+}
+
+func TestMonteCarloIncGF2MatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{2, 42} {
+		pm, model := rocketfuelInstance(t, 120, seed)
+		runs := 130
+		kernel := NewMonteCarloIncKernel(pm, model, runs, rand.New(rand.NewPCG(seed, 77)), KernelGF2)
+		serial := NewMonteCarloIncSerialKernel(pm, model, runs, rand.New(rand.NewPCG(seed, 77)), KernelGF2)
+		if kernel.Kernel() != KernelGF2 {
+			t.Fatalf("Kernel() = %v, want %v", kernel.Kernel(), KernelGF2)
+		}
+		n := pm.NumPaths()
+		all := idxUpTo(n)
+		batch := make([]float64, n)
+		pick := stats.NewRNG(seed, 99)
+		for round := 0; round < 8; round++ {
+			kernel.GainBatch(all, batch)
+			for q := 0; q < n; q++ {
+				want := serial.Gain(q)
+				if got := kernel.Gain(q); got != want {
+					t.Fatalf("seed %d round %d: GF2 Gain(%d) = %v, serial %v", seed, round, q, got, want)
+				}
+				if batch[q] != want {
+					t.Fatalf("seed %d round %d: GF2 GainBatch[%d] = %v, serial %v", seed, round, q, batch[q], want)
+				}
+			}
+			q := pick.IntN(n)
+			kernel.Add(q)
+			serial.Add(q)
+			if kernel.Value() != serial.Value() {
+				t.Fatalf("seed %d round %d: GF2 Value = %v, serial %v", seed, round, kernel.Value(), serial.Value())
+			}
+		}
+	}
+}
+
+// Per scenario the GF(2) rank is at most the rational rank (same rows, the
+// parity map only loses independence), so the estimates order pointwise —
+// and on tree-like shortest-path routing the gap is strict: even-sized path
+// families through shared hubs cancel mod 2 (DESIGN.md §13). The AS1755
+// instance must exhibit that strict gap, or the float64-default decision
+// documented on Kernel is no longer load-bearing.
+func TestMonteCarloGF2BelowFloat64(t *testing.T) {
+	pm, model := rocketfuelInstance(t, 150, 2)
+	idx := idxUpTo(pm.NumPaths())
+	f64 := MonteCarloKernel(pm, model, idx, 200, rand.New(rand.NewPCG(1, 5)), KernelFloat64)
+	gf2 := MonteCarloKernel(pm, model, idx, 200, rand.New(rand.NewPCG(1, 5)), KernelGF2)
+	if gf2 > f64 {
+		t.Fatalf("GF2 estimate %v exceeds float64 %v on the same panel", gf2, f64)
+	}
+	if gf2 == f64 {
+		t.Fatalf("expected a strict GF(2) rank deficit on AS1755 shortest paths, got %v on both kernels", gf2)
+	}
+}
+
+// The steady state of MonteCarloInc — Gain, GainBatch and the Add of an
+// already-committed path (no class splits) — must allocate nothing, on both
+// kernels. Splitting Adds may allocate (new class mask + basis clone);
+// everything else runs off warm slabs.
+func TestMonteCarloIncSteadyStateZeroAlloc(t *testing.T) {
+	pm, model := rocketfuelInstance(t, 120, 2)
+	all := idxUpTo(pm.NumPaths())
+	out := make([]float64, len(all))
+	for _, kernel := range []Kernel{KernelGF2, KernelFloat64} {
+		mc := NewMonteCarloIncKernel(pm, model, 256, rand.New(rand.NewPCG(4, 4)), kernel)
+		// Warm up: commit a few rows (splits allocate here, not later) and
+		// touch every code path once.
+		for q := 0; q < 6; q++ {
+			mc.Add(q * 7)
+		}
+		mc.GainBatch(all, out)
+		if avg := testing.AllocsPerRun(100, func() {
+			mc.Gain(11)
+		}); avg != 0 {
+			t.Errorf("kernel %v: Gain allocates %.2f allocs/op, want 0", kernel, avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			mc.GainBatch(all, out)
+		}); avg != 0 {
+			t.Errorf("kernel %v: GainBatch allocates %.2f allocs/op, want 0", kernel, avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			mc.Add(7) // already committed: every class is homogeneous, no split
+		}); avg != 0 {
+			t.Errorf("kernel %v: splitless Add allocates %.2f allocs/op, want 0", kernel, avg)
+		}
+	}
+}
+
+// Race soak for the pooled per-worker state: concurrent MonteCarlo calls on
+// both kernels share mcWorkerPool and the path matrix's packed rows. Run
+// under -race in CI; any sharing bug in the pool, the packed-row build, or
+// the scenario panels shows up here.
+func TestMonteCarloConcurrentCallsRace(t *testing.T) {
+	pm, model := rocketfuelInstance(t, 100, 5)
+	idx := idxUpTo(pm.NumPaths())
+	var wg sync.WaitGroup
+	results := make([]float64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			kernel := KernelFloat64
+			if g%2 == 1 {
+				kernel = KernelGF2
+			}
+			results[g] = MonteCarloKernel(pm, model, idx, 300, rand.New(rand.NewPCG(uint64(g/2), 6)), kernel)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		// Same seed and kernel from different goroutines must agree: pooled
+		// worker state carries no result-bearing residue between calls.
+		want := MonteCarloKernel(pm, model, idx, 300, rand.New(rand.NewPCG(uint64(g/2), 6)), KernelFloat64)
+		if g%2 == 0 && results[g] != want {
+			t.Fatalf("goroutine %d: concurrent MonteCarlo %v, sequential %v", g, results[g], want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package er
 import (
 	"math/bits"
 	"math/rand/v2"
+	"sync"
 	"sync/atomic"
 
 	"robusttomo/internal/failure"
@@ -10,16 +11,67 @@ import (
 	"robusttomo/internal/tomo"
 )
 
+// Kernel selects the rank arithmetic the Monte Carlo oracles run on; see
+// linalg.Kernel. KernelFloat64 (the default) computes the rank over the
+// rationals that the paper's ER(R) metric is defined on. KernelGF2 answers
+// the Boolean survival-rank question with packed XOR words — exact over
+// GF(2) and strictly faster, but a genuine lower bound on the rational
+// rank: shortest-path routing produces even-sized path families whose edge
+// sets cancel mod 2 (e.g. four paths through a shared hub), so on real
+// topologies the GF(2) rank sits well below the ER rank (DESIGN.md §13).
+// Use GF(2) for Boolean-tomography structure or as a cheap lower-bound
+// probe, not as a drop-in ER replacement.
+type Kernel = linalg.Kernel
+
+const (
+	KernelGF2     = linalg.KernelGF2
+	KernelFloat64 = linalg.KernelFloat64
+)
+
+// mcWorker is the per-worker elimination state of the batch MonteCarlo
+// estimator, recycled across calls through mcWorkerPool: a warmed basis and
+// survivor scratch sized for one (links, kernel) shape.
+type mcWorker struct {
+	links  int
+	kernel Kernel
+	gf2    *linalg.GF2Basis
+	f64    *linalg.SparseBasis
+	surv   []int
+}
+
+var mcWorkerPool sync.Pool
+
+// acquireMCWorker returns a pooled worker state compatible with the given
+// shape, or builds a fresh one.
+func acquireMCWorker(links int, kernel Kernel) *mcWorker {
+	if w, ok := mcWorkerPool.Get().(*mcWorker); ok && w.links == links && w.kernel == kernel {
+		return w
+	}
+	w := &mcWorker{links: links, kernel: kernel}
+	if kernel == KernelGF2 {
+		w.gf2 = linalg.NewGF2Basis(links)
+	} else {
+		w.f64 = linalg.NewSparseBasisRankOnly(links)
+	}
+	return w
+}
+
 // MonteCarlo estimates ER(R) as the average rank of the surviving rows over
-// n freshly sampled failure scenarios. Scenarios are drawn up front on the
-// caller's goroutine (so the result is deterministic in rng) and packed
-// into a bit-column ScenarioSet; per-scenario survivor filtering is then a
-// bit test against each path's survival mask instead of a per-edge walk.
-// Ranks are evaluated in parallel via chunked atomic-counter dispatch —
-// workers claim fixed index ranges, so there is no per-scenario channel
-// send and the per-scenario ranks land in fixed slots regardless of
-// scheduling.
+// n freshly sampled failure scenarios, on the default float64 kernel.
+// Scenarios are drawn up front on the caller's goroutine (so the result is
+// deterministic in rng) and packed into a bit-column ScenarioSet;
+// per-scenario survivor filtering is then a bit test against each path's
+// survival mask instead of a per-edge walk. Ranks are evaluated in parallel
+// via chunked atomic-counter dispatch — workers claim fixed index ranges,
+// so there is no per-scenario channel send and the per-scenario ranks land
+// in fixed slots regardless of scheduling. Per-worker bases and scratch are
+// recycled across calls through a sync.Pool.
 func MonteCarlo(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rng *rand.Rand) float64 {
+	return MonteCarloKernel(pm, model, idx, n, rng, KernelFloat64)
+}
+
+// MonteCarloKernel is MonteCarlo on an explicit rank kernel.
+func MonteCarloKernel(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rng *rand.Rand, kernel Kernel) float64 {
 	if len(idx) == 0 || n <= 0 {
 		return 0
 	}
@@ -27,12 +79,25 @@ func MonteCarlo(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rn
 	if err != nil {
 		panic("er: " + err.Error()) // only reachable with a zero-link sampler
 	}
+	words := set.Words()
+	maskSlab := make([]uint64, len(idx)*words)
 	masks := make([][]uint64, len(idx))
-	rowCols := make([][]int, len(idx))
-	rowVals := make([][]float64, len(idx))
+	var packed [][]uint64
+	var rowCols [][]int
+	var rowVals [][]float64
+	if kernel == KernelGF2 {
+		packed = make([][]uint64, len(idx))
+	} else {
+		rowCols = make([][]int, len(idx))
+		rowVals = make([][]float64, len(idx))
+	}
 	for k, i := range idx {
-		masks[k] = pm.SurvivalMask(set, i, nil)
-		rowCols[k], rowVals[k] = sparsifyRow(pm.Row(i))
+		masks[k] = pm.SurvivalMask(set, i, maskSlab[k*words:(k+1)*words:(k+1)*words])
+		if kernel == KernelGF2 {
+			packed[k] = pm.PackedRow(i)
+		} else {
+			rowCols[k], rowVals[k] = sparsifyRow(pm.Row(i))
+		}
 	}
 
 	ranks := make([]int, n)
@@ -49,36 +114,51 @@ func MonteCarlo(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rn
 	}
 	var next atomic.Int64
 	runShards(workers, func(int) {
-		basis := linalg.NewSparseBasisRankOnly(links)
-		surv := make([]int, 0, len(idx))
+		w := acquireMCWorker(links, kernel)
+		surv := w.surv[:0]
 		for {
 			c := int(next.Add(1)) - 1
 			lo := c * chunk
 			if lo >= n {
-				return
+				break
 			}
 			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}
 			for s := lo; s < hi; s++ {
-				w, bit := s>>6, uint64(1)<<(s&63)
+				word, bit := s>>6, uint64(1)<<(s&63)
 				surv = surv[:0]
 				for k := range idx {
-					if masks[k][w]&bit != 0 {
+					if masks[k][word]&bit != 0 {
 						surv = append(surv, k)
 					}
 				}
-				basis.Reset()
-				for _, k := range surv {
-					basis.AddSparse(rowCols[k], rowVals[k])
-					if basis.Rank() == links {
-						break
+				if kernel == KernelGF2 {
+					basis := w.gf2
+					basis.Reset()
+					for _, k := range surv {
+						basis.AddPacked(packed[k])
+						if basis.Rank() == links {
+							break
+						}
 					}
+					ranks[s] = basis.Rank()
+				} else {
+					basis := w.f64
+					basis.Reset()
+					for _, k := range surv {
+						basis.AddSparse(rowCols[k], rowVals[k])
+						if basis.Rank() == links {
+							break
+						}
+					}
+					ranks[s] = basis.Rank()
 				}
-				ranks[s] = basis.Rank()
 			}
 		}
+		w.surv = surv
+		mcWorkerPool.Put(w)
 	})
 
 	sum := 0
@@ -95,59 +175,68 @@ func MonteCarlo(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rn
 // both survives and increases the surviving rank — an unbiased estimate of
 // the true marginal ER gain over the panel.
 //
-// The panel lives in a bit-packed ScenarioSet: each candidate's survival
-// mask is precomputed once, so Gain and Add visit only the scenarios the
-// path survives (a trailing-zero scan of the mask). Scenarios are further
-// grouped into equivalence classes: two scenarios in which every committed
-// row survived identically have received the exact same Add sequence, so
-// their bases hold bit-identical rows and one shared basis serves the whole
-// class. Gain probes each class once with the allocation-free
-// InSpanSparseWith and weights the verdict by the class's surviving-scenario
-// count; Add splits classes along the new row's survival mask. On
-// realistic failure rates most scenarios share a handful of classes, which
-// cuts the rank work by orders of magnitude.
+// Everything on the hot path is bit-packed. The panel lives in a
+// link-major ScenarioSet and each candidate's survival mask over the panel
+// is precomputed once. Scenarios are grouped into equivalence classes: two
+// scenarios in which every committed row survived identically have received
+// the exact same Add sequence, so one shared basis serves the whole class.
+// Each class is represented by its own membership bitmask over the panel,
+// so the per-class survivor count a Gain needs is a word-wise AND+popcount
+// against the candidate's survival mask — no per-scenario work at all — and
+// each class with survivors is probed once against its basis. Add splits
+// classes along the new row's survival mask with three word-ops per class.
+// On realistic failure rates a thousand-scenario panel settles into a few
+// dozen classes, which cuts the rank work by orders of magnitude.
 //
-// Probes and class updates fan out over a persistent worker pool; every
-// result lands in a fixed per-class slot and integer hit counts are folded
-// in ascending class order, so Gain, Add and Value are bit-identical to the
-// serial reference oracle (NewMonteCarloIncSerial, enforced by
-// TestMonteCarloIncMatchesSerial) regardless of scheduling.
+// Rank probes run on the configured kernel (float64 sparse elimination by
+// default — the field ER(R) is defined over — or packed GF(2) XOR; see
+// NewMonteCarloIncKernel and the Kernel docs for when the fields diverge).
+// Gain and Add are single-goroutine over the handful of classes; GainBatch
+// fans candidates out over the persistent worker pool, every gain landing
+// in its fixed output slot, so results are bit-identical to the serial
+// reference oracle (NewMonteCarloIncSerial, enforced by
+// TestMonteCarloIncMatchesSerial) regardless of scheduling. The steady
+// state — Gain, GainBatch, and splitless Add — allocates nothing: masks and
+// scratch live in per-oracle slabs, class bases keep their storage across
+// rows, and the batch fan-out reuses a prebound shard function
+// (TestMonteCarloIncSteadyStateZeroAlloc).
 type MonteCarloInc struct {
-	pm  *tomo.PathMatrix
-	set *failure.ScenarioSet
-	// masks[i] is candidate i's survival mask over the panel; rowCols[i]/
-	// rowVals[i] are its matrix row in sorted sparse form, feeding the
-	// load-free AddSparse/InSpanSparseWith entry points.
+	pm     *tomo.PathMatrix
+	set    *failure.ScenarioSet
+	kernel Kernel
+	words  int // panel words per mask
+
+	// masks[i] is candidate i's survival mask over the panel, carved from
+	// one slab. packed[i] (GF(2)) is its bit-packed incidence row, shared
+	// with the matrix; rowCols[i]/rowVals[i] (float64) its sorted sparse
+	// row.
 	masks   [][]uint64
+	packed  [][]uint64
 	rowCols [][]int
 	rowVals [][]float64
 	value   float64
 
-	// Scenario equivalence classes. classOf maps scenario -> class id;
-	// bases and classSize are indexed by class id. Class 0 initially holds
-	// the whole panel with an empty basis.
-	classOf   []int32
-	bases     []*linalg.SparseBasis
-	classSize []int32
+	// Scenario equivalence classes. classMask[c] is class c's membership
+	// bitmask over the panel (classes partition the panel), classBits[c]
+	// its popcount. Exactly one of gf2/f64 is populated, by kernel.
+	classMask [][]uint64
+	classBits []int32
+	gf2       []*linalg.GF2Basis
+	f64       []*linalg.SparseBasis
 
-	// Gain scratch (caller goroutine): per-class survivor counts, the list
-	// of classes to probe, and per-probe hit counts for the ordered fold.
-	counts    []int32
-	probeList []int32
-	probeHits []int32
+	// Per-worker probe scratch: packed reduction words for GF(2) (carved
+	// from one slab), dense workspaces for float64.
+	gf2Scratch [][]uint64
+	wss        []*linalg.Workspace
 
-	// Add scratch: per-class mover counts and destination classes, plus the
-	// receiving classes (ascending), their mover counts, the split sources
-	// (-1 for in-place) and the per-class added verdicts.
-	movers    []int32
-	target    []int32
-	addClass  []int32
-	addMovers []int32
-	addSrc    []int32
-	addOK     []bool
-
-	workerWS     []*linalg.Workspace // one reduction workspace per pool worker
-	workerCounts [][]int32           // per-worker class-count scratch (GainBatch)
+	// GainBatch fan-out state: the shard function is prebound at
+	// construction (binding a method value allocates) and parameters flow
+	// through fields, so a steady-state batch performs no allocation.
+	batchShardFn func(int)
+	batchPaths   []int
+	batchOut     []float64
+	batchNext    atomic.Int64
+	wg           sync.WaitGroup
 }
 
 var (
@@ -156,42 +245,73 @@ var (
 )
 
 // NewMonteCarloInc draws runs scenarios from the model and returns an empty
-// oracle. The rng consumption matches the serial reference, so equal seeds
-// give equal panels.
+// oracle on the default float64 kernel.
 func NewMonteCarloInc(pm *tomo.PathMatrix, model failure.Sampler, runs int, rng *rand.Rand) *MonteCarloInc {
+	return NewMonteCarloIncKernel(pm, model, runs, rng, KernelFloat64)
+}
+
+// NewMonteCarloIncKernel is NewMonteCarloInc on an explicit rank kernel.
+// The rng drives the packed panel draw; the serial reference obtains the
+// identical panel from the same seed.
+func NewMonteCarloIncKernel(pm *tomo.PathMatrix, model failure.Sampler, runs int, rng *rand.Rand, kernel Kernel) *MonteCarloInc {
 	set, err := failure.SampleScenarioSet(model, rng, runs)
 	if err != nil {
 		panic("er: " + err.Error()) // only reachable with runs <= 0 or a zero-link sampler
 	}
-	mc := &MonteCarloInc{pm: pm, set: set}
+	mc := &MonteCarloInc{pm: pm, set: set, kernel: kernel, words: set.Words()}
+	links := pm.NumLinks()
 
-	// The whole panel starts as one class over the empty basis.
-	mc.classOf = make([]int32, runs)
-	mc.bases = []*linalg.SparseBasis{linalg.NewSparseBasisRankOnly(pm.NumLinks())}
-	mc.classSize = []int32{int32(runs)}
+	// The whole panel starts as one class over the empty basis; the empty
+	// link list survives everything, so SurvivalMask(nil) is the all-ones
+	// panel mask with clean padding.
+	mc.classMask = [][]uint64{set.SurvivalMask(nil, nil)}
+	mc.classBits = []int32{int32(runs)}
+	if kernel == KernelGF2 {
+		mc.gf2 = []*linalg.GF2Basis{linalg.NewGF2Basis(links)}
+	} else {
+		mc.f64 = []*linalg.SparseBasis{linalg.NewSparseBasisRankOnly(links)}
+	}
 
 	workers := poolSize()
-	mc.workerWS = make([]*linalg.Workspace, workers)
-	for i := range mc.workerWS {
-		mc.workerWS[i] = linalg.NewWorkspace(pm.NumLinks())
+	if kernel == KernelGF2 {
+		rowWords := pm.PackedWords()
+		slab := make([]uint64, workers*rowWords)
+		mc.gf2Scratch = make([][]uint64, workers)
+		for i := range mc.gf2Scratch {
+			mc.gf2Scratch[i] = slab[i*rowWords : (i+1)*rowWords : (i+1)*rowWords]
+		}
+	} else {
+		mc.wss = make([]*linalg.Workspace, workers)
+		for i := range mc.wss {
+			mc.wss[i] = linalg.NewWorkspace(links)
+		}
 	}
-	mc.workerCounts = make([][]int32, workers)
+	mc.batchShardFn = mc.batchShard
 
-	// Precompute every candidate's survival mask and sparse row (chunked
-	// over paths).
+	// Precompute every candidate's survival mask (one slab) and its row in
+	// kernel-native form, chunked over paths.
 	n := pm.NumPaths()
+	maskSlab := make([]uint64, n*mc.words)
 	mc.masks = make([][]uint64, n)
-	mc.rowCols = make([][]int, n)
-	mc.rowVals = make([][]float64, n)
+	if kernel == KernelGF2 {
+		mc.packed = make([][]uint64, n)
+	} else {
+		mc.rowCols = make([][]int, n)
+		mc.rowVals = make([][]float64, n)
+	}
 	var nextPath atomic.Int64
-	runShards(minInt(poolSize(), n), func(int) {
+	runShards(minInt(workers, n), func(int) {
 		for {
 			i := int(nextPath.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			mc.masks[i] = pm.SurvivalMask(set, i, nil)
-			mc.rowCols[i], mc.rowVals[i] = sparsifyRow(pm.Row(i))
+			mc.masks[i] = pm.SurvivalMask(set, i, maskSlab[i*mc.words:(i+1)*mc.words:(i+1)*mc.words])
+			if kernel == KernelGF2 {
+				mc.packed[i] = pm.PackedRow(i)
+			} else {
+				mc.rowCols[i], mc.rowVals[i] = sparsifyRow(pm.Row(i))
+			}
 		}
 	})
 	return mc
@@ -213,105 +333,73 @@ func sparsifyRow(row []float64) ([]int, []float64) {
 // Runs returns the scenario panel size.
 func (mc *MonteCarloInc) Runs() int { return mc.set.N() }
 
-// growInt32 resizes s to n entries, preserving contents; appended entries
-// are zero.
-func growInt32(s []int32, n int) []int32 {
-	if cap(s) < n {
-		ns := make([]int32, n)
-		copy(ns, s)
-		return ns
+// Kernel returns the rank kernel the oracle runs on.
+func (mc *MonteCarloInc) Kernel() Kernel { return mc.kernel }
+
+// Classes returns the current number of scenario equivalence classes (an
+// observability hook; bounded by min(2^adds, runs)).
+func (mc *MonteCarloInc) Classes() int { return len(mc.classMask) }
+
+// andCount returns the popcount of a AND b (equal lengths).
+func andCount(a, b []uint64) int {
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
 	}
-	for i := len(s); i < n; i++ {
-		s = s[:i+1]
-		s[i] = 0
-	}
-	return s[:n]
+	return n
 }
 
-// countSurvivors tallies, per class, how many scenarios of the mask survive.
-// counts must be zero on entry; the caller re-zeroes the touched entries.
-func (mc *MonteCarloInc) countSurvivors(mask []uint64, counts []int32) {
-	classOf := mc.classOf
-	for w, m := range mask {
-		base := w << 6
-		for m != 0 {
-			s := base + bits.TrailingZeros64(m)
-			m &= m - 1
-			counts[classOf[s]]++
-		}
+// inSpan probes candidate path's row against class c's basis with worker
+// w's scratch. Read-only on the basis; safe for concurrent workers.
+func (mc *MonteCarloInc) inSpan(c, path, w int) bool {
+	if mc.kernel == KernelGF2 {
+		return mc.gf2[c].InSpanPackedWith(mc.packed[path], mc.gf2Scratch[w])
 	}
+	return mc.f64[c].InSpanSparseWith(mc.rowCols[path], mc.rowVals[path], mc.wss[w])
 }
 
-// gainHits computes the independent-survivor count for one path on a single
-// goroutine: count survivors per class, then probe each touched class once.
-// counts is a zeroed per-class scratch and is re-zeroed before returning.
-func (mc *MonteCarloInc) gainHits(path int, counts []int32, ws *linalg.Workspace) int {
-	mc.countSurvivors(mc.masks[path], counts)
-	cols, vals := mc.rowCols[path], mc.rowVals[path]
+// gainHits counts the scenarios in which the path both survives and is
+// independent of the class basis: per class, a word-parallel survivor count
+// and at most one rank probe.
+func (mc *MonteCarloInc) gainHits(path, worker int) int {
+	mask := mc.masks[path]
 	hits := 0
-	for c := range mc.bases {
-		n := counts[c]
-		if n == 0 {
+	for c := range mc.classMask {
+		cnt := andCount(mask, mc.classMask[c])
+		if cnt == 0 {
 			continue
 		}
-		counts[c] = 0
-		if !mc.bases[c].InSpanSparseWith(cols, vals, ws) {
-			hits += int(n)
+		if !mc.inSpan(c, path, worker) {
+			hits += cnt
 		}
 	}
 	return hits
 }
 
-// Gain implements Incremental. The per-class probes fan out over the worker
-// pool; each verdict lands in a fixed slot and the hit counts are folded in
-// ascending class order, independent of scheduling.
+// Gain implements Incremental. With a few dozen classes the whole
+// evaluation is cheaper than a fan-out dispatch, so it runs on the calling
+// goroutine; GainBatch is the parallel entry point.
 func (mc *MonteCarloInc) Gain(path int) float64 {
-	counts := growInt32(mc.counts, len(mc.bases))
-	mc.counts = counts
-	workers := poolSize()
-	if workers == 1 {
-		return float64(mc.gainHits(path, counts, mc.workerWS[0])) / float64(mc.set.N())
-	}
+	return float64(mc.gainHits(path, 0)) / float64(mc.set.N())
+}
 
-	mc.countSurvivors(mc.masks[path], counts)
-	probe := mc.probeList[:0]
-	for c := range mc.bases {
-		if counts[c] != 0 {
-			probe = append(probe, int32(c))
+// batchShard is the GainBatch worker body: claim paths off the atomic
+// counter, write each gain into its fixed slot.
+func (mc *MonteCarloInc) batchShard(worker int) {
+	paths, out := mc.batchPaths, mc.batchOut
+	n := float64(mc.set.N())
+	for {
+		i := int(mc.batchNext.Add(1)) - 1
+		if i >= len(paths) {
+			return
 		}
+		out[i] = float64(mc.gainHits(paths[i], worker)) / n
 	}
-	mc.probeList = probe
-	mc.probeHits = growInt32(mc.probeHits, len(probe))
-	hits := 0
-	if len(probe) > 0 {
-		cols, vals := mc.rowCols[path], mc.rowVals[path]
-		var next atomic.Int64
-		runShards(minInt(workers, len(probe)), func(worker int) {
-			ws := mc.workerWS[worker]
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(probe) {
-					return
-				}
-				c := probe[i]
-				if mc.bases[c].InSpanSparseWith(cols, vals, ws) {
-					mc.probeHits[i] = 0
-				} else {
-					mc.probeHits[i] = counts[c]
-				}
-			}
-		})
-		for i := range probe {
-			hits += int(mc.probeHits[i])
-			counts[probe[i]] = 0
-		}
-	}
-	return float64(hits) / float64(mc.set.N())
 }
 
 // GainBatch implements BatchGainer: paths are claimed off an atomic counter
 // by pool workers, each probing the shared class bases with its own
-// workspace and count scratch. out[i] is exactly Gain(paths[i]).
+// scratch. out[i] is exactly Gain(paths[i]).
 func (mc *MonteCarloInc) GainBatch(paths []int, out []float64) {
 	if len(out) != len(paths) {
 		panic("er: GainBatch output length mismatch")
@@ -319,108 +407,68 @@ func (mc *MonteCarloInc) GainBatch(paths []int, out []float64) {
 	if len(paths) == 0 {
 		return
 	}
-	var next atomic.Int64
-	runShards(minInt(len(mc.workerWS), len(paths)), func(worker int) {
-		ws := mc.workerWS[worker]
-		counts := growInt32(mc.workerCounts[worker], len(mc.bases))
-		mc.workerCounts[worker] = counts
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= len(paths) {
-				return
-			}
-			out[i] = float64(mc.gainHits(paths[i], counts, ws)) / float64(mc.set.N())
-		}
-	})
+	workers := poolSize()
+	if mc.kernel == KernelGF2 {
+		workers = minInt(workers, len(mc.gf2Scratch))
+	} else {
+		workers = minInt(workers, len(mc.wss))
+	}
+	workers = minInt(workers, len(paths))
+	mc.batchPaths, mc.batchOut = paths, out
+	mc.batchNext.Store(0)
+	runShardsWith(workers, mc.batchShardFn, &mc.wg)
+	mc.batchPaths, mc.batchOut = nil, nil
+}
+
+// addRow commits the path's row into class c's basis, reporting whether it
+// was independent (and so raised the class rank).
+func (mc *MonteCarloInc) addRow(c, path int) bool {
+	if mc.kernel == KernelGF2 {
+		return mc.gf2[c].AddPacked(mc.packed[path])
+	}
+	added, _, _ := mc.f64[c].AddSparse(mc.rowCols[path], mc.rowVals[path])
+	return added
 }
 
 // Add implements Incremental. Classes split along the new row's survival
 // mask: a class whose scenarios all survive takes the row in place; a
-// partial class spawns a new class with a cloned basis for the survivors.
-// Class ids are assigned serially in ascending order before the basis work
-// fans out, and each receiving basis is touched by exactly one worker, so
-// the evolution is deterministic and race-free.
+// partial class keeps its non-survivors and spawns a new class with a
+// cloned, extended basis for the survivors (three word-ops on the
+// membership masks). Classes are visited in ascending id and new ids
+// appended in that order, so the evolution is deterministic. A splitless
+// Add (every touched class moves wholesale, no new rank) allocates
+// nothing.
 func (mc *MonteCarloInc) Add(path int) {
 	mask := mc.masks[path]
-	nc := len(mc.bases)
-	mc.movers = growInt32(mc.movers, nc)
-	mc.target = growInt32(mc.target, nc)
-	movers, target := mc.movers, mc.target
-	mc.countSurvivors(mask, movers)
-
-	// Pass 1 (serial, ascending class id): decide splits, allocate ids.
-	addClass := mc.addClass[:0]
-	addMovers := mc.addMovers[:0]
-	addSrc := mc.addSrc[:0]
+	nc := len(mc.classMask) // new classes appended below start disjoint from mask work done here
+	hits := 0
 	for c := 0; c < nc; c++ {
-		m := movers[c]
-		target[c] = int32(c)
-		if m == 0 {
+		cm := mc.classMask[c]
+		cnt := andCount(mask, cm)
+		if cnt == 0 {
 			continue
 		}
-		if m == mc.classSize[c] {
-			// The whole class moves: the row lands in its basis in place.
-			addClass = append(addClass, int32(c))
-			addMovers = append(addMovers, m)
-			addSrc = append(addSrc, -1)
-		} else {
-			id := int32(len(mc.bases))
-			mc.bases = append(mc.bases, nil) // cloned in pass 2
-			mc.classSize[c] -= m
-			mc.classSize = append(mc.classSize, m)
-			target[c] = id
-			addClass = append(addClass, id)
-			addMovers = append(addMovers, m)
-			addSrc = append(addSrc, int32(c))
-		}
-		movers[c] = 0
-	}
-	mc.addClass, mc.addMovers, mc.addSrc = addClass, addMovers, addSrc
-	if cap(mc.addOK) < len(addClass) {
-		mc.addOK = make([]bool, len(addClass))
-	}
-	addOK := mc.addOK[:len(addClass)]
-
-	// Pass 2: clone and extend the receiving bases. Each entry owns its
-	// basis (a split source is never itself a receiver), so workers never
-	// contend.
-	if len(addClass) > 0 {
-		cols, vals := mc.rowCols[path], mc.rowVals[path]
-		var next atomic.Int64
-		runShards(minInt(poolSize(), len(addClass)), func(int) {
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(addClass) {
-					return
-				}
-				b := mc.bases[addClass[i]]
-				if src := addSrc[i]; src >= 0 {
-					b = mc.bases[src].Clone()
-					mc.bases[addClass[i]] = b
-				}
-				added, _, _ := b.AddSparse(cols, vals)
-				addOK[i] = added
+		target := c
+		if cnt != int(mc.classBits[c]) {
+			// Partial survival: survivors move to a fresh class whose basis
+			// starts as a clone of c's.
+			newMask := make([]uint64, mc.words)
+			for w := range cm {
+				newMask[w] = cm[w] & mask[w]
+				cm[w] &^= mask[w]
 			}
-		})
-	}
-
-	// Pass 3 (serial): fold hits in ascending class order and reassign the
-	// movers of split classes.
-	hits := 0
-	for i := range addClass {
-		if addOK[i] {
-			hits += int(addMovers[i])
-		}
-	}
-	classOf := mc.classOf
-	for w, m := range mask {
-		base := w << 6
-		for m != 0 {
-			s := base + bits.TrailingZeros64(m)
-			m &= m - 1
-			if t := target[classOf[s]]; t != classOf[s] {
-				classOf[s] = t
+			mc.classBits[c] -= int32(cnt)
+			target = len(mc.classMask)
+			mc.classMask = append(mc.classMask, newMask)
+			mc.classBits = append(mc.classBits, int32(cnt))
+			if mc.kernel == KernelGF2 {
+				mc.gf2 = append(mc.gf2, mc.gf2[c].Clone())
+			} else {
+				mc.f64 = append(mc.f64, mc.f64[c].Clone())
 			}
+		}
+		if mc.addRow(target, path) {
+			hits += cnt
 		}
 	}
 	mc.value += float64(hits) / float64(mc.set.N())

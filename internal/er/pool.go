@@ -22,10 +22,20 @@ var (
 	poolWorkers int
 )
 
+// poolTask carries the shard index alongside the shard function instead of
+// closing over it, so dispatching a shard allocates nothing: the function
+// value is whatever the caller already holds (typically a prebound field)
+// and the struct travels by value through the channel.
 type poolTask struct {
-	fn func()
-	wg *sync.WaitGroup
+	fn    func(shard int)
+	shard int
+	wg    *sync.WaitGroup
 }
+
+// wgPool recycles the WaitGroups runShards synchronizes on; callers with a
+// steady-state zero-alloc contract hold their own WaitGroup and use
+// runShardsWith directly.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 
 func startPool() {
 	poolWorkers = runtime.GOMAXPROCS(0)
@@ -39,7 +49,7 @@ func startPool() {
 	for w := 0; w < poolWorkers-1; w++ {
 		go func() {
 			for t := range poolTasks {
-				t.fn()
+				t.fn(t.shard)
 				t.wg.Done()
 			}
 		}()
@@ -63,6 +73,21 @@ func runShards(shards int, fn func(shard int)) {
 		}
 		return
 	}
+	wg := wgPool.Get().(*sync.WaitGroup)
+	runShardsWith(shards, fn, wg)
+	wgPool.Put(wg)
+}
+
+// runShardsWith is runShards synchronizing on a caller-held WaitGroup
+// (which must be idle), letting steady-state callers fan out with zero
+// allocation when fn is a prebound function value.
+func runShardsWith(shards int, fn func(shard int), wg *sync.WaitGroup) {
+	if shards <= 1 {
+		if shards == 1 {
+			fn(0)
+		}
+		return
+	}
 	poolOnce.Do(startPool)
 	if poolTasks == nil {
 		for s := 0; s < shards; s++ {
@@ -70,11 +95,9 @@ func runShards(shards int, fn func(shard int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
 	wg.Add(shards - 1)
 	for s := 1; s < shards; s++ {
-		s := s
-		poolTasks <- poolTask{fn: func() { fn(s) }, wg: &wg}
+		poolTasks <- poolTask{fn: fn, shard: s, wg: wg}
 	}
 	fn(0)
 	wg.Wait()

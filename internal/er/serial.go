@@ -14,17 +14,45 @@ import (
 // kernel_test.go), which is what makes the parallel fast path safe to use
 // everywhere the serial oracle was.
 
+// serialPanel draws the exact scenario panel a packed kernel would draw
+// from the same rng state — through SampleScenarioSet (so column-sampling
+// models consume the rng identically) — and expands it to scenario-major
+// form for the reference walks.
+func serialPanel(model failure.Sampler, rng *rand.Rand, n int) []failure.Scenario {
+	set, err := failure.SampleScenarioSet(model, rng, n)
+	if err != nil {
+		panic("er: " + err.Error())
+	}
+	return set.Scenarios()
+}
+
 // MonteCarloSerial estimates ER(R) exactly like MonteCarlo but walks every
 // scenario's bool failure vector on one goroutine. Given the same rng
 // state, MonteCarlo returns the identical value.
 func MonteCarloSerial(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rng *rand.Rand) float64 {
+	return MonteCarloSerialKernel(pm, model, idx, n, rng, KernelFloat64)
+}
+
+// MonteCarloSerialKernel is MonteCarloSerial on an explicit rank kernel,
+// the one-goroutine reference MonteCarloKernel must be bit-identical to.
+func MonteCarloSerialKernel(pm *tomo.PathMatrix, model failure.Sampler, idx []int, n int, rng *rand.Rand, kernel Kernel) float64 {
 	if len(idx) == 0 || n <= 0 {
 		return 0
 	}
-	scenarios := failure.SampleScenarios(model, rng, n)
+	scenarios := serialPanel(model, rng, n)
 	sum := 0
 	for _, sc := range scenarios {
-		sum += pm.RankUnder(idx, sc)
+		if kernel == KernelFloat64 {
+			sum += pm.RankUnder(idx, sc)
+			continue
+		}
+		basis := linalg.NewGF2Basis(pm.NumLinks())
+		for _, i := range idx {
+			if pm.Available(i, sc) {
+				basis.AddPacked(pm.PackedRow(i))
+			}
+		}
+		sum += basis.Rank()
 	}
 	return float64(sum) / float64(n)
 }
@@ -44,10 +72,21 @@ var _ Incremental = (*serialMonteCarloInc)(nil)
 // the serial reference oracle. It consumes the rng exactly like
 // NewMonteCarloInc, so equal seeds give equal panels.
 func NewMonteCarloIncSerial(pm *tomo.PathMatrix, model failure.Sampler, runs int, rng *rand.Rand) Incremental {
-	scenarios := failure.SampleScenarios(model, rng, runs)
+	return NewMonteCarloIncSerialKernel(pm, model, runs, rng, KernelFloat64)
+}
+
+// NewMonteCarloIncSerialKernel is NewMonteCarloIncSerial on an explicit
+// rank kernel: one RowBasis per scenario on the chosen arithmetic
+// (GF2Basis implements the float adapters), no class sharing, no packing.
+func NewMonteCarloIncSerialKernel(pm *tomo.PathMatrix, model failure.Sampler, runs int, rng *rand.Rand, kernel Kernel) Incremental {
+	scenarios := serialPanel(model, rng, runs)
 	bases := make([]linalg.RowBasis, runs)
 	for i := range bases {
-		bases[i] = linalg.NewSparseBasis(pm.NumLinks())
+		if kernel == KernelGF2 {
+			bases[i] = linalg.NewGF2Basis(pm.NumLinks())
+		} else {
+			bases[i] = linalg.NewSparseBasis(pm.NumLinks())
+		}
 	}
 	return &serialMonteCarloInc{pm: pm, scenarios: scenarios, bases: bases}
 }

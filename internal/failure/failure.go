@@ -195,6 +195,44 @@ func (m *Model) Sample(rng *rand.Rand) Scenario {
 	return Scenario{Failed: failed}
 }
 
+// SampleColumn implements ColumnSampler: it fills link l's failure
+// bit-column over n scenarios by geometric skip sampling. Failures are
+// i.i.d. Bernoulli(p) across scenarios, so the gap between consecutive
+// failures is geometric; drawing the gaps directly via inverse transform
+// (floor(ln U / ln(1−p))) costs one uniform per failure — about Σ_l p_l·n
+// draws for the whole panel instead of links·n. The column realization
+// differs from scenario-major Sample draws, but is equally distributed and
+// deterministic in rng (links are filled in ascending order).
+func (m *Model) SampleColumn(rng *rand.Rand, l, n int, col []uint64) {
+	p := m.probs[l]
+	if p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for s := 0; s < n; s++ {
+			col[s>>6] |= 1 << (s & 63)
+		}
+		return
+	}
+	logq := math.Log1p(-p)
+	pos := -1
+	for {
+		u := rng.Float64()
+		if u == 0 {
+			return // log(0) = −Inf: an infinite gap, i.e. no further failure
+		}
+		gap := math.Log(u) / logq
+		if gap >= float64(n) {
+			return // also guards the int conversion against overflow
+		}
+		pos += 1 + int(gap)
+		if pos >= n {
+			return
+		}
+		col[pos>>6] |= 1 << (pos & 63)
+	}
+}
+
 // SampleN draws n independent scenarios.
 func (m *Model) SampleN(rng *rand.Rand, n int) []Scenario {
 	out := make([]Scenario, n)

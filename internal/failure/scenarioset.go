@@ -62,12 +62,54 @@ func NewScenarioSet(scenarios []Scenario) (*ScenarioSet, error) {
 	return ss, nil
 }
 
-// SampleScenarioSet draws n scenarios from the sampler and packs them. The
-// draws use the exact same rng consumption order as SampleScenarios, so a
-// packed panel and an unpacked panel built from the same seed describe the
-// same scenarios.
+// ColumnSampler is the fast path SampleScenarioSet takes when the failure
+// process can fill a link's bit-column directly: per-link, column-major
+// draws instead of materializing n scenario-major []bool vectors and
+// re-packing them. The independent Model implements it with geometric skip
+// sampling, which costs one draw per actual failure instead of one per
+// (link, scenario) pair. Correlated processes fall back to Sample.
+type ColumnSampler interface {
+	Sampler
+	// SampleColumn fills col (len = ceil(n/64) words, zeroed on entry) with
+	// link l's failure bit-column over n scenarios: bit s set iff link l is
+	// down in scenario s. Bits at positions ≥ n must stay zero.
+	SampleColumn(rng *rand.Rand, l, n int, col []uint64)
+}
+
+var _ ColumnSampler = (*Model)(nil)
+
+// SampleScenarioSet draws n scenarios from the sampler and packs them.
+// Samplers implementing ColumnSampler are drawn column-major (link 0's
+// column first) — the packed panel is built directly with no scenario-major
+// detour; all other samplers go through SampleScenarios. Either way the
+// result is deterministic in rng, and serial reference consumers that need
+// the identical panel should expand this set via Scenarios rather than
+// re-draw.
 func SampleScenarioSet(s Sampler, rng *rand.Rand, n int) (*ScenarioSet, error) {
-	return NewScenarioSet(SampleScenarios(s, rng, n))
+	cs, ok := s.(ColumnSampler)
+	if !ok {
+		return NewScenarioSet(SampleScenarios(s, rng, n))
+	}
+	links := cs.Links()
+	if n <= 0 {
+		return nil, fmt.Errorf("failure: empty scenario panel")
+	}
+	if links == 0 {
+		return nil, fmt.Errorf("failure: sampler covers no links")
+	}
+	ss := &ScenarioSet{
+		n:     n,
+		links: links,
+		words: (n + 63) / 64,
+		tail:  tailMask(n),
+	}
+	ss.cols = make([][]uint64, links)
+	backing := make([]uint64, links*ss.words) // one allocation for all columns
+	for l := range ss.cols {
+		ss.cols[l] = backing[l*ss.words : (l+1)*ss.words : (l+1)*ss.words]
+		cs.SampleColumn(rng, l, n, ss.cols[l])
+	}
+	return ss, nil
 }
 
 func tailMask(n int) uint64 {
@@ -89,6 +131,20 @@ func (ss *ScenarioSet) Words() int { return ss.words }
 // Failed reports whether link l is down in scenario s.
 func (ss *ScenarioSet) Failed(l, s int) bool {
 	return ss.cols[l][s>>6]&(uint64(1)<<(s&63)) != 0
+}
+
+// Col returns link l's failure bit-column (a live view; callers must not
+// modify it). Bit s is set iff link l is down in scenario s.
+func (ss *ScenarioSet) Col(l int) []uint64 { return ss.cols[l] }
+
+// Scenarios expands the whole panel into scenario-major form — how the
+// serial reference oracles obtain the exact panel a packed consumer drew.
+func (ss *ScenarioSet) Scenarios() []Scenario {
+	out := make([]Scenario, ss.n)
+	for s := range out {
+		out[s] = ss.Scenario(s)
+	}
+	return out
 }
 
 // Scenario reconstructs scenario s as the scenario-major representation.

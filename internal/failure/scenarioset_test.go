@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 )
@@ -116,15 +117,22 @@ func TestScenarioSetEmptyLinkListSurvivesAll(t *testing.T) {
 	}
 }
 
-// SampleScenarioSet must consume the rng exactly like SampleScenarios so
-// packed and unpacked panels from one seed agree bit for bit.
-func TestSampleScenarioSetMatchesSampleScenarios(t *testing.T) {
+// scenarioMajorOnly hides a Model's ColumnSampler fast path, forcing
+// SampleScenarioSet down the generic packing route.
+type scenarioMajorOnly struct{ m *Model }
+
+func (s scenarioMajorOnly) Links() int                     { return s.m.Links() }
+func (s scenarioMajorOnly) Sample(rng *rand.Rand) Scenario { return s.m.Sample(rng) }
+
+// Samplers without the column fast path must keep the original contract:
+// the packed panel consumes the rng exactly like SampleScenarios.
+func TestSampleScenarioSetFallbackMatchesSampleScenarios(t *testing.T) {
 	model, err := NewModel(Config{Links: 20, ExpectedFailures: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	plain := SampleScenarios(model, rand.New(rand.NewPCG(9, 9)), 77)
-	ss, err := SampleScenarioSet(model, rand.New(rand.NewPCG(9, 9)), 77)
+	ss, err := SampleScenarioSet(scenarioMajorOnly{model}, rand.New(rand.NewPCG(9, 9)), 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,6 +140,82 @@ func TestSampleScenarioSetMatchesSampleScenarios(t *testing.T) {
 		for l := range plain[s].Failed {
 			if plain[s].Failed[l] != ss.Failed(l, s) {
 				t.Fatalf("scenario %d link %d differs between packed and unpacked draws", s, l)
+			}
+		}
+	}
+}
+
+// The column fast path must be deterministic in rng, keep padding bits
+// clear, expand consistently via Scenario/Scenarios/Col, and — since the
+// geometric-skip draws are distributed like per-scenario Bernoulli draws —
+// land each link's empirical failure rate near its probability.
+func TestSampleScenarioSetColumnPath(t *testing.T) {
+	model, err := NewModel(Config{Links: 30, ExpectedFailures: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 40000
+	ss, err := SampleScenarioSet(model, rand.New(rand.NewPCG(4, 4)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := SampleScenarioSet(model, rand.New(rand.NewPCG(4, 4)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := ss.Scenarios()
+	if len(scs) != n {
+		t.Fatalf("Scenarios expanded %d of %d", len(scs), n)
+	}
+	for l := 0; l < ss.Links(); l++ {
+		col := ss.Col(l)
+		if len(col) != ss.Words() {
+			t.Fatalf("link %d: column has %d words, want %d", l, len(col), ss.Words())
+		}
+		for w := range col {
+			if col[w] != again.Col(l)[w] {
+				t.Fatalf("link %d word %d: same seed drew different columns", l, w)
+			}
+		}
+		if r := n & 63; r != 0 && col[len(col)-1]&^((uint64(1)<<r)-1) != 0 {
+			t.Fatalf("link %d: padding bits set", l)
+		}
+		fails := CountBits(col)
+		// Expansion consistency on a sampled spot-check plus exact count.
+		walked := 0
+		for s := 0; s < n; s++ {
+			if scs[s].Failed[l] {
+				walked++
+			}
+		}
+		if walked != fails {
+			t.Fatalf("link %d: column says %d failures, expansion says %d", l, fails, walked)
+		}
+		p := model.Prob(l)
+		got := float64(fails) / float64(n)
+		// ~6 standard deviations of binomial noise at n=40000.
+		slack := 6*math.Sqrt(p*(1-p)/float64(n)) + 1e-9
+		if got < p-slack || got > p+slack {
+			t.Fatalf("link %d: empirical failure rate %.5f, want %.5f ± %.5f", l, got, p, slack)
+		}
+	}
+}
+
+func TestScenarioSetColAndScenariosAgree(t *testing.T) {
+	scs := randomScenarios(rand.New(rand.NewPCG(8, 8)), 7, 130)
+	ss, err := NewScenarioSet(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := ss.Scenarios()
+	for s := range scs {
+		for l := range scs[s].Failed {
+			if back[s].Failed[l] != scs[s].Failed[l] {
+				t.Fatalf("scenario %d link %d corrupted by Scenarios expansion", s, l)
+			}
+			got := ss.Col(l)[s>>6]&(uint64(1)<<(s&63)) != 0
+			if got != scs[s].Failed[l] {
+				t.Fatalf("Col bit (link %d, scenario %d) = %v, want %v", l, s, got, scs[s].Failed[l])
 			}
 		}
 	}

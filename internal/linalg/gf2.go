@@ -1,0 +1,280 @@
+package linalg
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kernel selects the elimination arithmetic rank-only consumers run on.
+// Survival structure is Boolean — a path either survives a scenario or it
+// does not, and its incidence row has 0/1 entries — so the rank question
+// the Monte Carlo oracles ask can be answered over GF(2) with XOR word
+// arithmetic (KernelGF2), an order of magnitude cheaper than the float64
+// sparse elimination (KernelFloat64). The float64 kernel remains the
+// differential-test oracle and the only choice for weighted inputs.
+//
+// GF(2) rank can in principle undercount the rational rank of a 0/1 matrix
+// (the smallest example is three rows pairwise sharing a column, see
+// DESIGN.md §13), so consumers that switch kernels are guarded by
+// differential tests against the float64 reference on their real instances.
+type Kernel int
+
+const (
+	// KernelGF2 is the bit-packed XOR kernel — the default for 0/1 inputs.
+	KernelGF2 Kernel = iota
+	// KernelFloat64 is the tolerance-based sparse float64 kernel.
+	KernelFloat64
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelGF2:
+		return "gf2"
+	case KernelFloat64:
+		return "float64"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// GF2Words returns the number of 64-bit words a packed vector of the given
+// dimension occupies.
+func GF2Words(dim int) int { return (dim + 63) / 64 }
+
+// PackRow01 packs a 0/1 float64 row into packed words, appending to dst[:0]
+// semantics: dst is resized (reallocating only when too small) and fully
+// overwritten. Entries other than exactly 0 or 1 panic — GF(2) has no
+// faithful image for them; weighted rows belong on the float64 kernel.
+func PackRow01(row []float64, dst []uint64) []uint64 {
+	words := GF2Words(len(row))
+	if cap(dst) < words {
+		dst = make([]uint64, words)
+	} else {
+		dst = dst[:words]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for j, x := range row {
+		switch x {
+		case 0:
+		case 1:
+			dst[j>>6] |= 1 << (j & 63)
+		default:
+			panic(fmt.Sprintf("linalg: PackRow01 entry %v at column %d is not 0/1", x, j))
+		}
+	}
+	return dst
+}
+
+// GF2Basis maintains a growing set of GF(2)-independent packed bit rows —
+// the XOR analogue of a rank-only SparseBasis. Rows live contiguously in
+// one backing slab (row i occupies words [i·words, (i+1)·words)), so Reset
+// re-slices instead of freeing and a warmed basis adds rows without
+// allocating. Each stored row's lowest set bit is its pivot and no two rows
+// share a pivot; reduction scans a vector's set bits in ascending order and
+// XORs in the pivot row, which can only flip bits at or above the scan
+// point, so a single ascending pass is exact (DESIGN.md §13).
+//
+// The basis satisfies RowBasis in rank-only form: Add and Dependent accept
+// 0/1 float64 vectors and report nil supports. The packed-native entry
+// points (AddPacked, InSpanPacked, RankAfterPacked) are the hot path — bit
+// columns from failure.ScenarioSet and pre-packed path rows feed them with
+// no unpacking. Mutating calls are single-writer; InSpanPackedWith is
+// read-only and safe to call concurrently when each goroutine brings its
+// own scratch.
+type GF2Basis struct {
+	dim   int
+	words int
+
+	rowData []uint64 // slab of committed rows, len == rank·words
+	pivots  []int    // pivots[i] is the pivot bit of row i
+	rowOf   []int32  // rowOf[bit] is the row pivoting on bit, or -1
+
+	scratch []uint64 // reduction scratch for the basis's own operations
+	pack    []uint64 // packing scratch for the float64 adapter entry points
+}
+
+var _ RowBasis = (*GF2Basis)(nil)
+
+// NewGF2Basis returns an empty basis for packed vectors of the given
+// dimension.
+func NewGF2Basis(dim int) *GF2Basis {
+	if dim <= 0 {
+		panic(fmt.Sprintf("linalg: GF2 basis needs positive dimension, got %d", dim))
+	}
+	rowOf := make([]int32, dim)
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	return &GF2Basis{
+		dim:     dim,
+		words:   GF2Words(dim),
+		rowOf:   rowOf,
+		scratch: make([]uint64, GF2Words(dim)),
+	}
+}
+
+// Rank implements RowBasis.
+func (b *GF2Basis) Rank() int { return len(b.pivots) }
+
+// Dim implements RowBasis.
+func (b *GF2Basis) Dim() int { return b.dim }
+
+// Words returns the packed word count vectors for this basis must have.
+func (b *GF2Basis) Words() int { return b.words }
+
+// Reset empties the basis, keeping all storage for reuse.
+func (b *GF2Basis) Reset() {
+	for _, c := range b.pivots {
+		b.rowOf[c] = -1
+	}
+	b.pivots = b.pivots[:0]
+	b.rowData = b.rowData[:0]
+}
+
+// row returns committed row i (a view into the slab).
+func (b *GF2Basis) row(i int32) []uint64 {
+	off := int(i) * b.words
+	return b.rowData[off : off+b.words]
+}
+
+// reduceFrom eliminates the pivoted bits of v in ascending order starting
+// at word lo and returns the first pivotless set bit, or -1 when v reduces
+// to zero. Stored rows have no bits below their pivot, so XOR-ing one in
+// never disturbs bits already scanned past.
+func (b *GF2Basis) reduceFrom(v []uint64, lo int) int {
+	for w := lo; w < len(v); w++ {
+		for v[w] != 0 {
+			c := w<<6 + bits.TrailingZeros64(v[w])
+			r := b.rowOf[c]
+			if r < 0 {
+				return c
+			}
+			row := b.row(r)
+			for k := w; k < len(v); k++ {
+				v[k] ^= row[k]
+			}
+		}
+	}
+	return -1
+}
+
+// checkPacked validates a packed operand's length.
+func (b *GF2Basis) checkPacked(v []uint64) {
+	if len(v) != b.words {
+		panic(fmt.Sprintf("linalg: GF2 basis wants %d packed words, got %d", b.words, len(v)))
+	}
+}
+
+// AddPacked inserts the packed vector if it is GF(2)-independent of the
+// basis and reports whether it was accepted. Bits at positions ≥ Dim must
+// be zero. The vector is copied before reduction; v is never modified.
+func (b *GF2Basis) AddPacked(v []uint64) bool {
+	b.checkPacked(v)
+	if len(b.pivots) == b.dim {
+		return false // full rank spans everything
+	}
+	// Carve the prospective row off the slab tail and reduce it in place;
+	// committing is just extending the slab length. Rows are addressed by
+	// index, so a growth reallocation never invalidates anything.
+	n := len(b.rowData)
+	if cap(b.rowData) < n+b.words {
+		grown := make([]uint64, n, maxInt(2*cap(b.rowData), n+b.words))
+		copy(grown, b.rowData)
+		b.rowData = grown
+	}
+	row := b.rowData[n : n+b.words : n+b.words]
+	copy(row, v)
+	c := b.reduceFrom(row, 0)
+	if c < 0 {
+		return false
+	}
+	b.rowOf[c] = int32(len(b.pivots))
+	b.pivots = append(b.pivots, c)
+	b.rowData = b.rowData[:n+b.words]
+	return true
+}
+
+// InSpanPacked reports whether the packed vector lies in the row span,
+// using the basis's own scratch (single-writer, like Add).
+func (b *GF2Basis) InSpanPacked(v []uint64) bool {
+	return b.InSpanPackedWith(v, b.scratch)
+}
+
+// InSpanPackedWith is InSpanPacked reducing in caller-supplied scratch
+// (len Words()), allocating nothing and only reading the basis: any number
+// of goroutines may probe a shared basis concurrently as long as each
+// brings its own scratch and no mutation runs concurrently.
+func (b *GF2Basis) InSpanPackedWith(v, scratch []uint64) bool {
+	b.checkPacked(v)
+	if len(b.pivots) == b.dim {
+		return true
+	}
+	if len(b.pivots) == 0 {
+		for _, w := range v {
+			if w != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if len(scratch) != b.words {
+		panic(fmt.Sprintf("linalg: GF2 scratch wants %d words, got %d", b.words, len(scratch)))
+	}
+	copy(scratch, v)
+	return b.reduceFrom(scratch, 0) < 0
+}
+
+// RankAfterPacked returns the rank the basis would have after AddPacked(v),
+// without mutating the basis.
+func (b *GF2Basis) RankAfterPacked(v []uint64) int {
+	if b.InSpanPacked(v) {
+		return len(b.pivots)
+	}
+	return len(b.pivots) + 1
+}
+
+// Clone returns a deep copy, so class splits can extend a snapshot without
+// mutating the original.
+func (b *GF2Basis) Clone() *GF2Basis {
+	c := &GF2Basis{
+		dim:     b.dim,
+		words:   b.words,
+		rowData: append([]uint64(nil), b.rowData...),
+		pivots:  append([]int(nil), b.pivots...),
+		rowOf:   append([]int32(nil), b.rowOf...),
+		scratch: make([]uint64, b.words),
+	}
+	return c
+}
+
+// Add implements RowBasis for 0/1 float64 vectors: accepted vectors report
+// their insertion index as member; supports are nil (rank-only semantics,
+// matching NewSparseBasisRankOnly).
+func (b *GF2Basis) Add(v []float64) (added bool, member int, support []int) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: GF2 basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	b.pack = PackRow01(v, b.pack)
+	if !b.AddPacked(b.pack) {
+		return false, -1, nil
+	}
+	return true, len(b.pivots) - 1, nil
+}
+
+// Dependent implements RowBasis for 0/1 float64 vectors, with nil support.
+func (b *GF2Basis) Dependent(v []float64) (dependent bool, support []int) {
+	if len(v) != b.dim {
+		panic(fmt.Sprintf("linalg: GF2 basis dim %d, vector dim %d", b.dim, len(v)))
+	}
+	b.pack = PackRow01(v, b.pack)
+	return b.InSpanPacked(b.pack), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+package linalg
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// naiveGF2Rank computes the GF(2) rank of the rows by fresh forward
+// elimination over a dense byte matrix — an independent reference for the
+// incremental packed kernel.
+func naiveGF2Rank(rows [][]byte, dim int) int {
+	m := make([][]byte, len(rows))
+	for i, r := range rows {
+		m[i] = append([]byte(nil), r...)
+	}
+	rank := 0
+	for col := 0; col < dim && rank < len(m); col++ {
+		pivot := -1
+		for i := rank; i < len(m); i++ {
+			if m[i][col] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[rank], m[pivot] = m[pivot], m[rank]
+		for i := rank + 1; i < len(m); i++ {
+			if m[i][col] != 0 {
+				for j := col; j < dim; j++ {
+					m[i][j] ^= m[rank][j]
+				}
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// fuzzSeedMatrix serializes (dim, rows) into the fuzz input format: one dim
+// byte, then ceil(dim/8) bytes per row.
+func fuzzSeedMatrix(dim int, rows [][]int) []byte {
+	bytesPerRow := (dim + 7) / 8
+	data := []byte{byte(dim - 1)}
+	for _, cols := range rows {
+		rb := make([]byte, bytesPerRow)
+		for _, c := range cols {
+			rb[c/8] |= 1 << (c % 8)
+		}
+		data = append(data, rb...)
+	}
+	return data
+}
+
+// FuzzGF2VsFloat64Rank drives random 0/1 matrices through the packed GF(2)
+// kernel, a naive dense mod-2 reference, and the float64 sparse kernel.
+// Invariants:
+//
+//  1. The incremental GF(2) rank equals the naive mod-2 rank of every row
+//     prefix — the packed kernel is exact over its own field.
+//  2. Until the kernels first diverge the acceptance sequences agree, and a
+//     GF(2)-accepted row is always float64-accepted (GF(2) independence of
+//     a common row set implies rational independence; the converse can
+//     fail, which is the only legal divergence — see DESIGN.md §13).
+//  3. The final GF(2) rank never exceeds the float64 rank.
+//
+// The seed corpus includes the canonical divergent instances so the legal
+// divergence path is always exercised.
+func FuzzGF2VsFloat64Rank(f *testing.F) {
+	// Triangle: rational rank 3, GF(2) rank 2.
+	f.Add(fuzzSeedMatrix(3, [][]int{{0, 1}, {1, 2}, {0, 2}}))
+	// Realizable monitor-pair instance (4 paths over 4 links) where the
+	// fourth path is the GF(2) XOR of the first three but rationally
+	// independent: rank_Q = 4, rank_GF2 = 3.
+	f.Add(fuzzSeedMatrix(4, [][]int{{0, 1}, {1, 2}, {0, 2, 3}, {3}}))
+	f.Add(fuzzSeedMatrix(1, [][]int{{0}, {0}}))
+	rng := rand.New(rand.NewPCG(99, 1))
+	for trial := 0; trial < 8; trial++ {
+		dim := 1 + rng.IntN(96)
+		var rows [][]int
+		for r := 0; r < 1+rng.IntN(24); r++ {
+			var cols []int
+			for c := 0; c < dim; c++ {
+				if rng.Float64() < 0.15 {
+					cols = append(cols, c)
+				}
+			}
+			rows = append(rows, cols)
+		}
+		f.Add(fuzzSeedMatrix(dim, rows))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		dim := 1 + int(data[0])%96
+		bytesPerRow := (dim + 7) / 8
+		body := data[1:]
+		nRows := len(body) / bytesPerRow
+		if nRows == 0 {
+			return
+		}
+		if nRows > 48 {
+			nRows = 48
+		}
+
+		gf2 := NewGF2Basis(dim)
+		f64 := NewSparseBasisRankOnly(dim)
+		var naiveRows [][]byte
+		diverged := false
+		for r := 0; r < nRows; r++ {
+			chunk := body[r*bytesPerRow : (r+1)*bytesPerRow]
+			packed := make([]uint64, GF2Words(dim))
+			denseBits := make([]byte, dim)
+			dense := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				if chunk[j/8]&(1<<(j%8)) != 0 {
+					packed[j>>6] |= 1 << (j & 63)
+					denseBits[j] = 1
+					dense[j] = 1
+				}
+			}
+			naiveRows = append(naiveRows, denseBits)
+
+			accG := gf2.AddPacked(packed)
+			accF, _, _ := f64.Add(dense)
+			if wantRank := naiveGF2Rank(naiveRows, dim); gf2.Rank() != wantRank {
+				t.Fatalf("row %d: incremental GF2 rank %d, naive mod-2 rank %d", r, gf2.Rank(), wantRank)
+			}
+			if !diverged {
+				if accG && !accF {
+					t.Fatalf("row %d: GF2 accepted a row the float64 kernel rejected", r)
+				}
+				if accG != accF {
+					diverged = true // float64-only acceptance: legal, bases differ from here on
+				}
+			}
+		}
+		if gf2.Rank() > f64.Rank() {
+			t.Fatalf("final GF2 rank %d exceeds float64 rank %d", gf2.Rank(), f64.Rank())
+		}
+	})
+}

@@ -81,23 +81,36 @@ func NewSparseBasis(dim int) *SparseBasis { return NewSparseBasisTol(dim, Defaul
 // tracking disabled — for consumers that only need ranks and membership
 // booleans (Monte Carlo scenario panels, basis-index selection).
 func NewSparseBasisRankOnly(dim int) *SparseBasis {
-	b := NewSparseBasisTol(dim, DefaultTol)
-	b.rankOnly = true
-	return b
+	return newSparseBasis(dim, DefaultTol, true)
 }
 
 // NewSparseBasisTol is NewSparseBasis with an explicit zero tolerance.
 func NewSparseBasisTol(dim int, tol float64) *SparseBasis {
+	return newSparseBasis(dim, tol, false)
+}
+
+func newSparseBasis(dim int, tol float64, rankOnly bool) *SparseBasis {
 	pv := make([]int, dim)
 	for i := range pv {
 		pv[i] = -1
 	}
-	return &SparseBasis{
-		dim:     dim,
-		tol:     tol,
-		pivotOf: pv,
-		ws:      NewWorkspace(dim),
+	b := &SparseBasis{
+		dim:      dim,
+		tol:      tol,
+		rankOnly: rankOnly,
+		pivotOf:  pv,
+		ws:       NewWorkspace(dim),
 	}
+	if !rankOnly {
+		// The rank can never exceed dim, so sizing the per-operation factor
+		// and coefficient scratch to dim up front removes the growth
+		// reallocations Add would otherwise pay each time the member count
+		// crossed the previous capacity. Rank-only bases never touch either
+		// scratch, so they skip the 2·dim floats.
+		b.factorsScratch = make([]float64, 0, dim)
+		b.coeffsScratch = make([]float64, 0, dim)
+	}
+	return b
 }
 
 // Rank implements RowBasis.

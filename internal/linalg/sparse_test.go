@@ -219,3 +219,53 @@ func BenchmarkDenseBasisAddPathLike(b *testing.B) {
 		}
 	}
 }
+
+// The per-operation factor and coefficient scratch of a support-tracking
+// basis is pre-sized to dim at construction, so Add never pays a growth
+// reallocation when the member count crosses a previous capacity (the
+// regression this pins down), and warm DependentScratch probes allocate
+// nothing at all.
+func TestSparseBasisScratchPresized(t *testing.T) {
+	dim := 48
+	b := NewSparseBasis(dim)
+	if cap(b.factorsScratch) != dim || cap(b.coeffsScratch) != dim {
+		t.Fatalf("scratch caps = %d/%d, want %d", cap(b.factorsScratch), cap(b.coeffsScratch), dim)
+	}
+	v := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		v[j] = 1
+		if dep, _ := b.Dependent(v); dep {
+			t.Fatalf("unit vector %d dependent", j)
+		}
+		b.Add(v)
+		v[j] = 0
+		if cap(b.factorsScratch) != dim || cap(b.coeffsScratch) != dim {
+			t.Fatalf("after %d adds scratch regrew to %d/%d", j+1, cap(b.factorsScratch), cap(b.coeffsScratch))
+		}
+	}
+	if ro := NewSparseBasisRankOnly(dim); cap(ro.factorsScratch) != 0 || cap(ro.coeffsScratch) != 0 {
+		t.Fatal("rank-only basis pays for scratch it never uses")
+	}
+}
+
+func TestSparseBasisDependentScratchAllocFree(t *testing.T) {
+	dim := 64
+	b := NewSparseBasis(dim)
+	v := make([]float64, dim)
+	for j := 0; j < 20; j++ {
+		v[j] = 1
+		b.Add(v)
+		v[j] = 0
+	}
+	probe := make([]float64, dim)
+	probe[3], probe[7], probe[11] = 1, 1, 1
+	scratch := make([]int, dim)
+	if avg := testing.AllocsPerRun(100, func() {
+		dep, _ := b.DependentScratch(probe, scratch)
+		if !dep {
+			t.Fatal("probe of spanned vector reported independent")
+		}
+	}); avg != 0 {
+		t.Fatalf("warm DependentScratch allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -394,7 +394,9 @@ func TestCloseDeadlineCancelsRunning(t *testing.T) {
 	}})
 	spec := testSpec(0)
 	spec.Algorithm = AlgMonteRoMe
-	spec.MCRuns = 1 << 20 // far longer than the drain deadline
+	// Far longer than the drain deadline: drawing the panel alone is
+	// hundreds of milliseconds at this size, even on the packed sampler.
+	spec.MCRuns = 1 << 25
 	spec.Seed = 1
 	out, err := s.Submit(spec)
 	if err != nil {
