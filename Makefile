@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 MAX_REGRESS ?= 0.25
 
-.PHONY: all build test race cover bench bench-json bench-gate alloc-gate ci fmt-check fuzz fuzz-smoke soak-agent serve-smoke experiments examples clean
+.PHONY: all build test race cover bench bench-json bench-gate alloc-gate ci fmt-check fuzz fuzz-smoke soak-agent soak-stream serve-smoke experiments examples clean
 
 all: build test
 
@@ -54,6 +54,7 @@ bench-json:
 	$(GO) run ./cmd/benchregress -suite selection
 	$(GO) run ./cmd/benchregress -suite bandit
 	$(GO) run ./cmd/benchregress -suite obs
+	$(GO) run ./cmd/benchregress -suite agent
 
 # CI perf gate: rerun every tracked suite and fail if any benchmark lost
 # more than MAX_REGRESS (default 25%) of its committed-baseline
@@ -62,6 +63,7 @@ bench-gate:
 	$(GO) run ./cmd/benchregress -suite selection -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite bandit -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite obs -compare -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/benchregress -suite agent -compare -max-regress $(MAX_REGRESS)
 
 # CI allocation gate: the steady-state zero-allocation contracts asserted
 # with testing.AllocsPerRun — the Monte Carlo incremental oracle (Gain,
@@ -85,12 +87,23 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzCanonicalKey -fuzztime=$(FUZZTIME) ./internal/selection/
 	$(GO) test -fuzz=FuzzWireFrame -fuzztime=$(FUZZTIME) ./internal/agent/
 	$(GO) test -fuzz=FuzzWireRoundTrip -fuzztime=$(FUZZTIME) ./internal/agent/
+	$(GO) test -fuzz=FuzzBatchFrame -fuzztime=$(FUZZTIME) ./internal/agent/
+	$(GO) test -fuzz=FuzzBatchRoundTrip -fuzztime=$(FUZZTIME) ./internal/agent/
 
 # Hammer the fault-tolerant collection plane (retries, circuit breakers,
 # persistent sessions) with scripted faults and concurrent collectors
 # under the race detector. Bounded well under 30s.
 soak-agent:
 	AGENT_SOAK=1 $(GO) test -race -run TestAgentSoak -count=1 -timeout 60s -v ./internal/agent/
+
+# Drive STREAM_SOAK_SESSIONS (default 100000) logical monitor sessions,
+# multiplexed over a few thousand real TCP connections, through the
+# streaming collection plane: asserts complete epoch assembly and flat
+# heap across epochs, and logs sustained frames/sec. Uses the full
+# descriptor budget (the test raises the soft NOFILE limit to the hard
+# one and clamps the session count to what the limit can carry).
+soak-stream:
+	STREAM_SOAK=1 $(GO) test -run TestStreamSoak -count=1 -timeout 590s -v ./internal/agent/
 
 # Drive the `tomo serve` daemon two ways: the in-process race-detector
 # tests over the whole HTTP surface, then scripts/serve_smoke.sh, which

@@ -1,6 +1,6 @@
 // Command benchregress runs a benchmark suite and records the results in a
 // JSON file, so the performance trajectory of the optimized hot paths is
-// tracked across PRs. Two suites exist:
+// tracked across PRs. The suites:
 //
 //   - selection (default): the Monte Carlo kernel benchmarks →
 //     BENCH_selection.json
@@ -9,16 +9,20 @@
 //   - obs: the observability hot paths (counter add, histogram observe,
 //     nil-handle no-ops, /metrics render) → BENCH_obs.json; the *Nil
 //     variants prove the unobserved cost is a single nil check
+//   - agent: the measurement collection plane over real TCP →
+//     BENCH_agent.json; the batched streaming plane against its per-line
+//     JSON *Serial baseline on the same monitor panel
 //
 // Each benchmark is paired with its baseline reference — a *Serial variant
-// (one worker) or a *Fresh variant (from-scratch-per-epoch LSR) — and the
-// derived speedup is recorded alongside ns/op, B/op, allocs/op, the
-// allocation ratio for Fresh pairs, and — for benchmarks that report a
-// "panel" metric — the scenario throughput in scenarios/second.
+// (one worker / per-line plane) or a *Fresh variant (from-scratch-per-epoch
+// LSR) — and the derived speedup is recorded alongside ns/op, B/op,
+// allocs/op, the allocation ratio for Fresh pairs, and — for benchmarks
+// that report a "panel" or "frames" metric — the throughput in
+// scenarios/second or path-frames/second.
 //
 // Usage:
 //
-//	go run ./cmd/benchregress [-suite selection|bandit|obs] [-out FILE] [-benchtime 5x]
+//	go run ./cmd/benchregress [-suite selection|bandit|obs|agent] [-out FILE] [-benchtime 5x]
 //
 // With -compare the command becomes a CI gate: instead of rewriting the
 // JSON, it runs the suite, compares against the committed baseline
@@ -74,10 +78,19 @@ var suites = map[string]struct {
 		packages:  []string{"./internal/obs/"},
 		benchtime: "1s",
 	},
+	// The agent suite exercises real TCP round trips, so one op is an
+	// entire epoch collection (milliseconds); a time-based budget keeps
+	// the iteration counts meaningful without taking minutes.
+	"agent": {
+		out:       "BENCH_agent.json",
+		pattern:   "^(BenchmarkCollectFrames|BenchmarkCollectFramesSerial)$",
+		packages:  []string{"./internal/agent/"},
+		benchtime: "1s",
+	},
 }
 
 func main() {
-	suiteName := flag.String("suite", "selection", "benchmark suite: selection, bandit or obs")
+	suiteName := flag.String("suite", "selection", "benchmark suite: selection, bandit, obs or agent")
 	out := flag.String("out", "", "output JSON path (default per suite)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (default per suite)")
 	pattern := flag.String("bench", "", "go test -bench regexp override (default per suite)")
@@ -88,7 +101,7 @@ func main() {
 
 	suite, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchregress: unknown suite %q (selection, bandit)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchregress: unknown suite %q (selection, bandit, obs, agent)\n", *suiteName)
 		os.Exit(1)
 	}
 	if *out == "" {

@@ -19,6 +19,15 @@ type Entry struct {
 	// ScenariosPerSecond is Panel / (NsPerOp in seconds): how many
 	// scenario evaluations per second one op sustains.
 	ScenariosPerSecond float64 `json:"scenarios_per_second,omitempty"`
+	// Frames is the per-op wire-message count the collection-plane
+	// benchmarks report via the "frames" metric, normalized to the
+	// per-line baseline's one-frame-per-path framing so batched and
+	// per-line planes are directly comparable; zero when the benchmark
+	// doesn't report one.
+	Frames float64 `json:"frames,omitempty"`
+	// FramesPerSecond is Frames / (NsPerOp in seconds): the sustained
+	// path-frame throughput of one collection epoch.
+	FramesPerSecond float64 `json:"frames_per_second,omitempty"`
 }
 
 // Pair relates a benchmark to its baseline reference — a *Serial variant
@@ -84,10 +93,15 @@ func ParseBenchOutput(out string) []Entry {
 				e.AllocsPerOp = v
 			case "panel":
 				e.Panel = v
+			case "frames":
+				e.Frames = v
 			}
 		}
 		if e.Panel > 0 && e.NsPerOp > 0 {
 			e.ScenariosPerSecond = e.Panel / (e.NsPerOp / 1e9)
+		}
+		if e.Frames > 0 && e.NsPerOp > 0 {
+			e.FramesPerSecond = e.Frames / (e.NsPerOp / 1e9)
 		}
 		entries = append(entries, e)
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"robusttomo/internal/agent"
 )
 
 // runCollect demonstrates the fault-tolerant collection plane end to end:
@@ -26,11 +28,19 @@ func runCollect(args []string) error {
 	failFast := fs.Bool("fail-fast", false, "abort degraded epochs instead of keeping partial data")
 	strict := fs.Bool("strict", false, "exit non-zero if the final epoch was degraded")
 	seed := fs.Uint64("seed", 2014, "random seed")
+	stream := fs.Bool("stream", false, "use the batched streaming plane instead of per-line JSON")
+	shards := fs.Int("shards", 0, "streaming session-table shards (0: default; needs -stream)")
+	watermark := fs.Duration("watermark", 0, "streaming epoch watermark (0: default; needs -stream)")
+	encoding := fs.String("batch-encoding", "binary", "streaming frame encoding: binary or json (needs -stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *epochs <= 0 {
 		return fmt.Errorf("epochs must be positive")
+	}
+	enc, err := agent.ParseEncoding(*encoding)
+	if err != nil {
+		return err
 	}
 
 	d, err := newDemoLoop(demoConfig{
@@ -41,14 +51,22 @@ func runCollect(args []string) error {
 		Cooldown:  *cooldown,
 		FailFast:  *failFast,
 		Seed:      *seed,
+		Stream:    *stream,
+		Shards:    *shards,
+		Watermark: *watermark,
+		Encoding:  enc,
 	})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
 
-	fmt.Printf("fault-tolerant collection on %s: %d monitors, %d selected paths, %d epochs\n",
-		d.Ex.Graph, len(d.Addrs), len(d.Runner.StaticSelection()), *epochs)
+	plane := "per-line JSON"
+	if *stream {
+		plane = fmt.Sprintf("streaming %s frames", enc)
+	}
+	fmt.Printf("fault-tolerant collection on %s: %d monitors, %d selected paths, %d epochs (%s)\n",
+		d.Ex.Graph, len(d.Addrs), len(d.Runner.StaticSelection()), *epochs, plane)
 	if *killEpoch >= 0 {
 		fmt.Printf("monitor %s dies before epoch %d (retries %d, breaker threshold %d, cooldown %v)\n",
 			d.Victim, *killEpoch, *retries, *threshold, *cooldown)

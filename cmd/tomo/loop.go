@@ -29,14 +29,29 @@ type demoConfig struct {
 	Mode      sim.Mode
 	// Observer, when non-nil, instruments every layer of the loop.
 	Observer *obs.Registry
+
+	// Stream swaps the per-line JSON NOC for the batched streaming plane
+	// (sharded sessions, watermark epoch assembly); the knobs below only
+	// apply then.
+	Stream bool
+	// Shards is the streaming session-table shard count (0: the plane's
+	// default).
+	Shards int
+	// Watermark bounds how long an epoch waits for missing results before
+	// sealing (0: the plane's default).
+	Watermark time.Duration
+	// Encoding selects the batch frame encoding (binary or JSON lines).
+	Encoding agent.Encoding
 }
 
-// demoLoop owns the wired-up components of the demo.
+// demoLoop owns the wired-up components of the demo. Exactly one of NOC
+// (per-line JSON plane) and Stream (batched streaming plane) is non-nil.
 type demoLoop struct {
 	Ex       *topo.Example
 	PM       *tomo.PathMatrix
 	Runner   *sim.Runner
 	NOC      *agent.NOC
+	Stream   *agent.StreamNOC
 	Monitors map[string]*agent.Monitor
 	Addrs    map[string]string
 	// Victim is the monitor whose death costs measurements: the source of
@@ -122,27 +137,65 @@ func newDemoLoop(cfg demoConfig) (*demoLoop, error) {
 		d.Victim = names[0]
 	}
 
-	ncfg := agent.DefaultNOCConfig()
-	ncfg.PM = pm
-	ncfg.Monitors = d.Addrs
-	ncfg.SourceOf = d.SrcOf
-	ncfg.Retry = agent.RetryPolicy{MaxAttempts: cfg.Retries, BaseBackoff: cfg.Backoff, MaxBackoff: 20 * cfg.Backoff, Multiplier: 2, Jitter: 0.5}
-	ncfg.Breaker = agent.BreakerPolicy{FailureThreshold: cfg.Threshold, Cooldown: cfg.Cooldown}
-	ncfg.Timeouts = agent.Timeouts{Dial: 250 * time.Millisecond, Exchange: 2 * time.Second}
-	ncfg.FailFast = cfg.FailFast
-	ncfg.Seed = cfg.Seed
-	ncfg.Observer = cfg.Observer
-	noc, err := agent.NewNOC(ncfg)
-	if err != nil {
-		d.Close()
-		return nil, err
+	retry := agent.RetryPolicy{MaxAttempts: cfg.Retries, BaseBackoff: cfg.Backoff, MaxBackoff: 20 * cfg.Backoff, Multiplier: 2, Jitter: 0.5}
+	breaker := agent.BreakerPolicy{FailureThreshold: cfg.Threshold, Cooldown: cfg.Cooldown}
+	timeouts := agent.Timeouts{Dial: 250 * time.Millisecond, Exchange: 2 * time.Second}
+
+	var collector sim.Collector
+	if cfg.Stream {
+		s, err := agent.NewStreamNOC(agent.StreamConfig{
+			PM:        pm,
+			Monitors:  d.Addrs,
+			SourceOf:  d.SrcOf,
+			Shards:    cfg.Shards,
+			Watermark: cfg.Watermark,
+			Encoding:  cfg.Encoding,
+			Retry:     retry,
+			Breaker:   breaker,
+			Timeouts:  timeouts,
+			FailFast:  cfg.FailFast,
+			Seed:      cfg.Seed,
+			Observer:  cfg.Observer,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.Stream = s
+		collector = s
+	} else {
+		ncfg := agent.DefaultNOCConfig()
+		ncfg.PM = pm
+		ncfg.Monitors = d.Addrs
+		ncfg.SourceOf = d.SrcOf
+		ncfg.Retry = retry
+		ncfg.Breaker = breaker
+		ncfg.Timeouts = timeouts
+		ncfg.FailFast = cfg.FailFast
+		ncfg.Seed = cfg.Seed
+		ncfg.Observer = cfg.Observer
+		noc, err := agent.NewNOC(ncfg)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.NOC = noc
+		collector = noc
 	}
-	d.NOC = noc
-	if err := runner.UseCollector(noc); err != nil {
+	if err := runner.UseCollector(collector); err != nil {
 		d.Close()
 		return nil, err
 	}
 	return d, nil
+}
+
+// BreakerStates reports the per-monitor breaker states of whichever
+// collection plane the loop runs.
+func (d *demoLoop) BreakerStates() map[string]agent.BreakerState {
+	if d.Stream != nil {
+		return d.Stream.BreakerStates()
+	}
+	return d.NOC.BreakerStates()
 }
 
 // SrcOf maps a path index to its source monitor's name.
@@ -152,11 +205,11 @@ func (d *demoLoop) SrcOf(p int) string { return d.Ex.Graph.Label(d.PM.Path(p).Sr
 // exercise retries, breaker opening and partial collection.
 func (d *demoLoop) KillVictim() { d.Monitors[d.Victim].Close() }
 
-// BreakerLine formats the NOC's breaker states as "name=state ..." sorted
-// by monitor name.
+// BreakerLine formats the collector's breaker states as "name=state ..."
+// sorted by monitor name.
 func (d *demoLoop) BreakerLine() string {
 	states := make([]string, 0, len(d.Monitors))
-	for name, st := range d.NOC.BreakerStates() {
+	for name, st := range d.BreakerStates() {
 		states = append(states, fmt.Sprintf("%s=%s", name, st))
 	}
 	sort.Strings(states)
@@ -175,6 +228,9 @@ func (d *demoLoop) BreakerLine() string {
 func (d *demoLoop) Close() {
 	if d.NOC != nil {
 		d.NOC.Close()
+	}
+	if d.Stream != nil {
+		d.Stream.Close()
 	}
 	for _, m := range d.Monitors {
 		m.Close()

@@ -140,7 +140,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // open, sorted by name.
 func (s *server) openBreakers() []string {
 	var open []string
-	for name, st := range s.d.NOC.BreakerStates() {
+	for name, st := range s.d.BreakerStates() {
 		if st == agent.BreakerOpen {
 			open = append(open, name)
 		}
@@ -206,7 +206,7 @@ func (s *server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		st.Mode = "learning"
 	}
 	st.Monitors = map[string]string{}
-	for name, bs := range s.d.NOC.BreakerStates() {
+	for name, bs := range s.d.BreakerStates() {
 		st.Monitors[name] = bs.String()
 	}
 	st.RecentEvents = s.reg.Events()

@@ -1,0 +1,234 @@
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Watermark epoch assembly: the streaming plane ingests measurements
+// continuously, and an epoch is handed to the consumer either when every
+// expected path has reported or when the watermark elapses — whichever
+// comes first. Results that arrive after their epoch sealed are not
+// dropped and do not stall the collector: they are folded forward into the
+// next sealed epoch's AssembledEpoch.Late, tagged with their origin epoch,
+// so consumers (the sim Runner's aggregator) can still use them.
+//
+// Policies, shared with the serial reference assembly the tests compare
+// against bit-for-bit:
+//
+//   - dedup: the first result for an (epoch, path) pair wins; later
+//     duplicates are counted, not applied.
+//   - late: a result for an epoch that is not open (already sealed, or
+//     never opened) goes to the late buffer, drained at the next Seal in
+//     arrival order. The buffer is bounded; overflow is counted and
+//     dropped so a runaway peer cannot grow memory.
+//   - out-of-order: any number of epochs may be open at once; results
+//     route by epoch number, not arrival order.
+
+// LateMeasurement is a measurement that arrived after its epoch sealed,
+// folded forward into a later assembled epoch.
+type LateMeasurement struct {
+	// Epoch is the origin epoch the measurement belongs to.
+	Epoch int
+	Measurement
+}
+
+// AssembledEpoch is the watermark assembler's output for one epoch.
+type AssembledEpoch struct {
+	Epoch int
+	// Measurements holds the results that arrived before the seal, sorted
+	// by path ID, duplicates removed (first wins).
+	Measurements []Measurement
+	// Missing lists expected paths that never reported, sorted.
+	Missing []int
+	// Late holds older-epoch results folded forward into this seal, in
+	// arrival order, each tagged with its origin epoch.
+	Late []LateMeasurement
+	// Duplicates counts results discarded by dedup for this epoch.
+	Duplicates int
+	// LateDropped counts late results discarded because the late buffer
+	// was full at the time they arrived (reported on the next seal).
+	LateDropped int
+}
+
+// ingestStats summarizes one Ingest call for the metrics plane.
+type ingestStats struct {
+	accepted   int
+	duplicates int
+	late       int
+	lateDrop   int
+	// lag is the arrival lag behind the seal for late results (zero when
+	// the seal time is no longer tracked).
+	lag time.Duration
+}
+
+// epochAssembly is one open epoch's accumulation state.
+type epochAssembly struct {
+	expect     map[int]struct{} // paths still outstanding
+	got        []Measurement    // arrival order; sorted at seal
+	gotSet     map[int]struct{}
+	duplicates int
+	done       chan struct{} // closed when expect drains
+	doneClosed bool
+}
+
+// assembler is the concurrent watermark assembler. All methods are safe
+// for concurrent use; the injectable clock only feeds the lag metric, so
+// assembly output is a pure function of the call sequence (the property
+// the serial-reference tests assert).
+type assembler struct {
+	mu          sync.Mutex
+	now         func() time.Time
+	maxLate     int
+	open        map[int]*epochAssembly
+	late        []LateMeasurement
+	lateDropped int
+	// sealedAt remembers recent seal times for the watermark-lag metric,
+	// bounded by sealedRing.
+	sealedAt   map[int]time.Time
+	sealedRing []int
+}
+
+// maxSealedTracked bounds how many sealed epochs keep their seal time for
+// lag measurement.
+const maxSealedTracked = 16
+
+func newAssembler(now func() time.Time, maxLate int) *assembler {
+	if now == nil {
+		now = time.Now
+	}
+	if maxLate <= 0 {
+		maxLate = 1 << 16
+	}
+	return &assembler{
+		now:      now,
+		maxLate:  maxLate,
+		open:     make(map[int]*epochAssembly),
+		sealedAt: make(map[int]time.Time),
+	}
+}
+
+// openEpoch registers an epoch and its expected path set, returning a
+// channel closed once every expected path has reported. Opening an
+// already-open epoch is an error; an empty expectation completes
+// immediately.
+func (a *assembler) openEpoch(epoch int, expected []int) (<-chan struct{}, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.open[epoch]; ok {
+		return nil, fmt.Errorf("agent: epoch %d already open in assembler", epoch)
+	}
+	ea := &epochAssembly{
+		expect: make(map[int]struct{}, len(expected)),
+		gotSet: make(map[int]struct{}, len(expected)),
+		done:   make(chan struct{}),
+	}
+	for _, p := range expected {
+		ea.expect[p] = struct{}{}
+	}
+	if len(ea.expect) == 0 {
+		close(ea.done)
+		ea.doneClosed = true
+	}
+	a.open[epoch] = ea
+	return ea.done, nil
+}
+
+// abandon removes paths from an open epoch's expectation — the caller
+// could not send their probes (backpressure, open breaker) — so the epoch
+// can still complete without waiting out the watermark for results that
+// will never come.
+func (a *assembler) abandon(epoch int, paths []int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ea, ok := a.open[epoch]
+	if !ok {
+		return
+	}
+	for _, p := range paths {
+		delete(ea.expect, p)
+	}
+	ea.checkComplete()
+}
+
+func (ea *epochAssembly) checkComplete() {
+	if len(ea.expect) == 0 && !ea.doneClosed {
+		close(ea.done)
+		ea.doneClosed = true
+	}
+}
+
+// ingest routes one result batch. Results for open epochs accumulate
+// (first-wins dedup); results for anything else land in the bounded late
+// buffer for the next seal.
+func (a *assembler) ingest(epoch int, results []Measurement) ingestStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var st ingestStats
+	ea, ok := a.open[epoch]
+	if !ok {
+		for _, m := range results {
+			if len(a.late) >= a.maxLate {
+				a.lateDropped++
+				st.lateDrop++
+				continue
+			}
+			a.late = append(a.late, LateMeasurement{Epoch: epoch, Measurement: m})
+			st.late++
+		}
+		if sealed, ok := a.sealedAt[epoch]; ok && st.late+st.lateDrop > 0 {
+			st.lag = a.now().Sub(sealed)
+		}
+		return st
+	}
+	for _, m := range results {
+		if _, dup := ea.gotSet[m.PathID]; dup {
+			ea.duplicates++
+			st.duplicates++
+			continue
+		}
+		ea.gotSet[m.PathID] = struct{}{}
+		ea.got = append(ea.got, m)
+		delete(ea.expect, m.PathID)
+		st.accepted++
+	}
+	ea.checkComplete()
+	return st
+}
+
+// seal closes the epoch: no more results fold into it (they become late),
+// and the assembled output — sorted measurements, sorted missing paths,
+// the drained late buffer — is returned. Sealing an epoch that was never
+// opened yields a zero AssembledEpoch carrying only the late drain.
+func (a *assembler) seal(epoch int) AssembledEpoch {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := AssembledEpoch{Epoch: epoch}
+	if ea, ok := a.open[epoch]; ok {
+		delete(a.open, epoch)
+		out.Measurements = ea.got
+		sort.Slice(out.Measurements, func(i, j int) bool {
+			return out.Measurements[i].PathID < out.Measurements[j].PathID
+		})
+		out.Missing = make([]int, 0, len(ea.expect))
+		for p := range ea.expect {
+			out.Missing = append(out.Missing, p)
+		}
+		sort.Ints(out.Missing)
+		out.Duplicates = ea.duplicates
+	}
+	out.Late = a.late
+	a.late = nil
+	out.LateDropped = a.lateDropped
+	a.lateDropped = 0
+
+	a.sealedAt[epoch] = a.now()
+	a.sealedRing = append(a.sealedRing, epoch)
+	if len(a.sealedRing) > maxSealedTracked {
+		delete(a.sealedAt, a.sealedRing[0])
+		a.sealedRing = a.sealedRing[1:]
+	}
+	return out
+}

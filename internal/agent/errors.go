@@ -24,6 +24,16 @@ var (
 	// ErrCircuitOpen marks a monitor skipped because its circuit breaker
 	// is open (cooling down after repeated failures).
 	ErrCircuitOpen = errors.New("agent: circuit open")
+	// ErrWatermark marks paths whose monitor did not answer before the
+	// streaming collector's watermark elapsed; the epoch sealed without
+	// them (their results, if they ever arrive, fold into a later epoch as
+	// LateMeasurements). Streaming outcomes wrap both this and
+	// ErrMonitorUnreachable so legacy error dispatch keeps working.
+	ErrWatermark = errors.New("agent: watermark elapsed")
+	// ErrBackpressure marks probe batches the streaming collector dropped
+	// because the owning shard's send queue was full — the collection plane
+	// sheds load instead of stalling the epoch loop.
+	ErrBackpressure = errors.New("agent: shard backpressure")
 )
 
 // ConfigError reports an invalid NOCConfig combination detected by

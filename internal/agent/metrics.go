@@ -62,3 +62,65 @@ func newNOCMetrics(reg *obs.Registry) *nocMetrics {
 			"Per-monitor circuit-breaker state: 0 closed, 1 open, 2 half-open.", "monitor"),
 	}
 }
+
+// batchSizeBuckets grades batch-frame path counts: probe batches run from a
+// single path up to the whole panel share of one monitor.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// streamMetrics holds the streaming plane's pre-interned handles, layered
+// on top of the shared nocMetrics families (epochs, degraded epochs, lost
+// paths, breaker states, dial latency). Nil-registry mode works the same
+// way: every handle is nil and updates cost one nil check.
+type streamMetrics struct {
+	*nocMetrics
+
+	// framesSent / framesReceived count batch frames on the wire in each
+	// direction (one probe batch out, one result batch back per
+	// monitor-epoch in the common case).
+	framesSent     *obs.Counter
+	framesReceived *obs.Counter
+	// batchPaths records how many paths each sent probe batch carried.
+	batchPaths *obs.Histogram
+	// watermarkLag records how far behind its epoch's seal a late result
+	// arrived (observed only for epochs whose seal time is still tracked).
+	watermarkLag *obs.Histogram
+	// lateResults / duplicateResults / lateDropped count assembler routing
+	// outcomes; backpressureDrops counts probe batches rejected because a
+	// shard's send queue was full.
+	lateResults       *obs.Counter
+	duplicateResults  *obs.Counter
+	lateDropped       *obs.Counter
+	backpressureDrops *obs.Counter
+	// watermarkMissed counts monitor-epochs sealed with outstanding paths.
+	watermarkMissed *obs.Counter
+	// queueDepth is the per-shard send-queue depth at the last enqueue or
+	// dequeue.
+	queueDepth *obs.GaugeVec
+}
+
+// newStreamMetrics registers the streaming-plane metric families.
+func newStreamMetrics(reg *obs.Registry) *streamMetrics {
+	return &streamMetrics{
+		nocMetrics: newNOCMetrics(reg),
+		framesSent: reg.Counter("tomo_stream_frames_sent_total",
+			"Probe batch frames written to monitor transports."),
+		framesReceived: reg.Counter("tomo_stream_frames_received_total",
+			"Result batch frames read from monitor transports."),
+		batchPaths: reg.Histogram("tomo_stream_batch_paths",
+			"Paths carried per sent probe batch frame.", batchSizeBuckets),
+		watermarkLag: reg.Histogram("tomo_stream_watermark_lag_seconds",
+			"Arrival lag of late results behind their epoch's seal.", obs.DefBuckets),
+		lateResults: reg.Counter("tomo_stream_late_results_total",
+			"Results that arrived after their epoch sealed (folded forward)."),
+		duplicateResults: reg.Counter("tomo_stream_duplicate_results_total",
+			"Results discarded by first-wins dedup."),
+		lateDropped: reg.Counter("tomo_stream_late_dropped_total",
+			"Late results dropped because the late buffer was full."),
+		backpressureDrops: reg.Counter("tomo_stream_backpressure_drops_total",
+			"Probe batches rejected because a shard send queue was full."),
+		watermarkMissed: reg.Counter("tomo_stream_watermark_missed_total",
+			"Monitor-epochs sealed with outstanding paths at the watermark."),
+		queueDepth: reg.GaugeVec("tomo_stream_queue_depth",
+			"Send-queue depth per shard.", "shard"),
+	}
+}

@@ -123,21 +123,16 @@ func (m *Monitor) serve(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// scratch is the reusable encode buffer for batch replies: one codec
+	// pass and one flush per batch, regardless of how many paths it holds.
+	var scratch []byte
 	for {
-		line, err := readLine(r)
+		msg, err := readMessage(r)
 		if err != nil {
 			return // peer closed or protocol error: drop the session
 		}
-		msgType, err := peekType(line)
-		if err != nil {
-			return
-		}
-		switch msgType {
-		case MsgProbe:
-			var req ProbeRequest
-			if err := unmarshalStrict(line, &req); err != nil {
-				return
-			}
+		switch req := msg.(type) {
+		case *ProbeRequest:
 			value, ok := m.oracle.Measure(req.Epoch, req.Links)
 			res := ProbeResult{
 				Type:    MsgResult,
@@ -158,10 +153,45 @@ func (m *Monitor) serve(conn net.Conn) {
 			m.mu.Lock()
 			m.probesServed++
 			m.mu.Unlock()
-		case MsgShutdown:
+		case *ProbeBatch:
+			// Batched probing: measure the whole path batch and answer with
+			// one frame in the encoding the request arrived in. The monitor
+			// name echoes the batch's session identity, so one TCP
+			// connection can carry many multiplexed monitor sessions.
+			res := ResultBatch{
+				Type:    MsgBatchResult,
+				Epoch:   req.Epoch,
+				Monitor: req.Monitor,
+				Results: make([]BatchResult, len(req.Paths)),
+			}
+			if res.Monitor == "" {
+				res.Monitor = m.name
+			}
+			for i := range req.Paths {
+				p := &req.Paths[i]
+				value, ok := m.oracle.Measure(req.Epoch, p.Links)
+				res.Results[i] = BatchResult{PathID: p.PathID, OK: ok}
+				if ok {
+					res.Results[i].Value = value
+				}
+			}
+			scratch, err = EncodeResultBatch(scratch[:0], req.enc, &res)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(scratch); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			m.mu.Lock()
+			m.probesServed += len(req.Paths)
+			m.mu.Unlock()
+		case shutdownMsg:
 			return
 		default:
-			return // unknown message: terminate the session
+			return // results flowing the wrong way, or unknown: terminate
 		}
 	}
 }

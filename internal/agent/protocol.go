@@ -42,40 +42,67 @@ type ProbeRequest struct {
 }
 
 // ProbeResult reports a measurement back to the NOC.
+//
+// Value must not carry omitempty: a legitimate measurement of exactly 0
+// would be silently dropped from the wire and the NOC could not tell it
+// apart from an absent field (regression-tested by
+// TestProbeResultZeroValueRoundTrip).
 type ProbeResult struct {
 	Type    MsgType `json:"type"`
 	Epoch   int     `json:"epoch"`
 	PathID  int     `json:"pathId"`
 	OK      bool    `json:"ok"` // false when a link on the path was down
-	Value   float64 `json:"value,omitempty"`
+	Value   float64 `json:"value"`
 	Monitor string  `json:"monitor"`
+}
+
+// marshalMsg marshals v as one JSON line, newline included.
+func marshalMsg(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("agent: marshal: %w", err)
+	}
+	return append(data, '\n'), nil
 }
 
 // writeMsg marshals v as one JSON line.
 func writeMsg(w io.Writer, v any) error {
-	data, err := json.Marshal(v)
+	data, err := marshalMsg(v)
 	if err != nil {
-		return fmt.Errorf("agent: marshal: %w", err)
+		return err
 	}
-	data = append(data, '\n')
 	if _, err := w.Write(data); err != nil {
 		return fmt.Errorf("agent: write: %w", err)
 	}
 	return nil
 }
 
+// maxLine bounds one JSON protocol line (including the newline). The bound
+// is enforced *during* the read: the loop below accumulates at most one
+// bufio buffer past the limit before erroring, so a malicious peer cannot
+// force an unbounded allocation by never sending a newline (the old
+// ReadBytes-then-check shape buffered the whole line first).
+const maxLine = 1 << 20
+
 // readLine reads one protocol line, bounded to keep malicious peers from
 // exhausting memory.
 func readLine(r *bufio.Reader) ([]byte, error) {
-	const maxLine = 1 << 20
-	line, err := r.ReadBytes('\n')
-	if err != nil {
-		return nil, err
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		if len(line)+len(frag) > maxLine {
+			return nil, fmt.Errorf("agent: oversized message (> %d bytes)", maxLine)
+		}
+		line = append(line, frag...)
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue // keep accumulating, bound checked per fragment
+		default:
+			return nil, err
+		}
 	}
-	if len(line) > maxLine {
-		return nil, fmt.Errorf("agent: oversized message (%d bytes)", len(line))
-	}
-	return line, nil
 }
 
 // peekType extracts the type field without committing to a full decode.

@@ -1,0 +1,111 @@
+package agent
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestProbeResultZeroValueRoundTrip is the regression test for the
+// `omitempty` bug: a successful probe whose measurement is exactly 0 must
+// survive the wire with the value field present, not silently dropped and
+// re-zeroed on the far side (indistinguishable from an absent field).
+func TestProbeResultZeroValueRoundTrip(t *testing.T) {
+	res := ProbeResult{
+		Type:    MsgResult,
+		Epoch:   3,
+		PathID:  7,
+		OK:      true,
+		Value:   0,
+		Monitor: "m0",
+	}
+	var buf bytes.Buffer
+	if err := writeMsg(&buf, res); err != nil {
+		t.Fatalf("writeMsg: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"value":0`) {
+		t.Fatalf("zero value omitted from the wire: %s", buf.String())
+	}
+	line, err := readLine(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("readLine: %v", err)
+	}
+	var got ProbeResult
+	if err := json.Unmarshal(line, &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != res {
+		t.Fatalf("round trip: got %+v, want %+v", got, res)
+	}
+}
+
+// countingReader counts how many bytes the consumer actually pulled, so
+// the oversized-line test can prove the limit is enforced during the read
+// rather than after buffering the whole line.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// TestReadLineBoundedDuringRead feeds a 64 MiB newline-free stream into
+// readLine: it must reject the line having consumed barely more than the
+// 1 MiB bound, instead of buffering the whole stream before checking.
+func TestReadLineBoundedDuringRead(t *testing.T) {
+	const streamSize = 64 << 20
+	src := &countingReader{r: io.LimitReader(neverNewline{}, streamSize)}
+	r := bufio.NewReader(src)
+	if _, err := readLine(r); err == nil {
+		t.Fatal("readLine accepted an oversized line")
+	}
+	// One bufio buffer of slack past the bound is the allowed overshoot.
+	if limit := maxLine + 64<<10; src.n > limit {
+		t.Fatalf("readLine consumed %d bytes before rejecting (limit %d): bound not enforced during the read", src.n, limit)
+	}
+}
+
+// TestReadLineOversizedWithNewline covers the original shape of the bug: a
+// well-terminated but oversized line must still be rejected without
+// buffering it whole.
+func TestReadLineOversizedWithNewline(t *testing.T) {
+	huge := strings.Repeat("x", maxLine+5) + "\n"
+	src := &countingReader{r: strings.NewReader(huge)}
+	if _, err := readLine(bufio.NewReader(src)); err == nil {
+		t.Fatal("readLine accepted an oversized terminated line")
+	}
+	if limit := maxLine + 64<<10; src.n > limit {
+		t.Fatalf("readLine consumed %d bytes before rejecting (limit %d)", src.n, limit)
+	}
+}
+
+// TestReadLineAcceptsLongValidLines makes sure the in-read bound did not
+// shrink the accepted line length: a line just under the cap still reads
+// whole, across many bufio refills.
+func TestReadLineAcceptsLongValidLines(t *testing.T) {
+	payload := strings.Repeat("y", maxLine-1) + "\n"
+	line, err := readLine(bufio.NewReader(strings.NewReader(payload)))
+	if err != nil {
+		t.Fatalf("readLine rejected a %d-byte line under the bound: %v", len(payload), err)
+	}
+	if len(line) != len(payload) {
+		t.Fatalf("readLine returned %d bytes, want %d", len(line), len(payload))
+	}
+}
+
+// neverNewline is an infinite stream with no newline in it.
+type neverNewline struct{}
+
+func (neverNewline) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'z'
+	}
+	return len(p), nil
+}

@@ -1,0 +1,86 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The collection-plane benchmarks time one full epoch over real loopback
+// TCP on the same panel (4 monitors x 128 paths): BenchmarkCollectFrames
+// drives the batched streaming plane (binary frames, sharded sessions),
+// BenchmarkCollectFramesSerial the legacy per-line JSON NOC. Both report
+// the "frames" metric in the baseline's unit — one per-line frame carries
+// one path, so the batch plane is credited with the per-line frames its
+// batches replace — making frames/sec directly comparable and the
+// benchregress speedup pair the headline batching win.
+
+const (
+	benchMonitors    = 4
+	benchPathsPerMon = 128
+)
+
+func BenchmarkCollectFrames(b *testing.B) {
+	panel := buildStreamPanel(b, benchMonitors, benchPathsPerMon)
+	addrs := panel.startMonitors(b)
+	cfg := panel.streamConfig(addrs)
+	cfg.Shards = 2
+	cfg.Encoding = EncodingBinary
+	s, err := NewStreamNOC(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	// Warmup epoch: dial every transport so the timed loop measures the
+	// steady state, not connection setup.
+	if _, err := s.CollectAssembled(ctx, 0, panel.all); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.CollectAssembled(ctx, i+1, panel.all)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Measurements) != len(panel.all) {
+			b.Fatalf("epoch %d: %d/%d measurements", i+1, len(out.Measurements), len(panel.all))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(panel.all)), "frames")
+}
+
+func BenchmarkCollectFramesSerial(b *testing.B) {
+	panel := buildStreamPanel(b, benchMonitors, benchPathsPerMon)
+	addrs := panel.startMonitors(b)
+	n, err := NewNOC(NOCConfig{
+		PM:       panel.pm,
+		Monitors: addrs,
+		SourceOf: panel.sourceOf,
+		Timeouts: Timeouts{Dial: 2 * time.Second, Exchange: 2 * time.Second},
+		Seed:     2014,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+
+	ctx := context.Background()
+	if _, err := n.CollectEpoch(ctx, 0, panel.all); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := n.CollectEpoch(ctx, i+1, panel.all)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) != len(panel.all) {
+			b.Fatalf("epoch %d: %d/%d measurements", i+1, len(ms), len(panel.all))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(panel.all)), "frames")
+}

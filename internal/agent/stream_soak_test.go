@@ -1,0 +1,192 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/tomo"
+)
+
+// TestStreamSoak drives STREAM_SOAK_SESSIONS (default 100000) logical
+// monitor sessions through the streaming plane over the real TCP stack:
+// sessions multiplex SessionsPerConn-to-a-connection onto a handful of hub
+// Monitor servers, every epoch collects one path per session, and the
+// invariants are (a) every epoch assembles completely, (b) heap stays flat
+// across epochs (bounded against the post-warmup baseline, the
+// flat-memory acceptance criterion), and (c) the run reports its
+// sustained frames/sec.
+//
+// Gated behind STREAM_SOAK=1 (wired as `make soak-stream`). Knobs:
+//
+//	STREAM_SOAK_SESSIONS      logical monitor sessions (default 100000)
+//	STREAM_SOAK_PER_CONN      sessions multiplexed per TCP conn (default 32)
+//	STREAM_SOAK_EPOCHS        measured epochs after warmup (default 3)
+func TestStreamSoak(t *testing.T) {
+	if os.Getenv("STREAM_SOAK") == "" {
+		t.Skip("set STREAM_SOAK=1 (make soak-stream) to run the 100k-session streaming soak")
+	}
+	sessions := soakEnvInt("STREAM_SOAK_SESSIONS", 100000)
+	perConn := soakEnvInt("STREAM_SOAK_PER_CONN", 32)
+	epochs := soakEnvInt("STREAM_SOAK_EPOCHS", 3)
+	const hubs = 8
+	const shards = 4
+
+	raiseNOFILE(t)
+	// Each TCP connection burns two descriptors (both ends live in this
+	// process); clamp the session count if the rlimit cannot carry it.
+	conns := (sessions + perConn - 1) / perConn
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err == nil {
+		budget := int(lim.Cur) - 512 // headroom for listeners, stdio, runtime
+		if conns*2 > budget {
+			clamped := budget / 2 * perConn
+			log.Printf("stream soak: RLIMIT_NOFILE=%d supports %d conns; clamping %d sessions to %d",
+				lim.Cur, budget/2, sessions, clamped)
+			sessions = clamped
+			conns = (sessions + perConn - 1) / perConn
+		}
+	}
+	t.Logf("soak: %d sessions, %d per conn (%d conns), %d shards, %d epochs",
+		sessions, perConn, conns, shards, epochs)
+
+	// One single-link path per session over a small shared link space:
+	// PathMatrix rows are dense over links, so the soak keeps the column
+	// count fixed (sessions share links round-robin) — the scale target is
+	// the session table, not the linear system.
+	const links = 512
+	paths := make([]routing.Path, sessions)
+	metrics := make([]float64, links)
+	names := make([]string, sessions)
+	for i := 0; i < links; i++ {
+		metrics[i] = 1 + float64(i)/8
+	}
+	for i := 0; i < sessions; i++ {
+		paths[i] = routing.Path{Src: graph.NodeID(i), Dst: graph.NodeID(sessions), Edges: []graph.EdgeID{graph.EdgeID(i % links)}}
+		names[i] = "s" + strconv.Itoa(i)
+	}
+	pm, err := tomo.NewPathMatrix(paths, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewEpochOracle(metrics, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A few hub servers answer for every session; the batch frames carry
+	// the session identity, so one server multiplexes thousands of them.
+	hubAddrs := make([]string, hubs)
+	for h := 0; h < hubs; h++ {
+		mon, err := StartMonitor(fmt.Sprintf("hub%d", h), "127.0.0.1:0", oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mon.Close()
+		hubAddrs[h] = mon.Addr()
+	}
+	addrs := make(map[string]string, sessions)
+	for i, name := range names {
+		addrs[name] = hubAddrs[i%hubs]
+	}
+
+	selected := make([]int, sessions)
+	for i := range selected {
+		selected[i] = i
+	}
+	s, err := NewStreamNOC(StreamConfig{
+		PM:              pm,
+		Monitors:        addrs,
+		SourceOf:        func(p int) string { return names[p] },
+		Shards:          shards,
+		SessionsPerConn: perConn,
+		// Every session enqueues one batch per epoch; the queues must hold
+		// a full epoch so backpressure shedding does not skew the soak.
+		QueueDepth: sessions/shards + sessions/(2*shards) + 16,
+		Watermark:  2 * time.Minute,
+		Timeouts:   Timeouts{Dial: 30 * time.Second, Exchange: time.Minute},
+		Seed:       2014,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	collect := func(epoch int) {
+		t.Helper()
+		out, err := s.CollectAssembled(ctx, epoch, selected)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if len(out.Measurements) != sessions || len(out.Missing) != 0 {
+			t.Fatalf("epoch %d: %d/%d measurements, %d missing",
+				epoch, len(out.Measurements), sessions, len(out.Missing))
+		}
+	}
+
+	// Warmup epoch: dial every connection, fault in every code path, let
+	// the allocator reach steady state before the baseline is taken.
+	collect(0)
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	start := time.Now()
+	for e := 1; e <= epochs; e++ {
+		collect(e)
+	}
+	elapsed := time.Since(start)
+
+	runtime.GC()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+
+	// Flat-memory assertion: steady-state epochs must not grow the heap
+	// beyond modest slack over the post-warmup baseline.
+	bound := base.HeapAlloc + base.HeapAlloc/2 + 64<<20
+	if end.HeapAlloc > bound {
+		t.Fatalf("heap grew across epochs: base=%dMB end=%dMB bound=%dMB",
+			base.HeapAlloc>>20, end.HeapAlloc>>20, bound>>20)
+	}
+
+	frames := float64(sessions*epochs) * 2 // one probe + one result frame per session-epoch
+	t.Logf("soak: %d sessions x %d epochs in %v — %.0f frames/sec (%.0f path-measurements/sec), heap %dMB -> %dMB",
+		sessions, epochs, elapsed, frames/elapsed.Seconds(),
+		float64(sessions*epochs)/elapsed.Seconds(), base.HeapAlloc>>20, end.HeapAlloc>>20)
+}
+
+func soakEnvInt(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// raiseNOFILE lifts the soft descriptor limit to the hard limit. On
+// developer containers the hard cap may itself be low; the caller clamps
+// its connection budget to whatever sticks.
+func raiseNOFILE(t *testing.T) {
+	t.Helper()
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		t.Logf("getrlimit NOFILE: %v", err)
+		return
+	}
+	if lim.Cur < lim.Max {
+		lim.Cur = lim.Max
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+			t.Logf("setrlimit NOFILE %d->%d: %v", lim.Cur, lim.Max, err)
+		}
+	}
+}

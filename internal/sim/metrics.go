@@ -20,6 +20,9 @@ type simMetrics struct {
 	// epochSeconds times one full Step (selection, collection, diagnosis,
 	// learner update).
 	epochSeconds *obs.Histogram
+	// lateFolded counts late measurements from earlier epochs folded into
+	// the aggregator by a streaming (AssembledCollector) collection plane.
+	lateFolded *obs.Counter
 	// rank / survived / identifiable snapshot the most recent epoch's
 	// surviving-path rank, surviving-path count and identifiable-link
 	// count.
@@ -43,6 +46,8 @@ func newSimMetrics(reg *obs.Registry) *simMetrics {
 			"Epochs absorbed with partial measurement collection."),
 		lostPaths: reg.Counter("tomo_sim_lost_paths_total",
 			"Selected paths that produced no measurement (collector-side loss)."),
+		lateFolded: reg.Counter("tomo_sim_late_folded_total",
+			"Late measurements from earlier epochs folded into the aggregator."),
 		epochSeconds: reg.Histogram("tomo_sim_epoch_seconds",
 			"Duration of one full closed-loop epoch.", epochBuckets),
 		rank: reg.Gauge("tomo_sim_rank",

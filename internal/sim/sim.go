@@ -36,6 +36,21 @@ type Collector interface {
 
 var _ Collector = (*agent.NOC)(nil)
 
+// AssembledCollector is the streaming-plane extension of Collector:
+// watermark-assembled epochs carry, besides the in-time measurements, the
+// late results of earlier epochs that folded forward. agent.StreamNOC
+// implements it; a Runner given one (via UseCollector) folds the late
+// measurements into the aggregator — they are real measurements of their
+// origin epoch's network, so they sharpen the metric estimates — while the
+// diagnoser and the learner see only the current epoch's in-time outcomes
+// (a late result says nothing about which links are down now).
+type AssembledCollector interface {
+	Collector
+	CollectAssembled(ctx context.Context, epoch int, selected []int) (agent.AssembledEpoch, error)
+}
+
+var _ AssembledCollector = (*agent.StreamNOC)(nil)
+
 // Mode selects how probing paths are chosen each epoch.
 type Mode int
 
@@ -87,6 +102,9 @@ type CollectionHealth struct {
 	// LostPaths counts selected paths that produced no measurement
 	// (collector-side loss, on top of network-side probe failures).
 	LostPaths int
+	// LateFolded counts late measurements from earlier epochs a streaming
+	// collector delivered with this epoch, folded into the aggregator.
+	LateFolded int
 }
 
 // EpochReport summarizes one epoch of the loop.
@@ -234,7 +252,15 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 		selected = r.static
 	}
 
-	ms, err := r.collector.CollectEpoch(ctx, r.epoch, selected)
+	var ms []agent.Measurement
+	var late []agent.LateMeasurement
+	if ac, ok := r.collector.(AssembledCollector); ok {
+		var out agent.AssembledEpoch
+		out, err = ac.CollectAssembled(ctx, r.epoch, selected)
+		ms, late = out.Measurements, out.Late
+	} else {
+		ms, err = r.collector.CollectEpoch(ctx, r.epoch, selected)
+	}
 	var cerr *agent.CollectionError
 	if err != nil && !errors.As(err, &cerr) {
 		// A partially collected epoch degrades instead of aborting: the
@@ -278,6 +304,22 @@ func (r *Runner) Step(ctx context.Context) (EpochReport, error) {
 		}
 		r.m.degradedEpochs.Inc()
 		r.m.lostPaths.Add(uint64(report.Collection.LostPaths))
+	}
+	// Late measurements are genuine observations of their origin epoch's
+	// network: fold the successful ones into the aggregator (sharper
+	// metric estimates) but keep them away from the diagnoser and learner,
+	// whose observations are strictly per-current-epoch.
+	for _, lm := range late {
+		if !lm.OK || lm.PathID < 0 || lm.PathID >= r.cfg.PM.NumPaths() {
+			continue
+		}
+		if err := r.agg.Observe(lm.PathID, lm.Value); err != nil {
+			return EpochReport{}, err
+		}
+		report.Collection.LateFolded++
+	}
+	if report.Collection.LateFolded > 0 {
+		r.m.lateFolded.Add(uint64(report.Collection.LateFolded))
 	}
 	report.Survived = len(surviving)
 	report.Rank = r.cfg.PM.RankOf(surviving)

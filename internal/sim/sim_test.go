@@ -355,3 +355,142 @@ func TestRunnerSurvivesDeadMonitor(t *testing.T) {
 		}
 	}
 }
+
+// TestRunnerStreamingCollector drives the same closed loop through the
+// streaming plane (agent.StreamNOC, batched binary frames, watermark
+// assembly): epoch-for-epoch results must match the local collector, and a
+// healthy panel folds nothing late.
+func TestRunnerStreamingCollector(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	cfg.Horizon = 5
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := topo.NewExample()
+	addrs := map[string]string{}
+	for _, mn := range ex.Monitors {
+		name := ex.Graph.Label(mn)
+		mon, err := agent.StartMonitor(name, "127.0.0.1:0", r.Oracle())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mon.Close() })
+		addrs[name] = mon.Addr()
+	}
+	snoc, err := agent.NewStreamNOC(agent.StreamConfig{
+		PM:       cfg.PM,
+		Monitors: addrs,
+		SourceOf: func(p int) string { return ex.Graph.Label(cfg.PM.Path(p).Src) },
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { snoc.Close() })
+	if err := r.UseCollector(snoc); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := r.Run(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := New(exampleConfigFixedHorizon(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localReports, err := local.Run(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reports {
+		if reports[i].Rank != localReports[i].Rank || reports[i].Survived != localReports[i].Survived {
+			t.Fatalf("epoch %d: streaming %+v vs local %+v", i, reports[i], localReports[i])
+		}
+		if reports[i].Collection.Degraded || reports[i].Collection.LateFolded != 0 {
+			t.Fatalf("epoch %d: healthy streaming run reported %+v", i, reports[i].Collection)
+		}
+	}
+	values, ident, err := r.Estimates(1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range cfg.Metrics {
+		if ident[j] && math.Abs(values[j]-cfg.Metrics[j]) > 1e-8 {
+			t.Fatalf("link %d inferred %v, want %v", j, values[j], cfg.Metrics[j])
+		}
+	}
+}
+
+// TestRunnerStreamingSurvivesDeadMonitor is the streaming twin of
+// TestRunnerSurvivesDeadMonitor: with one monitor dead, the watermark
+// seals every epoch without its paths and the loop degrades instead of
+// aborting.
+func TestRunnerStreamingSurvivesDeadMonitor(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	cfg.Horizon = 3
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := topo.NewExample()
+	srcOf := func(p int) string { return ex.Graph.Label(cfg.PM.Path(p).Src) }
+	dead := srcOf(r.StaticSelection()[0])
+	addrs := map[string]string{}
+	for _, mn := range ex.Monitors {
+		name := ex.Graph.Label(mn)
+		mon, err := agent.StartMonitor(name, "127.0.0.1:0", r.Oracle())
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[name] = mon.Addr()
+		if name == dead {
+			mon.Close()
+		} else {
+			t.Cleanup(func() { mon.Close() })
+		}
+	}
+	snoc, err := agent.NewStreamNOC(agent.StreamConfig{
+		PM:        cfg.PM,
+		Monitors:  addrs,
+		SourceOf:  srcOf,
+		Watermark: 2 * time.Second,
+		Retry:     agent.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+		Breaker:   agent.BreakerPolicy{Disabled: true},
+		Timeouts:  agent.Timeouts{Dial: 300 * time.Millisecond, Exchange: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { snoc.Close() })
+	if err := r.UseCollector(snoc); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := r.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("Run aborted instead of degrading: %v", err)
+	}
+	for i, rep := range reports {
+		h := rep.Collection
+		if !h.Degraded {
+			t.Fatalf("epoch %d: not marked degraded: %+v", i, h)
+		}
+		if len(h.FailedMonitors) != 1 || h.FailedMonitors[0] != dead {
+			t.Fatalf("epoch %d: FailedMonitors = %v, want [%s]", i, h.FailedMonitors, dead)
+		}
+		if h.LostPaths == 0 {
+			t.Fatalf("epoch %d: lost paths not recorded: %+v", i, h)
+		}
+	}
+	values, ident, err := r.Estimates(1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range cfg.Metrics {
+		if ident[j] && math.Abs(values[j]-cfg.Metrics[j]) > 1e-8 {
+			t.Fatalf("link %d inferred %v, want %v", j, values[j], cfg.Metrics[j])
+		}
+	}
+}

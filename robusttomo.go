@@ -336,6 +336,63 @@ var (
 	NewFaultyListener = agent.NewFaultyListener
 )
 
+// Streaming collection plane: batched multi-path probe frames over
+// persistent sharded sessions, with watermark-based epoch assembly.
+type (
+	// StreamNOC is the batched streaming measurement collector: monitor
+	// sessions sharded over persistent connections, multi-path probe
+	// frames, and epochs sealed at a watermark with late results folded
+	// into the next epoch.
+	StreamNOC = agent.StreamNOC
+	// StreamConfig wires a StreamNOC: sharding, batching, watermark,
+	// backpressure and frame-encoding knobs on top of the NOC's retry,
+	// breaker and timeout blocks.
+	StreamConfig = agent.StreamConfig
+	// AssembledEpoch is one sealed epoch: its measurements, the paths
+	// still missing at the watermark, and late results from earlier
+	// epochs.
+	AssembledEpoch = agent.AssembledEpoch
+	// LateMeasurement is a measurement that arrived after its epoch
+	// sealed, tagged with the epoch it belongs to.
+	LateMeasurement = agent.LateMeasurement
+	// FrameEncoding selects the batch frame codec (binary or JSON lines).
+	FrameEncoding = agent.Encoding
+	// ProbeBatch is one multi-path probe request frame.
+	ProbeBatch = agent.ProbeBatch
+	// ResultBatch is one multi-path result frame.
+	ResultBatch = agent.ResultBatch
+	// BatchPath is one path entry inside a ProbeBatch.
+	BatchPath = agent.BatchPath
+	// BatchResult is one path's result inside a ResultBatch.
+	BatchResult = agent.BatchResult
+)
+
+// Batch frame encodings.
+const (
+	// FrameBinary is the length-prefixed binary frame codec (default).
+	FrameBinary = agent.EncodingBinary
+	// FrameJSON writes each batch as one JSON line — slower, but readable
+	// in a packet capture or wire log.
+	FrameJSON = agent.EncodingJSON
+)
+
+// Streaming collection sentinels and construction.
+var (
+	// ErrWatermark marks paths that missed the epoch watermark; their
+	// results, if they arrive, fold into a later epoch as LateMeasurements.
+	ErrWatermark = agent.ErrWatermark
+	// ErrBackpressure marks batches shed because a shard queue was full.
+	ErrBackpressure = agent.ErrBackpressure
+	// NewStreamNOC builds the streaming collector.
+	NewStreamNOC = agent.NewStreamNOC
+	// ParseFrameEncoding parses "binary" or "json".
+	ParseFrameEncoding = agent.ParseEncoding
+	// EncodeProbeBatch appends one encoded probe frame to dst.
+	EncodeProbeBatch = agent.EncodeProbeBatch
+	// EncodeResultBatch appends one encoded result frame to dst.
+	EncodeResultBatch = agent.EncodeResultBatch
+)
+
 // Observability: the dependency-free metrics/tracing registry. Install an
 // Observer on NOCConfig, SimConfig, SelectionOptions or LearnerOptions and
 // every layer reports into it; a nil Observer costs one nil check per
@@ -457,6 +514,12 @@ type (
 	EpochReport = sim.EpochReport
 	// SimMode selects static (known distribution) or learning mode.
 	SimMode = sim.Mode
+	// SimCollector is the measurement-plane interface the runner drives.
+	SimCollector = sim.Collector
+	// SimAssembledCollector is the streaming-plane extension: collectors
+	// that return AssembledEpochs (late results, watermark misses) for the
+	// runner to fold forward.
+	SimAssembledCollector = sim.AssembledCollector
 )
 
 // Closed-loop modes.

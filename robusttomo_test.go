@@ -339,6 +339,60 @@ func TestFacadeFaultToleranceSurface(t *testing.T) {
 	}
 }
 
+// TestFacadeStreamingSurface smoke-tests the re-exported streaming plane:
+// a StreamNOC over a live monitor assembles a complete epoch, and the
+// encoding parser round-trips both frame codecs.
+func TestFacadeStreamingSurface(t *testing.T) {
+	for _, want := range []FrameEncoding{FrameBinary, FrameJSON} {
+		got, err := ParseFrameEncoding(want.String())
+		if err != nil || got != want {
+			t.Fatalf("ParseFrameEncoding(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+
+	paths := []Path{{Src: 0, Dst: 1, Edges: []EdgeID{0}}, {Src: 0, Dst: 2, Edges: []EdgeID{1}}}
+	pm, err := NewPathMatrix(paths, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewEpochOracle([]float64{2.5, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := StartMonitor("m", "127.0.0.1:0", oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	s, err := NewStreamNOC(StreamConfig{
+		PM:        pm,
+		Monitors:  map[string]string{"m": mon.Addr()},
+		SourceOf:  func(int) string { return "m" },
+		Watermark: 3 * time.Second,
+		Timeouts:  CollectorTimeouts{Dial: 2 * time.Second, Exchange: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var epoch AssembledEpoch
+	epoch, err = s.CollectAssembled(context.Background(), 0, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epoch.Measurements) != 2 || len(epoch.Missing) != 0 || len(epoch.Late) != 0 {
+		t.Fatalf("assembled epoch = %+v", epoch)
+	}
+	if epoch.Measurements[0].Value != 2.5 || epoch.Measurements[1].Value != 4 {
+		t.Fatalf("measurements = %+v", epoch.Measurements)
+	}
+	if errors.Is(ErrWatermark, ErrBackpressure) {
+		t.Fatal("streaming sentinels alias each other")
+	}
+}
+
 // TestFacadeObservability wires an Observer through the public surface:
 // selection metrics land in the registry, the Prometheus text is
 // well-formed, spans record into the event ring, and the DialTimeout
