@@ -55,6 +55,7 @@ bench-json:
 	$(GO) run ./cmd/benchregress -suite bandit
 	$(GO) run ./cmd/benchregress -suite obs
 	$(GO) run ./cmd/benchregress -suite agent
+	$(GO) run ./cmd/benchregress -suite loss
 
 # CI perf gate: rerun every tracked suite and fail if any benchmark lost
 # more than MAX_REGRESS (default 25%) of its committed-baseline
@@ -64,6 +65,7 @@ bench-gate:
 	$(GO) run ./cmd/benchregress -suite bandit -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite obs -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite agent -compare -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/benchregress -suite loss -compare -max-regress $(MAX_REGRESS)
 
 # CI allocation gate: the steady-state zero-allocation contracts asserted
 # with testing.AllocsPerRun — the Monte Carlo incremental oracle (Gain,

@@ -12,6 +12,9 @@
 //   - agent: the measurement collection plane over real TCP →
 //     BENCH_agent.json; the batched streaming plane against its per-line
 //     JSON *Serial baseline on the same monitor panel
+//   - loss: the multicast loss-tomography MLE → BENCH_loss.json; the
+//     incremental per-epoch update against its from-scratch batch *Fresh
+//     baseline
 //
 // Each benchmark is paired with its baseline reference — a *Serial variant
 // (one worker / per-line plane) or a *Fresh variant (from-scratch-per-epoch
@@ -22,7 +25,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchregress [-suite selection|bandit|obs|agent] [-out FILE] [-benchtime 5x]
+//	go run ./cmd/benchregress [-suite selection|bandit|obs|agent|loss] [-out FILE] [-benchtime 5x]
 //
 // With -compare the command becomes a CI gate: instead of rewriting the
 // JSON, it runs the suite, compares against the committed baseline
@@ -87,10 +90,18 @@ var suites = map[string]struct {
 		packages:  []string{"./internal/agent/"},
 		benchtime: "1s",
 	},
+	// The loss suite tracks the incremental MINC epoch update against
+	// its from-scratch batch baseline (the Fresh pair).
+	"loss": {
+		out:       "BENCH_loss.json",
+		pattern:   "^(BenchmarkLossEpochUpdate|BenchmarkLossEpochUpdateFresh)$",
+		packages:  []string{"./internal/loss/"},
+		benchtime: "20x",
+	},
 }
 
 func main() {
-	suiteName := flag.String("suite", "selection", "benchmark suite: selection, bandit, obs or agent")
+	suiteName := flag.String("suite", "selection", "benchmark suite: selection, bandit, obs, agent or loss")
 	out := flag.String("out", "", "output JSON path (default per suite)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (default per suite)")
 	pattern := flag.String("bench", "", "go test -bench regexp override (default per suite)")
@@ -101,7 +112,7 @@ func main() {
 
 	suite, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchregress: unknown suite %q (selection, bandit, obs, agent)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchregress: unknown suite %q (selection, bandit, obs, agent, loss)\n", *suiteName)
 		os.Exit(1)
 	}
 	if *out == "" {

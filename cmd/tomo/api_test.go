@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
+	"robusttomo/internal/engine"
 	"robusttomo/internal/selection"
 	"robusttomo/internal/service"
 )
@@ -359,5 +361,84 @@ func TestAPIDrainOnShutdown(t *testing.T) {
 	}
 	if st.State != service.StateDone {
 		t.Fatalf("job state %s after graceful shutdown, want done", st.State)
+	}
+}
+
+// engineSamples maps every registered engine to a valid sample job body.
+// TestAPIEngineMatrix fails when a registered engine has no sample here,
+// so adding an engine forces its HTTP round trip into the matrix.
+func engineSamples() map[string]service.JobSpec {
+	return map[string]service.JobSpec{
+		"selection": {
+			Engine: "selection",
+			Links:  4,
+			Paths:  [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+			Probs:  []float64{0.1, 0.05, 0.2, 0.1},
+			Budget: 3,
+		},
+		"loss": {
+			Engine: "loss",
+			Params: json.RawMessage(`{"parents":[-1,0,0],"probes":[[1,1],[1,0],[1,1],[0,1],[1,1],[1,1],[0,0],[1,1]]}`),
+		},
+	}
+}
+
+// TestAPIEngineMatrix drives every registered engine through the same
+// POST /api/v1/jobs → status → result round trip: the HTTP surface is
+// engine-agnostic, so each row differs only in the submitted body.
+func TestAPIEngineMatrix(t *testing.T) {
+	base, _, stop := startAPIServer(t, nil)
+	defer stop()
+
+	samples := engineSamples()
+	for _, name := range engine.Engines() {
+		spec, ok := samples[name]
+		if !ok {
+			t.Fatalf("registered engine %q has no sample spec in engineSamples", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			var out service.SubmitOutcome
+			code, _ := doJSON(t, http.MethodPost, base+"/api/v1/jobs", spec, &out)
+			if code != http.StatusAccepted {
+				t.Fatalf("submit returned %d, want 202", code)
+			}
+			st := waitJobState(t, base, out.ID, service.StateDone)
+			if st.Engine != name {
+				t.Fatalf("status engine %q, want %q", st.Engine, name)
+			}
+			var res map[string]any
+			if code, _ := doJSON(t, http.MethodGet, base+"/api/v1/jobs/"+out.ID+"/result", nil, &res); code != http.StatusOK {
+				t.Fatalf("result returned %d", code)
+			}
+			if len(res) == 0 {
+				t.Fatal("empty result body")
+			}
+			// The same body resubmitted is a cache hit on the same ID.
+			var hit service.SubmitOutcome
+			if code, _ := doJSON(t, http.MethodPost, base+"/api/v1/jobs", spec, &hit); code != http.StatusOK || !hit.Cached || hit.ID != out.ID {
+				t.Fatalf("resubmission: code %d, outcome %+v", code, hit)
+			}
+		})
+	}
+}
+
+// TestAPIUnknownEngineLists400: naming an unregistered engine is a 400
+// whose body tells the client what the server actually serves.
+func TestAPIUnknownEngineLists400(t *testing.T) {
+	base, _, stop := startAPIServer(t, nil)
+	defer stop()
+
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	code, _ := doJSON(t, http.MethodPost, base+"/api/v1/jobs",
+		service.JobSpec{Engine: "warp-drive"}, &apiErr)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown engine returned %d, want 400", code)
+	}
+	for _, want := range append([]string{"warp-drive"}, engine.Engines()...) {
+		if !strings.Contains(apiErr.Error, want) {
+			t.Fatalf("400 body %q does not mention %q", apiErr.Error, want)
+		}
 	}
 }

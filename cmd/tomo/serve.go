@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"robusttomo/internal/agent"
+	_ "robusttomo/internal/loss" // register the loss engine
 	"robusttomo/internal/obs"
 	"robusttomo/internal/service"
 	"robusttomo/internal/sim"

@@ -94,8 +94,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Result returns the engine's payload behind the EngineResult
+	// interface; a selection job's concrete type is SelectionResult.
+	sel := res.(robusttomo.SelectionResult)
 	fmt.Printf("job %s…: %s, selected %d paths, ER %.3f\n",
-		id[:12], st.State, len(res.Selected), res.Objective)
+		id[:12], st.State, len(sel.Selected), sel.Objective)
 
 	// 2. Content-addressed cache: the same instance resubmitted is
 	// answered without a new execution — bit-identical by construction.

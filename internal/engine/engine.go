@@ -1,0 +1,105 @@
+// Package engine defines the algorithm-agnostic inference-engine API
+// behind the job service (internal/service) and `tomo serve`.
+//
+// An Engine turns a client-submitted job spec into a runnable Job:
+// Normalize validates the spec, fills defaults and returns the canonical
+// job whose Key is the content-addressed cache ID. The service planes —
+// queue, singleflight dedup, LRU result cache, load shedding, metrics —
+// speak only this interface, so adding an inference method to the
+// service is a registration, not a rewrite: implement Engine, call
+// Register from the package's init, and the whole `tomo serve` HTTP
+// surface (POST /api/v1/jobs with JobSpec.Engine set to the engine's
+// name) serves it.
+//
+// Engine contract (DESIGN.md §15):
+//
+//   - Key discipline: Run must be deterministic in the normalized job —
+//     byte-equal keys imply bit-identical results. Any randomness must be
+//     derived from seeds that are part of the key. Keys from different
+//     engines must not collide; an engine hashing its own inputs must
+//     domain-separate them (the selection engine's key starts with its
+//     algorithm name, the loss engine's with a "loss/v1" tag).
+//   - Cache semantics: the service caches the Result under the job key
+//     and serves it in place of a re-run. SizeBytes feeds the cache's
+//     byte budget and must be proportional to the real footprint; Clone
+//     must return a copy safe to hand to callers while the cached
+//     original stays immutable.
+//   - Obs labels: ObsLabel is the stable label the service attaches to
+//     per-engine metrics and lifecycle events; Detail is the
+//     job-granular tag echoed in job status (for the selection engine,
+//     the algorithm name).
+package engine
+
+import (
+	"context"
+
+	"robusttomo/internal/obs"
+)
+
+// Spec is the engine-facing view of one submitted job: the raw,
+// unnormalized fields of the service's wire JobSpec, minus scheduling
+// concerns (priority never reaches an engine — results must not depend
+// on it). Params carries the engine-specific JSON payload of a v2
+// submission; the flat selection fields (Links through Seed) are the
+// legacy v1 surface, which the selection engine still reads directly.
+type Spec struct {
+	// Engine is the resolved engine name (informational; the registry
+	// has already routed the spec by the time Normalize sees it).
+	Engine string
+	// Params is the raw per-engine JSON parameter payload. Engines
+	// parse, validate and canonicalize it; hashing a canonical form (not
+	// the raw bytes) keeps formatting differences out of the key space.
+	Params []byte
+
+	// Legacy v1 selection-instance fields.
+	Links     int
+	Paths     [][]int
+	Probs     []float64
+	Costs     []float64
+	Budget    float64
+	Algorithm string
+	MCRuns    int
+	Seed      uint64
+}
+
+// Result is an engine's run output: the payload the service caches and
+// the HTTP layer JSON-encodes.
+type Result interface {
+	// SizeBytes estimates the in-memory footprint of the cached result
+	// (excluding the key, which the cache accounts separately). It only
+	// needs to be proportional for the byte budget to bound real memory.
+	SizeBytes() int64
+	// Clone returns a copy safe to hand to a caller: mutating it must
+	// not reach the cached original.
+	Clone() Result
+}
+
+// Job is one normalized, runnable inference job.
+type Job interface {
+	// Key is the content-addressed job and cache ID: the canonical hash
+	// of everything the result depends on.
+	Key() string
+	// Detail is the engine-specific job tag echoed in job status (the
+	// selection engine reports the normalized algorithm name).
+	Detail() string
+	// CostHint estimates the job's relative compute cost in arbitrary
+	// engine-comparable units (roughly, elementary operations). The
+	// service records it for observability and future schedulers; it
+	// must not affect the result.
+	CostHint() float64
+	// Run executes the job. It must honor ctx between iterations of any
+	// long computation and report progress through reg (nil-safe).
+	Run(ctx context.Context, reg *obs.Registry) (Result, error)
+}
+
+// Engine is one registered inference method.
+type Engine interface {
+	// Name is the registry key and the JobSpec.Engine wire value.
+	Name() string
+	// ObsLabel is the stable label for per-engine metrics and events.
+	ObsLabel() string
+	// Normalize validates the spec, fills defaults and returns the
+	// canonical job. Equivalent specs must normalize to jobs with equal
+	// keys (that is what makes the result cache effective).
+	Normalize(spec Spec) (Job, error)
+}

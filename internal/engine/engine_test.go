@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"robusttomo/internal/obs"
+)
+
+// fakeResult is a minimal Result payload for registry tests.
+type fakeResult struct{ n int }
+
+func (r fakeResult) SizeBytes() int64 { return int64(r.n) }
+func (r fakeResult) Clone() Result    { return r }
+
+// fakeEngine is a minimal Engine whose jobs echo the engine name.
+type fakeEngine struct{ name string }
+
+func (e fakeEngine) Name() string     { return e.name }
+func (e fakeEngine) ObsLabel() string { return e.name }
+func (e fakeEngine) Normalize(Spec) (Job, error) {
+	return fakeJob{key: e.name + "/job"}, nil
+}
+
+type fakeJob struct{ key string }
+
+func (j fakeJob) Key() string       { return j.key }
+func (j fakeJob) Detail() string    { return "fake" }
+func (j fakeJob) CostHint() float64 { return 1 }
+func (j fakeJob) Run(context.Context, *obs.Registry) (Result, error) {
+	return fakeResult{n: 1}, nil
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	Register(fakeEngine{name: "test-lookup"})
+	e, err := Lookup("test-lookup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "test-lookup" {
+		t.Fatalf("Lookup returned engine %q", e.Name())
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(fakeEngine{name: "test-dup"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(fakeEngine{name: "test-dup"})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name Register did not panic")
+		}
+	}()
+	Register(fakeEngine{name: ""})
+}
+
+func TestLookupUnknownListsRegistered(t *testing.T) {
+	Register(fakeEngine{name: "test-known"})
+	_, err := Lookup("test-absent")
+	if err == nil {
+		t.Fatal("Lookup of unregistered engine succeeded")
+	}
+	var ue *UnknownEngineError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error is %T, want *UnknownEngineError", err)
+	}
+	if ue.Name != "test-absent" {
+		t.Fatalf("UnknownEngineError.Name = %q", ue.Name)
+	}
+	found := false
+	for _, n := range ue.Known {
+		if n == "test-known" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("UnknownEngineError.Known %v missing test-known", ue.Known)
+	}
+	if !strings.Contains(err.Error(), "test-known") {
+		t.Fatalf("error message %q does not list registered engines", err.Error())
+	}
+}
+
+func TestEnginesSorted(t *testing.T) {
+	Register(fakeEngine{name: "test-zz"})
+	Register(fakeEngine{name: "test-aa"})
+	names := Engines()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Engines() not sorted: %v", names)
+	}
+	// The returned slice is a copy; mutating it must not corrupt the
+	// registry.
+	names[0] = "mutated"
+	if got := Engines(); got[0] == "mutated" {
+		t.Fatal("Engines() returned a shared slice")
+	}
+}

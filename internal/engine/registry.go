@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// registry is the package-level engine registry. Engines register
+// themselves from their package's init (like database/sql drivers), so
+// importing an engine package is all it takes to serve it.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Engine
+}{m: make(map[string]Engine)}
+
+// Register adds an engine under its Name. It panics on an empty name or
+// a duplicate registration: both are programmer errors that should fail
+// at init time, not surface as runtime lookups.
+func Register(e Engine) {
+	name := e.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("engine: Register called twice for %q", name))
+	}
+	registry.m[name] = e
+}
+
+// Lookup returns the engine registered under name, or an
+// *UnknownEngineError listing the registered names.
+func Lookup(name string) (Engine, error) {
+	registry.RLock()
+	e, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, &UnknownEngineError{Name: name, Known: Engines()}
+	}
+	return e, nil
+}
+
+// Engines returns the registered engine names, sorted.
+func Engines() []string {
+	registry.RLock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// UnknownEngineError reports a job spec naming an engine that is not
+// registered. Its message lists the registered names, so an HTTP 400
+// body tells the client what the server actually serves.
+type UnknownEngineError struct {
+	// Name is the engine the spec asked for.
+	Name string
+	// Known are the registered engine names at lookup time, sorted.
+	Known []string
+}
+
+func (e *UnknownEngineError) Error() string {
+	if len(e.Known) == 0 {
+		return fmt.Sprintf("engine: unknown engine %q (no engines registered)", e.Name)
+	}
+	return fmt.Sprintf("engine: unknown engine %q (registered: %s)", e.Name, strings.Join(e.Known, ", "))
+}

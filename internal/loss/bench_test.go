@@ -1,0 +1,70 @@
+package loss
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchEpochs pre-generates epochs of multicast probe outcomes over a
+// depth-6 binary tree (127 nodes, 64 receivers), the workload both
+// epoch-update benchmarks share.
+func benchEpochs(b *testing.B) (*Tree, [][][]bool) {
+	b.Helper()
+	tr := BinaryTree(6)
+	alpha := make([]float64, tr.NumNodes())
+	rng := rand.New(rand.NewSource(42))
+	for k := range alpha {
+		alpha[k] = 0.85 + 0.1*rng.Float64()
+	}
+	const epochs, probesPerEpoch = 32, 100
+	out := make([][][]bool, epochs)
+	for i := range out {
+		out[i] = simulateProbes(tr, alpha, probesPerEpoch, int64(i+1))
+	}
+	return tr, out
+}
+
+// BenchmarkLossEpochUpdate measures the incremental path: one persistent
+// estimator folds one new epoch and re-solves the MLE from its counts.
+// BenchmarkLossEpochUpdateFresh is the identical per-epoch answer
+// computed the batch way — a fresh estimator replaying the full history
+// every epoch (benchregress pairs them by the Fresh suffix; the
+// differential test TestIncrementalMatchesBatch guarantees both compute
+// bit-identical estimates).
+func BenchmarkLossEpochUpdate(b *testing.B) {
+	tr, epochs := benchEpochs(b)
+	e := NewEstimator(tr)
+	// Warm start: the steady state has history behind it.
+	for _, ep := range epochs[:len(epochs)-1] {
+		if err := e.ObserveBatch(ep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.ObserveBatch(epochs[i%len(epochs)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLossEpochUpdateFresh(b *testing.B) {
+	tr, epochs := benchEpochs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEstimator(tr)
+		for _, ep := range epochs {
+			if err := e.ObserveBatch(ep); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := e.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package loss
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"robusttomo/internal/engine"
+	"robusttomo/internal/obs"
+)
+
+// EngineName is the registry name of the multicast loss-tomography
+// engine: the JobSpec.Engine value that routes a job here.
+const EngineName = "loss"
+
+// keyDomain domain-separates loss job keys from every other engine's:
+// it is the first thing hashed, and versions the canonical encoding.
+const keyDomain = "loss/v1"
+
+func init() { engine.Register(lossEngine{}) }
+
+// Params is the loss engine's JobSpec `params` payload: the multicast
+// tree and the per-probe receiver outcomes.
+type Params struct {
+	// Parents is the tree as a parent array: parents[k] is node k's
+	// parent, with the single root marked by -1.
+	Parents []int `json:"parents"`
+	// Probes holds one row per multicast probe; each row has one 0/1
+	// entry per receiver, in Tree.Leaves() order (ascending node ID),
+	// recording whether that probe arrived.
+	Probes [][]int `json:"probes"`
+}
+
+// lossEngine implements engine.Engine over the MINC multicast MLE.
+type lossEngine struct{}
+
+func (lossEngine) Name() string     { return EngineName }
+func (lossEngine) ObsLabel() string { return "loss" }
+
+// Normalize parses and validates the params payload and returns the
+// canonical job. The legacy flat selection fields must be unset — a
+// loss job is entirely described by its params — so a misrouted
+// selection instance fails loudly instead of silently hashing dead
+// fields into the key.
+func (lossEngine) Normalize(spec engine.Spec) (engine.Job, error) {
+	if spec.Links != 0 || len(spec.Paths) != 0 || len(spec.Probs) != 0 ||
+		len(spec.Costs) != 0 || spec.Budget != 0 || spec.Algorithm != "" ||
+		spec.MCRuns != 0 || spec.Seed != 0 {
+		return nil, fmt.Errorf("loss: the loss engine takes its parameters from params (parents, probes); flat selection fields must be unset")
+	}
+	if len(spec.Params) == 0 {
+		return nil, fmt.Errorf("loss: missing params (need parents and probes)")
+	}
+	var p Params
+	dec := json.NewDecoder(bytes.NewReader(spec.Params))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("loss: decode params: %w", err)
+	}
+	t, err := NewTree(p.Parents)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Probes) == 0 {
+		return nil, fmt.Errorf("loss: no probes")
+	}
+	recv := len(t.Leaves())
+	for i, row := range p.Probes {
+		if len(row) != recv {
+			return nil, fmt.Errorf("loss: probe %d has %d outcomes, tree has %d receivers", i, len(row), recv)
+		}
+		for j, v := range row {
+			if v != 0 && v != 1 {
+				return nil, fmt.Errorf("loss: probe %d outcome %d is %d, want 0 or 1", i, j, v)
+			}
+		}
+	}
+	return &lossJob{tree: t, params: p}, nil
+}
+
+// lossJob is one normalized loss-tomography job.
+type lossJob struct {
+	tree   *Tree
+	params Params
+}
+
+// Key hashes the canonical typed form of the job — parents and probe
+// bits, length-prefixed under the loss/v1 domain tag — so formatting
+// differences in the submitted JSON cannot split the cache.
+func (j *lossJob) Key() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(keyDomain))
+	u64(uint64(len(j.params.Parents)))
+	for _, p := range j.params.Parents {
+		// Signed parents (-1 root) in two's complement.
+		u64(uint64(int64(p)))
+	}
+	u64(uint64(len(j.params.Probes)))
+	// Probe rows are fixed-width (validated against the receiver count),
+	// packed 64 outcomes per word.
+	var word uint64
+	bits := 0
+	for _, row := range j.params.Probes {
+		for _, v := range row {
+			word = word<<1 | uint64(v)
+			if bits++; bits == 64 {
+				u64(word)
+				word, bits = 0, 0
+			}
+		}
+	}
+	if bits > 0 {
+		u64(word)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Detail reports the estimator kind.
+func (j *lossJob) Detail() string { return "mle" }
+
+// CostHint scales with the fold work: nodes × probes.
+func (j *lossJob) CostHint() float64 {
+	return float64(j.tree.NumNodes()) * float64(len(j.params.Probes))
+}
+
+// Run folds every probe into a fresh estimator and solves the MLE. The
+// computation is deterministic in the normalized job, which is what the
+// content-addressed cache relies on.
+func (j *lossJob) Run(ctx context.Context, _ *obs.Registry) (engine.Result, error) {
+	e := NewEstimator(j.tree)
+	delivered := make([]bool, len(j.tree.Leaves()))
+	for i, row := range j.params.Probes {
+		// The fold is cheap per probe; check for cancellation at a
+		// coarse stride so huge panels stay interruptible.
+		if i&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("loss: canceled: %w", err)
+			}
+		}
+		for k, v := range row {
+			delivered[k] = v == 1
+		}
+		if err := e.Observe(delivered); err != nil {
+			return nil, err
+		}
+	}
+	res, err := e.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SizeBytes implements engine.Result: four float64 vectors plus the
+// struct header.
+func (r Result) SizeBytes() int64 {
+	return int64(8*(len(r.Gamma)+len(r.A)+len(r.Alpha)+len(r.Loss))) + 128
+}
+
+// Clone implements engine.Result: a deep copy detached from the cached
+// original.
+func (r Result) Clone() engine.Result {
+	r.Gamma = append([]float64(nil), r.Gamma...)
+	r.A = append([]float64(nil), r.A...)
+	r.Alpha = append([]float64(nil), r.Alpha...)
+	r.Loss = append([]float64(nil), r.Loss...)
+	return r
+}

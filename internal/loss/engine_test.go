@@ -1,0 +1,264 @@
+package loss_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"robusttomo/internal/engine"
+	"robusttomo/internal/loss"
+	_ "robusttomo/internal/selection" // register the selection engine
+	"robusttomo/internal/service"
+)
+
+// lossSpec builds the engine.Spec for a small loss job.
+func lossSpec(t *testing.T, params string) engine.Spec {
+	t.Helper()
+	return engine.Spec{Engine: loss.EngineName, Params: []byte(params)}
+}
+
+func lossEng(t *testing.T) engine.Engine {
+	t.Helper()
+	e, err := engine.Lookup(loss.EngineName)
+	if err != nil {
+		t.Fatalf("loss engine not registered: %v", err)
+	}
+	return e
+}
+
+func TestLossEngineRegistered(t *testing.T) {
+	e := lossEng(t)
+	if e.Name() != "loss" || e.ObsLabel() != "loss" {
+		t.Fatalf("Name=%q ObsLabel=%q", e.Name(), e.ObsLabel())
+	}
+}
+
+func TestLossNormalizeRejects(t *testing.T) {
+	e := lossEng(t)
+	valid := `{"parents":[-1,0,0],"probes":[[1,1],[1,0]]}`
+	for _, tc := range []struct {
+		name string
+		spec engine.Spec
+		msg  string
+	}{
+		{"flat selection fields", engine.Spec{Params: []byte(valid), Links: 3}, "flat selection fields"},
+		{"missing params", engine.Spec{}, "missing params"},
+		{"unknown params field", lossSpec(t, `{"parents":[-1],"probes":[[1]],"bogus":1}`), "bogus"},
+		{"invalid tree", lossSpec(t, `{"parents":[0],"probes":[[1]]}`), "its own parent"},
+		{"no probes", lossSpec(t, `{"parents":[-1,0,0],"probes":[]}`), "no probes"},
+		{"wrong probe width", lossSpec(t, `{"parents":[-1,0,0],"probes":[[1]]}`), "receivers"},
+		{"non-binary outcome", lossSpec(t, `{"parents":[-1,0,0],"probes":[[1,2]]}`), "want 0 or 1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := e.Normalize(tc.spec)
+			if err == nil {
+				t.Fatal("Normalize succeeded")
+			}
+			if !strings.Contains(err.Error(), tc.msg) {
+				t.Fatalf("error %q, want substring %q", err, tc.msg)
+			}
+		})
+	}
+	if _, err := e.Normalize(lossSpec(t, valid)); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestLossKeyCanonical: the key hashes the canonical typed form, so JSON
+// formatting and field order cannot split the cache, while any change to
+// the tree or the probes does.
+func TestLossKeyCanonical(t *testing.T) {
+	e := lossEng(t)
+	key := func(params string) string {
+		t.Helper()
+		j, err := e.Normalize(lossSpec(t, params))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j.Key()
+	}
+	base := key(`{"parents":[-1,0,0],"probes":[[1,1],[1,0]]}`)
+	if got := key(` { "probes" : [ [1,1] , [1,0] ] , "parents" : [-1, 0, 0] } `); got != base {
+		t.Fatalf("reformatted params changed the key: %s vs %s", got, base)
+	}
+	if got := key(`{"parents":[-1,0,0],"probes":[[1,1],[0,1]]}`); got == base {
+		t.Fatal("different probes, same key")
+	}
+	if got := key(`{"parents":[-1,0,1],"probes":[[1],[1]]}`); got == base {
+		t.Fatal("different tree, same key")
+	}
+}
+
+func TestLossJobRunMatchesEstimator(t *testing.T) {
+	e := lossEng(t)
+	params := `{"parents":[-1,0,0,1,1],"probes":[[1,1,1],[1,1,0],[0,1,1],[1,0,1],[1,1,1],[0,0,1]]}`
+	j, err := e.Normalize(lossSpec(t, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Detail() != "mle" {
+		t.Fatalf("Detail = %q", j.Detail())
+	}
+	if j.CostHint() != 5*6 {
+		t.Fatalf("CostHint = %g, want nodes×probes = 30", j.CostHint())
+	}
+	res1, err := j.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := j.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("two runs differ:\n%+v\n%+v", res1, res2)
+	}
+
+	// The engine path equals the estimator fed directly.
+	tr, err := loss.NewTree([]int{-1, 0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := loss.NewEstimator(tr)
+	var p loss.Params
+	if err := json.Unmarshal([]byte(params), &p); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range p.Probes {
+		delivered := make([]bool, len(row))
+		for i, v := range row {
+			delivered[i] = v == 1
+		}
+		if err := est.Observe(delivered); err != nil {
+			t.Fatal(err)
+		}
+	}
+	direct, err := est.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, direct) {
+		t.Fatalf("engine run differs from direct estimator:\n%+v\n%+v", res1, direct)
+	}
+}
+
+func TestLossResultCloneIsolated(t *testing.T) {
+	e := lossEng(t)
+	j, err := e.Normalize(lossSpec(t, `{"parents":[-1,0,0],"probes":[[1,1],[1,0],[1,1],[0,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes = %d", res.SizeBytes())
+	}
+	clone := res.Clone().(loss.Result)
+	for i := range clone.Loss {
+		clone.Loss[i] = -1
+	}
+	if orig := res.(loss.Result); orig.Loss[0] == -1 {
+		t.Fatal("mutating the clone reached the original")
+	}
+}
+
+// TestLossThroughService is the zero-edit integration check: the loss
+// engine rides the whole service plane — queue, cache, status — with the
+// service code never naming it.
+func TestLossThroughService(t *testing.T) {
+	s := service.New(service.Config{Workers: 1, QueueDepth: 8})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	spec := service.JobSpec{
+		Engine: loss.EngineName,
+		Params: json.RawMessage(`{"parents":[-1,0,0],"probes":[[1,1],[1,0],[1,1],[0,1],[1,1],[1,1],[0,0],[1,1]]}`),
+	}
+	out, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := s.Wait(ctx, out.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("state %s, err %q", st.State, st.Error)
+	}
+	if st.Engine != "loss" || st.Algorithm != "mle" {
+		t.Fatalf("status engine=%q algorithm=%q, want loss/mle", st.Engine, st.Algorithm)
+	}
+	res, err := s.Result(out.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, ok := res.(loss.Result)
+	if !ok {
+		t.Fatalf("Result type %T, want loss.Result", res)
+	}
+	if lr.Probes != 8 || len(lr.Loss) != 3 {
+		t.Fatalf("implausible loss result %+v", lr)
+	}
+
+	// Resubmission with reformatted params hits the cache.
+	again, err := s.Submit(service.JobSpec{
+		Engine: loss.EngineName,
+		Params: json.RawMessage(`{ "probes":[[1,1],[1,0],[1,1],[0,1],[1,1],[1,1],[0,0],[1,1]], "parents":[-1,0,0] }`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.ID != out.ID {
+		t.Fatalf("reformatted resubmission not a cache hit: %+v", again)
+	}
+
+	// A degenerate panel fails the job, not the service.
+	bad, err := s.Submit(service.JobSpec{
+		Engine: loss.EngineName,
+		Params: json.RawMessage(`{"parents":[-1,0,0],"probes":[[1,0]]}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.Wait(ctx, bad.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateFailed || !strings.Contains(st.Error, "unidentifiable") {
+		t.Fatalf("degenerate job state=%s err=%q, want failed/unidentifiable", st.State, st.Error)
+	}
+}
+
+// TestUnknownEngineRejectedSynchronously: a bad engine name fails at
+// Submit with the typed error listing the registered engines.
+func TestUnknownEngineRejectedSynchronously(t *testing.T) {
+	s := service.New(service.Config{Workers: 1, QueueDepth: 4})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	_, err := s.Submit(service.JobSpec{Engine: "nope"})
+	var ue *engine.UnknownEngineError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Submit = %v, want *engine.UnknownEngineError", err)
+	}
+	if !strings.Contains(err.Error(), "loss") || !strings.Contains(err.Error(), "selection") {
+		t.Fatalf("error %q does not list registered engines", err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package loss infers per-link loss rates of a multicast distribution
+// tree from end-to-end receiver observations: the MINC maximum-likelihood
+// estimator of Cáceres, Duffield, Horowitz and Towsley ("Multicast-based
+// inference of network-internal loss characteristics", IEEE Trans. Inf.
+// Theory 1999). Each multicast probe either reaches or misses every
+// receiver; the estimator folds those binary outcomes up the tree
+// (γ_k = fraction of probes seen by at least one receiver below node k)
+// and solves, per node, the MLE equation
+//
+//	1 − γ_k/A = Π_{j ∈ children(k)} (1 − γ_j/A)
+//
+// for A_k, the end-to-end pass rate from the root into node k. The
+// per-link pass rate is then α_k = A_k/A_parent(k) and the link loss
+// rate 1 − α_k. On binary trees the equation has the closed form
+// A = γ_L·γ_R/(γ_L + γ_R − γ_k) (BinaryClosedFormA); on general trees it
+// is a degree-(m−1) polynomial solved numerically.
+//
+// The estimator is incremental in the sense of Chua, Kolaczyk and
+// Crovella's statistical-monitoring view (cs/0412037): it keeps only
+// integer per-node delivery counts, so epochs of probes fold in as they
+// arrive (Observe/ObserveBatch) and Estimate re-solves from the counts
+// in O(nodes) at any point — feeding probes one at a time and replaying
+// them all into a fresh estimator produce bit-identical estimates.
+package loss
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimator accumulates multicast probe outcomes over a Tree and
+// computes the MINC loss MLE. It keeps one integer counter per node, so
+// memory is O(nodes) regardless of how many probes are folded in. Not
+// safe for concurrent use.
+type Estimator struct {
+	t      *Tree
+	probes int
+	// count[k] is the number of probes delivered to at least one
+	// receiver in k's subtree (the numerator of γ_k).
+	count []int
+	reach []bool // per-node scratch for the probe OR-fold
+}
+
+// NewEstimator returns an estimator with zero probes observed.
+func NewEstimator(t *Tree) *Estimator {
+	return &Estimator{
+		t:     t,
+		count: make([]int, t.NumNodes()),
+		reach: make([]bool, t.NumNodes()),
+	}
+}
+
+// Tree returns the estimator's tree.
+func (e *Estimator) Tree() *Tree { return e.t }
+
+// Probes returns the number of probes observed so far.
+func (e *Estimator) Probes() int { return e.probes }
+
+// Observe folds one multicast probe outcome into the counts: delivered
+// holds, per receiver in Tree.Leaves() order, whether the probe arrived.
+// The update is O(nodes) and allocation-free.
+func (e *Estimator) Observe(delivered []bool) error {
+	if len(delivered) != len(e.t.leaves) {
+		return fmt.Errorf("loss: probe outcome has %d receivers, tree has %d", len(delivered), len(e.t.leaves))
+	}
+	// Children-first order: a node's reach is its own delivery (leaf) or
+	// the OR of its children's (internal).
+	for _, k := range e.t.order {
+		if idx := e.t.leafIdx[k]; idx >= 0 {
+			e.reach[k] = delivered[idx]
+			continue
+		}
+		reached := false
+		for _, c := range e.t.children[k] {
+			if e.reach[c] {
+				reached = true
+				break
+			}
+		}
+		e.reach[k] = reached
+	}
+	for k, r := range e.reach {
+		if r {
+			e.count[k]++
+		}
+	}
+	e.probes++
+	return nil
+}
+
+// ObserveBatch folds one epoch of probe outcomes.
+func (e *Estimator) ObserveBatch(outcomes [][]bool) error {
+	for i, o := range outcomes {
+		if err := e.Observe(o); err != nil {
+			return fmt.Errorf("probe %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Result is a loss-tomography estimate: per-node vectors indexed by node
+// ID.
+type Result struct {
+	// Probes is the number of multicast probes the estimate is based on.
+	Probes int `json:"probes"`
+	// Gamma is the empirical subtree delivery fraction γ_k: the share of
+	// probes seen by at least one receiver below node k.
+	Gamma []float64 `json:"gamma"`
+	// A is the MLE of the cumulative pass rate from the root into node k.
+	A []float64 `json:"a"`
+	// Alpha is the MLE of the per-link pass rate α_k = A_k/A_parent(k)
+	// (for the root, A_root itself).
+	Alpha []float64 `json:"alpha"`
+	// Loss is the per-link loss rate 1 − α_k.
+	Loss []float64 `json:"loss"`
+}
+
+// UnidentifiableError reports a node where the MLE equation degenerates:
+// the children's γ-sum does not exceed the node's own γ, so the
+// per-node polynomial has no admissible root (the γ-sum cancellation
+// that appears before enough probes have been observed, or when a
+// subtree delivered nothing at all).
+type UnidentifiableError struct {
+	// Node is the tree node whose equation degenerated.
+	Node int
+	// Gamma is the node's own subtree delivery fraction.
+	Gamma float64
+	// ChildGammaSum is Σ_j γ_j over the node's children.
+	ChildGammaSum float64
+}
+
+func (e *UnidentifiableError) Error() string {
+	return fmt.Sprintf("loss: node %d unidentifiable: children γ-sum %g does not exceed subtree γ %g (insufficient probes)",
+		e.Node, e.ChildGammaSum, e.Gamma)
+}
+
+// Estimate solves the MLE from the accumulated counts. It fails with an
+// *UnidentifiableError when a node's equation degenerates and a plain
+// error when no probes have been observed.
+//
+// Serial chains (internal nodes with exactly one child) are not
+// separately identifiable from multicast observations; the convention
+// here assigns the chain's combined loss to its topmost link
+// (A_k = A_child, so the child link's α is 1).
+func (e *Estimator) Estimate() (Result, error) {
+	n := e.t.NumNodes()
+	if e.probes == 0 {
+		return Result{}, fmt.Errorf("loss: no probes observed")
+	}
+	res := Result{
+		Probes: e.probes,
+		Gamma:  make([]float64, n),
+		A:      make([]float64, n),
+		Alpha:  make([]float64, n),
+		Loss:   make([]float64, n),
+	}
+	for k := 0; k < n; k++ {
+		res.Gamma[k] = float64(e.count[k]) / float64(e.probes)
+	}
+	// Children-first: the serial-chain convention reads the child's A.
+	for _, k := range e.t.order {
+		children := e.t.children[k]
+		switch len(children) {
+		case 0:
+			// Leaf: the paper treats the (empty) product as 0, so A = γ.
+			res.A[k] = res.Gamma[k]
+		case 1:
+			res.A[k] = res.A[children[0]]
+		default:
+			a, err := solveMLE(k, res.Gamma[k], res.Gamma, children)
+			if err != nil {
+				return Result{}, err
+			}
+			res.A[k] = a
+		}
+	}
+	for _, k := range e.t.order {
+		parentA := 1.0
+		if p := e.t.parents[k]; p >= 0 {
+			parentA = res.A[p]
+		}
+		if parentA == 0 {
+			// A silent serial chain above: no information, all loss.
+			res.Alpha[k] = 0
+		} else {
+			res.Alpha[k] = res.A[k] / parentA
+		}
+		res.Loss[k] = 1 - res.Alpha[k]
+	}
+	return res, nil
+}
+
+// BinaryClosedFormA is the closed-form solution of the MLE equation for
+// a node with exactly two children: A = γ_L·γ_R/(γ_L + γ_R − γ). The
+// second return is false when the denominator is not positive — the
+// γ-sum cancellation guard (with too few probes the empirical γs can
+// cancel, and the equation has no admissible root).
+func BinaryClosedFormA(gammaLeft, gammaRight, gamma float64) (float64, bool) {
+	den := gammaLeft + gammaRight - gamma
+	if den <= 0 {
+		return 0, false
+	}
+	return gammaLeft * gammaRight / den, true
+}
+
+// solveMLE solves the per-node MLE equation for a node with m ≥ 2
+// children. Multiplying 1 − γ_k/A = Π_j (1 − γ_j/A) through by A^m
+// gives the degree-(m−1) polynomial
+//
+//	g(A) = A^{m−1}·(A − γ_k) − Π_j (A − γ_j)
+//
+// with leading coefficient S = Σγ_j − γ_k. For m = 2 this is linear and
+// the bisection lands exactly on the closed form γ_L·γ_R/S. The
+// admissible root lies in (γ_k, ∞): g(γ_k) ≤ 0 because γ_k ≥ γ_j for
+// every child, and g grows like S·A^{m−1}, so S > 0 brackets a sign
+// change. S ≤ 0 is the cancellation guard.
+func solveMLE(node int, gamma float64, gammas []float64, children []int) (float64, error) {
+	sum := 0.0
+	for _, c := range children {
+		sum += gammas[c]
+	}
+	if sum-gamma <= 0 {
+		return 0, &UnidentifiableError{Node: node, Gamma: gamma, ChildGammaSum: sum}
+	}
+	g := func(a float64) float64 {
+		lhs := a - gamma
+		rhs := 1.0
+		for i := 1; i < len(children); i++ {
+			lhs *= a
+		}
+		for _, c := range children {
+			rhs *= a - gammas[c]
+		}
+		return lhs - rhs
+	}
+	lo := gamma
+	if v := g(lo); v == 0 {
+		// A child's subtree delivers exactly whenever this node's does.
+		return lo, nil
+	} else if v > 0 {
+		// γ_k ≥ γ_j structurally; empirical counts cannot break it
+		// because a child's delivery implies the parent's.
+		return 0, fmt.Errorf("loss: node %d: g(γ)=%g > 0, counts are inconsistent", node, v)
+	}
+	hi := math.Max(1, 2*lo)
+	for g(hi) <= 0 {
+		hi *= 2
+		if hi > 1e30 {
+			return 0, &UnidentifiableError{Node: node, Gamma: gamma, ChildGammaSum: sum}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		if g(mid) <= 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,302 @@
+package loss
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// simulateProbes draws n multicast probe outcomes over tr with per-link
+// pass rates alpha (indexed by node; alpha[root] is the root link's pass
+// rate). Deterministic in the seed.
+func simulateProbes(tr *Tree, alpha []float64, n int, seed int64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	pass := make([]bool, tr.NumNodes())
+	out := make([][]bool, n)
+	for i := range out {
+		// A probe passes into node k iff it passed into the parent and
+		// survives link k. Walk root-first (reverse of the children-first
+		// order).
+		for j := tr.NumNodes() - 1; j >= 0; j-- {
+			k := tr.order[j]
+			up := true
+			if p := tr.Parent(k); p >= 0 {
+				up = pass[p]
+			}
+			pass[k] = up && rng.Float64() < alpha[k]
+		}
+		row := make([]bool, len(tr.Leaves()))
+		for li, leaf := range tr.Leaves() {
+			row[li] = pass[leaf]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestMLEMatchesBinaryClosedForm is the golden test: on binary trees the
+// general polynomial solver must land on the closed form
+// A = γ_L·γ_R/(γ_L+γ_R−γ) node by node, to 1e-12.
+func TestMLEMatchesBinaryClosedForm(t *testing.T) {
+	tr := BinaryTree(3) // 15 nodes, 8 receivers
+	alpha := make([]float64, tr.NumNodes())
+	for k := range alpha {
+		alpha[k] = 0.85 + 0.01*float64(k%10)
+	}
+	e := NewEstimator(tr)
+	if err := e.ObserveBatch(simulateProbes(tr, alpha, 4000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < tr.NumNodes(); k++ {
+		kids := tr.Children(k)
+		if len(kids) != 2 {
+			continue
+		}
+		want, ok := BinaryClosedFormA(res.Gamma[kids[0]], res.Gamma[kids[1]], res.Gamma[k])
+		if !ok {
+			t.Fatalf("node %d: closed form degenerate on γ=(%g,%g,%g)",
+				k, res.Gamma[kids[0]], res.Gamma[kids[1]], res.Gamma[k])
+		}
+		if diff := math.Abs(res.A[k] - want); diff > 1e-12 {
+			t.Errorf("node %d: solver A=%.17g, closed form %.17g (diff %g)", k, res.A[k], want, diff)
+		}
+	}
+}
+
+// TestMLEExactDepth1 pins a hand-solvable instance: 8 probes on the
+// root+2-leaves tree with counts (both=3, only-left=1, only-right=1)
+// give γ_L=γ_R=1/2, γ=5/8, hence A = (1/4)/(3/8) = 2/3 and leaf pass
+// rates 3/4.
+func TestMLEExactDepth1(t *testing.T) {
+	tr := BinaryTree(1)
+	e := NewEstimator(tr)
+	probes := [][]bool{
+		{true, true}, {true, true}, {true, true},
+		{true, false}, {false, true},
+		{false, false}, {false, false}, {false, false},
+	}
+	if err := e.ObserveBatch(probes); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes != 8 {
+		t.Fatalf("Probes = %d", res.Probes)
+	}
+	wantGamma := []float64{5.0 / 8, 0.5, 0.5}
+	for k, want := range wantGamma {
+		if res.Gamma[k] != want {
+			t.Errorf("Gamma[%d] = %g, want %g", k, res.Gamma[k], want)
+		}
+	}
+	if diff := math.Abs(res.A[0] - 2.0/3); diff > 1e-12 {
+		t.Errorf("A[0] = %.17g, want 2/3 (diff %g)", res.A[0], diff)
+	}
+	for _, leaf := range []int{1, 2} {
+		if diff := math.Abs(res.Alpha[leaf] - 0.75); diff > 1e-12 {
+			t.Errorf("Alpha[%d] = %.17g, want 0.75", leaf, res.Alpha[leaf])
+		}
+		if diff := math.Abs(res.Loss[leaf] - 0.25); diff > 1e-12 {
+			t.Errorf("Loss[%d] = %.17g, want 0.25", leaf, res.Loss[leaf])
+		}
+	}
+}
+
+// TestMLERecoversTrueRates checks statistical consistency: with a large
+// probe panel the estimates approach the simulated per-link pass rates.
+func TestMLERecoversTrueRates(t *testing.T) {
+	tr := BinaryTree(2)
+	alpha := []float64{0.95, 0.9, 0.85, 0.92, 0.88, 0.93, 0.8}
+	e := NewEstimator(tr)
+	if err := e.ObserveBatch(simulateProbes(tr, alpha, 60000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range alpha {
+		if diff := math.Abs(res.Alpha[k] - alpha[k]); diff > 0.02 {
+			t.Errorf("Alpha[%d] = %g, true %g (diff %g)", k, res.Alpha[k], alpha[k], diff)
+		}
+	}
+}
+
+// TestIncrementalMatchesBatch is the incremental contract: feeding
+// probes one at a time (with interleaved Estimate calls) and replaying
+// them all into a fresh estimator produce bit-identical results.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0, 0, 1, 1, 2, 2, 2}) // mixed fan-out
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := []float64{0.9, 0.8, 0.95, 0.85, 0.9, 0.7, 0.92, 0.88}
+	probes := simulateProbes(tr, alpha, 500, 3)
+
+	inc := NewEstimator(tr)
+	for i, p := range probes {
+		if err := inc.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+		// Interleaved estimates must not disturb the counts.
+		if i%97 == 0 && i > 50 {
+			if _, err := inc.Estimate(); err != nil {
+				t.Fatalf("mid-stream estimate at probe %d: %v", i, err)
+			}
+		}
+	}
+	incRes, err := inc.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := NewEstimator(tr)
+	if err := batch.ObserveBatch(probes); err != nil {
+		t.Fatal(err)
+	}
+	batchRes, err := batch.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(incRes, batchRes) {
+		t.Fatalf("incremental and batch estimates differ:\n%+v\n%+v", incRes, batchRes)
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	tr, err := NewTree([]int{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEstimator(tr)
+	for _, d := range []bool{true, true, true, false} {
+		if err := e.Observe([]bool{d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gamma[0] != 0.75 || res.A[0] != 0.75 || res.Alpha[0] != 0.75 || res.Loss[0] != 0.25 {
+		t.Fatalf("single-leaf estimate %+v, want γ=A=α=0.75", res)
+	}
+}
+
+// TestZeroLossExact: all probes delivered everywhere gives γ≡1, and the
+// solver's g(γ)=0 shortcut makes A≡1 and Loss≡0 exactly, not to within
+// a tolerance.
+func TestZeroLossExact(t *testing.T) {
+	tr := BinaryTree(2)
+	e := NewEstimator(tr)
+	all := make([]bool, len(tr.Leaves()))
+	for i := range all {
+		all[i] = true
+	}
+	for i := 0; i < 10; i++ {
+		if err := e.Observe(all); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < tr.NumNodes(); k++ {
+		if res.A[k] != 1 || res.Alpha[k] != 1 || res.Loss[k] != 0 {
+			t.Fatalf("node %d: A=%v α=%v loss=%v, want exactly 1/1/0", k, res.A[k], res.Alpha[k], res.Loss[k])
+		}
+	}
+}
+
+// TestGammaSumCancellation: one probe seen by only one of two receivers
+// makes γ_L+γ_R = γ at the root — the degenerate equation must surface
+// as a typed *UnidentifiableError, not NaN or a panic.
+func TestGammaSumCancellation(t *testing.T) {
+	tr := BinaryTree(1)
+	e := NewEstimator(tr)
+	if err := e.Observe([]bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Estimate()
+	var ue *UnidentifiableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Estimate = %v, want *UnidentifiableError", err)
+	}
+	if ue.Node != 0 || ue.ChildGammaSum > ue.Gamma {
+		t.Fatalf("unexpected degeneracy report %+v", ue)
+	}
+	// The closed form degenerates identically.
+	if _, ok := BinaryClosedFormA(1, 0, 1); ok {
+		t.Fatal("BinaryClosedFormA(1,0,1) claims an admissible root")
+	}
+}
+
+// TestSerialChainConvention: chain links are not separately
+// identifiable; the combined loss lands on the topmost chain link and
+// the links below report α=1.
+func TestSerialChainConvention(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0, 1}) // 0 → 1 → 2 (leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEstimator(tr)
+	for _, d := range []bool{true, true, true, false} {
+		if err := e.Observe([]bool{d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alpha[0] != 0.75 || res.Alpha[1] != 1 || res.Alpha[2] != 1 {
+		t.Fatalf("chain alphas %v, want [0.75 1 1]", res.Alpha)
+	}
+}
+
+// TestSilentChain: a chain that delivered nothing has A≡0; the α guard
+// reports all-loss instead of dividing 0/0.
+func TestSilentChain(t *testing.T) {
+	tr, err := NewTree([]int{-1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEstimator(tr)
+	for i := 0; i < 4; i++ {
+		if err := e.Observe([]bool{false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if res.A[k] != 0 || res.Alpha[k] != 0 || res.Loss[k] != 1 {
+			t.Fatalf("node %d: A=%v α=%v loss=%v, want 0/0/1", k, res.A[k], res.Alpha[k], res.Loss[k])
+		}
+	}
+}
+
+func TestEstimateNoProbes(t *testing.T) {
+	e := NewEstimator(BinaryTree(1))
+	if _, err := e.Estimate(); err == nil {
+		t.Fatal("Estimate with zero probes succeeded")
+	}
+}
+
+func TestObserveWrongWidth(t *testing.T) {
+	e := NewEstimator(BinaryTree(1))
+	if err := e.Observe([]bool{true}); err == nil {
+		t.Fatal("Observe with wrong receiver count succeeded")
+	}
+}

@@ -1,0 +1,124 @@
+package loss
+
+import "fmt"
+
+// Tree is a rooted logical multicast tree given as a parent array:
+// parents[k] is the parent node of k, with exactly one root marked by a
+// negative parent. Nodes are dense IDs 0..n-1; leaves (nodes with no
+// children) are the receivers, ordered by ascending node ID everywhere a
+// per-receiver vector appears.
+//
+// Any rooted tree is accepted, including serial chains (internal nodes
+// with a single child). Chain links are not separately identifiable from
+// multicast observations — see Estimator.Estimate for the convention
+// that resolves them.
+type Tree struct {
+	parents  []int
+	children [][]int
+	root     int
+	leaves   []int
+	// order visits children before parents (reverse BFS from the root),
+	// the traversal both the probe OR-fold and the MLE need.
+	order []int
+	// leafIdx maps a leaf node ID to its position in leaves; -1 for
+	// internal nodes.
+	leafIdx []int
+}
+
+// NewTree validates the parent array and builds the tree: exactly one
+// root, every parent in range, no self-loops, and every node reachable
+// from the root (which rules out cycles).
+func NewTree(parents []int) (*Tree, error) {
+	n := len(parents)
+	if n == 0 {
+		return nil, fmt.Errorf("loss: empty tree")
+	}
+	t := &Tree{
+		parents:  append([]int(nil), parents...),
+		children: make([][]int, n),
+		root:     -1,
+		leafIdx:  make([]int, n),
+	}
+	for k, p := range parents {
+		switch {
+		case p < 0:
+			if t.root >= 0 {
+				return nil, fmt.Errorf("loss: two roots (nodes %d and %d)", t.root, k)
+			}
+			t.root = k
+		case p >= n:
+			return nil, fmt.Errorf("loss: node %d has parent %d outside [0,%d)", k, p, n)
+		case p == k:
+			return nil, fmt.Errorf("loss: node %d is its own parent", k)
+		default:
+			t.children[p] = append(t.children[p], k)
+		}
+	}
+	if t.root < 0 {
+		return nil, fmt.Errorf("loss: no root (one node needs a negative parent)")
+	}
+	// BFS from the root; reversing the visit order yields a
+	// children-first traversal. A node never visited sits on a cycle or
+	// a detached component.
+	t.order = make([]int, 0, n)
+	t.order = append(t.order, t.root)
+	for i := 0; i < len(t.order); i++ {
+		t.order = append(t.order, t.children[t.order[i]]...)
+	}
+	if len(t.order) != n {
+		return nil, fmt.Errorf("loss: %d of %d nodes unreachable from root %d (cycle in the parent array)", n-len(t.order), n, t.root)
+	}
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		t.order[i], t.order[j] = t.order[j], t.order[i]
+	}
+	for k := range t.leafIdx {
+		t.leafIdx[k] = -1
+	}
+	for k := 0; k < n; k++ {
+		if len(t.children[k]) == 0 {
+			t.leafIdx[k] = len(t.leaves)
+			t.leaves = append(t.leaves, k)
+		}
+	}
+	return t, nil
+}
+
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return len(t.parents) }
+
+// Root returns the root node ID.
+func (t *Tree) Root() int { return t.root }
+
+// Parent returns the parent of node k, negative for the root.
+func (t *Tree) Parent(k int) int { return t.parents[k] }
+
+// Children returns node k's children. The returned slice is shared; do
+// not mutate it.
+func (t *Tree) Children(k int) []int { return t.children[k] }
+
+// Leaves returns the receiver node IDs in ascending order — the order of
+// every per-receiver outcome vector. The returned slice is shared; do
+// not mutate it.
+func (t *Tree) Leaves() []int { return t.leaves }
+
+// BinaryTree builds the complete binary multicast tree of the given
+// depth: a root whose two subtrees recurse down to 2^depth receivers.
+// Depth 0 is the single-node tree. Node IDs are breadth-first (node 0 is
+// the root, k's children are 2k+1 and 2k+2).
+func BinaryTree(depth int) *Tree {
+	if depth < 0 {
+		depth = 0
+	}
+	n := 1<<(depth+1) - 1
+	parents := make([]int, n)
+	parents[0] = -1
+	for k := 1; k < n; k++ {
+		parents[k] = (k - 1) / 2
+	}
+	t, err := NewTree(parents)
+	if err != nil {
+		// The construction above is a valid tree by construction.
+		panic(err)
+	}
+	return t
+}

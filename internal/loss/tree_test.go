@@ -1,0 +1,79 @@
+package loss
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTreeRejectsInvalidParents(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		parents []int
+		msg     string
+	}{
+		{"empty", nil, "empty tree"},
+		{"no root", []int{1, 0}, "no root"},
+		{"two roots", []int{-1, -1}, "two roots"},
+		{"parent out of range", []int{-1, 5}, "outside"},
+		{"self loop", []int{-1, 1}, "its own parent"},
+		{"cycle", []int{-1, 2, 1}, "unreachable"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewTree(tc.parents)
+			if err == nil {
+				t.Fatalf("NewTree(%v) succeeded", tc.parents)
+			}
+			if !strings.Contains(err.Error(), tc.msg) {
+				t.Fatalf("NewTree(%v) = %q, want substring %q", tc.parents, err, tc.msg)
+			}
+		})
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	// Root 0 with two subtrees: 1 → {3, 4}, 2 a leaf.
+	tr, err := NewTree([]int{-1, 0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 5 || tr.Root() != 0 {
+		t.Fatalf("NumNodes=%d Root=%d", tr.NumNodes(), tr.Root())
+	}
+	if got := tr.Leaves(); len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("Leaves = %v, want ascending [2 3 4]", got)
+	}
+	if tr.Parent(0) >= 0 || tr.Parent(3) != 1 {
+		t.Fatalf("Parent(0)=%d Parent(3)=%d", tr.Parent(0), tr.Parent(3))
+	}
+	if kids := tr.Children(1); len(kids) != 2 || kids[0] != 3 || kids[1] != 4 {
+		t.Fatalf("Children(1) = %v", kids)
+	}
+	// The traversal order must visit every child before its parent.
+	pos := make([]int, tr.NumNodes())
+	for i, k := range tr.order {
+		pos[k] = i
+	}
+	for k := 0; k < tr.NumNodes(); k++ {
+		if p := tr.Parent(k); p >= 0 && pos[p] <= pos[k] {
+			t.Fatalf("order %v visits parent %d before child %d", tr.order, p, k)
+		}
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	tr := BinaryTree(2)
+	if tr.NumNodes() != 7 {
+		t.Fatalf("depth-2 binary tree has %d nodes, want 7", tr.NumNodes())
+	}
+	if got := tr.Leaves(); len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Fatalf("Leaves = %v, want [3 4 5 6]", got)
+	}
+	for k := 1; k < 7; k++ {
+		if tr.Parent(k) != (k-1)/2 {
+			t.Fatalf("Parent(%d) = %d, want %d", k, tr.Parent(k), (k-1)/2)
+		}
+	}
+	if single := BinaryTree(0); single.NumNodes() != 1 || len(single.Leaves()) != 1 {
+		t.Fatalf("depth-0 tree: %d nodes, %d leaves", single.NumNodes(), len(single.Leaves()))
+	}
+}

@@ -1,0 +1,232 @@
+package selection
+
+import (
+	"context"
+	"fmt"
+
+	"robusttomo/internal/engine"
+	"robusttomo/internal/er"
+	"robusttomo/internal/failure"
+	"robusttomo/internal/graph"
+	"robusttomo/internal/obs"
+	"robusttomo/internal/routing"
+	"robusttomo/internal/stats"
+	"robusttomo/internal/tomo"
+)
+
+// EngineName is the registry name of the selection engine: the four RoMe
+// path-selection algorithms re-homed behind the engine API. It is the
+// JobSpec.Engine value of a v2 submission; v1 submissions naming one of
+// the Alg* algorithms map onto it.
+const EngineName = "selection"
+
+// Algorithm names the selection engine accepts (the `tomo select -alg`
+// and JobSpec v1 `algorithm` names).
+const (
+	AlgProbRoMe   = "probrome"
+	AlgMonteRoMe  = "monterome"
+	AlgMatRoMe    = "matrome"
+	AlgSelectPath = "selectpath"
+)
+
+// DefaultMCRuns is the Monte Carlo scenario count applied when a
+// monterome job omits mc_runs.
+const DefaultMCRuns = 200
+
+// mcStream is the RNG stream constant for engine Monte Carlo jobs, so a
+// job's scenario stream depends only on its spec seed.
+const mcStream = 0x5e1ec7
+
+func init() { engine.Register(selEngine{}) }
+
+// selEngine implements engine.Engine over the four selection algorithms.
+type selEngine struct{}
+
+func (selEngine) Name() string     { return EngineName }
+func (selEngine) ObsLabel() string { return "selection" }
+
+// Normalize validates the spec and fills defaults, returning the
+// canonical job that is hashed and executed. Canonicalization rules
+// (DESIGN.md §12): empty algorithm becomes probrome; empty costs become
+// explicit unit costs; monterome defaults MCRuns; non-Monte-Carlo
+// algorithms zero MCRuns and Seed so equivalent queries share one cache
+// entry. The job key is CanonicalInputs.Key over the normalized fields —
+// bit-identical to the pre-engine service keys, so caches and clients
+// that recorded v1 job IDs keep hitting.
+func (selEngine) Normalize(spec engine.Spec) (engine.Job, error) {
+	if len(spec.Params) > 0 {
+		return nil, fmt.Errorf("service: the selection engine takes its parameters from the flat job fields (links, paths, probs, costs, budget, algorithm, mc_runs, seed), not params")
+	}
+	if spec.Links <= 0 {
+		return nil, fmt.Errorf("service: need a positive link count, got %d", spec.Links)
+	}
+	if len(spec.Paths) == 0 {
+		return nil, fmt.Errorf("service: no candidate paths")
+	}
+	for i, p := range spec.Paths {
+		for _, l := range p {
+			if l < 0 || l >= spec.Links {
+				return nil, fmt.Errorf("service: path %d uses link %d outside [0,%d)", i, l, spec.Links)
+			}
+		}
+	}
+	if len(spec.Probs) != spec.Links {
+		return nil, fmt.Errorf("service: %d probabilities for %d links", len(spec.Probs), spec.Links)
+	}
+	for l, p := range spec.Probs {
+		if !(p >= 0 && p < 1) { // also rejects NaN
+			return nil, fmt.Errorf("service: probability %v for link %d out of [0,1)", p, l)
+		}
+	}
+	if spec.Budget < 0 || spec.Budget != spec.Budget {
+		return nil, fmt.Errorf("service: invalid budget %v", spec.Budget)
+	}
+	switch len(spec.Costs) {
+	case 0:
+		unit := make([]float64, len(spec.Paths))
+		for i := range unit {
+			unit[i] = 1
+		}
+		spec.Costs = unit
+	case len(spec.Paths):
+		for i, c := range spec.Costs {
+			if !(c >= 0) {
+				return nil, fmt.Errorf("service: invalid cost %v for path %d", c, i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("service: %d costs for %d paths", len(spec.Costs), len(spec.Paths))
+	}
+	if spec.Algorithm == "" {
+		spec.Algorithm = AlgProbRoMe
+	}
+	switch spec.Algorithm {
+	case AlgMonteRoMe:
+		if spec.MCRuns == 0 {
+			spec.MCRuns = DefaultMCRuns
+		}
+		if spec.MCRuns < 0 {
+			return nil, fmt.Errorf("service: invalid mc_runs %d", spec.MCRuns)
+		}
+	case AlgProbRoMe, AlgMatRoMe, AlgSelectPath:
+		// Deterministic in the instance alone: the scenario-stream knobs
+		// must not split the cache key.
+		spec.MCRuns = 0
+		spec.Seed = 0
+	default:
+		return nil, fmt.Errorf("service: unknown algorithm %q (probrome, monterome, matrome, selectpath)", spec.Algorithm)
+	}
+	return &selJob{
+		links:     spec.Links,
+		paths:     spec.Paths,
+		probs:     spec.Probs,
+		costs:     spec.Costs,
+		budget:    spec.Budget,
+		algorithm: spec.Algorithm,
+		mcRuns:    spec.MCRuns,
+		seed:      spec.Seed,
+	}, nil
+}
+
+// selJob is one normalized selection job.
+type selJob struct {
+	links     int
+	paths     [][]int
+	probs     []float64
+	costs     []float64
+	budget    float64
+	algorithm string
+	mcRuns    int
+	seed      uint64
+}
+
+// Key is the content-addressed job ID: the canonical hash of everything
+// the selection result depends on.
+func (j *selJob) Key() string {
+	return CanonicalInputs{
+		Links:     j.links,
+		Paths:     j.paths,
+		Probs:     j.probs,
+		Costs:     j.costs,
+		Budget:    j.budget,
+		Algorithm: j.algorithm,
+		MCRuns:    j.mcRuns,
+		Seed:      j.seed,
+	}.Key()
+}
+
+// Detail reports the normalized algorithm name.
+func (j *selJob) Detail() string { return j.algorithm }
+
+// CostHint scales with the greedy's work: candidate paths × links, times
+// the scenario panel for the Monte Carlo oracle.
+func (j *selJob) CostHint() float64 {
+	hint := float64(len(j.paths)) * float64(j.links)
+	if j.algorithm == AlgMonteRoMe && j.mcRuns > 0 {
+		hint *= float64(j.mcRuns)
+	}
+	return hint
+}
+
+// Run materializes the path matrix and failure model and dispatches to
+// the selected algorithm, with ctx wired into the greedy for
+// cancellation. Every algorithm here is deterministic in the normalized
+// job (Monte Carlo scenarios come from a stats.NewRNG(seed, mcStream)
+// stream), which is the property the content-addressed cache relies on.
+func (j *selJob) Run(ctx context.Context, reg *obs.Registry) (engine.Result, error) {
+	paths := make([]routing.Path, len(j.paths))
+	for i, p := range j.paths {
+		edges := make([]graph.EdgeID, len(p))
+		for k, l := range p {
+			edges[k] = graph.EdgeID(l)
+		}
+		paths[i].Edges = edges
+	}
+	pm, err := tomo.NewPathMatrix(paths, j.links)
+	if err != nil {
+		return nil, err
+	}
+	model, err := failure.FromProbabilities(j.probs)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("service: canceled: %w", err)
+	}
+
+	opts := NewOptions()
+	opts.Ctx = ctx
+	opts.Observer = reg
+	var res Result
+	switch j.algorithm {
+	case AlgProbRoMe:
+		res, err = RoMe(pm, j.costs, j.budget, er.NewProbBoundInc(pm, model), opts)
+	case AlgMonteRoMe:
+		rng := stats.NewRNG(j.seed, mcStream)
+		res, err = RoMe(pm, j.costs, j.budget, er.NewMonteCarloInc(pm, model, j.mcRuns, rng), opts)
+	case AlgMatRoMe:
+		res, err = MatRoMe(pm, er.Availabilities(pm, model), int(j.budget), MatRoMeOptions{})
+	case AlgSelectPath:
+		res, err = SelectPathBudgeted(pm, j.costs, j.budget)
+	default:
+		// Normalize rejects unknown algorithms; reaching this is a bug.
+		return nil, fmt.Errorf("service: unknown algorithm %q", j.algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SizeBytes implements engine.Result: the struct header plus the
+// selected-path slice, matching the service cache's historical
+// accounting (128 + 8·|Selected| alongside the key the cache charges
+// separately).
+func (r Result) SizeBytes() int64 { return int64(8*len(r.Selected)) + 128 }
+
+// Clone implements engine.Result: a copy whose Selected slice is
+// detached from the cached original.
+func (r Result) Clone() engine.Result {
+	r.Selected = append([]int(nil), r.Selected...)
+	return r
+}

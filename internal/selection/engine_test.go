@@ -1,0 +1,120 @@
+package selection
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"robusttomo/internal/engine"
+)
+
+func selSpec() engine.Spec {
+	return engine.Spec{
+		Links:  4,
+		Paths:  [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+		Probs:  []float64{0.1, 0.05, 0.2, 0.1},
+		Budget: 3,
+	}
+}
+
+func TestSelectionEngineRegistered(t *testing.T) {
+	e, err := engine.Lookup(EngineName)
+	if err != nil {
+		t.Fatalf("selection engine not registered: %v", err)
+	}
+	if e.Name() != "selection" || e.ObsLabel() != "selection" {
+		t.Fatalf("Name=%q ObsLabel=%q", e.Name(), e.ObsLabel())
+	}
+}
+
+// TestSelectionNormalizeKey pins the canonical-key contract: the engine
+// job's key is CanonicalInputs.Key over the normalized instance, with
+// the v1 defaulting rules (probrome default, unit costs, zeroed MC knobs
+// for deterministic algorithms).
+func TestSelectionNormalizeKey(t *testing.T) {
+	e, err := engine.Lookup(EngineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := selSpec()
+	spec.MCRuns = 99 // must be zeroed: probrome ignores the MC knobs
+	spec.Seed = 7
+	j, err := e.Normalize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CanonicalInputs{
+		Links:     spec.Links,
+		Paths:     spec.Paths,
+		Probs:     spec.Probs,
+		Costs:     []float64{1, 1, 1, 1},
+		Budget:    spec.Budget,
+		Algorithm: AlgProbRoMe,
+		MCRuns:    0,
+		Seed:      0,
+	}.Key()
+	if j.Key() != want {
+		t.Fatalf("engine key %s, want canonical %s", j.Key(), want)
+	}
+	if j.Detail() != AlgProbRoMe {
+		t.Fatalf("Detail = %q", j.Detail())
+	}
+	if j.CostHint() != 16 {
+		t.Fatalf("CostHint = %g, want paths×links = 16", j.CostHint())
+	}
+}
+
+func TestSelectionNormalizeRejectsParams(t *testing.T) {
+	e, err := engine.Lookup(EngineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := selSpec()
+	spec.Params = []byte(`{"x":1}`)
+	if _, err := e.Normalize(spec); err == nil {
+		t.Fatal("Normalize accepted a params payload")
+	}
+}
+
+// TestSelectionEngineRunMatchesDirect: the engine's Run is the same
+// computation as calling the algorithm directly.
+func TestSelectionEngineRunMatchesDirect(t *testing.T) {
+	e, err := engine.Lookup(EngineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := e.Normalize(selSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := res.(Result)
+	if !ok {
+		t.Fatalf("Run returned %T, want selection.Result", res)
+	}
+	if len(sel.Selected) == 0 {
+		t.Fatalf("implausible result %+v", sel)
+	}
+	again, err := j.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatalf("two runs differ:\n%+v\n%+v", res, again)
+	}
+}
+
+func TestSelectionResultClone(t *testing.T) {
+	r := Result{Selected: []int{1, 2, 3}, Objective: 2.5}
+	if r.SizeBytes() != 8*3+128 {
+		t.Fatalf("SizeBytes = %d, want %d", r.SizeBytes(), 8*3+128)
+	}
+	c := r.Clone().(Result)
+	c.Selected[0] = -1
+	if r.Selected[0] == -1 {
+		t.Fatal("mutating the clone reached the original")
+	}
+}

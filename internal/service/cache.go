@@ -1,10 +1,10 @@
 package service
 
-import "robusttomo/internal/selection"
+import "robusttomo/internal/engine"
 
-// resultCache is the content-addressed selection-result cache: a
-// map keyed by canonical input hash with an intrusive LRU list and a
-// byte budget. Entries are charged an estimated in-memory size; inserts
+// resultCache is the content-addressed result cache: a map keyed by the
+// engine's canonical input hash with an intrusive LRU list and a byte
+// budget. Entries are charged an estimated in-memory size; inserts
 // evict least-recently-used entries until the total fits. A single
 // result larger than the whole budget is not cached at all.
 //
@@ -22,7 +22,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key        string
-	res        selection.Result
+	res        engine.Result
 	size       int64
 	prev, next *cacheEntry
 }
@@ -32,20 +32,20 @@ func newResultCache(capacity int64) *resultCache {
 }
 
 // resultSize estimates the in-memory footprint of a cached result: the
-// entry struct, the key string, and the selected-path slice. The
-// estimate only needs to be proportional for the byte budget to bound
-// real memory.
-func resultSize(key string, res selection.Result) int64 {
-	return int64(len(key)) + int64(8*len(res.Selected)) + 128
+// entry struct, the key string, and the engine's own payload estimate.
+// The estimate only needs to be proportional for the byte budget to
+// bound real memory.
+func resultSize(key string, res engine.Result) int64 {
+	return int64(len(key)) + res.SizeBytes()
 }
 
 // get returns the cached result for key and marks it most recently
-// used. The returned Selected slice is shared with the cache; callers
-// copy before handing it out (see Service.resultCopy).
-func (c *resultCache) get(key string) (selection.Result, bool) {
+// used. The returned result is shared with the cache; callers Clone
+// before handing it out (see Service.Result).
+func (c *resultCache) get(key string) (engine.Result, bool) {
 	e, ok := c.entries[key]
 	if !ok {
-		return selection.Result{}, false
+		return nil, false
 	}
 	c.moveToFront(e)
 	return e.res, true
@@ -53,7 +53,7 @@ func (c *resultCache) get(key string) (selection.Result, bool) {
 
 // put inserts (or refreshes) the result under key, evicting LRU entries
 // until the byte budget holds.
-func (c *resultCache) put(key string, res selection.Result) {
+func (c *resultCache) put(key string, res engine.Result) {
 	if e, ok := c.entries[key]; ok {
 		// Same key means same canonical inputs, hence an identical
 		// result; refreshing recency is all there is to do.

@@ -3,11 +3,20 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
-	"robusttomo/internal/selection"
+	"robusttomo/internal/engine"
 )
 
-// Supported selection algorithms, matching the `tomo select -alg` names.
+// Legacy v1 selection algorithm names, matching the `tomo select -alg`
+// names. A v1 submission sets `algorithm` alone; legacyEngines maps it
+// onto the selection engine, and the canonical job key is bit-identical
+// to what the pre-registry service produced.
+//
+// Deprecated: new clients set JobSpec.Engine to "selection" (the
+// algorithm still travels in the Algorithm field, which is that
+// engine's parameter surface). These constants remain for v1 wire
+// compatibility; see selection.Alg* for the engine-side names.
 const (
 	AlgProbRoMe   = "probrome"
 	AlgMonteRoMe  = "monterome"
@@ -17,28 +26,64 @@ const (
 
 // DefaultMCRuns is the Monte Carlo scenario count applied when a
 // monterome job omits mc_runs.
+//
+// Deprecated: the default now lives with the engine; see
+// selection.DefaultMCRuns.
 const DefaultMCRuns = 200
 
-// JobSpec is one client-submitted selection query: a self-contained
-// instance (path matrix as per-path link lists, per-link failure
-// probabilities, per-path costs) plus the algorithm and its budget. The
-// JSON field names are the wire format of POST /api/v1/jobs.
+// legacyEngines maps every v1 `algorithm` value (including the empty
+// default) to the engine that now serves it: all four selection
+// algorithms re-homed into the single "selection" engine. The table is
+// the entire back-compat surface — resolve consults it only when
+// `engine` is unset, and the mapped engine re-derives the same
+// canonical key a v1 service computed.
+var legacyEngines = map[string]string{
+	"":            "selection",
+	AlgProbRoMe:   "selection",
+	AlgMonteRoMe:  "selection",
+	AlgMatRoMe:    "selection",
+	AlgSelectPath: "selection",
+}
+
+// JobSpec is one client-submitted inference query: a self-contained
+// instance plus the engine that should run it. The JSON field names are
+// the wire format of POST /api/v1/jobs.
+//
+// Two submission shapes coexist:
+//
+//   - v2: `engine` names a registered engine and `params` carries its
+//     JSON parameter payload (the loss engine's tree and probes). The
+//     selection engine is the exception — its parameters predate
+//     `params` and stay in the flat fields below.
+//   - v1 (legacy): `engine` is unset and `algorithm` (or its empty
+//     default) picks one of the four selection algorithms; the flat
+//     fields describe the instance exactly as before the engine
+//     registry existed. Keys and cached results are bit-identical to
+//     that era.
 type JobSpec struct {
+	// Engine names the registered engine to run ("selection", "loss",
+	// ...); empty means the legacy algorithm mapping below.
+	Engine string `json:"engine,omitempty"`
+	// Params is the engine-specific JSON parameter payload (v2 engines
+	// other than selection).
+	Params json.RawMessage `json:"params,omitempty"`
+
 	// Links is the number of links in the network (path matrix columns).
-	Links int `json:"links"`
+	Links int `json:"links,omitempty"`
 	// Paths lists each candidate path's link IDs (path matrix rows).
-	Paths [][]int `json:"paths"`
+	Paths [][]int `json:"paths,omitempty"`
 	// Probs holds per-link failure probabilities in [0, 1).
-	Probs []float64 `json:"probs"`
+	Probs []float64 `json:"probs,omitempty"`
 	// Costs holds per-path probing costs; empty means unit costs.
 	Costs []float64 `json:"costs,omitempty"`
 	// Budget is the probing budget (for matrome: the path-count budget).
-	Budget float64 `json:"budget"`
+	Budget float64 `json:"budget,omitempty"`
 	// Algorithm is one of probrome (default), monterome, matrome,
-	// selectpath.
+	// selectpath — the selection engine's algorithm parameter and the
+	// whole of the v1 dispatch surface.
 	Algorithm string `json:"algorithm,omitempty"`
 	// MCRuns is the Monte Carlo scenario count (monterome only; default
-	// DefaultMCRuns).
+	// selection.DefaultMCRuns).
 	MCRuns int `json:"mc_runs,omitempty"`
 	// Seed drives the Monte Carlo scenario stream (monterome only).
 	Seed uint64 `json:"seed,omitempty"`
@@ -48,80 +93,27 @@ type JobSpec struct {
 	Priority int `json:"priority,omitempty"`
 }
 
-// normalize validates the spec and fills defaults, returning the
-// canonical form that is hashed and executed. Canonicalization rules
-// (DESIGN.md §12): empty algorithm becomes probrome; empty costs become
-// explicit unit costs; monterome defaults MCRuns; non-Monte-Carlo
-// algorithms zero MCRuns and Seed so equivalent queries share one cache
-// entry.
-func (spec JobSpec) normalize() (JobSpec, error) {
-	if spec.Links <= 0 {
-		return spec, fmt.Errorf("service: need a positive link count, got %d", spec.Links)
-	}
-	if len(spec.Paths) == 0 {
-		return spec, fmt.Errorf("service: no candidate paths")
-	}
-	for i, p := range spec.Paths {
-		for _, l := range p {
-			if l < 0 || l >= spec.Links {
-				return spec, fmt.Errorf("service: path %d uses link %d outside [0,%d)", i, l, spec.Links)
-			}
+// resolve routes the spec to its engine — by name, or through the
+// legacy algorithm mapping — and normalizes it into a runnable job.
+// Unknown engine names fail with *engine.UnknownEngineError, whose
+// message lists the registered engines.
+func (spec JobSpec) resolve() (engine.Engine, engine.Job, error) {
+	name := spec.Engine
+	if name == "" {
+		mapped, ok := legacyEngines[spec.Algorithm]
+		if !ok {
+			return nil, nil, fmt.Errorf("service: unknown algorithm %q (probrome, monterome, matrome, selectpath; or set engine to one of: %s)",
+				spec.Algorithm, strings.Join(engine.Engines(), ", "))
 		}
+		name = mapped
 	}
-	if len(spec.Probs) != spec.Links {
-		return spec, fmt.Errorf("service: %d probabilities for %d links", len(spec.Probs), spec.Links)
+	eng, err := engine.Lookup(name)
+	if err != nil {
+		return nil, nil, err
 	}
-	for l, p := range spec.Probs {
-		if !(p >= 0 && p < 1) { // also rejects NaN
-			return spec, fmt.Errorf("service: probability %v for link %d out of [0,1)", p, l)
-		}
-	}
-	if spec.Budget < 0 || spec.Budget != spec.Budget {
-		return spec, fmt.Errorf("service: invalid budget %v", spec.Budget)
-	}
-	switch len(spec.Costs) {
-	case 0:
-		unit := make([]float64, len(spec.Paths))
-		for i := range unit {
-			unit[i] = 1
-		}
-		spec.Costs = unit
-	case len(spec.Paths):
-		for i, c := range spec.Costs {
-			if !(c >= 0) {
-				return spec, fmt.Errorf("service: invalid cost %v for path %d", c, i)
-			}
-		}
-	default:
-		return spec, fmt.Errorf("service: %d costs for %d paths", len(spec.Costs), len(spec.Paths))
-	}
-	if spec.Algorithm == "" {
-		spec.Algorithm = AlgProbRoMe
-	}
-	switch spec.Algorithm {
-	case AlgMonteRoMe:
-		if spec.MCRuns == 0 {
-			spec.MCRuns = DefaultMCRuns
-		}
-		if spec.MCRuns < 0 {
-			return spec, fmt.Errorf("service: invalid mc_runs %d", spec.MCRuns)
-		}
-	case AlgProbRoMe, AlgMatRoMe, AlgSelectPath:
-		// Deterministic in the instance alone: the scenario-stream knobs
-		// must not split the cache key.
-		spec.MCRuns = 0
-		spec.Seed = 0
-	default:
-		return spec, fmt.Errorf("service: unknown algorithm %q (probrome, monterome, matrome, selectpath)", spec.Algorithm)
-	}
-	return spec, nil
-}
-
-// key returns the content-addressed job ID of a normalized spec: the
-// canonical hash of everything the selection result depends on. Priority
-// is deliberately excluded.
-func (spec JobSpec) key() string {
-	return selection.CanonicalInputs{
+	j, err := eng.Normalize(engine.Spec{
+		Engine:    name,
+		Params:    spec.Params,
 		Links:     spec.Links,
 		Paths:     spec.Paths,
 		Probs:     spec.Probs,
@@ -130,7 +122,11 @@ func (spec JobSpec) key() string {
 		Algorithm: spec.Algorithm,
 		MCRuns:    spec.MCRuns,
 		Seed:      spec.Seed,
-	}.Key()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, j, nil
 }
 
 // JobState is a job's position in the lifecycle state machine
@@ -191,7 +187,10 @@ type JobStatus struct {
 	ID string `json:"id"`
 	// State is the lifecycle state at snapshot time.
 	State JobState `json:"state"`
-	// Algorithm echoes the normalized spec's algorithm.
+	// Engine is the registered engine that ran (or will run) the job.
+	Engine string `json:"engine"`
+	// Algorithm is the engine's job detail — for the selection engine
+	// the normalized algorithm name, preserving the v1 status field.
 	Algorithm string `json:"algorithm"`
 	// Priority echoes the submission priority.
 	Priority int `json:"priority"`

@@ -19,6 +19,10 @@ type svcMetrics struct {
 	running    *obs.Gauge
 	cacheBytes *obs.Gauge
 	jobSeconds *obs.Histogram
+	// Per-engine families, labeled with Engine.ObsLabel(): the service
+	// never switches on an engine name, it just threads the label.
+	engineExecuted *obs.CounterVec
+	costHint       *obs.HistogramVec
 }
 
 var noSvcMetrics = &svcMetrics{}
@@ -26,6 +30,10 @@ var noSvcMetrics = &svcMetrics{}
 // jobBuckets span sub-millisecond ProbRoMe queries to multi-second
 // MonteRoMe runs.
 var jobBuckets = obs.ExponentialBuckets(1e-4, 4, 10)
+
+// costBuckets span the engines' relative cost hints, which scale with
+// instance size (paths×links, nodes×probes), not with seconds.
+var costBuckets = obs.ExponentialBuckets(1, 8, 12)
 
 func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 	if reg == nil {
@@ -57,6 +65,10 @@ func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 		cacheBytes: reg.Gauge("tomo_service_cache_bytes",
 			"Estimated bytes held by the result cache."),
 		jobSeconds: reg.Histogram("tomo_service_job_seconds",
-			"Duration of one executed selection job.", jobBuckets),
+			"Duration of one executed job.", jobBuckets),
+		engineExecuted: reg.CounterVec("tomo_service_engine_executed_total",
+			"Executions performed by the worker pool, by engine.", "engine"),
+		costHint: reg.HistogramVec("tomo_service_job_cost_hint",
+			"Engine-reported relative cost hint of enqueued jobs, by engine.", costBuckets, "engine"),
 	}
 }

@@ -1,19 +1,26 @@
-// Package service is the multi-tenant selection service behind `tomo
-// serve`: an asynchronous job subsystem that lets many clients submit
-// their own selection instances (topology, failure model, costs, budget,
-// algorithm) and poll for results, amortizing work across queries.
+// Package service is the multi-tenant inference-job service behind
+// `tomo serve`: an asynchronous job subsystem that lets many clients
+// submit self-contained inference instances and poll for results,
+// amortizing work across queries.
+//
+// The service is engine-agnostic: jobs are routed through the
+// internal/engine registry (JobSpec.Engine, with the legacy v1
+// `algorithm` field mapped onto the selection engine), and the queue,
+// singleflight dedup, result cache, load shedding and metrics all key
+// and label through the engine.Job interface. Adding an inference
+// method is a registration in its own package, never an edit here.
 //
 // Three mechanisms make it production-shaped:
 //
 //   - A bounded worker pool drains a FIFO-with-priority queue; every job
-//     runs under its own context wired into selection.Options.Ctx, so
+//     runs under its own context handed to engine.Job.Run, so
 //     cancellation interrupts even a long MonteRoMe run between greedy
 //     iterations.
-//   - A content-addressed result cache (key = canonical hash of every
-//     input the result depends on, see selection.CanonicalInputs) answers
-//     repeated queries without recomputation, and identical in-flight
-//     submissions dedup onto one execution (singleflight). Selection is
-//     deterministic in its canonical inputs, so a cache hit is
+//   - A content-addressed result cache (key = the engine's canonical
+//     hash of every input the result depends on) answers repeated
+//     queries without recomputation, and identical in-flight
+//     submissions dedup onto one execution (singleflight). Engines are
+//     deterministic in their canonical inputs, so a cache hit is
 //     bit-identical to a cold run.
 //   - Deterministic load shedding: once the queue holds Config.QueueDepth
 //     jobs, submissions fail fast with *OverloadError (HTTP maps it to
@@ -32,8 +39,8 @@ import (
 	"sync"
 	"time"
 
+	"robusttomo/internal/engine"
 	"robusttomo/internal/obs"
-	"robusttomo/internal/selection"
 )
 
 // Sentinel errors; match with errors.Is.
@@ -83,7 +90,7 @@ type Config struct {
 	RetainJobs int
 	// Observer, when non-nil, receives service metrics (queue depth,
 	// cache hit/miss/eviction and shed counters, job durations) and job
-	// lifecycle events, and is passed to the selection greedy.
+	// lifecycle events, and is handed to every engine.Job.Run.
 	Observer *obs.Registry
 	// BeforeRun, when non-nil, is called by the worker immediately
 	// before executing a job. It is a test seam: scheduling tests block
@@ -95,12 +102,16 @@ type Config struct {
 // job is the internal record behind one content-addressed job ID.
 type job struct {
 	id       string
-	spec     JobSpec // normalized
+	spec     JobSpec    // as submitted (the engine holds the normalized form)
+	ej       engine.Job // normalized, runnable
+	eng      string     // engine name
+	obsLabel string     // engine obs label, for metrics and events
+	detail   string     // engine job detail, echoed in status
 	priority int
 	seq      uint64
 
 	state   JobState
-	res     selection.Result
+	res     engine.Result
 	err     error
 	cached  bool
 	deduped int
@@ -144,7 +155,7 @@ type Stats struct {
 	Closed         bool   `json:"closed"`
 }
 
-// Service is the asynchronous selection-job subsystem. Construct with
+// Service is the asynchronous inference-job subsystem. Construct with
 // New; all methods are safe for concurrent use.
 type Service struct {
 	cfg Config
@@ -222,17 +233,22 @@ func shortKey(id string) string {
 	return id
 }
 
-// Submit enqueues a selection job (or answers it from the cache /
-// attaches it to an identical in-flight job) and returns its
-// content-addressed ID. It fails fast with *OverloadError when the
-// queue is full and ErrClosed after Close; invalid specs fail
+// eventDetail prefixes an event detail with the engine's obs label so
+// the ring distinguishes which engine a lifecycle event belongs to.
+func eventDetail(label, id string) string { return label + " " + shortKey(id) }
+
+// Submit routes an inference job to its engine and enqueues it (or
+// answers it from the cache / attaches it to an identical in-flight
+// job), returning its content-addressed ID. It fails fast with
+// *OverloadError when the queue is full and ErrClosed after Close;
+// invalid specs and unknown engines (*engine.UnknownEngineError) fail
 // synchronously.
 func (s *Service) Submit(spec JobSpec) (SubmitOutcome, error) {
-	norm, err := spec.normalize()
+	eng, ej, err := spec.resolve()
 	if err != nil {
 		return SubmitOutcome{}, err
 	}
-	key := norm.key()
+	key := ej.Key()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -259,7 +275,8 @@ func (s *Service) Submit(spec JobSpec) (SubmitOutcome, error) {
 		s.m.submitted.Inc()
 		s.hits++
 		s.m.cacheHits.Inc()
-		j := &job{id: key, spec: norm, priority: norm.Priority, state: StateDone, res: res, cached: true, done: make(chan struct{})}
+		j := &job{id: key, spec: spec, ej: ej, eng: eng.Name(), obsLabel: eng.ObsLabel(), detail: ej.Detail(),
+			priority: spec.Priority, state: StateDone, res: res, cached: true, done: make(chan struct{})}
 		close(j.done)
 		s.rememberLocked(j)
 		return SubmitOutcome{ID: key, State: StateDone, Cached: true}, nil
@@ -268,7 +285,7 @@ func (s *Service) Submit(spec JobSpec) (SubmitOutcome, error) {
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.shed++
 		s.m.shed.Inc()
-		s.reg.Event("service.job_shed", shortKey(key))
+		s.reg.Event("service.job_shed", eventDetail(eng.ObsLabel(), key))
 		return SubmitOutcome{}, &OverloadError{Depth: len(s.queue), RetryAfter: s.cfg.RetryAfter}
 	}
 	s.submitted++
@@ -276,14 +293,16 @@ func (s *Service) Submit(spec JobSpec) (SubmitOutcome, error) {
 	s.misses++
 	s.m.cacheMiss.Inc()
 	s.seq++
-	j := &job{id: key, spec: norm, priority: norm.Priority, seq: s.seq, state: StateQueued, done: make(chan struct{})}
+	j := &job{id: key, spec: spec, ej: ej, eng: eng.Name(), obsLabel: eng.ObsLabel(), detail: ej.Detail(),
+		priority: spec.Priority, seq: s.seq, state: StateQueued, done: make(chan struct{})}
 	s.jobs[key] = j
 	s.queue.push(j)
 	if d := len(s.queue); d > s.maxDepth {
 		s.maxDepth = d
 	}
 	s.m.queueDepth.Set(float64(len(s.queue)))
-	s.reg.Event("service.job_enqueued", shortKey(key))
+	s.m.costHint.With(j.obsLabel).Observe(ej.CostHint())
+	s.reg.Event("service.job_enqueued", eventDetail(j.obsLabel, key))
 	s.cond.Signal()
 	return SubmitOutcome{ID: key, State: StateQueued}, nil
 }
@@ -318,10 +337,10 @@ func (s *Service) worker() {
 		if s.cfg.BeforeRun != nil {
 			s.cfg.BeforeRun(j.spec)
 		}
-		s.reg.Event("service.job_started", shortKey(j.id))
+		s.reg.Event("service.job_started", eventDetail(j.obsLabel, j.id))
 		span := s.reg.StartSpan("service.job_run")
-		res, err := runJob(ctx, j.spec, s.reg)
-		dur := span.EndDetail(shortKey(j.id))
+		res, err := j.ej.Run(ctx, s.reg)
+		dur := span.EndDetail(eventDetail(j.obsLabel, j.id))
 		cancel()
 
 		s.mu.Lock()
@@ -329,6 +348,7 @@ func (s *Service) worker() {
 		s.m.running.Set(float64(s.running))
 		s.executed++
 		s.m.executed.Inc()
+		s.m.engineExecuted.With(j.obsLabel).Inc()
 		if s.m.jobSeconds != nil {
 			s.m.jobSeconds.Observe(dur.Seconds())
 		}
@@ -339,19 +359,19 @@ func (s *Service) worker() {
 			s.cache.put(j.id, res)
 			s.m.cacheBytes.Set(float64(s.cache.bytes))
 			s.syncEvictionsLocked()
-			s.reg.Event("service.job_done", shortKey(j.id))
+			s.reg.Event("service.job_done", eventDetail(j.obsLabel, j.id))
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			j.state = StateCanceled
 			j.err = err
 			s.canceled++
 			s.m.canceled.Inc()
-			s.reg.Event("service.job_canceled", shortKey(j.id))
+			s.reg.Event("service.job_canceled", eventDetail(j.obsLabel, j.id))
 		default:
 			j.state = StateFailed
 			j.err = err
 			s.failed++
 			s.m.failed.Inc()
-			s.reg.Event("service.job_failed", shortKey(j.id)+": "+err.Error())
+			s.reg.Event("service.job_failed", eventDetail(j.obsLabel, j.id)+": "+err.Error())
 		}
 		j.cancel = nil
 		close(j.done)
@@ -403,7 +423,8 @@ func (s *Service) statusLocked(j *job) JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,
-		Algorithm: j.spec.Algorithm,
+		Engine:    j.eng,
+		Algorithm: j.detail,
 		Priority:  j.priority,
 		Cached:    j.cached,
 		Deduped:   j.deduped,
@@ -414,27 +435,23 @@ func (s *Service) statusLocked(j *job) JobStatus {
 	return st
 }
 
-// Result returns the completed job's selection result. It fails with
-// ErrNotDone (wrapped with the current state) until the job reaches
-// Done, and ErrUnknownJob for unretained IDs.
-func (s *Service) Result(id string) (selection.Result, error) {
+// Result returns the completed job's result (the concrete type is the
+// engine's result payload — selection.Result for the selection engine,
+// loss.Result for the loss engine). It fails with ErrNotDone (wrapped
+// with the current state) until the job reaches Done, and ErrUnknownJob
+// for unretained IDs. The returned result is a clone detached from the
+// cached copy.
+func (s *Service) Result(id string) (engine.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
-		return selection.Result{}, fmt.Errorf("service: job %q: %w", shortKey(id), ErrUnknownJob)
+		return nil, fmt.Errorf("service: job %q: %w", shortKey(id), ErrUnknownJob)
 	}
 	if j.state != StateDone {
-		return selection.Result{}, fmt.Errorf("service: job %q is %s: %w", shortKey(id), j.state, ErrNotDone)
+		return nil, fmt.Errorf("service: job %q is %s: %w", shortKey(id), j.state, ErrNotDone)
 	}
-	return resultCopy(j.res), nil
-}
-
-// resultCopy clones the mutable parts of a result so callers cannot
-// corrupt the cached copy.
-func resultCopy(res selection.Result) selection.Result {
-	res.Selected = append([]int(nil), res.Selected...)
-	return res
+	return j.res.Clone(), nil
 }
 
 // Cancel cancels a job: queued jobs terminate immediately, running jobs

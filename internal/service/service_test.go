@@ -63,6 +63,21 @@ func closeNow(t *testing.T, s *Service) {
 	}
 }
 
+// selResult fetches a done job's result and asserts the selection
+// engine's concrete payload type behind the engine.Result interface.
+func selResult(t *testing.T, s *Service, id string) selection.Result {
+	t.Helper()
+	res, err := s.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := res.(selection.Result)
+	if !ok {
+		t.Fatalf("Result returned %T, want selection.Result", res)
+	}
+	return sel
+}
+
 func TestSubmitRunsJob(t *testing.T) {
 	s := New(Config{Workers: 2, QueueDepth: 8})
 	defer closeNow(t, s)
@@ -77,10 +92,7 @@ func TestSubmitRunsJob(t *testing.T) {
 	if st.State != StateDone {
 		t.Fatalf("state %s, err %q", st.State, st.Error)
 	}
-	res, err := s.Result(out.ID)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := selResult(t, s, out.ID)
 	if len(res.Selected) == 0 {
 		t.Fatalf("implausible result %+v", res)
 	}
@@ -107,11 +119,7 @@ func TestCacheHitBitIdentical(t *testing.T) {
 				if st := waitDone(t, s, out.ID); st.State != StateDone {
 					t.Fatalf("cold run state %s, err %q", st.State, st.Error)
 				}
-				res, err := s.Result(out.ID)
-				if err != nil {
-					t.Fatal(err)
-				}
-				return res
+				return selResult(t, s, out.ID)
 			}
 			first, second := cold(), cold()
 			if !reflect.DeepEqual(first, second) {
@@ -134,10 +142,7 @@ func TestCacheHitBitIdentical(t *testing.T) {
 			if !again.Cached {
 				t.Fatalf("second submission not cached: %+v", again)
 			}
-			cachedRes, err := s.Result(again.ID)
-			if err != nil {
-				t.Fatal(err)
-			}
+			cachedRes := selResult(t, s, again.ID)
 			if !reflect.DeepEqual(cachedRes, first) {
 				t.Fatalf("cache hit differs from cold run:\n%+v\n%+v", cachedRes, first)
 			}
@@ -613,17 +618,11 @@ func TestResultIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitDone(t, s, out.ID)
-	res1, err := s.Result(out.ID)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res1 := selResult(t, s, out.ID)
 	for i := range res1.Selected {
 		res1.Selected[i] = -1
 	}
-	res2, err := s.Result(out.ID)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res2 := selResult(t, s, out.ID)
 	for _, q := range res2.Selected {
 		if q == -1 {
 			t.Fatal("caller mutation reached the cached result")

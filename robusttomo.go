@@ -26,9 +26,11 @@ import (
 	"robusttomo/internal/bandit"
 	"robusttomo/internal/cost"
 	"robusttomo/internal/diagnose"
+	"robusttomo/internal/engine"
 	"robusttomo/internal/er"
 	"robusttomo/internal/failure"
 	"robusttomo/internal/graph"
+	"robusttomo/internal/loss"
 	"robusttomo/internal/obs"
 	"robusttomo/internal/placement"
 	"robusttomo/internal/routing"
@@ -432,10 +434,77 @@ var (
 	ExponentialMetricBuckets = obs.ExponentialBuckets
 )
 
-// Selection service: the asynchronous multi-tenant job subsystem behind
-// `tomo serve` (POST /api/v1/jobs). Embed it directly to get the worker
-// pool, content-addressed result cache, singleflight dedup and load
-// shedding without the HTTP layer.
+// Engine registry: the typed dispatch surface behind the job service.
+// An Engine normalizes a JobSpec into a content-addressed EngineJob;
+// the service queues, dedups, caches and labels entirely through the
+// interface. Register new inference methods from their own package —
+// the service needs no edits.
+type (
+	// Engine is a registered inference method: it normalizes a submitted
+	// spec into a runnable, content-addressed job.
+	Engine = engine.Engine
+	// EngineSpec is the raw submission an Engine normalizes.
+	EngineSpec = engine.Spec
+	// EngineJob is one normalized job: canonical key, cost hint, run.
+	EngineJob = engine.Job
+	// EngineResult is an engine's result payload (cache-sizable,
+	// clonable). Concrete types: SelectionResult, LossResult.
+	EngineResult = engine.Result
+	// UnknownEngineError reports a job routed to an unregistered engine;
+	// its message lists the registered names. Match with errors.As.
+	UnknownEngineError = engine.UnknownEngineError
+)
+
+// Engine registry entry points.
+var (
+	// RegisterEngine adds an engine to the process-wide registry
+	// (typically from an init function); it panics on a duplicate name.
+	RegisterEngine = engine.Register
+	// LookupEngine resolves a registered engine by name.
+	LookupEngine = engine.Lookup
+	// Engines lists the registered engine names, sorted.
+	Engines = engine.Engines
+)
+
+// Multicast loss tomography (the "loss" engine): the MINC
+// maximum-likelihood estimator of per-link loss rates from end-to-end
+// multicast receiver observations, over arbitrary logical trees.
+type (
+	// LossTree is a rooted logical multicast tree (parent-array form).
+	LossTree = loss.Tree
+	// LossEstimator accumulates multicast probe outcomes incrementally
+	// and solves the MINC MLE from its counts at any point.
+	LossEstimator = loss.Estimator
+	// LossResult is a loss-tomography estimate: per-node γ, cumulative
+	// pass rates A, per-link pass rates α and loss rates 1−α.
+	LossResult = loss.Result
+	// LossParams is the loss engine's JobSpec params payload (the tree
+	// and the per-probe receiver outcomes).
+	LossParams = loss.Params
+	// LossUnidentifiableError reports a node whose MLE equation
+	// degenerates (the γ-sum cancellation guard); match with errors.As.
+	LossUnidentifiableError = loss.UnidentifiableError
+)
+
+// Loss-tomography construction.
+var (
+	// NewLossTree builds a multicast tree from a parent array (-1 root).
+	NewLossTree = loss.NewTree
+	// NewBinaryLossTree builds the complete binary tree of a given depth.
+	NewBinaryLossTree = loss.BinaryTree
+	// NewLossEstimator returns an estimator with zero probes observed.
+	NewLossEstimator = loss.NewEstimator
+	// BinaryClosedFormA is the two-child closed form of the MLE equation,
+	// A = γ_L·γ_R/(γ_L+γ_R−γ).
+	BinaryClosedFormA = loss.BinaryClosedFormA
+)
+
+// Inference-job service: the asynchronous multi-tenant job subsystem
+// behind `tomo serve` (POST /api/v1/jobs), dispatching to registered
+// engines. Embed it directly to get the worker pool, content-addressed
+// result cache, singleflight dedup and load shedding without the HTTP
+// layer. (The Selection* names predate the engine registry — the
+// service itself is engine-agnostic.)
 type (
 	// SelectionService runs client-submitted selection jobs on a bounded
 	// worker pool with a content-addressed result cache.
