@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 MAX_REGRESS ?= 0.25
 
-.PHONY: all build test race cover bench bench-json bench-gate alloc-gate ci fmt-check fuzz fuzz-smoke soak-agent soak-stream serve-smoke experiments examples clean
+.PHONY: all build test race cover bench bench-json bench-gate alloc-gate ci fmt-check fuzz fuzz-smoke soak-agent soak-stream soak-cluster serve-smoke cluster-smoke experiments examples clean
 
 all: build test
 
@@ -56,6 +56,7 @@ bench-json:
 	$(GO) run ./cmd/benchregress -suite obs
 	$(GO) run ./cmd/benchregress -suite agent
 	$(GO) run ./cmd/benchregress -suite loss
+	$(GO) run ./cmd/benchregress -suite cluster
 
 # CI perf gate: rerun every tracked suite and fail if any benchmark lost
 # more than MAX_REGRESS (default 25%) of its committed-baseline
@@ -66,6 +67,7 @@ bench-gate:
 	$(GO) run ./cmd/benchregress -suite obs -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite agent -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite loss -compare -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/benchregress -suite cluster -compare -max-regress $(MAX_REGRESS)
 
 # CI allocation gate: the steady-state zero-allocation contracts asserted
 # with testing.AllocsPerRun — the Monte Carlo incremental oracle (Gain,
@@ -91,6 +93,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzWireRoundTrip -fuzztime=$(FUZZTIME) ./internal/agent/
 	$(GO) test -fuzz=FuzzBatchFrame -fuzztime=$(FUZZTIME) ./internal/agent/
 	$(GO) test -fuzz=FuzzBatchRoundTrip -fuzztime=$(FUZZTIME) ./internal/agent/
+	$(GO) test -fuzz=FuzzPeerFrame -fuzztime=$(FUZZTIME) ./internal/cluster/
+	$(GO) test -fuzz=FuzzPeerRoundTrip -fuzztime=$(FUZZTIME) ./internal/cluster/
 
 # Hammer the fault-tolerant collection plane (retries, circuit breakers,
 # persistent sessions) with scripted faults and concurrent collectors
@@ -116,6 +120,21 @@ soak-stream:
 serve-smoke:
 	$(GO) test -race -run 'TestServe|TestAPI' -count=1 -timeout 120s -v ./cmd/tomo/
 	./scripts/serve_smoke.sh
+
+# Churn soak for the cluster plane: a 16-node in-process ring under the
+# race detector with peers being killed and revived while submitters
+# spray a shared key space. Asserts no submission is lost, every result
+# is bit-identical to the single-node reference, and every node's
+# disposition ledger balances after the drain. Bounded well under 60s.
+soak-cluster:
+	CLUSTER_SOAK=1 $(GO) test -race -run TestClusterChurnSoak -count=1 -timeout 120s -v ./internal/cluster/
+
+# Boot three real `tomo serve` daemons wired into one consistent-hash
+# ring, walk the forwarded job path with curl, kill the owner with
+# SIGKILL and prove the survivors route around it. The script traps
+# EXIT/INT/TERM and kills all daemon PIDs on every exit path.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Regenerate every paper table/figure at quick scale (seconds). Use
 # SCALE=medium or SCALE=paper for the larger runs.

@@ -15,6 +15,11 @@
 //   - loss: the multicast loss-tomography MLE → BENCH_loss.json; the
 //     incremental per-epoch update against its from-scratch batch *Fresh
 //     baseline
+//   - cluster: the sharded cluster plane → BENCH_cluster.json; the
+//     forwarded submit path (route → peer frame → remote execute →
+//     cache-fill) against its submit-at-owner *Serial baseline, plus the
+//     ring lookup and peer codec microbenchmarks and the hedge-win rate
+//     per forwarded op
 //
 // Each benchmark is paired with its baseline reference — a *Serial variant
 // (one worker / per-line plane) or a *Fresh variant (from-scratch-per-epoch
@@ -25,7 +30,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchregress [-suite selection|bandit|obs|agent|loss] [-out FILE] [-benchtime 5x]
+//	go run ./cmd/benchregress [-suite selection|bandit|obs|agent|loss|cluster] [-out FILE] [-benchtime 5x]
 //
 // With -compare the command becomes a CI gate: instead of rewriting the
 // JSON, it runs the suite, compares against the committed baseline
@@ -98,10 +103,22 @@ var suites = map[string]struct {
 		packages:  []string{"./internal/loss/"},
 		benchtime: "20x",
 	},
+	// The cluster suite pairs the forwarded submit path against its
+	// submit-at-owner Serial baseline, so the Speedup column reads as the
+	// forwarding overhead factor (expected < 1). One forwarded op stands
+	// up real jobs on the in-process fabric, so a time budget keeps the
+	// run bounded.
+	"cluster": {
+		out: "BENCH_cluster.json",
+		pattern: "^(BenchmarkClusterSubmitForwarded|BenchmarkClusterSubmitForwardedSerial|" +
+			"BenchmarkClusterRingOwner|BenchmarkClusterPeerCodec)$",
+		packages:  []string{"./internal/cluster/"},
+		benchtime: "1s",
+	},
 }
 
 func main() {
-	suiteName := flag.String("suite", "selection", "benchmark suite: selection, bandit, obs, agent or loss")
+	suiteName := flag.String("suite", "selection", "benchmark suite: selection, bandit, obs, agent, loss or cluster")
 	out := flag.String("out", "", "output JSON path (default per suite)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (default per suite)")
 	pattern := flag.String("bench", "", "go test -bench regexp override (default per suite)")
@@ -112,7 +129,7 @@ func main() {
 
 	suite, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchregress: unknown suite %q (selection, bandit, obs, agent, loss)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchregress: unknown suite %q (selection, bandit, obs, agent, loss, cluster)\n", *suiteName)
 		os.Exit(1)
 	}
 	if *out == "" {

@@ -28,6 +28,10 @@ type Entry struct {
 	// FramesPerSecond is Frames / (NsPerOp in seconds): the sustained
 	// path-frame throughput of one collection epoch.
 	FramesPerSecond float64 `json:"frames_per_second,omitempty"`
+	// HedgeWins is the hedge-win rate per forwarded op the cluster
+	// benchmarks report via the "hedgewins" metric — near zero on a
+	// healthy fabric, so a climb flags an accidental always-hedge.
+	HedgeWins float64 `json:"hedge_wins,omitempty"`
 }
 
 // Pair relates a benchmark to its baseline reference — a *Serial variant
@@ -95,6 +99,8 @@ func ParseBenchOutput(out string) []Entry {
 				e.Panel = v
 			case "frames":
 				e.Frames = v
+			case "hedgewins":
+				e.HedgeWins = v
 			}
 		}
 		if e.Panel > 0 && e.NsPerOp > 0 {

@@ -90,6 +90,31 @@ func TestBuildReportPairsFresh(t *testing.T) {
 	}
 }
 
+const clusterOutput = `pkg: robusttomo/internal/cluster
+BenchmarkClusterSubmitForwarded-4      	   10000	    103000 ns/op	         0.0020 hedgewins	    9000 B/op	     120 allocs/op
+BenchmarkClusterSubmitForwardedSerial-4	   40000	     29000 ns/op	         0 hedgewins	    5000 B/op	      60 allocs/op
+PASS
+`
+
+func TestParseClusterHedgeWins(t *testing.T) {
+	entries := ParseBenchOutput(clusterOutput)
+	if len(entries) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %+v", len(entries), entries)
+	}
+	if entries[0].HedgeWins != 0.0020 {
+		t.Fatalf("hedge wins = %v, want 0.0020", entries[0].HedgeWins)
+	}
+	report := BuildReport(entries)
+	if len(report.Speedups) != 1 {
+		t.Fatalf("got %d pairs, want 1: %+v", len(report.Speedups), report.Speedups)
+	}
+	// The Serial pair is the submit-at-owner baseline, so the "speedup"
+	// reads as the forwarding overhead factor (< 1).
+	if want := 29000.0 / 103000.0; report.Speedups[0].Speedup != want {
+		t.Fatalf("forwarding overhead factor = %v, want %v", report.Speedups[0].Speedup, want)
+	}
+}
+
 func TestTrimProcSuffix(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkMonteCarlo":     "BenchmarkMonteCarlo",

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 
+	"robusttomo/internal/cluster"
+	"robusttomo/internal/engine"
 	"robusttomo/internal/service"
 )
 
@@ -42,6 +44,38 @@ func (s *server) mountJobAPI() {
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleServiceStats)
 }
 
+// The job verbs route through the cluster node when one is configured
+// (the node forwards to the ring owner or serves locally) and straight
+// to the service otherwise. The HTTP surface is identical either way.
+
+func (s *server) submitJob(spec service.JobSpec) (service.SubmitOutcome, error) {
+	if s.node != nil {
+		return s.node.Submit(spec)
+	}
+	return s.svc.Submit(spec)
+}
+
+func (s *server) jobStatus(id string) (service.JobStatus, error) {
+	if s.node != nil {
+		return s.node.Status(id)
+	}
+	return s.svc.Status(id)
+}
+
+func (s *server) jobResult(id string) (engine.Result, error) {
+	if s.node != nil {
+		return s.node.Result(id)
+	}
+	return s.svc.Result(id)
+}
+
+func (s *server) jobCancel(id string) (service.JobStatus, error) {
+	if s.node != nil {
+		return s.node.Cancel(id)
+	}
+	return s.svc.Cancel(id)
+}
+
 // handleSubmitJob accepts a selection job: 202 Accepted for queued or
 // deduped work, 200 OK for a cache answer, 400 for invalid specs, 429 +
 // Retry-After when the queue is full, 503 once shutdown has begun.
@@ -53,7 +87,7 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 		return
 	}
-	out, err := s.svc.Submit(spec)
+	out, err := s.submitJob(spec)
 	switch {
 	case err == nil:
 		code := http.StatusAccepted
@@ -71,7 +105,7 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
 		}
 		writeAPIError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, service.ErrClosed):
+	case errors.Is(err, service.ErrClosed), errors.Is(err, cluster.ErrNodeClosed):
 		writeAPIError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeAPIError(w, http.StatusBadRequest, err)
@@ -79,7 +113,7 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	st, err := s.svc.Status(r.PathValue("id"))
+	st, err := s.jobStatus(r.PathValue("id"))
 	if err != nil {
 		writeAPIError(w, http.StatusNotFound, err)
 		return
@@ -90,7 +124,7 @@ func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 // handleJobResult serves the completed result: 404 for unknown IDs, 409
 // (with the current state in the error) while the job is not done.
 func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	res, err := s.svc.Result(r.PathValue("id"))
+	res, err := s.jobResult(r.PathValue("id"))
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)
@@ -104,7 +138,7 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	st, err := s.svc.Cancel(r.PathValue("id"))
+	st, err := s.jobCancel(r.PathValue("id"))
 	if err != nil {
 		writeAPIError(w, http.StatusNotFound, err)
 		return
@@ -112,6 +146,13 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-func (s *server) handleServiceStats(w http.ResponseWriter, _ *http.Request) {
+// handleServiceStats reports local service counters in single-node
+// mode; in cluster mode it fans out to every peer and returns the
+// cluster-wide snapshot (unreachable peers are listed, not fatal).
+func (s *server) handleServiceStats(w http.ResponseWriter, r *http.Request) {
+	if s.node != nil {
+		writeJSON(w, http.StatusOK, s.node.ClusterStats(r.Context()))
+		return
+	}
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }

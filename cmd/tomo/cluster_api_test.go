@@ -1,0 +1,290 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"robusttomo/internal/cluster"
+	"robusttomo/internal/service"
+)
+
+// clusterDaemons is an in-process multi-daemon cluster: real HTTP
+// listeners, real TCP peer protocol, one server per node.
+type clusterDaemons struct {
+	bases   []string // HTTP base URLs
+	peers   []string // peer-protocol addresses (ring identities)
+	servers []*server
+	stops   []func()
+	stopped []bool
+}
+
+// stopNode shuts one daemon down (idempotent) — the cluster-mode
+// equivalent of killing a peer.
+func (cd *clusterDaemons) stopNode(i int) {
+	if cd.stopped[i] {
+		return
+	}
+	cd.stopped[i] = true
+	cd.stops[i]()
+}
+
+// startClusterDaemons boots size daemons wired into one ring. Peer
+// listeners are pre-bound on port 0 first so every node can name every
+// other in its Peers list before any of them starts.
+func startClusterDaemons(t *testing.T, size int, mutate func(i int, cfg *serveConfig)) *clusterDaemons {
+	t.Helper()
+	lns := make([]net.Listener, size)
+	peers := make([]string, size)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("bind peer listener %d: %v", i, err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	cd := &clusterDaemons{peers: peers, stopped: make([]bool, size)}
+	for i := 0; i < size; i++ {
+		others := make([]string, 0, size-1)
+		for j, p := range peers {
+			if j != i {
+				others = append(others, p)
+			}
+		}
+		i := i
+		base, s, stop := startAPIServer(t, func(cfg *serveConfig) {
+			cfg.Peers = others
+			cfg.peerLn = lns[i]
+			cfg.HedgeAfter = 25 * time.Millisecond
+			if mutate != nil {
+				mutate(i, cfg)
+			}
+		})
+		cd.bases = append(cd.bases, base)
+		cd.servers = append(cd.servers, s)
+		cd.stops = append(cd.stops, stop)
+	}
+	t.Cleanup(func() {
+		for i := range cd.stops {
+			cd.stopNode(i)
+		}
+	})
+	return cd
+}
+
+// ownerOf returns the index of the daemon owning spec's canonical key.
+func (cd *clusterDaemons) ownerOf(t *testing.T, spec service.JobSpec) int {
+	t.Helper()
+	key, err := spec.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := cd.servers[0].node.Ring().Owner(key, nil)
+	if !ok {
+		t.Fatal("ring has no owner")
+	}
+	for i, p := range cd.peers {
+		if p == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %s is not a daemon", owner)
+	return -1
+}
+
+// specOwnedByDaemon finds an apiSpec variant owned by daemon want.
+func (cd *clusterDaemons) specOwnedByDaemon(t *testing.T, want int) service.JobSpec {
+	t.Helper()
+	for n := 0; n < 1000; n++ {
+		spec := apiSpec(n)
+		if cd.ownerOf(t, spec) == want {
+			return spec
+		}
+	}
+	t.Fatalf("no spec owned by daemon %d", want)
+	return service.JobSpec{}
+}
+
+// getRaw fetches url and returns the raw response bytes.
+func getRaw(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestAPIClusterExactlyOnceBitIdentical is the acceptance path over
+// real HTTP and TCP: the same job submitted concurrently at all three
+// daemons executes exactly once cluster-wide, every daemon serves the
+// result, and the bytes are identical from every node.
+func TestAPIClusterExactlyOnceBitIdentical(t *testing.T) {
+	cd := startClusterDaemons(t, 3, nil)
+	spec := cd.specOwnedByDaemon(t, 1)
+
+	outs := make([]service.SubmitOutcome, 3)
+	var wg sync.WaitGroup
+	for i, base := range cd.bases {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			code, _ := doJSON(t, http.MethodPost, base+"/api/v1/jobs", spec, &outs[i])
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Errorf("daemon %d submit returned %d", i, code)
+			}
+		}(i, base)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < 3; i++ {
+		if outs[i].ID != outs[0].ID {
+			t.Fatalf("daemons disagree on the job ID: %q vs %q", outs[i].ID, outs[0].ID)
+		}
+	}
+
+	var bodies [][]byte
+	for i, base := range cd.bases {
+		waitJobState(t, base, outs[i].ID, service.StateDone)
+		code, body := getRaw(t, base+"/api/v1/jobs/"+outs[i].ID+"/result")
+		if code != http.StatusOK {
+			t.Fatalf("daemon %d result returned %d: %s", i, code, body)
+		}
+		bodies = append(bodies, body)
+	}
+	for i := 1; i < 3; i++ {
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("daemon %d serves different bytes:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+
+	// Exactly one execution across the fleet, on the owner.
+	executed := 0
+	for i, s := range cd.servers {
+		ex := int(s.svc.Stats().Executed)
+		executed += ex
+		if i == 1 && ex != 1 {
+			t.Fatalf("owner daemon executed %d times, want 1", ex)
+		}
+	}
+	if executed != 1 {
+		t.Fatalf("cluster executed %d times, want exactly 1", executed)
+	}
+
+	// The stats endpoint is cluster-aware: any daemon reports the fleet.
+	var snap cluster.ClusterSnapshot
+	if code, _ := doJSON(t, http.MethodGet, cd.bases[2]+"/api/v1/stats", nil, &snap); code != http.StatusOK {
+		t.Fatalf("cluster stats returned %d", code)
+	}
+	if snap.Totals.Nodes != 3 || len(snap.Unreachable) != 0 {
+		t.Fatalf("cluster stats totals %+v, unreachable %v", snap.Totals, snap.Unreachable)
+	}
+	if snap.Totals.Submitted < 3 {
+		t.Fatalf("fleet submitted %d, want >= 3", snap.Totals.Submitted)
+	}
+}
+
+// TestAPIClusterKilledPeerRoutedAround kills the daemon owning a key,
+// then submits that key elsewhere: the hedge (or local fallback)
+// completes the job, and the stats endpoint reports the dead peer as
+// unreachable rather than failing.
+func TestAPIClusterKilledPeerRoutedAround(t *testing.T) {
+	cd := startClusterDaemons(t, 3, nil)
+	spec := cd.specOwnedByDaemon(t, 2)
+	cd.stopNode(2)
+
+	var out service.SubmitOutcome
+	code, _ := doJSON(t, http.MethodPost, cd.bases[0]+"/api/v1/jobs", spec, &out)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with dead owner returned %d", code)
+	}
+	waitJobState(t, cd.bases[0], out.ID, service.StateDone)
+	if code, body := getRaw(t, cd.bases[0]+"/api/v1/jobs/"+out.ID+"/result"); code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("result after routing around dead owner: %d %s", code, body)
+	}
+
+	var snap cluster.ClusterSnapshot
+	if code, _ := doJSON(t, http.MethodGet, cd.bases[0]+"/api/v1/stats", nil, &snap); code != http.StatusOK {
+		t.Fatalf("cluster stats returned %d", code)
+	}
+	if snap.Totals.Unreachable != 1 || len(snap.Unreachable) != 1 || snap.Unreachable[0] != cd.peers[2] {
+		t.Fatalf("stats should list the killed peer %s as unreachable, got %+v", cd.peers[2], snap.Unreachable)
+	}
+}
+
+// TestServePeerFlagValidation: cluster misconfiguration fails newServer
+// synchronously with the typed peer-validation error — the daemon never
+// starts half-clustered.
+func TestServePeerFlagValidation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	self := ln.Addr().String()
+
+	cases := []struct {
+		name   string
+		peers  []string
+		reason string
+	}{
+		{"self-addressed", []string{self}, "own address"},
+		{"duplicate", []string{"10.0.0.1:9321", "10.0.0.1:9321"}, "duplicate"},
+		{"empty entry", []string{"10.0.0.1:9321", ""}, "empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testServeConfig()
+			cfg.KillEpoch = -1
+			cfg.Peers = tc.peers
+			cfg.peerLn = ln
+			s, err := newServer(cfg)
+			if err == nil {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				s.Run(ctx)
+				t.Fatalf("newServer accepted peers %v", tc.peers)
+			}
+			var ce *cluster.ClusterConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *cluster.ClusterConfigError", err)
+			}
+			if !strings.Contains(ce.Reason, tc.reason) {
+				t.Fatalf("reason %q does not mention %q", ce.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestSplitPeers covers the -peers flag parser: trimming, kept empties
+// (so validation rejects them loudly), and the single-node empty case.
+func TestSplitPeers(t *testing.T) {
+	if got := splitPeers(""); got != nil {
+		t.Fatalf("splitPeers(\"\") = %v, want nil", got)
+	}
+	got := splitPeers(" a:1, b:2 ,,c:3")
+	want := []string{"a:1", "b:2", "", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitPeers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitPeers[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

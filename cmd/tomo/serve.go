@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"robusttomo/internal/agent"
+	"robusttomo/internal/cluster"
 	_ "robusttomo/internal/loss" // register the loss engine
 	"robusttomo/internal/obs"
 	"robusttomo/internal/service"
@@ -46,12 +47,43 @@ type serveConfig struct {
 	RetryAfter time.Duration
 	// beforeRun is the service's test seam; production leaves it nil.
 	beforeRun func(service.JobSpec)
+
+	// Cluster knobs (-peers and friends). Empty Peers means single-node
+	// mode: no peer listener, no routing layer, the service is hit
+	// directly.
+	Peers        []string
+	PeerAddr     string // peer-protocol listen address and ring identity
+	RingReplicas int
+	HedgeAfter   time.Duration
+	// peerLn is the cluster test seam: a pre-bound peer listener whose
+	// address is this node's ring identity (tests bind port 0 first so
+	// peers can reference each other). Production leaves it nil and
+	// PeerAddr is bound here.
+	peerLn net.Listener
 }
 
 // serveHorizon bounds the failure schedule when -epochs is 0: large enough
 // that an unattended daemon runs for days at the default interval, small
 // enough that the precomputed schedule stays cheap.
 const serveHorizon = 1 << 17
+
+// defaultPeerAddr is where the peer protocol listens in cluster mode
+// (one port above the default HTTP address).
+const defaultPeerAddr = "127.0.0.1:9321"
+
+// splitPeers turns the -peers flag value into the peer list. Entries
+// are trimmed but empties are kept: `-peers a:1,,b:2` should fail peer
+// validation loudly, not silently drop a member.
+func splitPeers(flagVal string) []string {
+	if flagVal == "" {
+		return nil
+	}
+	parts := strings.Split(flagVal, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
 
 // server is the long-running observability daemon: the demo closed loop
 // stepping on a ticker, with the obs registry exported over HTTP.
@@ -63,6 +95,11 @@ type server struct {
 	ln   net.Listener
 	mux  *http.ServeMux
 	http *http.Server
+
+	// Cluster mode only (nil otherwise): the routing node and its peer
+	// protocol listener.
+	node   *cluster.Node
+	peerLn net.Listener
 
 	mu       sync.Mutex
 	ready    bool
@@ -109,6 +146,16 @@ func newServer(cfg serveConfig) (*server, error) {
 		BeforeRun:  cfg.beforeRun,
 	})
 	s := &server{cfg: cfg, d: d, reg: reg, svc: svc, ln: ln}
+	if len(cfg.Peers) > 0 {
+		if err := s.startCluster(); err != nil {
+			cctx, ccancel := context.WithTimeout(context.Background(), time.Second)
+			_ = svc.Close(cctx)
+			ccancel()
+			ln.Close()
+			d.Close()
+			return nil, err
+		}
+	}
 	// A second server in the same process (tests) hits the
 	// already-published name; the expvar surface then reflects the first
 	// registry, which is fine for a debug endpoint.
@@ -131,6 +178,48 @@ func newServer(cfg serveConfig) (*server, error) {
 
 // Addr returns the bound listen address.
 func (s *server) Addr() string { return s.ln.Addr().String() }
+
+// startCluster binds the peer-protocol listener and stands up the
+// routing node. The ring identity is cfg.PeerAddr when it names a
+// concrete port (every node must then list exactly that string in its
+// peers' -peers flags); with port 0 (tests) the identity is the bound
+// address.
+func (s *server) startCluster() error {
+	pln := s.cfg.peerLn
+	if pln == nil {
+		addr := s.cfg.PeerAddr
+		if addr == "" {
+			addr = defaultPeerAddr
+		}
+		var err error
+		pln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("cluster: bind peer listener: %w", err)
+		}
+	}
+	self := s.cfg.PeerAddr
+	if self == "" || strings.HasSuffix(self, ":0") {
+		self = pln.Addr().String()
+	}
+	node, err := cluster.New(cluster.Config{
+		Self:         self,
+		Peers:        s.cfg.Peers,
+		RingReplicas: s.cfg.RingReplicas,
+		HedgeAfter:   s.cfg.HedgeAfter,
+		Service:      s.svc,
+		Transport:    cluster.NewTCPTransport(),
+		Observer:     s.reg,
+	})
+	if err != nil {
+		if pln != s.cfg.peerLn {
+			pln.Close()
+		}
+		return err
+	}
+	s.node = node
+	s.peerLn = pln
+	return nil
+}
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -273,6 +362,22 @@ func (s *server) Run(ctx context.Context) error {
 	errc := make(chan error, 1)
 	go func() { errc <- s.http.Serve(s.ln) }()
 
+	// Cluster mode: serve the peer protocol for as long as HTTP runs,
+	// and a little longer — peers may still be fetching results while
+	// this node drains.
+	pctx, stopPeers := context.WithCancel(context.Background())
+	defer stopPeers()
+	var peerWG sync.WaitGroup
+	if s.node != nil {
+		peerWG.Add(1)
+		go func() {
+			defer peerWG.Done()
+			if perr := cluster.ServePeers(pctx, s.peerLn, s.node); perr != nil {
+				s.reg.Event("serve.peer_listener_error", perr.Error())
+			}
+		}()
+	}
+
 	var err error
 	select {
 	case <-ctx.Done():
@@ -283,6 +388,17 @@ func (s *server) Run(ctx context.Context) error {
 	}
 	stopLoop()
 	wg.Wait()
+	// Drain the cluster node first (outstanding forwards finish or are
+	// cut), then stop answering peers, then drain the local service.
+	if s.node != nil {
+		nctx, ncancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if nerr := s.node.Close(nctx); nerr != nil {
+			s.reg.Event("serve.cluster_drain_cut_short", nerr.Error())
+		}
+		ncancel()
+		stopPeers()
+		peerWG.Wait()
+	}
 	// Drain the selection service after the listener stops accepting new
 	// submissions: queued jobs are canceled, running jobs get the drain
 	// window, stragglers are cut at the deadline.
@@ -318,6 +434,10 @@ func runServe(args []string, out io.Writer) error {
 	queueDepth := fs.Int("queue-depth", 0, "queued jobs before load shedding kicks in (0: default 64)")
 	cacheMB := fs.Int("cache-mb", 16, "result cache byte budget in MiB")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint attached to shed submissions")
+	peers := fs.String("peers", "", "comma-separated peer addresses; non-empty enables cluster mode")
+	peerAddr := fs.String("peer-addr", defaultPeerAddr, "peer-protocol listen address and ring identity (cluster mode)")
+	ringReplicas := fs.Int("ring-replicas", 0, "virtual nodes per cluster member (0: default 64)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "delay before hedging a slow forward to the successor replica (0: default 150ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -346,6 +466,11 @@ func runServe(args []string, out io.Writer) error {
 		QueueDepth: *queueDepth,
 		CacheBytes: int64(*cacheMB) << 20,
 		RetryAfter: *retryAfter,
+
+		Peers:        splitPeers(*peers),
+		PeerAddr:     *peerAddr,
+		RingReplicas: *ringReplicas,
+		HedgeAfter:   *hedgeAfter,
 	})
 	if err != nil {
 		return err
@@ -353,6 +478,10 @@ func runServe(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "tomo serve listening on http://%s (metrics /metrics, health /healthz, status /statusz, pprof /debug/pprof)\n", s.Addr())
 	fmt.Fprintf(out, "selection service: POST /api/v1/jobs (workers %d, queue %d, cache %d MiB)\n",
 		s.svc.Stats().Workers, s.svc.QueueDepth(), *cacheMB)
+	if s.node != nil {
+		fmt.Fprintf(out, "cluster: ring identity %s, %d peers, peer protocol on %s\n",
+			s.node.Self(), len(s.cfg.Peers), s.peerLn.Addr())
+	}
 	fmt.Fprintf(out, "closed loop: %s mode, epoch every %v; SIGINT/SIGTERM to stop\n", *mode, *interval)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

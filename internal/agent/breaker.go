@@ -126,3 +126,29 @@ func (b *breaker) State() BreakerState {
 	defer b.mu.Unlock()
 	return b.state
 }
+
+// Breaker is the exported face of the three-state circuit breaker, so
+// other planes (the cluster peer protocol marks peers dead/alive with
+// it) reuse the exact state machine the collection plane runs per
+// monitor instead of growing a second implementation. All methods are
+// safe for concurrent use.
+type Breaker struct{ b *breaker }
+
+// NewBreaker returns a closed breaker under pol (zero fields take the
+// BreakerPolicy defaults).
+func NewBreaker(pol BreakerPolicy) *Breaker { return &Breaker{b: newBreaker(pol)} }
+
+// Allow reports whether an attempt may proceed; in half-open state it
+// admits exactly one probe, whose Success/Failure decides the next
+// state. Callers that are admitted must report the outcome.
+func (b *Breaker) Allow() bool { return b.b.allow() }
+
+// Success records a successful exchange: the breaker closes.
+func (b *Breaker) Success() { b.b.success() }
+
+// Failure records a failed attempt: it may trip the breaker open (or
+// re-open it from a half-open probe, restarting the cooldown).
+func (b *Breaker) Failure() { b.b.failure() }
+
+// State returns the current breaker state.
+func (b *Breaker) State() BreakerState { return b.b.State() }

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"robusttomo/internal/service"
+)
+
+// benchSpecs yields an endless stream of distinct-key specs owned by
+// the given node, so every benchmark op is a cold submission (no cache
+// hits, no dedup) on a predictable route.
+func benchSpecs(b *testing.B, tc *testCluster, owner int) func() service.JobSpec {
+	b.Helper()
+	next := 0
+	return func() service.JobSpec {
+		for ; ; next++ {
+			spec := clusterSpec(next)
+			if ownerIndex(b, tc, spec) == owner {
+				next++
+				return spec
+			}
+		}
+	}
+}
+
+func benchSubmit(b *testing.B, tc *testCluster, submitAt, ownedBy int) {
+	b.Helper()
+	gen := benchSpecs(b, tc, ownedBy)
+	n := tc.nodes[submitAt]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := n.Submit(gen())
+		if err != nil {
+			b.Fatalf("Submit: %v", err)
+		}
+		waitResult(b, n, out.ID)
+	}
+	b.StopTimer()
+	st := n.Stats()
+	b.ReportMetric(float64(st.HedgeWins)/float64(b.N), "hedgewins")
+}
+
+// BenchmarkClusterSubmitForwarded measures the full forwarded path on
+// the loopback fabric: route → OpExec frame to the owner → remote
+// execute → cache-fill → result. The hedgewins metric records the
+// hedge-win rate per op (≈0 on a healthy fabric; the regression ledger
+// tracks it so an accidental always-hedge shows up as a perf bug).
+func BenchmarkClusterSubmitForwarded(b *testing.B) {
+	tc := newTestCluster(b, 3, nil)
+	benchSubmit(b, tc, 0, 1)
+}
+
+// BenchmarkClusterSubmitForwardedSerial is the forwarded benchmark's
+// baseline pair: the same jobs submitted at their owner, i.e. the pure
+// local submit+wait latency. The Speedup column in BENCH_cluster.json
+// is therefore the forwarding overhead factor (expected < 1: forwarding
+// costs one codec round trip on top of the local run).
+func BenchmarkClusterSubmitForwardedSerial(b *testing.B) {
+	tc := newTestCluster(b, 3, nil)
+	benchSubmit(b, tc, 1, 1)
+}
+
+// BenchmarkClusterRingOwner isolates the routing decision itself.
+func BenchmarkClusterRingOwner(b *testing.B) {
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = fmt.Sprintf("node%02d", i)
+	}
+	r := NewRing(members, DefaultRingReplicas)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Owner(fmt.Sprintf("key-%d", i&1023), nil); !ok {
+			b.Fatal("no owner")
+		}
+	}
+}
+
+// BenchmarkClusterPeerCodec isolates one request+response wire round
+// trip — the per-forward framing overhead.
+func BenchmarkClusterPeerCodec(b *testing.B) {
+	req := &PeerRequest{Op: OpExec, Forwarded: true, Key: "0123456789abcdef0123456789abcdef",
+		Origin: "node00", Spec: []byte(`{"links":6,"budget":4.125,"algorithm":"probrome"}`)}
+	resp := &PeerResponse{Status: StatusOK, Payload: []byte(`{"paths":[0,1,2],"cost":3.5}`)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rq, err := roundTripRequest(req)
+		if err != nil || rq.Key != req.Key {
+			b.Fatalf("request round trip: %v", err)
+		}
+		rs, err := roundTripResponse(resp)
+		if err != nil || rs.Status != StatusOK {
+			b.Fatalf("response round trip: %v", err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"robusttomo/internal/agent"
+	"robusttomo/internal/obs"
+	"robusttomo/internal/service"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	// DefaultRingReplicas is the virtual-node count per ring member —
+	// enough that a 3-node cluster's key ranges are within a few percent
+	// of even, cheap enough that ring construction is microseconds.
+	DefaultRingReplicas = 64
+	// DefaultHedgeAfter is how long a forwarded request waits on the
+	// owner before hedging to the successor replica.
+	DefaultHedgeAfter = 150 * time.Millisecond
+	// DefaultCallTimeout bounds one peer call end to end.
+	DefaultCallTimeout = 5 * time.Second
+	// DefaultGossipInterval spaces the background health pings per peer.
+	DefaultGossipInterval = time.Second
+)
+
+// ClusterConfigError reports one rejected Config field. Validation is
+// synchronous and typed so `tomo serve -peers` misconfiguration fails
+// at flag-parse time with a precise message, never as a runtime routing
+// surprise.
+type ClusterConfigError struct {
+	// Field names the offending Config field ("Peers", "Self", ...).
+	Field string
+	// Value is the rejected value, as given.
+	Value string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *ClusterConfigError) Error() string {
+	if e.Value == "" {
+		return fmt.Sprintf("cluster: invalid %s: %s", e.Field, e.Reason)
+	}
+	return fmt.Sprintf("cluster: invalid %s %q: %s", e.Field, e.Value, e.Reason)
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// Self is this node's own ring address. It must not appear in Peers.
+	Self string
+	// Peers lists the other ring members' addresses: non-empty,
+	// duplicate-free, not containing Self. Ring membership is static;
+	// liveness within it is dynamic (per-peer breakers + gossip).
+	Peers []string
+	// RingReplicas is the virtual-node count per member. Zero means
+	// DefaultRingReplicas; negative is rejected.
+	RingReplicas int
+	// HedgeAfter is how long a forward waits on the owner before firing
+	// the hedge leg to the successor. Zero means DefaultHedgeAfter;
+	// negative hedges immediately.
+	HedgeAfter time.Duration
+	// CallTimeout bounds one peer call. Zero means DefaultCallTimeout.
+	CallTimeout time.Duration
+	// GossipInterval spaces background health pings. Zero means
+	// DefaultGossipInterval; negative disables the gossip loop (tests
+	// drive GossipOnce deterministically instead).
+	GossipInterval time.Duration
+	// Breaker is the per-peer circuit-breaker policy (zero fields take
+	// the agent.BreakerPolicy defaults).
+	Breaker agent.BreakerPolicy
+	// Service is the local job service the node fronts. Required.
+	Service *service.Service
+	// Transport carries peer calls. Required.
+	Transport Transport
+	// Observer, when non-nil, receives the tomo_cluster_* metric
+	// families.
+	Observer *obs.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.RingReplicas == 0 {
+		cfg.RingReplicas = DefaultRingReplicas
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = DefaultCallTimeout
+	}
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = DefaultGossipInterval
+	}
+	return cfg
+}
+
+// Validate rejects a misconfigured Config with a *ClusterConfigError
+// describing the first offending field. ValidatePeers covers the peer
+// list alone for callers that validate flags before building anything.
+func (cfg Config) Validate() error {
+	if cfg.Self == "" {
+		return &ClusterConfigError{Field: "Self", Reason: "node address must be non-empty"}
+	}
+	if err := ValidatePeers(cfg.Self, cfg.Peers); err != nil {
+		return err
+	}
+	if cfg.RingReplicas < 0 {
+		return &ClusterConfigError{Field: "RingReplicas", Value: fmt.Sprint(cfg.RingReplicas),
+			Reason: "virtual-node count cannot be negative"}
+	}
+	if cfg.Service == nil {
+		return &ClusterConfigError{Field: "Service", Reason: "local job service is required"}
+	}
+	if cfg.Transport == nil {
+		return &ClusterConfigError{Field: "Transport", Reason: "peer transport is required"}
+	}
+	return nil
+}
+
+// ValidatePeers checks a `-peers` list against self: every address must
+// be non-empty, not self, and unique. The error is a
+// *ClusterConfigError naming the offending entry.
+func ValidatePeers(self string, peers []string) error {
+	if len(peers) == 0 {
+		return &ClusterConfigError{Field: "Peers", Reason: "at least one peer is required (omit -peers for single-node mode)"}
+	}
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return &ClusterConfigError{Field: "Peers", Reason: "peer address must be non-empty"}
+		}
+		if p == self {
+			return &ClusterConfigError{Field: "Peers", Value: p, Reason: "peer list must not contain this node's own address"}
+		}
+		if seen[p] {
+			return &ClusterConfigError{Field: "Peers", Value: p, Reason: "duplicate peer address"}
+		}
+		seen[p] = true
+	}
+	return nil
+}

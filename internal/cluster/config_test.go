@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"robusttomo/internal/service"
+)
+
+// TestValidatePeersMatrix is the `-peers` validation matrix: every
+// misconfiguration is rejected synchronously with a typed
+// *ClusterConfigError naming the offending entry.
+func TestValidatePeersMatrix(t *testing.T) {
+	cases := []struct {
+		name       string
+		self       string
+		peers      []string
+		wantField  string
+		wantValue  string
+		wantReason string // substring
+	}{
+		{name: "valid pair", self: "a:1", peers: []string{"b:1", "c:1"}},
+		{name: "empty list", self: "a:1", peers: nil,
+			wantField: "Peers", wantReason: "at least one peer"},
+		{name: "empty entry", self: "a:1", peers: []string{"b:1", ""},
+			wantField: "Peers", wantReason: "non-empty"},
+		{name: "self-addressed", self: "a:1", peers: []string{"b:1", "a:1"},
+			wantField: "Peers", wantValue: "a:1", wantReason: "own address"},
+		{name: "duplicate", self: "a:1", peers: []string{"b:1", "c:1", "b:1"},
+			wantField: "Peers", wantValue: "b:1", wantReason: "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidatePeers(tc.self, tc.peers)
+			if tc.wantField == "" {
+				if err != nil {
+					t.Fatalf("ValidatePeers(%q, %v) = %v, want nil", tc.self, tc.peers, err)
+				}
+				return
+			}
+			var cerr *ClusterConfigError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("ValidatePeers(%q, %v) = %v (%T), want *ClusterConfigError", tc.self, tc.peers, err, err)
+			}
+			if cerr.Field != tc.wantField {
+				t.Fatalf("Field = %q, want %q", cerr.Field, tc.wantField)
+			}
+			if cerr.Value != tc.wantValue {
+				t.Fatalf("Value = %q, want %q", cerr.Value, tc.wantValue)
+			}
+			if !strings.Contains(cerr.Reason, tc.wantReason) {
+				t.Fatalf("Reason = %q, want substring %q", cerr.Reason, tc.wantReason)
+			}
+			if !strings.Contains(cerr.Error(), "cluster: invalid Peers") {
+				t.Fatalf("Error() = %q, want the field named", cerr.Error())
+			}
+		})
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer closeService(t, svc)
+	tr := NewLoopbackTransport()
+	base := func() Config {
+		return Config{Self: "a:1", Peers: []string{"b:1"}, Service: svc, Transport: tr}
+	}
+
+	if err := base().withDefaults().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name      string
+		mutate    func(*Config)
+		wantField string
+	}{
+		{"empty self", func(c *Config) { c.Self = "" }, "Self"},
+		{"negative replicas", func(c *Config) { c.RingReplicas = -1 }, "RingReplicas"},
+		{"nil service", func(c *Config) { c.Service = nil }, "Service"},
+		{"nil transport", func(c *Config) { c.Transport = nil }, "Transport"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			var cerr *ClusterConfigError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("Validate() = %v (%T), want *ClusterConfigError", err, err)
+			}
+			if cerr.Field != tc.wantField {
+				t.Fatalf("Field = %q, want %q", cerr.Field, tc.wantField)
+			}
+		})
+	}
+
+	// New surfaces the same typed error.
+	cfg := base()
+	cfg.Peers = []string{"a:1"}
+	var cerr *ClusterConfigError
+	if _, err := New(cfg); !errors.As(err, &cerr) {
+		t.Fatalf("New with self-addressed peer = %v, want *ClusterConfigError", err)
+	}
+}

@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Peer protocol wire format, following the internal/agent wire-codec
+// discipline: length-prefixed binary frames with fixed-width big-endian
+// fields, every claimed length validated against the bytes actually
+// present before any allocation.
+//
+//	offset 0      magic byte 0xC9
+//	offset 1      frame type (0x01 request, 0x02 response)
+//	offset 2..5   payload length, uint32 big-endian, ≤ maxPeerFrame
+//	offset 6..    payload
+//
+// Request payload:
+//
+//	op        byte   (exec / cache probe / stats / ping)
+//	flags     byte   (bit 0: forwarded — receiver must run locally,
+//	                  never re-forward; undefined bits are rejected)
+//	keyLen    uint16, key bytes      (canonical job key)
+//	originLen uint16, origin bytes   (submitting node, diagnostics)
+//	specLen   uint32, spec bytes     (JSON service.JobSpec, exec only)
+//
+// Response payload:
+//
+//	status     byte   (ok / miss / failed / overloaded)
+//	errLen     uint16, error bytes
+//	payloadLen uint32, payload bytes (result or stats JSON)
+
+// Binary peer-frame constants.
+const (
+	peerMagic  = 0xC9
+	peerHeader = 6 // magic + type + uint32 length
+
+	peerFrameRequest  = 0x01
+	peerFrameResponse = 0x02
+
+	// maxPeerFrame bounds one frame payload: far above any real job spec
+	// or result, far below an allocation attack.
+	maxPeerFrame = 1 << 24
+
+	maxPeerString = 1<<16 - 1 // key / origin / error are uint16-prefixed
+
+	// peerFlagForwarded marks a request already routed by the ring: the
+	// receiver executes locally and never forwards again, which makes
+	// forwarding loops impossible by construction.
+	peerFlagForwarded = 0x01
+	peerFlagsKnown    = peerFlagForwarded
+)
+
+// PeerOp selects what a peer request asks for.
+type PeerOp byte
+
+// Peer request operations.
+const (
+	// OpExec asks the receiver to run the job (answering from its cache
+	// counts) and return the result payload.
+	OpExec PeerOp = 0x01
+	// OpCacheProbe asks only the receiver's cache: StatusMiss means the
+	// caller should compute (or forward) instead.
+	OpCacheProbe PeerOp = 0x02
+	// OpStats asks for the receiver's NodeStats JSON.
+	OpStats PeerOp = 0x03
+	// OpPing is the health-gossip heartbeat.
+	OpPing PeerOp = 0x04
+)
+
+// String implements fmt.Stringer.
+func (op PeerOp) String() string {
+	switch op {
+	case OpExec:
+		return "exec"
+	case OpCacheProbe:
+		return "cache-probe"
+	case OpStats:
+		return "stats"
+	case OpPing:
+		return "ping"
+	default:
+		return fmt.Sprintf("op(0x%02x)", byte(op))
+	}
+}
+
+// PeerStatus is a peer response's outcome code.
+type PeerStatus byte
+
+// Peer response statuses.
+const (
+	// StatusOK carries the requested payload.
+	StatusOK PeerStatus = 0x00
+	// StatusMiss answers a cache probe whose key was cold.
+	StatusMiss PeerStatus = 0x01
+	// StatusFailed reports an execution or decode failure (Err explains).
+	StatusFailed PeerStatus = 0x02
+	// StatusOverloaded reports the receiver shed the job (its queue was
+	// full); the caller should hedge, fall back, or retry later.
+	StatusOverloaded PeerStatus = 0x03
+)
+
+// String implements fmt.Stringer.
+func (s PeerStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusMiss:
+		return "miss"
+	case StatusFailed:
+		return "failed"
+	case StatusOverloaded:
+		return "overloaded"
+	default:
+		return fmt.Sprintf("status(0x%02x)", byte(s))
+	}
+}
+
+// PeerRequest is one decoded peer-protocol request.
+type PeerRequest struct {
+	Op PeerOp
+	// Forwarded marks a request already routed by the consistent-hash
+	// ring; the receiver must execute locally and never re-forward.
+	Forwarded bool
+	// Key is the canonical job key (exec and cache-probe requests).
+	Key string
+	// Origin names the submitting node, for diagnostics and stats.
+	Origin string
+	// Spec is the JSON-encoded service.JobSpec of an exec request.
+	Spec []byte
+}
+
+// PeerResponse is one decoded peer-protocol response.
+type PeerResponse struct {
+	Status PeerStatus
+	// Payload carries the result bytes (exec, cache hit) or stats JSON.
+	Payload []byte
+	// Err explains failed and overloaded statuses.
+	Err string
+}
+
+// Frame-shape errors.
+var (
+	errPeerFrameTooLarge = errors.New("cluster: peer frame exceeds size bound")
+	errPeerTruncated     = errors.New("cluster: truncated peer frame")
+)
+
+// EncodePeerRequest appends req's wire form to dst and returns the
+// extended slice; dst is returned unchanged on error.
+func EncodePeerRequest(dst []byte, req *PeerRequest) ([]byte, error) {
+	switch req.Op {
+	case OpExec, OpCacheProbe, OpStats, OpPing:
+	default:
+		return dst, fmt.Errorf("cluster: cannot encode unknown peer op 0x%02x", byte(req.Op))
+	}
+	if len(req.Key) > maxPeerString {
+		return dst, fmt.Errorf("cluster: key %d bytes (max %d)", len(req.Key), maxPeerString)
+	}
+	if len(req.Origin) > maxPeerString {
+		return dst, fmt.Errorf("cluster: origin %d bytes (max %d)", len(req.Origin), maxPeerString)
+	}
+	start := len(dst)
+	dst = append(dst, peerMagic, peerFrameRequest, 0, 0, 0, 0)
+	flags := byte(0)
+	if req.Forwarded {
+		flags |= peerFlagForwarded
+	}
+	dst = append(dst, byte(req.Op), flags)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Key)))
+	dst = append(dst, req.Key...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Origin)))
+	dst = append(dst, req.Origin...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Spec)))
+	dst = append(dst, req.Spec...)
+	return sealPeerFrame(dst, start)
+}
+
+// EncodePeerResponse appends resp's wire form to dst and returns the
+// extended slice; dst is returned unchanged on error.
+func EncodePeerResponse(dst []byte, resp *PeerResponse) ([]byte, error) {
+	switch resp.Status {
+	case StatusOK, StatusMiss, StatusFailed, StatusOverloaded:
+	default:
+		return dst, fmt.Errorf("cluster: cannot encode unknown peer status 0x%02x", byte(resp.Status))
+	}
+	if len(resp.Err) > maxPeerString {
+		return dst, fmt.Errorf("cluster: error string %d bytes (max %d)", len(resp.Err), maxPeerString)
+	}
+	start := len(dst)
+	dst = append(dst, peerMagic, peerFrameResponse, 0, 0, 0, 0)
+	dst = append(dst, byte(resp.Status))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(resp.Err)))
+	dst = append(dst, resp.Err...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Payload)))
+	dst = append(dst, resp.Payload...)
+	return sealPeerFrame(dst, start)
+}
+
+// sealPeerFrame back-patches the payload length of the frame that
+// started at start, rejecting payloads beyond maxPeerFrame.
+func sealPeerFrame(dst []byte, start int) ([]byte, error) {
+	payload := len(dst) - start - peerHeader
+	if payload > maxPeerFrame {
+		return dst[:start], fmt.Errorf("%w: %d-byte payload", errPeerFrameTooLarge, payload)
+	}
+	binary.BigEndian.PutUint32(dst[start+2:start+6], uint32(payload))
+	return dst, nil
+}
+
+// peerDecoder walks a frame payload with bounds checking.
+type peerDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *peerDecoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *peerDecoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, errPeerTruncated
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *peerDecoder) uint16() (uint16, error) {
+	if d.remaining() < 2 {
+		return 0, errPeerTruncated
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *peerDecoder) uint32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, errPeerTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *peerDecoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, errPeerTruncated
+	}
+	v := d.buf[d.off : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+// string16 reads a uint16-prefixed string.
+func (d *peerDecoder) string16() (string, error) {
+	n, err := d.uint16()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// bytes32 reads a uint32-prefixed byte blob, validated against the
+// bytes actually present before allocating the copy.
+func (d *peerDecoder) bytes32() ([]byte, error) {
+	n, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) > int64(d.remaining()) {
+		return nil, fmt.Errorf("cluster: blob claims %d bytes in %d", n, d.remaining())
+	}
+	b, err := d.bytes(int(n))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// decodePeerRequest decodes a request frame payload.
+func decodePeerRequest(payload []byte) (*PeerRequest, error) {
+	d := peerDecoder{buf: payload}
+	op, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch PeerOp(op) {
+	case OpExec, OpCacheProbe, OpStats, OpPing:
+	default:
+		return nil, fmt.Errorf("cluster: unknown peer op 0x%02x", op)
+	}
+	flags, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^byte(peerFlagsKnown) != 0 {
+		return nil, fmt.Errorf("cluster: unknown request flags 0x%02x", flags)
+	}
+	req := &PeerRequest{Op: PeerOp(op), Forwarded: flags&peerFlagForwarded != 0}
+	if req.Key, err = d.string16(); err != nil {
+		return nil, err
+	}
+	if req.Origin, err = d.string16(); err != nil {
+		return nil, err
+	}
+	if req.Spec, err = d.bytes32(); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after peer request", d.remaining())
+	}
+	return req, nil
+}
+
+// decodePeerResponse decodes a response frame payload.
+func decodePeerResponse(payload []byte) (*PeerResponse, error) {
+	d := peerDecoder{buf: payload}
+	status, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch PeerStatus(status) {
+	case StatusOK, StatusMiss, StatusFailed, StatusOverloaded:
+	default:
+		return nil, fmt.Errorf("cluster: unknown peer status 0x%02x", status)
+	}
+	resp := &PeerResponse{Status: PeerStatus(status)}
+	if resp.Err, err = d.string16(); err != nil {
+		return nil, err
+	}
+	if resp.Payload, err = d.bytes32(); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after peer response", d.remaining())
+	}
+	return resp, nil
+}
+
+// ReadPeerFrame reads one length-prefixed peer frame from r and returns
+// the decoded *PeerRequest or *PeerResponse. The claimed payload length
+// is checked against maxPeerFrame before any allocation, so a hostile
+// 4 GiB length prefix costs nothing.
+func ReadPeerFrame(r *bufio.Reader) (any, error) {
+	var hdr [peerHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != peerMagic {
+		return nil, fmt.Errorf("cluster: bad peer frame magic 0x%02x", hdr[0])
+	}
+	size := binary.BigEndian.Uint32(hdr[2:6])
+	if size > maxPeerFrame {
+		return nil, fmt.Errorf("%w: claimed %d-byte payload", errPeerFrameTooLarge, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("cluster: short peer frame payload: %w", err)
+	}
+	switch hdr[1] {
+	case peerFrameRequest:
+		return decodePeerRequest(payload)
+	case peerFrameResponse:
+		return decodePeerResponse(payload)
+	default:
+		return nil, fmt.Errorf("cluster: unknown peer frame type 0x%02x", hdr[1])
+	}
+}

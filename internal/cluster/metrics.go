@@ -1,0 +1,65 @@
+package cluster
+
+import "robusttomo/internal/obs"
+
+// clusterMetrics holds the node's pre-interned instrument handles,
+// following the repo-wide nil discipline: with no observer registry
+// every handle is nil and each update costs one nil check.
+type clusterMetrics struct {
+	submitted     *obs.Counter
+	owned         *obs.Counter
+	cacheHits     *obs.Counter
+	forwards      *obs.Counter
+	forwardDedup  *obs.Counter
+	forwardWins   *obs.Counter
+	forwardErrors *obs.Counter
+	remoteFills   *obs.Counter
+	hedges        *obs.Counter
+	hedgeWins     *obs.Counter
+	fallbacks     *obs.Counter
+	peerServed    *obs.CounterVec
+	peerState     *obs.GaugeVec
+	forwardSec    *obs.Histogram
+}
+
+var noClusterMetrics = &clusterMetrics{}
+
+// forwardBuckets span sub-millisecond loopback forwards to calls that
+// rode out a hedge delay plus a slow peer.
+var forwardBuckets = obs.ExponentialBuckets(1e-4, 4, 10)
+
+func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+	if reg == nil {
+		return noClusterMetrics
+	}
+	return &clusterMetrics{
+		submitted: reg.Counter("tomo_cluster_submitted_total",
+			"Jobs submitted through this node's cluster surface."),
+		owned: reg.Counter("tomo_cluster_owned_total",
+			"Submissions this node owned on the ring and ran locally."),
+		cacheHits: reg.Counter("tomo_cluster_cache_hits_total",
+			"Non-owned submissions answered from the local cache without forwarding."),
+		forwards: reg.Counter("tomo_cluster_forwards_total",
+			"Submissions forwarded toward their owning shard."),
+		forwardDedup: reg.Counter("tomo_cluster_forward_dedup_total",
+			"Submissions attached to an identical in-flight forward."),
+		forwardWins: reg.Counter("tomo_cluster_forward_wins_total",
+			"Forwards answered by the primary (owner) leg."),
+		forwardErrors: reg.Counter("tomo_cluster_forward_errors_total",
+			"Forwards that failed on every leg including local fallback."),
+		remoteFills: reg.Counter("tomo_cluster_remote_fills_total",
+			"Remote results installed into the local cache (cache-fill)."),
+		hedges: reg.Counter("tomo_cluster_hedges_total",
+			"Hedge legs fired because the owner was slow or its breaker open."),
+		hedgeWins: reg.Counter("tomo_cluster_hedge_wins_total",
+			"Forwards answered by the hedge leg before the primary."),
+		fallbacks: reg.Counter("tomo_cluster_fallbacks_total",
+			"Forwards completed by local execution after every remote leg failed."),
+		peerServed: reg.CounterVec("tomo_cluster_peer_served_total",
+			"Peer-protocol requests served, by operation.", "op"),
+		peerState: reg.GaugeVec("tomo_cluster_peer_state",
+			"Peer breaker state (0 closed, 1 open, 2 half-open), by peer.", "peer"),
+		forwardSec: reg.Histogram("tomo_cluster_forward_seconds",
+			"Duration of one forwarded submission, submit to terminal state.", forwardBuckets),
+	}
+}

@@ -1,0 +1,145 @@
+// Package cluster turns N independent `tomo serve` processes into one
+// logical inference service (DESIGN.md §16).
+//
+// The engine registry's canonical SHA-256 job key (DESIGN.md §15) is a
+// content address, so sharding is a routing problem, not a consistency
+// problem: a consistent-hash ring with virtual nodes maps every key to
+// one owning peer, non-owners forward submissions to the owner over a
+// length-prefixed binary peer protocol and install the returned bytes
+// in their local cache (remote cache-fill), and a job is executed at
+// most once across the fleet while membership is stable — the owner's
+// service singleflight absorbs every concurrent arrival of the same
+// key.
+//
+// Failures route around, they do not stall: per-peer circuit breakers
+// (the exact state machine the collection plane runs per monitor) mark
+// peers dead/alive from call outcomes and background health gossip;
+// dead peers are skipped on the ring, so their key range moves to the
+// successor; and when the owner is merely slow, a hedged request fires
+// to the successor replica after a deterministic delay —
+// first-response-wins, the loser's wait is canceled. When every remote
+// leg fails the node falls back to computing locally, so a cluster of
+// one healthy node still answers everything.
+//
+// The Transport interface keeps all of that testable: the in-process
+// loopback round-trips every call through the real wire codec under
+// deterministic fault injection (down, hang, delay) and `-race`, while
+// the TCP transport carries identical frames between real daemons.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Placement is a
+// pure function of the member list and the replica count — every node
+// that shares a configuration computes identical ownership, so routing
+// needs no coordination. A Ring is immutable after construction;
+// liveness is layered on top through the alive predicate passed to the
+// lookup methods (a dead member is skipped, moving exactly its key
+// range to the ring successor and nothing else).
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds the ring over members with the given number of virtual
+// nodes per member (replicas < 1 takes DefaultRingReplicas). Members
+// are deduplicated; order does not matter.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas < 1 {
+		replicas = DefaultRingReplicas
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, members: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*replicas)
+	for _, m := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(m, i), member: m})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Colliding virtual nodes order by member name so placement
+		// stays deterministic across processes.
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// Members returns the sorted member list (shared; do not mutate).
+func (r *Ring) Members() []string { return r.members }
+
+// Replicas returns the virtual-node count per member.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Owner returns the first alive member at or after the key's ring
+// point — the shard that owns the job. A nil alive predicate treats
+// every member as alive. ok is false only when no member is alive.
+func (r *Ring) Owner(key string, alive func(string) bool) (string, bool) {
+	succ := r.Successors(key, 1, alive)
+	if len(succ) == 0 {
+		return "", false
+	}
+	return succ[0], true
+}
+
+// Successors returns up to n distinct alive members in ring order
+// starting from the key's point: the owner first, then the replicas a
+// hedged or retried request escalates through. A nil alive predicate
+// treats every member as alive.
+func (r *Ring) Successors(key string, n int, alive func(string) bool) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []string
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		if alive == nil || alive(p.member) {
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// vnodeHash places one virtual node: the first 8 bytes of
+// SHA-256(member "#" index), matching the key hash's domain so
+// placement is uniform regardless of member-name structure.
+func vnodeHash(member string, i int) uint64 {
+	sum := sha256.Sum256([]byte(member + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash maps a canonical job key onto the ring. The key is already a
+// SHA-256 hex digest, but hashing it again keeps placement uniform for
+// any future key format and costs one compression round.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := []string{"c", "a", "b"}
+	r1 := NewRing(members, 64)
+	r2 := NewRing([]string{"b", "c", "a", "a"}, 64) // order and duplicates must not matter
+	if !reflect.DeepEqual(r1.Members(), []string{"a", "b", "c"}) {
+		t.Fatalf("Members() = %v, want sorted dedup", r1.Members())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, ok1 := r1.Owner(key, nil)
+		o2, ok2 := r2.Owner(key, nil)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("key %q: owner %q/%v vs %q/%v — placement must be a pure function of membership", key, o1, ok1, o2, ok2)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, DefaultRingReplicas)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		o, ok := r.Owner(fmt.Sprintf("key-%d", i), nil)
+		if !ok {
+			t.Fatal("no owner with all members alive")
+		}
+		counts[o]++
+	}
+	for m, c := range counts {
+		// With 64 vnodes the split should be within a loose 2x band of
+		// even; a broken hash collapses to one member.
+		if c < keys/6 || c > keys/2+keys/6 {
+			t.Fatalf("member %s owns %d of %d keys — distribution badly skewed: %v", m, c, keys, counts)
+		}
+	}
+}
+
+func TestRingDeadMemberMovesOnlyItsRange(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, DefaultRingReplicas)
+	dead := "b"
+	alive := func(m string) bool { return m != dead }
+	moved, stayed := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, _ := r.Owner(key, nil)
+		after, ok := r.Owner(key, alive)
+		if !ok {
+			t.Fatal("no owner with two members alive")
+		}
+		if after == dead {
+			t.Fatalf("key %q routed to dead member", key)
+		}
+		if before == dead {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q owned by alive %q moved to %q when %q died", key, before, after, dead)
+		}
+		stayed++
+	}
+	if moved == 0 || stayed == 0 {
+		t.Fatalf("degenerate split moved=%d stayed=%d", moved, stayed)
+	}
+}
+
+func TestRingSuccessorsDistinctAndOrdered(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 16)
+	succ := r.Successors("some-key", 10, nil)
+	if len(succ) != 4 {
+		t.Fatalf("Successors returned %v, want all 4 distinct members", succ)
+	}
+	seen := map[string]bool{}
+	for _, s := range succ {
+		if seen[s] {
+			t.Fatalf("duplicate member %q in %v", s, succ)
+		}
+		seen[s] = true
+	}
+	owner, _ := r.Owner("some-key", nil)
+	if succ[0] != owner {
+		t.Fatalf("Successors[0] = %q, want owner %q", succ[0], owner)
+	}
+	// The alive-filtered list is the unfiltered list minus dead members,
+	// in the same order.
+	filtered := r.Successors("some-key", 10, func(m string) bool { return m != succ[0] })
+	if !reflect.DeepEqual(filtered, succ[1:]) {
+		t.Fatalf("alive-filtered successors %v, want %v", filtered, succ[1:])
+	}
+}
+
+func TestRingEmptyAndNoAlive(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner("k", nil); ok {
+		t.Fatal("empty ring produced an owner")
+	}
+	r := NewRing([]string{"a"}, 0)
+	if r.Replicas() != DefaultRingReplicas {
+		t.Fatalf("Replicas() = %d, want default %d", r.Replicas(), DefaultRingReplicas)
+	}
+	if _, ok := r.Owner("k", func(string) bool { return false }); ok {
+		t.Fatal("all-dead ring produced an owner")
+	}
+}

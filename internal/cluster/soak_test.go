@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"robusttomo/internal/agent"
+	"robusttomo/internal/service"
+)
+
+// TestClusterChurnSoak stands up a 16-node in-process cluster and
+// hammers it: concurrent submitters spray a shared key set across
+// random nodes while a churn goroutine keeps killing and reviving
+// random peers (with gossip pinging so breakers track the churn). The
+// invariants: no submission is ever lost (every accepted ID reaches a
+// terminal state), every successful result carries the reference bytes,
+// and every node's disposition ledger balances after the drain.
+//
+// Gated behind CLUSTER_SOAK=1 (wired as `make soak-cluster`, bounded
+// well under 60s); run with -race.
+func TestClusterChurnSoak(t *testing.T) {
+	if os.Getenv("CLUSTER_SOAK") == "" {
+		t.Skip("set CLUSTER_SOAK=1 (make soak-cluster) to run the churn soak")
+	}
+
+	const (
+		nodes      = 16
+		submitters = 12
+		perWorker  = 150
+		keySpace   = 40
+	)
+	tc := newTestCluster(t, nodes, func(i int, cfg *Config) {
+		cfg.HedgeAfter = 10 * time.Millisecond
+		cfg.Breaker = agent.BreakerPolicy{FailureThreshold: 1, Cooldown: 20 * time.Millisecond}
+	})
+
+	// Reference bytes per key, computed once on a clean single node.
+	refs := make(map[string]string, keySpace)
+	for k := 0; k < keySpace; k++ {
+		spec := clusterSpec(k)
+		key, err := spec.CanonicalKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[key] = string(referenceJSON(t, spec))
+	}
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		rng := rand.New(rand.NewSource(1))
+		down := map[int]bool{}
+		for {
+			select {
+			case <-stop:
+				for i := range down {
+					tc.tr.SetDown(tc.addrs[i], false)
+				}
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			victim := rng.Intn(nodes)
+			if down[victim] {
+				tc.tr.SetDown(tc.addrs[victim], false)
+				delete(down, victim)
+			} else if len(down) < nodes/4 {
+				tc.tr.SetDown(tc.addrs[victim], true)
+				down[victim] = true
+			}
+			// Gossip from a random node keeps breaker states tracking
+			// the churn (and exercising recovery probes).
+			tc.nodes[rng.Intn(nodes)].GossipOnce(context.Background())
+		}
+	}()
+
+	var completed, failedClean atomic.Uint64
+	var subWG sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		subWG.Add(1)
+		go func(w int) {
+			defer subWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < perWorker; i++ {
+				n := tc.nodes[rng.Intn(nodes)]
+				spec := clusterSpec(rng.Intn(keySpace))
+				out, err := n.Submit(spec)
+				if err != nil {
+					if errors.Is(err, ErrNodeClosed) || errors.Is(err, service.ErrClosed) || errors.Is(err, service.ErrOverloaded) {
+						failedClean.Add(1)
+						continue
+					}
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				st, err := n.Wait(ctx, out.ID)
+				cancel()
+				if err != nil {
+					t.Errorf("Wait(%s): %v", out.ID[:8], err)
+					return
+				}
+				if st.State != service.StateDone {
+					// A forward can legitimately fail when its owner AND
+					// hedge died mid-flight and the local fallback raced
+					// churn — but it must fail terminally, not hang.
+					failedClean.Add(1)
+					continue
+				}
+				res, err := n.Result(out.ID)
+				if err != nil {
+					t.Errorf("Result(%s): %v", out.ID[:8], err)
+					return
+				}
+				b, _ := json.Marshal(res)
+				if string(b) != refs[out.ID] {
+					t.Errorf("node %s returned divergent bytes for %s", n.Self(), out.ID[:8])
+					return
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+	subWG.Wait()
+	close(stop)
+	churnWG.Wait()
+
+	// Drain every node, then audit the ledgers.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var totals NodeStats
+	for _, n := range tc.nodes {
+		if err := n.Close(ctx); err != nil {
+			t.Errorf("Close(%s): %v", n.Self(), err)
+		}
+		st := n.Stats()
+		checkDrainedInvariant(t, st)
+		totals.Submitted += st.Submitted
+		totals.Forwards += st.Forwards
+		totals.CacheHits += st.CacheHits
+		totals.Hedges += st.Hedges
+		totals.HedgeWins += st.HedgeWins
+		totals.Fallbacks += st.Fallbacks
+	}
+	if got := completed.Load() + failedClean.Load(); got != submitters*perWorker {
+		t.Fatalf("lost submissions: %d terminal of %d", got, submitters*perWorker)
+	}
+	if completed.Load() == 0 {
+		t.Fatal("nothing completed — the soak proved nothing")
+	}
+	t.Logf("soak: %d completed, %d failed-clean; cluster totals: submitted=%d forwards=%d cacheHits=%d hedges=%d hedgeWins=%d fallbacks=%d",
+		completed.Load(), failedClean.Load(), totals.Submitted, totals.Forwards, totals.CacheHits, totals.Hedges, totals.HedgeWins, totals.Fallbacks)
+	if totals.Hedges == 0 && totals.Fallbacks == 0 {
+		t.Log("warning: churn never exercised a hedge or fallback")
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"robusttomo/internal/service"
+)
+
+// PeerInfo is one peer's health as this node sees it.
+type PeerInfo struct {
+	Addr string `json:"addr"`
+	// State is the breaker state: "closed" (healthy), "open" (dead,
+	// routed around), "half-open" (probing).
+	State string `json:"state"`
+}
+
+// NodeStats is one node's cluster-plane ledger plus its local service
+// snapshot. The disposition counters partition Submitted:
+//
+//	Submitted == CacheHits + Owned + Forwards + ForwardDedup + Shed + Rejected
+//
+// at every instant, and once forwards drain:
+//
+//	Forwards == ForwardWins + HedgeWins + Fallbacks + ForwardErrors
+type NodeStats struct {
+	Self  string     `json:"self"`
+	Peers []PeerInfo `json:"peers"`
+
+	Submitted    uint64 `json:"submitted"`
+	Owned        uint64 `json:"owned"`
+	CacheHits    uint64 `json:"cache_hits"`
+	Forwards     uint64 `json:"forwards"`
+	ForwardDedup uint64 `json:"forward_dedup"`
+	Shed         uint64 `json:"shed"`
+	Rejected     uint64 `json:"rejected"`
+
+	ForwardWins   uint64 `json:"forward_wins"`
+	HedgeWins     uint64 `json:"hedge_wins"`
+	Hedges        uint64 `json:"hedges"`
+	Fallbacks     uint64 `json:"fallbacks"`
+	ForwardErrors uint64 `json:"forward_errors"`
+	RemoteFills   uint64 `json:"remote_fills"`
+
+	RemoteInFlight int               `json:"remote_in_flight"`
+	PeerServed     map[string]uint64 `json:"peer_served,omitempty"`
+
+	Service service.Stats `json:"service"`
+}
+
+// Stats returns this node's snapshot. The counters are read under one
+// mutex, so the disposition invariant holds in every snapshot even
+// under concurrent Submit and Close.
+func (n *Node) Stats() NodeStats {
+	st := NodeStats{Self: n.cfg.Self}
+	for _, p := range n.cfg.Peers {
+		st.Peers = append(st.Peers, PeerInfo{Addr: p, State: n.breakers[p].State().String()})
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].Addr < st.Peers[j].Addr })
+
+	n.mu.Lock()
+	st.Submitted = n.submitted
+	st.Owned = n.owned
+	st.CacheHits = n.cacheHits
+	st.Forwards = n.forwards
+	st.ForwardDedup = n.forwardDedup
+	st.Shed = n.shed
+	st.Rejected = n.rejected
+	st.ForwardWins = n.forwardWins
+	st.HedgeWins = n.hedgeWins
+	st.Hedges = n.hedges
+	st.Fallbacks = n.fallbacks
+	st.ForwardErrors = n.forwardErrors
+	st.RemoteFills = n.remoteFills
+	inFlight := 0
+	for _, rj := range n.remote {
+		if !rj.state.Terminal() {
+			inFlight++
+		}
+	}
+	st.RemoteInFlight = inFlight
+	if len(n.peerServed) > 0 {
+		st.PeerServed = make(map[string]uint64, len(n.peerServed))
+		for op, c := range n.peerServed {
+			st.PeerServed[op] = c
+		}
+	}
+	n.mu.Unlock()
+
+	st.Service = n.svc.Stats()
+	return st
+}
+
+// ClusterTotals aggregates the fleet-level numbers a dashboard wants
+// first.
+type ClusterTotals struct {
+	Nodes       int    `json:"nodes"`
+	Unreachable int    `json:"unreachable"`
+	QueueDepth  int    `json:"queue_depth"`
+	Running     int    `json:"running"`
+	Submitted   uint64 `json:"submitted"`
+	CacheHits   uint64 `json:"cache_hits"`
+	Forwards    uint64 `json:"forwards"`
+	HedgeWins   uint64 `json:"hedge_wins"`
+}
+
+// ClusterSnapshot is the cluster-aware /api/v1/stats payload: this
+// node's view plus every reachable peer's own NodeStats, with
+// fleet-wide totals up front.
+type ClusterSnapshot struct {
+	Totals      ClusterTotals `json:"totals"`
+	Nodes       []NodeStats   `json:"nodes"`
+	Unreachable []string      `json:"unreachable,omitempty"`
+}
+
+// ClusterStats fans an OpStats call out to every peer (in parallel,
+// bounded by CallTimeout each) and aggregates the answers with this
+// node's own snapshot. Unreachable peers are listed, not fatal — the
+// snapshot degrades the same way routing does.
+func (n *Node) ClusterStats(ctx context.Context) ClusterSnapshot {
+	type peerAnswer struct {
+		addr  string
+		stats NodeStats
+		err   error
+	}
+	answers := make([]peerAnswer, len(n.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, p := range n.cfg.Peers {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			answers[i].addr = p
+			callCtx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+			defer cancel()
+			resp, err := n.cfg.Transport.Call(callCtx, p, &PeerRequest{Op: OpStats, Origin: n.cfg.Self})
+			if err != nil {
+				answers[i].err = err
+				return
+			}
+			if resp.Status != StatusOK {
+				answers[i].err = fmt.Errorf("cluster: %s: %s", resp.Status, resp.Err)
+				return
+			}
+			answers[i].err = json.Unmarshal(resp.Payload, &answers[i].stats)
+		}(i, p)
+	}
+	wg.Wait()
+
+	snap := ClusterSnapshot{Nodes: []NodeStats{n.Stats()}}
+	for _, a := range answers {
+		if a.err != nil {
+			snap.Unreachable = append(snap.Unreachable, a.addr)
+			continue
+		}
+		snap.Nodes = append(snap.Nodes, a.stats)
+	}
+	sort.Strings(snap.Unreachable)
+	snap.Totals.Nodes = len(snap.Nodes)
+	snap.Totals.Unreachable = len(snap.Unreachable)
+	for _, ns := range snap.Nodes {
+		snap.Totals.QueueDepth += ns.Service.QueueDepth
+		snap.Totals.Running += ns.Service.Running
+		snap.Totals.Submitted += ns.Submitted
+		snap.Totals.CacheHits += ns.CacheHits
+		snap.Totals.Forwards += ns.Forwards
+		snap.Totals.HedgeWins += ns.HedgeWins
+	}
+	return snap
+}

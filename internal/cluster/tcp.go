@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport carries peer frames over plain TCP with a small per-peer
+// idle-connection pool. One call is one request frame followed by one
+// response frame on a pooled connection; a call that fails on a pooled
+// (possibly stale) connection is retried once on a fresh dial before
+// the peer counts as unreachable.
+type TCPTransport struct {
+	// DialTimeout bounds one dial. Zero means 2s.
+	DialTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   map[string][]net.Conn
+	closed bool
+}
+
+// maxIdlePerPeer bounds pooled connections per peer; extras are closed
+// on release.
+const maxIdlePerPeer = 2
+
+// NewTCPTransport returns a TCP transport with an empty pool.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{idle: make(map[string][]net.Conn)}
+}
+
+func (t *TCPTransport) getIdle(peer string) (net.Conn, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	conns := t.idle[peer]
+	if len(conns) == 0 {
+		return nil, false
+	}
+	c := conns[len(conns)-1]
+	t.idle[peer] = conns[:len(conns)-1]
+	return c, true
+}
+
+func (t *TCPTransport) putIdle(peer string, c net.Conn) {
+	t.mu.Lock()
+	if t.closed || len(t.idle[peer]) >= maxIdlePerPeer {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	t.idle[peer] = append(t.idle[peer], c)
+	t.mu.Unlock()
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(ctx context.Context, peer string, req *PeerRequest) (*PeerResponse, error) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("%w: transport closed", ErrPeerUnreachable)
+	}
+	frame, err := EncodePeerRequest(nil, req)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := t.getIdle(peer); ok {
+		resp, err := t.exchange(ctx, peer, c, frame)
+		if err == nil {
+			return resp, nil
+		}
+		// A pooled connection may have been closed by the peer's idle
+		// reaper between calls; one fresh dial decides whether the peer
+		// is actually unreachable.
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, peer, err)
+		}
+	}
+	dialTimeout := t.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	d := net.Dialer{Timeout: dialTimeout}
+	c, err := d.DialContext(ctx, "tcp", peer)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, peer, err)
+	}
+	resp, err := t.exchange(ctx, peer, c, frame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, peer, err)
+	}
+	return resp, nil
+}
+
+// exchange writes the request frame and reads the response frame on c,
+// enforcing ctx by closing the connection when it fires (which unblocks
+// the read immediately). On success c returns to the pool; on any error
+// it is closed.
+func (t *TCPTransport) exchange(ctx context.Context, peer string, c net.Conn, frame []byte) (*PeerResponse, error) {
+	stop := context.AfterFunc(ctx, func() { c.Close() })
+	defer stop()
+	if deadline, ok := ctx.Deadline(); ok {
+		c.SetDeadline(deadline)
+	}
+	if _, err := c.Write(frame); err != nil {
+		c.Close()
+		return nil, err
+	}
+	msg, err := ReadPeerFrame(bufio.NewReader(c))
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	resp, ok := msg.(*PeerResponse)
+	if !ok {
+		c.Close()
+		return nil, fmt.Errorf("cluster: peer %s sent %T, want response", peer, msg)
+	}
+	if !stop() {
+		// ctx fired concurrently; the connection is poisoned.
+		c.Close()
+		return resp, nil
+	}
+	c.SetDeadline(time.Time{})
+	t.putIdle(peer, c)
+	return resp, nil
+}
+
+// Close implements Transport: the pool drains and later calls fail.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for peer, conns := range t.idle {
+		for _, c := range conns {
+			c.Close()
+		}
+		delete(t.idle, peer)
+	}
+	return nil
+}
+
+// ServePeers accepts peer-protocol connections on ln and dispatches
+// each request frame to h until ctx is done or ln is closed. Each
+// connection serves requests sequentially (the transport opens more
+// connections for concurrency); a malformed frame closes the
+// connection. ServePeers returns after ln stops accepting; in-flight
+// handlers finish with their own contexts.
+func ServePeers(ctx context.Context, ln net.Listener, h PeerHandler) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			servePeerConn(ctx, conn, h)
+		}()
+	}
+}
+
+func servePeerConn(ctx context.Context, conn net.Conn, h PeerHandler) {
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	br := bufio.NewReader(conn)
+	for {
+		msg, err := ReadPeerFrame(br)
+		if err != nil {
+			return
+		}
+		req, ok := msg.(*PeerRequest)
+		if !ok {
+			return
+		}
+		resp := h.HandlePeer(ctx, req)
+		if resp == nil {
+			resp = &PeerResponse{Status: StatusFailed, Err: "nil handler response"}
+		}
+		frame, err := EncodePeerResponse(nil, resp)
+		if err != nil {
+			frame, _ = EncodePeerResponse(nil, &PeerResponse{Status: StatusFailed, Err: "response encoding failed"})
+		}
+		if _, err := conn.Write(frame); err != nil {
+			return
+		}
+	}
+}

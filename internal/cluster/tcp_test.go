@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"robusttomo/internal/agent"
+	"robusttomo/internal/service"
+)
+
+// echoHandler answers every op with a fixed payload, recording what it
+// saw.
+type echoHandler struct {
+	mu   sync.Mutex
+	seen []PeerOp
+}
+
+func (h *echoHandler) HandlePeer(ctx context.Context, req *PeerRequest) *PeerResponse {
+	h.mu.Lock()
+	h.seen = append(h.seen, req.Op)
+	h.mu.Unlock()
+	return &PeerResponse{Status: StatusOK, Payload: []byte(`{"echo":"` + req.Origin + `"}`)}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := &echoHandler{}
+	srvDone := make(chan struct{})
+	go func() {
+		defer close(srvDone)
+		ServePeers(ctx, ln, h)
+	}()
+
+	tr := NewTCPTransport()
+	defer tr.Close()
+	addr := ln.Addr().String()
+
+	for i := 0; i < 3; i++ {
+		resp, err := tr.Call(ctx, addr, &PeerRequest{Op: OpPing, Origin: fmt.Sprintf("caller-%d", i)})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if resp.Status != StatusOK {
+			t.Fatalf("call %d status %v", i, resp.Status)
+		}
+		want := fmt.Sprintf(`{"echo":"caller-%d"}`, i)
+		if string(resp.Payload) != want {
+			t.Fatalf("call %d payload %s, want %s", i, resp.Payload, want)
+		}
+	}
+	// Sequential calls reuse one pooled connection.
+	tr.mu.Lock()
+	pooled := len(tr.idle[addr])
+	tr.mu.Unlock()
+	if pooled != 1 {
+		t.Fatalf("idle pool holds %d conns after sequential calls, want 1", pooled)
+	}
+
+	// Deadline enforcement: a context that expires mid-call unblocks.
+	h2 := &hangHandler{}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go ServePeers(ctx, ln2, h2)
+	short, cancelShort := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancelShort()
+	if _, err := tr.Call(short, ln2.Addr().String(), &PeerRequest{Op: OpPing}); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("hung peer call = %v, want ErrPeerUnreachable", err)
+	}
+
+	cancel()
+	<-srvDone
+	if _, err := tr.Call(context.Background(), addr, &PeerRequest{Op: OpPing}); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("call to stopped server = %v, want ErrPeerUnreachable", err)
+	}
+}
+
+type hangHandler struct{}
+
+func (hangHandler) HandlePeer(ctx context.Context, req *PeerRequest) *PeerResponse {
+	<-ctx.Done()
+	return &PeerResponse{Status: StatusFailed, Err: "too late"}
+}
+
+func TestTCPTransportClosed(t *testing.T) {
+	tr := NewTCPTransport()
+	tr.Close()
+	if _, err := tr.Call(context.Background(), "127.0.0.1:1", &PeerRequest{Op: OpPing}); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("closed transport call = %v, want ErrPeerUnreachable", err)
+	}
+}
+
+// TestClusterOverTCP runs a real 2-node cluster over TCP listeners —
+// the deployment shape, not the loopback: a forwarded submission must
+// execute on the owner exactly once and return its bytes.
+func TestClusterOverTCP(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen %d: %v", i, err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	nodes := make([]*Node, 2)
+	svcs := make([]*service.Service, 2)
+	for i := range nodes {
+		svcs[i] = service.New(service.Config{Workers: 2})
+		cfg := Config{
+			Self:           addrs[i],
+			Peers:          []string{addrs[1-i]},
+			HedgeAfter:     100 * time.Millisecond,
+			GossipInterval: -1,
+			Breaker:        agent.BreakerPolicy{FailureThreshold: 2, Cooldown: time.Second},
+			Service:        svcs[i],
+			Transport:      NewTCPTransport(),
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New %d: %v", i, err)
+		}
+		nodes[i] = n
+		go ServePeers(ctx, lns[i], n)
+	}
+	t.Cleanup(func() {
+		closeCtx, done := context.WithTimeout(context.Background(), 10*time.Second)
+		defer done()
+		for _, n := range nodes {
+			n.Close(closeCtx)
+		}
+		for _, s := range svcs {
+			s.Close(closeCtx)
+		}
+	})
+
+	// Find a spec owned by node 1 and submit it at node 0.
+	var spec service.JobSpec
+	found := false
+	for n := 0; n < 1000 && !found; n++ {
+		spec = clusterSpec(n)
+		key, err := spec.CanonicalKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o, _ := nodes[0].Ring().Owner(key, nil); o == addrs[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no spec owned by node 1")
+	}
+	ref := referenceJSON(t, spec)
+
+	out, err := nodes[0].Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit over TCP: %v", err)
+	}
+	res := waitResult(t, nodes[0], out.ID)
+	got, _ := json.Marshal(res)
+	if string(got) != string(ref) {
+		t.Fatalf("TCP-forwarded result diverges:\n got  %s\n want %s", got, ref)
+	}
+	if ex := svcs[1].Stats().Executed; ex != 1 {
+		t.Fatalf("owner executed %d times, want 1", ex)
+	}
+	if ex := svcs[0].Stats().Executed; ex != 0 {
+		t.Fatalf("non-owner executed %d times, want 0", ex)
+	}
+	if st := nodes[0].Stats(); st.Forwards != 1 || st.ForwardWins != 1 {
+		t.Fatalf("want 1 forward won by the primary, got %+v", st)
+	}
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrPeerUnreachable marks a peer call that failed at the transport
+// layer (down, hung past the deadline, connection refused). It feeds
+// the peer's breaker as a failure; protocol-level failures (the peer
+// answered StatusFailed) do not — the peer is alive, the job is not.
+var ErrPeerUnreachable = errors.New("cluster: peer unreachable")
+
+// Transport carries one peer call: encode req, deliver it to peer,
+// return the decoded response. Implementations must honor ctx
+// (returning promptly once it is done) and be safe for concurrent use.
+// The in-process loopback serves deterministic `-race` tests; the TCP
+// transport carries identical frames between real daemons.
+type Transport interface {
+	Call(ctx context.Context, peer string, req *PeerRequest) (*PeerResponse, error)
+	// Close releases transport resources (pooled connections). Calls in
+	// flight may fail.
+	Close() error
+}
+
+// PeerHandler answers decoded peer requests — the receiving half of the
+// protocol, implemented by Node. The response is never nil.
+type PeerHandler interface {
+	HandlePeer(ctx context.Context, req *PeerRequest) *PeerResponse
+}
+
+// loopbackPeer is one registered in-process endpoint plus its injected
+// faults.
+type loopbackPeer struct {
+	handler PeerHandler
+	down    bool          // Call fails immediately with ErrPeerUnreachable
+	hang    bool          // Call blocks until ctx is done
+	delay   time.Duration // Call sleeps before delivering (hedge tests)
+}
+
+// LoopbackTransport delivers peer calls to in-process handlers,
+// round-tripping every request and response through the real wire codec
+// so loopback tests exercise the exact bytes TCP carries. Fault
+// injection (down, hang, delay) is per-peer and may change between
+// calls, which is how tests kill an owner mid-flight.
+type LoopbackTransport struct {
+	mu    sync.Mutex
+	peers map[string]*loopbackPeer
+}
+
+// NewLoopbackTransport returns an empty loopback fabric; Register each
+// node's handler under its ring address.
+func NewLoopbackTransport() *LoopbackTransport {
+	return &LoopbackTransport{peers: make(map[string]*loopbackPeer)}
+}
+
+// Register installs h as the endpoint at addr, replacing any previous
+// registration (and clearing its faults).
+func (t *LoopbackTransport) Register(addr string, h PeerHandler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[addr] = &loopbackPeer{handler: h}
+}
+
+// SetDown makes calls to addr fail immediately (down=true) or restores
+// delivery.
+func (t *LoopbackTransport) SetDown(addr string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[addr]; ok {
+		p.down = down
+	}
+}
+
+// SetHang makes calls to addr block until their context expires — the
+// slow-owner case hedging exists for.
+func (t *LoopbackTransport) SetHang(addr string, hang bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[addr]; ok {
+		p.hang = hang
+	}
+}
+
+// SetDelay makes calls to addr sleep d before delivering.
+func (t *LoopbackTransport) SetDelay(addr string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[addr]; ok {
+		p.delay = d
+	}
+}
+
+// Call implements Transport.
+func (t *LoopbackTransport) Call(ctx context.Context, peer string, req *PeerRequest) (*PeerResponse, error) {
+	t.mu.Lock()
+	p, ok := t.peers[peer]
+	var (
+		down    bool
+		hang    bool
+		delay   time.Duration
+		handler PeerHandler
+	)
+	if ok {
+		down, hang, delay, handler = p.down, p.hang, p.delay, p.handler
+	}
+	t.mu.Unlock()
+	if !ok || down {
+		return nil, fmt.Errorf("%w: %s is down", ErrPeerUnreachable, peer)
+	}
+	if hang {
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: %s hung: %v", ErrPeerUnreachable, peer, ctx.Err())
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %s delayed past deadline: %v", ErrPeerUnreachable, peer, ctx.Err())
+		}
+	}
+	// Round-trip the request through the wire codec: the handler sees
+	// exactly what a TCP peer would decode.
+	wireReq, err := roundTripRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	resp := handler.HandlePeer(ctx, wireReq)
+	if resp == nil {
+		return nil, fmt.Errorf("cluster: nil response from %s", peer)
+	}
+	return roundTripResponse(resp)
+}
+
+// Close implements Transport; the loopback holds no resources.
+func (t *LoopbackTransport) Close() error { return nil }
+
+func roundTripRequest(req *PeerRequest) (*PeerRequest, error) {
+	frame, err := EncodePeerRequest(nil, req)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := ReadPeerFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		return nil, err
+	}
+	out, ok := msg.(*PeerRequest)
+	if !ok {
+		return nil, fmt.Errorf("cluster: request round-trip decoded %T", msg)
+	}
+	return out, nil
+}
+
+func roundTripResponse(resp *PeerResponse) (*PeerResponse, error) {
+	frame, err := EncodePeerResponse(nil, resp)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := ReadPeerFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		return nil, err
+	}
+	out, ok := msg.(*PeerResponse)
+	if !ok {
+		return nil, fmt.Errorf("cluster: response round-trip decoded %T", msg)
+	}
+	return out, nil
+}

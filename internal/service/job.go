@@ -129,6 +129,19 @@ func (spec JobSpec) resolve() (engine.Engine, engine.Job, error) {
 	return eng, j, nil
 }
 
+// CanonicalKey resolves the spec through its engine and returns the
+// content-addressed job ID (the cluster plane's forward hook: a node
+// must know the key — and hence the owning shard — before deciding
+// whether to run the job locally at all). It fails exactly where Submit
+// would fail synchronously: invalid specs and unknown engines.
+func (spec JobSpec) CanonicalKey() (string, error) {
+	_, ej, err := spec.resolve()
+	if err != nil {
+		return "", err
+	}
+	return ej.Key(), nil
+}
+
 // JobState is a job's position in the lifecycle state machine
 // (DESIGN.md §12): Queued → Running → Done | Failed | Canceled, with
 // Queued → Canceled for jobs canceled before a worker picks them up.

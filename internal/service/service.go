@@ -152,6 +152,7 @@ type Stats struct {
 	Shed           uint64 `json:"shed"`
 	Canceled       uint64 `json:"canceled"`
 	Failed         uint64 `json:"failed"`
+	Filled         uint64 `json:"filled"`
 	Closed         bool   `json:"closed"`
 }
 
@@ -188,6 +189,7 @@ type Service struct {
 	shed              uint64
 	canceled          uint64
 	failed            uint64
+	filled            uint64
 }
 
 // New starts the worker pool and returns the service.
@@ -305,6 +307,115 @@ func (s *Service) Submit(spec JobSpec) (SubmitOutcome, error) {
 	s.reg.Event("service.job_enqueued", eventDetail(j.obsLabel, key))
 	s.cond.Signal()
 	return SubmitOutcome{ID: key, State: StateQueued}, nil
+}
+
+// SubmitCached is the probe-only variant of Submit, the non-owner half
+// of the cluster plane's cache-fill protocol: answer spec from the
+// retained jobs, an identical in-flight job, or the result cache — but
+// never enqueue. It returns ok=false (with no counters touched) when
+// answering would require a new execution, so the caller can forward
+// the job to its owning shard instead.
+func (s *Service) SubmitCached(spec JobSpec) (SubmitOutcome, bool, error) {
+	eng, ej, err := spec.resolve()
+	if err != nil {
+		return SubmitOutcome{}, false, err
+	}
+	key := ej.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SubmitOutcome{}, false, ErrClosed
+	}
+	if j, ok := s.jobs[key]; ok && j.state != StateFailed && j.state != StateCanceled {
+		s.submitted++
+		s.m.submitted.Inc()
+		if j.state == StateDone {
+			s.hits++
+			s.m.cacheHits.Inc()
+			return SubmitOutcome{ID: key, State: StateDone, Cached: true}, true, nil
+		}
+		j.deduped++
+		s.dedup++
+		s.m.dedupHits.Inc()
+		return SubmitOutcome{ID: key, State: j.state, Deduped: true}, true, nil
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.submitted++
+		s.m.submitted.Inc()
+		s.hits++
+		s.m.cacheHits.Inc()
+		j := &job{id: key, spec: spec, ej: ej, eng: eng.Name(), obsLabel: eng.ObsLabel(), detail: ej.Detail(),
+			priority: spec.Priority, state: StateDone, res: res, cached: true, done: make(chan struct{})}
+		close(j.done)
+		s.rememberLocked(j)
+		return SubmitOutcome{ID: key, State: StateDone, Cached: true}, true, nil
+	}
+	return SubmitOutcome{}, false, nil
+}
+
+// CachedResult returns a clone of the result cached (or retained) under
+// key without creating a job record — the owner-side answer to a peer
+// cache probe. It reports false on a cold key.
+func (s *Service) CachedResult(key string) (engine.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[key]; ok && j.state == StateDone {
+		return j.res.Clone(), true
+	}
+	if res, ok := s.cache.get(key); ok {
+		return res.Clone(), true
+	}
+	return nil, false
+}
+
+// Fill installs an externally computed result under key — the cluster
+// plane's remote cache-fill path: a non-owner that fetched the owner's
+// result installs it locally so later submissions of the same job are
+// local cache hits, and Status/Result on the forwarded ID resolve
+// through the normal service surface. The filled record reports engine
+// "cluster" (the service cannot know which engine produced a remote
+// payload). Fill refuses (returns false) when the service is closed or
+// the key already has a live local job — the local execution's result
+// is authoritative and bit-identical anyway.
+func (s *Service) Fill(key string, res engine.Result) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if j, ok := s.jobs[key]; ok && j.state != StateFailed && j.state != StateCanceled {
+		return false
+	}
+	s.cache.put(key, res)
+	s.m.cacheBytes.Set(float64(s.cache.bytes))
+	s.syncEvictionsLocked()
+	s.filled++
+	j := &job{id: key, eng: "cluster", obsLabel: "cluster", detail: "cache-fill",
+		state: StateDone, res: res, cached: true, done: make(chan struct{})}
+	close(j.done)
+	s.rememberLocked(j)
+	s.reg.Event("service.job_filled", eventDetail("cluster", key))
+	return true
+}
+
+// SubmitAndWait submits spec, waits for its terminal state (or ctx) and
+// returns the completed result — the synchronous convenience the
+// cluster peer handler and local-fallback path run on. Failed and
+// canceled jobs surface their recorded error.
+func (s *Service) SubmitAndWait(ctx context.Context, spec JobSpec) (engine.Result, error) {
+	out, err := s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.Wait(ctx, out.ID)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != StateDone {
+		return nil, fmt.Errorf("service: job %s is %s: %s", shortKey(out.ID), st.State, st.Error)
+	}
+	return s.Result(out.ID)
 }
 
 // worker drains the queue until the service closes and the queue is
@@ -522,6 +633,7 @@ func (s *Service) Stats() Stats {
 		Shed:           s.shed,
 		Canceled:       s.canceled,
 		Failed:         s.failed,
+		Filled:         s.filled,
 		Closed:         s.closed,
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"robusttomo/internal/agent"
 	"robusttomo/internal/bandit"
+	"robusttomo/internal/cluster"
 	"robusttomo/internal/cost"
 	"robusttomo/internal/diagnose"
 	"robusttomo/internal/engine"
@@ -559,6 +560,51 @@ var (
 	// CanonicalSelectionKey hashes a path matrix plus failure/cost/budget
 	// inputs into the content-addressed cache key.
 	CanonicalSelectionKey = selection.CanonicalKey
+)
+
+// Cluster plane: consistent-hash sharding of the job service across
+// daemons, with peer cache-fill and hedged forwards (DESIGN.md §16).
+type (
+	// ClusterNode routes submissions across the ring: owned keys run
+	// locally, others forward to the owner with a hedge to its successor.
+	ClusterNode = cluster.Node
+	// ClusterConfig parameterizes a ClusterNode (self identity, peers,
+	// ring replicas, hedge delay, transport).
+	ClusterConfig = cluster.Config
+	// ClusterRing is the consistent-hash ring: deterministic placement
+	// from canonical job keys over the member set.
+	ClusterRing = cluster.Ring
+	// ClusterTransport carries peer frames; the TCP implementation is
+	// NewClusterTCPTransport, tests use cluster.LoopbackTransport.
+	ClusterTransport = cluster.Transport
+	// ClusterNodeStats is one node's cluster-plane ledger.
+	ClusterNodeStats = cluster.NodeStats
+	// ClusterSnapshot is the fleet-wide stats document (totals + one
+	// NodeStats per reachable member).
+	ClusterSnapshot = cluster.ClusterSnapshot
+	// ClusterConfigError reports invalid cluster configuration (empty,
+	// duplicate or self-addressed peers); it fails construction
+	// synchronously.
+	ClusterConfigError = cluster.ClusterConfigError
+)
+
+// Cluster construction and sentinels.
+var (
+	// NewClusterNode validates the configuration and joins the ring.
+	NewClusterNode = cluster.New
+	// NewClusterRing builds the consistent-hash ring directly.
+	NewClusterRing = cluster.NewRing
+	// NewClusterTCPTransport returns the deployment peer transport.
+	NewClusterTCPTransport = cluster.NewTCPTransport
+	// ServeClusterPeers accepts peer-protocol connections for a node.
+	ServeClusterPeers = cluster.ServePeers
+	// ValidateClusterPeers rejects duplicate, empty and self-addressed
+	// peer lists with a typed *ClusterConfigError.
+	ValidateClusterPeers = cluster.ValidatePeers
+	// ErrClusterNodeClosed marks submissions after the node shut down.
+	ErrClusterNodeClosed = cluster.ErrNodeClosed
+	// ErrClusterPeerUnreachable marks transport-level peer failures.
+	ErrClusterPeerUnreachable = cluster.ErrPeerUnreachable
 )
 
 // Failure localization, monitor placement and the closed-loop runner.

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"robusttomo/internal/cluster"
 )
 
 // TestFacadeEndToEnd exercises the public API exactly the way the README
@@ -470,5 +472,97 @@ func TestFacadeObservability(t *testing.T) {
 		if !errors.As(err, &ce) {
 			t.Fatalf("err %v (%T) is not a *ConfigError", err, err)
 		}
+	}
+}
+
+// TestFacadeClusterSurface stands a 2-node ring up through the public
+// names: ring construction, peer validation, node construction over the
+// in-process transport, a forwarded submission answered with the
+// owner's bytes, cluster-wide stats, and the typed config error.
+func TestFacadeClusterSurface(t *testing.T) {
+	if r := NewClusterRing([]string{"a", "b", "c"}, 0); len(r.Members()) != 3 {
+		t.Fatalf("NewClusterRing members = %v", r.Members())
+	}
+	if err := ValidateClusterPeers("a:1", []string{"a:1"}); err == nil {
+		t.Fatal("self-addressed peer accepted")
+	} else {
+		var ce *ClusterConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err %v (%T) is not a *ClusterConfigError", err, err)
+		}
+	}
+
+	tr := cluster.NewLoopbackTransport()
+	addrs := []string{"facade-a", "facade-b"}
+	nodes := make([]*ClusterNode, 2)
+	svcs := make([]*SelectionService, 2)
+	for i := range nodes {
+		svcs[i] = NewSelectionService(SelectionServiceConfig{Workers: 2})
+		n, err := NewClusterNode(ClusterConfig{
+			Self:           addrs[i],
+			Peers:          []string{addrs[1-i]},
+			GossipInterval: -1,
+			Service:        svcs[i],
+			Transport:      tr,
+		})
+		if err != nil {
+			t.Fatalf("NewClusterNode %d: %v", i, err)
+		}
+		nodes[i] = n
+		tr.Register(addrs[i], n)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for i := range nodes {
+			nodes[i].Close(ctx)
+			svcs[i].Close(ctx)
+		}
+	}()
+
+	spec := SelectionJobSpec{
+		Links:     6,
+		Paths:     [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}},
+		Probs:     []float64{0.1, 0.05, 0.2, 0.1, 0.15, 0.08},
+		Budget:    4,
+		Algorithm: "probrome",
+	}
+	key, err := spec.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := nodes[0].Ring().Owner(key, nil)
+	if !ok {
+		t.Fatal("ring has no owner")
+	}
+	submitAt := 0
+	if owner == addrs[0] {
+		submitAt = 1 // force the forwarded path
+	}
+	out, err := nodes[submitAt].Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	st, err := nodes[submitAt].Wait(wctx, out.ID)
+	if err != nil || st.State != JobDone {
+		t.Fatalf("forwarded job state %v, err %v", st.State, err)
+	}
+	if _, err := nodes[submitAt].Result(out.ID); err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	var snap ClusterSnapshot = nodes[submitAt].ClusterStats(context.Background())
+	if snap.Totals.Nodes != 2 || snap.Totals.Forwards != 1 {
+		t.Fatalf("cluster snapshot totals %+v", snap.Totals)
+	}
+
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ccancel()
+	if err := nodes[submitAt].Close(cctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := nodes[submitAt].Submit(spec); !errors.Is(err, ErrClusterNodeClosed) {
+		t.Fatalf("submit after close = %v, want ErrClusterNodeClosed", err)
 	}
 }

@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — boot three real `tomo serve` daemons wired into one
+# consistent-hash ring, drive the forwarded job path with curl, kill one
+# peer with SIGKILL and prove the survivors route around it.
+#
+# The EXIT/INT/TERM trap kills every daemon PID on every exit path —
+# success, assertion failure, or a signal from the CI runner — so a
+# wedged smoke test can never leave orphaned daemons behind. This is the
+# transcript README.md's "Cluster" section shows.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+BIN="$WORK/tomo"
+PIDS=()
+
+cleanup() {
+  status=$?
+  for pid in "${PIDS[@]:-}"; do
+    [[ -n "$pid" ]] || continue
+    if kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      for _ in $(seq 1 50); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+      done
+      kill -9 "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  if [[ $status -ne 0 ]]; then
+    for log in "$WORK"/node*.log; do
+      [[ -f "$log" ]] || continue
+      echo "--- $log ---"
+      cat "$log"
+    done
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# pick_port finds a currently-free localhost TCP port. There is an
+# unavoidable bind race between picking and booting, but the daemons
+# fail fast and loudly if they lose it.
+pick_port() {
+  local p
+  while :; do
+    p=$(( (RANDOM % 20000) + 20000 ))
+    if ! (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+      echo "$p"
+      return
+    fi
+    exec 3>&- 2>/dev/null || true
+  done
+}
+
+echo "== build"
+go build -o "$BIN" ./cmd/tomo
+
+PEER1="127.0.0.1:$(pick_port)"
+PEER2="127.0.0.1:$(pick_port)"
+PEER3="127.0.0.1:$(pick_port)"
+while [[ "$PEER2" == "$PEER1" ]]; do PEER2="127.0.0.1:$(pick_port)"; done
+while [[ "$PEER3" == "$PEER1" || "$PEER3" == "$PEER2" ]]; do PEER3="127.0.0.1:$(pick_port)"; done
+
+echo "== boot 3-node ring (peers $PEER1 $PEER2 $PEER3)"
+declare -a BASES
+for i in 1 2 3; do
+  self_var="PEER$i"
+  self="${!self_var}"
+  others=""
+  for j in 1 2 3; do
+    [[ $j == "$i" ]] && continue
+    peer_var="PEER$j"
+    others="${others:+$others,}${!peer_var}"
+  done
+  "$BIN" serve -addr 127.0.0.1:0 -interval 50ms -workers 2 \
+    -peer-addr "$self" -peers "$others" -hedge-after 50ms \
+    >"$WORK/node$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+for i in 1 2 3; do
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^tomo serve listening on http://\([^ ]*\).*#\1#p' "$WORK/node$i.log" | head -1)
+    [[ -n "$ADDR" ]] && break
+    kill -0 "${PIDS[$((i-1))]}" 2>/dev/null || { echo "node $i exited before binding"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$ADDR" ]] || { echo "node $i: no listen banner"; exit 1; }
+  grep -q '^cluster: ring identity' "$WORK/node$i.log" || { echo "node $i: no cluster banner"; exit 1; }
+  BASES[$i]="http://$ADDR"
+  for _ in $(seq 1 100); do
+    curl -fsS "${BASES[$i]}/readyz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  peer_var="PEER$i"
+  echo "node $i pid ${PIDS[$((i-1))]} at ${BASES[$i]} (peer ${!peer_var})"
+done
+
+SPEC='{
+  "links": 6,
+  "paths": [[0,1],[1,2],[2,3],[3,4],[4,5],[0,5],[0,1,2],[3,4,5]],
+  "probs": [0.1,0.05,0.2,0.1,0.15,0.08],
+  "budget": BUDGET,
+  "algorithm": "probrome"
+}'
+
+# submit_and_fetch BASE BUDGET OUTFILE: submit, poll to done, save the
+# result bytes.
+submit_and_fetch() {
+  local base=$1 budget=$2 outfile=$3
+  local body id state
+  body=$(curl -fsS -X POST "$base/api/v1/jobs" -H 'Content-Type: application/json' \
+    -d "${SPEC/BUDGET/$budget}")
+  id=$(printf '%s' "$body" | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p')
+  [[ -n "$id" ]] || { echo "submission at $base returned no job id: $body"; return 1; }
+  state=""
+  for _ in $(seq 1 200); do
+    state=$(curl -fsS "$base/api/v1/jobs/$id" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+    [[ "$state" == "done" ]] && break
+    sleep 0.05
+  done
+  [[ "$state" == "done" ]] || { echo "job $id at $base stuck in state '$state'"; return 1; }
+  curl -fsS "$base/api/v1/jobs/$id/result" >"$outfile"
+}
+
+echo "== same job at every node: one execution, identical bytes"
+for i in 1 2 3; do
+  submit_and_fetch "${BASES[$i]}" 4 "$WORK/result$i.json"
+done
+cmp -s "$WORK/result1.json" "$WORK/result2.json" || { echo "node 2 serves different bytes"; exit 1; }
+cmp -s "$WORK/result1.json" "$WORK/result3.json" || { echo "node 3 serves different bytes"; exit 1; }
+grep -q '"Selected"' "$WORK/result1.json" || { echo "result payload missing selection"; exit 1; }
+
+echo "== cluster-wide stats from one node"
+STATS=$(curl -fsS "${BASES[1]}/api/v1/stats")
+printf '%s' "$STATS" | grep -q '"nodes": 3' || { echo "stats do not see 3 nodes: $STATS"; exit 1; }
+EXECUTED=$(printf '%s' "$STATS" | grep -c '"executed": 1' || true)
+[[ "$EXECUTED" == "1" ]] || { echo "want exactly one node with one execution, saw $EXECUTED"; exit 1; }
+
+echo "== SIGKILL node 3, survivors route around it"
+kill -9 "${PIDS[2]}"
+wait "${PIDS[2]}" 2>/dev/null || true
+PIDS[2]=""
+# Distinct budgets spread across the ring: ~1/3 of these keys are owned
+# by the dead node, and every one must still complete via the hedge or
+# the local fallback.
+for n in 1 2 3 4 5 6; do
+  submit_and_fetch "${BASES[1]}" "4.$n" "$WORK/killed$n.json"
+done
+curl -fsS "${BASES[1]}/api/v1/stats" | grep -q "\"unreachable\": \[" \
+  || { echo "stats do not list the killed peer as unreachable"; exit 1; }
+
+echo "== graceful shutdown via SIGTERM"
+for i in 0 1; do
+  kill -TERM "${PIDS[$i]}"
+done
+for i in 0 1; do
+  for _ in $(seq 1 100); do
+    kill -0 "${PIDS[$i]}" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "${PIDS[$i]}" 2>/dev/null; then
+    echo "node $((i+1)) ignored SIGTERM"
+    exit 1
+  fi
+  wait "${PIDS[$i]}" 2>/dev/null || true
+  PIDS[$i]=""
+done
+grep -q "tomo serve: shut down" "$WORK/node1.log" || { echo "node 1: no shutdown banner"; exit 1; }
+
+echo "cluster smoke: OK"
