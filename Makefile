@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 MAX_REGRESS ?= 0.25
 
-.PHONY: all build test race cover bench bench-json bench-gate alloc-gate ci fmt-check fuzz fuzz-smoke soak-agent soak-stream soak-cluster serve-smoke cluster-smoke experiments examples clean
+.PHONY: all build test race cover cover-gate bench bench-json bench-gate alloc-gate ci fmt-check fuzz fuzz-smoke soak-agent soak-stream soak-cluster serve-smoke cluster-smoke experiments examples clean
 
 all: build test
 
@@ -41,6 +41,19 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Coverage gate: internal/failure is the substrate every Monte Carlo
+# oracle, experiment schedule and scenario-source job is built on, so its
+# statement coverage is floored (currently measured ~96%; the floor
+# leaves headroom for refactors without letting whole features land
+# untested). Writes coverage.out so CI can publish the profile.
+COVER_FLOOR_FAILURE ?= 90
+cover-gate:
+	$(GO) test -coverprofile=coverage.out ./internal/failure/
+	@pct="$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }')"; \
+	echo "internal/failure coverage: $$pct% (floor $(COVER_FLOOR_FAILURE)%)"; \
+	awk -v p="$$pct" -v f="$(COVER_FLOOR_FAILURE)" 'BEGIN { exit (p + 0 < f + 0) ? 1 : 0 }' || \
+		{ echo "cover-gate: internal/failure coverage $$pct% fell below the $(COVER_FLOOR_FAILURE)% floor"; exit 1; }
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -57,6 +70,7 @@ bench-json:
 	$(GO) run ./cmd/benchregress -suite agent
 	$(GO) run ./cmd/benchregress -suite loss
 	$(GO) run ./cmd/benchregress -suite cluster
+	$(GO) run ./cmd/benchregress -suite failure
 
 # CI perf gate: rerun every tracked suite and fail if any benchmark lost
 # more than MAX_REGRESS (default 25%) of its committed-baseline
@@ -68,6 +82,7 @@ bench-gate:
 	$(GO) run ./cmd/benchregress -suite agent -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite loss -compare -max-regress $(MAX_REGRESS)
 	$(GO) run ./cmd/benchregress -suite cluster -compare -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/benchregress -suite failure -compare -max-regress $(MAX_REGRESS)
 
 # CI allocation gate: the steady-state zero-allocation contracts asserted
 # with testing.AllocsPerRun — the Monte Carlo incremental oracle (Gain,
@@ -83,9 +98,12 @@ fuzz: fuzz-smoke
 # Native fuzzing smoke: every target gets FUZZTIME (go test accepts one
 # -fuzz pattern per invocation, hence one line per target). Each target
 # ships a seed corpus via f.Add, so even -fuzztime 0 replays the known
-# tricky frames.
+# tricky frames. Targets: the GF(2)-vs-float64 rank differential, the
+# scenario-source contract invariants, the edge-list and weight parsers,
+# the canonical cache-key encoder, and the agent and cluster wire codecs.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzGF2VsFloat64Rank -fuzztime=$(FUZZTIME) ./internal/linalg/
+	$(GO) test -fuzz=FuzzScenarioSource -fuzztime=$(FUZZTIME) ./internal/failure/
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -fuzz=FuzzLoadWeights -fuzztime=$(FUZZTIME) ./internal/topo/
 	$(GO) test -fuzz=FuzzCanonicalKey -fuzztime=$(FUZZTIME) ./internal/selection/

@@ -103,6 +103,16 @@ var suites = map[string]struct {
 		packages:  []string{"./internal/loss/"},
 		benchtime: "20x",
 	},
+	// The failure suite tracks scenario-panel throughput per registered
+	// scenario source (the Monte Carlo oracle's refresh cost) and the
+	// steady-state Gilbert–Elliott column sampler, whose allocs/op is a
+	// zero-allocation contract.
+	"failure": {
+		out:       "BENCH_failure.json",
+		pattern:   "^(BenchmarkScenarioPanelBernoulli|BenchmarkScenarioPanelGE|BenchmarkScenarioPanelSRLG|BenchmarkScenarioPanelNode|BenchmarkGEColumnSteady)$",
+		packages:  []string{"./internal/failure/"},
+		benchtime: "1s",
+	},
 	// The cluster suite pairs the forwarded submit path against its
 	// submit-at-owner Serial baseline, so the Speedup column reads as the
 	// forwarding overhead factor (expected < 1). One forwarded op stands

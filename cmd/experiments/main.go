@@ -35,7 +35,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	runList := fs.String("run", "all", "comma-separated experiments: tableI,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,ablations,extensions,all")
+	runList := fs.String("run", "all", "comma-separated experiments: tableI,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,ablations,extensions,scenarios,all")
 	scaleName := fs.String("scale", "quick", "evaluation scale: quick, medium, paper")
 	workload := fs.String("workload", "", "override workload as PRESET:PATHS (e.g. AS3257:1600); default per figure")
 	epochs := fs.String("epochs", "500,1000", "LSR learning horizons for fig10")
@@ -245,6 +245,27 @@ func run(args []string) error {
 			fmt.Printf("%d\t%.1f\t%.1f\n", e, regret.Regret[i], regret.PerLog[i])
 		}
 		fmt.Println()
+	}
+	if want("scenarios") {
+		w := defaultWorkload(*workload, *scaleName, experiments.Workload{Preset: topo.AS1755, CandidatePaths: 400})
+		burst, err := experiments.Burstiness(experiments.BurstinessConfig{
+			Workload: w, Multiplier: 0.75,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(burst); err != nil {
+			return err
+		}
+		nodefail, err := experiments.NodeFailures(experiments.NodeFailConfig{
+			Workload: w, Multiplier: 0.75,
+		}, scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(nodefail); err != nil {
+			return err
+		}
 	}
 	if want("ablations") {
 		w := defaultWorkload(*workload, *scaleName, experiments.Workload{Preset: topo.AS1755, CandidatePaths: 400})

@@ -96,7 +96,7 @@ func TestRunAllFiguresQuickTiny(t *testing.T) {
 	}
 	// Exercise every figure branch on a tiny workload.
 	args := []string{
-		"-run", "fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,ablations,extensions",
+		"-run", "fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,ablations,extensions,scenarios",
 		"-scale", "quick",
 		"-workload", "AS1755:36",
 		"-epochs", "30,60",

@@ -185,6 +185,20 @@ func TestRunnersParallelMatchSerial(t *testing.T) {
 			}
 			return fig.JSON()
 		},
+		"burstiness": func(sc Scale) (string, error) {
+			fig, err := Burstiness(BurstinessConfig{Workload: w, Multiplier: 0.75, MeanBursts: []float64{1, 8}}, sc)
+			if err != nil {
+				return "", err
+			}
+			return fig.JSON()
+		},
+		"nodefail": func(sc Scale) (string, error) {
+			fig, err := NodeFailures(NodeFailConfig{Workload: w, Multiplier: 0.75, NodeEvents: []float64{0.5, 2}}, sc)
+			if err != nil {
+				return "", err
+			}
+			return fig.JSON()
+		},
 	}
 	for name, run := range runs {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+func TestBurstinessFigure(t *testing.T) {
+	sc := testScale()
+	fig, err := Burstiness(BurstinessConfig{Workload: testWorkload(), Multiplier: 0.75, MeanBursts: []float64{1, 4}}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ProbRoMe-iid", "MonteRoMe-GE", AlgSelectPath} {
+		s, ok := fig.SeriesByName(name)
+		if !ok {
+			t.Fatalf("series %q missing", name)
+		}
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Mean <= 0 {
+				t.Fatalf("series %q at burst %v: mean rank %v not positive", name, p.X, p.Mean)
+			}
+		}
+	}
+	// The stationary failure mass is identical at every burst length, so
+	// the i.i.d.-blind selection cannot gain rank from burstiness; allow
+	// Monte Carlo noise but forbid a structural improvement.
+	s, _ := fig.SeriesByName("ProbRoMe-iid")
+	first, _ := s.MeanAt(1)
+	if last := s.FinalMean(); last > first*1.15 {
+		t.Errorf("blind selection improved under burstiness: rank %v at L=1 vs %v at L=4", first, last)
+	}
+}
+
+func TestNodeFailuresFigure(t *testing.T) {
+	sc := testScale()
+	fig, err := NodeFailures(NodeFailConfig{Workload: testWorkload(), Multiplier: 0.75, NodeEvents: []float64{0.5, 2}}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"NodeRecall", "LinkImplicatedRecall", "IdentifiableNodes"} {
+		s, ok := fig.SeriesByName(name)
+		if !ok {
+			t.Fatalf("series %q missing", name)
+		}
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Mean < 0 || p.Mean > 1 {
+				t.Fatalf("series %q at rate %v: fraction %v outside [0,1]", name, p.X, p.Mean)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package failure
+
+import (
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+// benchLinks sizes the panel benchmarks at a Rocketfuel-like link count.
+const benchLinks = 300
+
+func benchProbs() []float64 {
+	probs := make([]float64, benchLinks)
+	for l := range probs {
+		probs[l] = 0.01 + 0.4*float64(l%11)/10
+	}
+	return probs
+}
+
+// benchPanel times drawing a 1000-scenario packed panel from the given
+// source, the inner loop of every Monte Carlo oracle refresh. The "panel"
+// metric carries the scenario count so cmd/benchregress derives
+// scenarios/sec for BENCH_failure.json.
+func benchPanel(b *testing.B, build func(b *testing.B) Sampler) {
+	src := build(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := SampleScenarioSet(src, stats.NewRNG(uint64(i), 7), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if set.N() != 1000 {
+			b.Fatal("short panel")
+		}
+	}
+	b.ReportMetric(1000, "panel") // after the loop: ResetTimer clears metrics
+}
+
+func BenchmarkScenarioPanelBernoulli(b *testing.B) {
+	benchPanel(b, func(b *testing.B) Sampler {
+		m, err := FromProbabilities(benchProbs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	})
+}
+
+func BenchmarkScenarioPanelGE(b *testing.B) {
+	benchPanel(b, func(b *testing.B) Sampler {
+		ge, err := NewGilbertElliott(GEConfig{Marginals: benchProbs(), MeanBurst: 8, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ge
+	})
+}
+
+func BenchmarkScenarioPanelSRLG(b *testing.B) {
+	benchPanel(b, func(b *testing.B) Sampler {
+		base, err := FromProbabilities(benchProbs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := NewCorrelatedModel(base, []SRLG{
+			{Links: []int{0, 1, 2, 3}, Prob: 0.1},
+			{Links: []int{100, 150, 200}, Prob: 0.05},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	})
+}
+
+func BenchmarkScenarioPanelNode(b *testing.B) {
+	benchPanel(b, func(b *testing.B) Sampler {
+		incidence := make([][]int, benchLinks)
+		probs := make([]float64, benchLinks)
+		for v := range incidence {
+			incidence[v] = []int{v, (v + 1) % benchLinks}
+			probs[v] = 0.02
+		}
+		m, err := NewNodeFailureModel(NodeFailureConfig{
+			Links: benchLinks, Incidence: incidence, NodeProbs: probs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	})
+}
+
+// BenchmarkGEColumnSteady measures the steady-state per-column cost of the
+// Gilbert–Elliott sojourn sampler with the column buffer reused across
+// iterations — the allocs/op figure is the tracked contract (the sampler
+// itself must not allocate; panel allocation is the caller's).
+func BenchmarkGEColumnSteady(b *testing.B) {
+	ge, err := NewGilbertElliott(GEConfig{Marginals: benchProbs(), MeanBurst: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1000
+	col := make([]uint64, (n+63)/64)
+	rng := stats.NewRNG(3, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := range col {
+			col[w] = 0
+		}
+		ge.SampleColumn(rng, i%benchLinks, n, col)
+	}
+}

@@ -36,8 +36,8 @@ func SampleScenarios(s Sampler, rng *rand.Rand, n int) []Scenario {
 // (fiber conduits, line cards, power domains) with a per-epoch group
 // probability, on top of each link's independent failure probability.
 type SRLG struct {
-	Links []int
-	Prob  float64
+	Links []int   `json:"links"`
+	Prob  float64 `json:"prob"`
 }
 
 // CorrelatedModel layers shared-risk groups over an independent base
@@ -132,4 +132,16 @@ func (m *CorrelatedModel) Marginals() []float64 {
 // process's marginals.
 func (m *CorrelatedModel) IndependentApproximation() (*Model, error) {
 	return FromProbabilities(m.Marginals())
+}
+
+// SourceName implements ScenarioSource.
+func (m *CorrelatedModel) SourceName() string { return SourceSRLG }
+
+// Snapshot implements ScenarioSource. Group firings are i.i.d. across
+// epochs, so there is no cross-epoch state to capture.
+func (m *CorrelatedModel) Snapshot() SourceState { return SourceState{} }
+
+// Restore implements ScenarioSource.
+func (m *CorrelatedModel) Restore(s SourceState) error {
+	return s.restoreInto(SourceSRLG, nil)
 }

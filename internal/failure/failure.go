@@ -285,6 +285,22 @@ func (m *Model) ExactK(rng *rand.Rand, k int) (Scenario, error) {
 	return Scenario{Failed: failed}, nil
 }
 
+// SourceName implements ScenarioSource.
+func (m *Model) SourceName() string { return SourceBernoulli }
+
+// Marginals implements ScenarioSource: for the i.i.d. Bernoulli process
+// the stationary marginals are the per-link probabilities themselves.
+func (m *Model) Marginals() []float64 { return m.Probs() }
+
+// Snapshot implements ScenarioSource. The process is i.i.d. across
+// epochs, so there is no cross-epoch state to capture.
+func (m *Model) Snapshot() SourceState { return SourceState{} }
+
+// Restore implements ScenarioSource.
+func (m *Model) Restore(s SourceState) error {
+	return s.restoreInto(SourceBernoulli, nil)
+}
+
 // PathAvailability returns the expected availability of a path crossing the
 // given links: Π (1 − p_l), per Eq. 3 of the paper.
 func (m *Model) PathAvailability(links []int) float64 {

@@ -1,0 +1,152 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+// fuzzSpecs derives one SourceSpec per registered source family from the
+// fuzzed coordinates, so every registered process is exercised on every
+// fuzz iteration.
+func fuzzSpecs(seed uint64, links int, burst float64) []SourceSpec {
+	probs := make([]float64, links)
+	for l := range probs {
+		// Deterministic in (seed, l), spread over (0, 0.45]: reachable for
+		// every swept burst length (the L = 1 Gilbert bound is m < 0.5).
+		probs[l] = 0.01 + 0.44*float64((seed+uint64(l)*2654435761)%97)/96
+	}
+	incidence := make([][]int, links)
+	nodeProbs := make([]float64, links)
+	for v := range incidence {
+		incidence[v] = []int{v, (v + 1) % links}
+		nodeProbs[v] = probs[v] / 4
+	}
+	groups := []SRLG{{Links: []int{0, links - 1}, Prob: 0.1}}
+	return []SourceSpec{
+		{Source: SourceBernoulli, Probs: probs},
+		{Source: SourceGilbertElliott, Probs: probs, MeanBurst: burst, Seed: seed},
+		{Source: SourceSRLG, Probs: probs, Groups: groups},
+		{Source: SourceNode, Links: links, Incidence: incidence, NodeProbs: nodeProbs},
+	}
+}
+
+// FuzzScenarioSource drives every registered scenario source through its
+// contract invariants under fuzzed parameters: marginal sanity against a
+// long-run empirical rate, snapshot/restore determinism of both the
+// epoch-major and packed panels, and packed-column expansion consistency
+// (Scenarios() re-packed reproduces the panel bit-for-bit).
+func FuzzScenarioSource(f *testing.F) {
+	f.Add(uint64(1), uint8(4), float64(2), uint16(50))
+	f.Add(uint64(0xdeadbeef), uint8(24), float64(1), uint16(1))
+	f.Add(uint64(7), uint8(65), float64(9.5), uint16(200))
+	f.Add(uint64(42), uint8(1), float64(16), uint16(64))
+	f.Fuzz(func(t *testing.T, seed uint64, linksRaw uint8, burst float64, epochsRaw uint16) {
+		links := 1 + int(linksRaw)%96
+		epochs := 1 + int(epochsRaw)%300
+		if !(burst >= 1) || burst > 64 || math.IsInf(burst, 0) {
+			burst = 1 + math.Abs(math.Mod(burst, 63))
+			if !(burst >= 1) { // NaN fallthrough
+				burst = 1
+			}
+		}
+		for _, spec := range fuzzSpecs(seed, links, burst) {
+			src, err := NewSource(spec)
+			if err != nil {
+				t.Fatalf("%s: building source: %v", spec.Source, err)
+			}
+			if src.Links() != links {
+				t.Fatalf("%s: Links() = %d, want %d", spec.Source, src.Links(), links)
+			}
+
+			// Marginal sanity: in range, and matched by the long-run rate.
+			// The empirical tolerance is conservative: worst-case perfect
+			// cross-link correlation plus the Gilbert burst inflation
+			// (1+ρ)/(1−ρ) ≤ 2L−1 on the effective sample count.
+			marg := src.Marginals()
+			if len(marg) != links {
+				t.Fatalf("%s: %d marginals for %d links", spec.Source, len(marg), links)
+			}
+			mbar := 0.0
+			for l, m := range marg {
+				if !(m >= 0 && m < 1) {
+					t.Fatalf("%s: marginal %v for link %d outside [0,1)", spec.Source, m, l)
+				}
+				mbar += m
+			}
+			mbar /= float64(links)
+			const empiricalEpochs = 4096
+			rng := stats.NewRNG(seed, 0xF022)
+			fails := 0
+			for e := 0; e < empiricalEpochs; e++ {
+				sc := src.Sample(rng)
+				if len(sc.Failed) != links {
+					t.Fatalf("%s: scenario covers %d links, want %d", spec.Source, len(sc.Failed), links)
+				}
+				for _, down := range sc.Failed {
+					if down {
+						fails++
+					}
+				}
+			}
+			got := float64(fails) / float64(empiricalEpochs*links)
+			tol := 8*math.Sqrt(mbar*(1-mbar)*(2*burst-1)/empiricalEpochs) + 0.02
+			if math.Abs(got-mbar) > tol {
+				t.Fatalf("%s: empirical failure rate %v vs mean marginal %v (tol %v)", spec.Source, got, mbar, tol)
+			}
+
+			// Snapshot/restore determinism: the same draws from the same
+			// state and rng stream must replay bit-for-bit, epoch-major and
+			// packed alike.
+			snap := src.Snapshot()
+			drawA := SampleScenarios(src, stats.NewRNG(seed, 0xF023), epochs)
+			setA, err := SampleScenarioSet(src, stats.NewRNG(seed, 0xF024), epochs)
+			if err != nil {
+				t.Fatalf("%s: packed panel: %v", spec.Source, err)
+			}
+			if err := src.Restore(snap); err != nil {
+				t.Fatalf("%s: restoring own snapshot: %v", spec.Source, err)
+			}
+			drawB := SampleScenarios(src, stats.NewRNG(seed, 0xF023), epochs)
+			setB, err := SampleScenarioSet(src, stats.NewRNG(seed, 0xF024), epochs)
+			if err != nil {
+				t.Fatalf("%s: packed replay: %v", spec.Source, err)
+			}
+			for e := range drawA {
+				for l := range drawA[e].Failed {
+					if drawA[e].Failed[l] != drawB[e].Failed[l] {
+						t.Fatalf("%s: epoch %d link %d diverged after restore", spec.Source, e, l)
+					}
+				}
+			}
+			for l := 0; l < links; l++ {
+				colA, colB := setA.Col(l), setB.Col(l)
+				for w := range colA {
+					if colA[w] != colB[w] {
+						t.Fatalf("%s: packed column %d word %d diverged after restore", spec.Source, l, w)
+					}
+				}
+			}
+
+			// Packed-column expansion: Scenarios() re-packed must reproduce
+			// the panel exactly (the serial-reference contract the er
+			// kernels' parallel==serial equality rests on).
+			expanded, err := NewScenarioSet(setA.Scenarios())
+			if err != nil {
+				t.Fatalf("%s: re-packing expansion: %v", spec.Source, err)
+			}
+			if expanded.N() != setA.N() || expanded.Links() != setA.Links() {
+				t.Fatalf("%s: expansion shape %dx%d, want %dx%d", spec.Source, expanded.N(), expanded.Links(), setA.N(), setA.Links())
+			}
+			for l := 0; l < links; l++ {
+				colA, colE := setA.Col(l), expanded.Col(l)
+				for w := range colA {
+					if colA[w] != colE[w] {
+						t.Fatalf("%s: expansion column %d word %d mismatch", spec.Source, l, w)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"robusttomo/internal/stats"
+)
+
+// GEConfig parameterizes NewGilbertElliott.
+//
+// Each link runs an independent two-state Markov chain over {Good, Bad}
+// with geometric sojourns: from Good the chain enters Bad with per-epoch
+// probability p, from Bad it recovers with probability r. The link is
+// down with probability PBad while Bad and PGood while Good. The chain
+// is parameterized by observables rather than raw transition rates: the
+// target stationary marginal failure probability m per link and the mean
+// Bad sojourn MeanBurst = 1/r, from which
+//
+//	πB = (m − PGood) / (PBad − PGood)   (stationary Bad occupancy)
+//	r  = 1 / MeanBurst
+//	p  = r · πB / (1 − πB)
+//
+// so the long-run per-link failure rate matches an i.i.d. Bernoulli(m)
+// process exactly while failures cluster into bursts of mean length
+// MeanBurst. MeanBurst = 1 with the default emissions degenerates to
+// p = m/(1−m)-paced single-epoch bursts; larger values stretch the same
+// failure mass into longer, rarer bursts.
+type GEConfig struct {
+	// Marginals are the per-link stationary failure probabilities the
+	// chain must reproduce, each in [0, 1).
+	Marginals []float64
+	// MeanBurst is the mean Bad-state sojourn in epochs; must be ≥ 1.
+	MeanBurst float64
+	// PBad and PGood are the per-state failure (emission) probabilities.
+	// The zero value of PBad means the classical Gilbert default 1 (down
+	// for the whole burst); PGood defaults to 0 (up between bursts).
+	// Required: 0 ≤ PGood < PBad ≤ 1 and PGood ≤ m < PBad per link.
+	PBad  float64
+	PGood float64
+	// Seed drives the stationary draw of each link's initial state.
+	Seed uint64
+}
+
+// GilbertElliott is the bursty-link ScenarioSource: independent two-state
+// Markov chains per link (see GEConfig). Unlike the i.i.d. sources it is
+// stateful across epochs — Sample and SampleColumn advance every link's
+// chain — so consumers that need repeatable draws bracket them with
+// Snapshot/Restore.
+type GilbertElliott struct {
+	marginals []float64
+	enterBad  []float64 // per-link p (Good → Bad)
+	leaveBad  float64   // r (Bad → Good), shared: one MeanBurst for all links
+	meanBurst float64
+	pBad      float64
+	pGood     float64
+	bad       []uint64 // current state bitmask, 1 = Bad, bit l = link l
+}
+
+// NewGilbertElliott derives the per-link transition probabilities from
+// the configured marginals and burst length and draws each link's initial
+// state from its stationary distribution (seeded, so construction is
+// deterministic).
+func NewGilbertElliott(cfg GEConfig) (*GilbertElliott, error) {
+	if len(cfg.Marginals) == 0 {
+		return nil, fmt.Errorf("failure: gilbert-elliott needs at least one link marginal")
+	}
+	if cfg.MeanBurst < 1 {
+		return nil, fmt.Errorf("failure: gilbert-elliott mean burst %v must be ≥ 1 epoch", cfg.MeanBurst)
+	}
+	pBad, pGood := cfg.PBad, cfg.PGood
+	if pBad == 0 {
+		pBad = 1
+	}
+	if pGood < 0 || pBad > 1 || pGood >= pBad {
+		return nil, fmt.Errorf("failure: gilbert-elliott emissions need 0 ≤ PGood < PBad ≤ 1, got PGood=%v PBad=%v", pGood, pBad)
+	}
+	g := &GilbertElliott{
+		marginals: make([]float64, len(cfg.Marginals)),
+		enterBad:  make([]float64, len(cfg.Marginals)),
+		leaveBad:  1 / cfg.MeanBurst,
+		meanBurst: cfg.MeanBurst,
+		pBad:      pBad,
+		pGood:     pGood,
+		bad:       make([]uint64, (len(cfg.Marginals)+63)/64),
+	}
+	rng := stats.NewRNG(cfg.Seed, 0x6E57)
+	for l, m := range cfg.Marginals {
+		if m < 0 || m >= 1 || math.IsNaN(m) {
+			return nil, fmt.Errorf("failure: marginal %v for link %d out of [0,1)", m, l)
+		}
+		if m < pGood || m >= pBad {
+			return nil, fmt.Errorf("failure: marginal %v for link %d outside emission range [PGood=%v, PBad=%v)", m, l, pGood, pBad)
+		}
+		piBad := (m - pGood) / (pBad - pGood)
+		p := g.leaveBad * piBad / (1 - piBad)
+		if p > 1 {
+			return nil, fmt.Errorf("failure: link %d marginal %v unreachable with mean burst %v (Good→Bad probability %v > 1); shorten the burst or lower the marginal", l, m, cfg.MeanBurst, p)
+		}
+		g.marginals[l] = m
+		g.enterBad[l] = p
+		if stats.Bernoulli(rng, piBad) {
+			g.bad[l>>6] |= 1 << (l & 63)
+		}
+	}
+	return g, nil
+}
+
+// Links implements Sampler.
+func (g *GilbertElliott) Links() int { return len(g.marginals) }
+
+// SourceName implements ScenarioSource.
+func (g *GilbertElliott) SourceName() string { return SourceGilbertElliott }
+
+// Marginals implements ScenarioSource: the configured stationary
+// marginals, reproduced exactly by the chain's long-run behaviour.
+func (g *GilbertElliott) Marginals() []float64 {
+	return append([]float64(nil), g.marginals...)
+}
+
+// MeanBurst returns the configured mean Bad sojourn in epochs.
+func (g *GilbertElliott) MeanBurst() float64 { return g.meanBurst }
+
+// Autocorrelation returns link l's lag-1 autocorrelation of the state
+// process, 1 − p_l − r: zero for MeanBurst-1 chains with tiny marginals
+// (nearly i.i.d.), approaching 1 as bursts lengthen.
+func (g *GilbertElliott) Autocorrelation(l int) float64 {
+	return 1 - g.enterBad[l] - g.leaveBad
+}
+
+// IndependentApproximation returns the i.i.d. Bernoulli model with this
+// chain's stationary marginals — what a correlation-blind consumer
+// (ProbRoMe) sees of the process.
+func (g *GilbertElliott) IndependentApproximation() (*Model, error) {
+	return FromProbabilities(g.marginals)
+}
+
+// Snapshot implements ScenarioSource: it captures every link's current
+// Good/Bad state.
+func (g *GilbertElliott) Snapshot() SourceState {
+	return newSourceState(SourceGilbertElliott, g.bad)
+}
+
+// Restore implements ScenarioSource.
+func (g *GilbertElliott) Restore(s SourceState) error {
+	return s.restoreInto(SourceGilbertElliott, g.bad)
+}
+
+func (g *GilbertElliott) isBad(l int) bool {
+	return g.bad[l>>6]&(1<<(l&63)) != 0
+}
+
+func (g *GilbertElliott) flip(l int) {
+	g.bad[l>>6] ^= 1 << (l & 63)
+}
+
+// Sample implements Sampler: it emits the current epoch's failure vector
+// and advances every link's chain one epoch. Emission draws are skipped
+// under the default degenerate emissions (PBad=1, PGood=0), and
+// transition draws are skipped for absorbing links (p = 0), so the rng
+// consumption per epoch is deterministic given the chain state.
+func (g *GilbertElliott) Sample(rng *rand.Rand) Scenario {
+	failed := make([]bool, len(g.marginals))
+	for l := range failed {
+		bad := g.isBad(l)
+		if bad {
+			failed[l] = g.pBad >= 1 || stats.Bernoulli(rng, g.pBad)
+		} else if g.pGood > 0 {
+			failed[l] = stats.Bernoulli(rng, g.pGood)
+		}
+		leave := g.leaveBad
+		if !bad {
+			leave = g.enterBad[l]
+		}
+		if leave > 0 && stats.Bernoulli(rng, leave) {
+			g.flip(l)
+		}
+	}
+	return Scenario{Failed: failed}
+}
+
+// SampleColumn implements ColumnSampler: it fills link l's failure
+// bit-column over the next n epochs by sojourn skip sampling. Sojourn
+// lengths are geometric, so instead of one transition draw per epoch the
+// chain jumps whole sojourns via inverse transform — under the default
+// degenerate emissions a burst becomes one uniform draw plus a run of
+// set bits, costing O(transitions) rather than O(n) per link. A sojourn
+// truncated by the panel end leaves the chain mid-sojourn, which by
+// memorylessness is distributionally identical to carrying the residual
+// over; the final state is written back so consecutive panels chain
+// correctly. The realization differs from epoch-major Sample draws but
+// is equally distributed, and links must be filled in ascending order
+// for determinism (as ColumnSampler requires).
+func (g *GilbertElliott) SampleColumn(rng *rand.Rand, l, n int, col []uint64) {
+	bad := g.isBad(l)
+	pos := 0
+	for pos < n {
+		leave := g.leaveBad
+		if !bad {
+			leave = g.enterBad[l]
+		}
+		// The sojourn runs to the panel end without a flip unless a
+		// geometric draw lands the transition inside the panel (a draw
+		// of exactly the remaining length flips at the boundary).
+		end, flip := n, false
+		if leave >= 1 {
+			end, flip = pos+1, true
+		} else if leave > 0 {
+			if u := rng.Float64(); u > 0 {
+				// Sojourn length K = 1 + floor(ln U / ln(1−leave)) ≥ 1.
+				gap := math.Log(u) / math.Log1p(-leave)
+				if gap < float64(n-pos) {
+					end, flip = pos+1+int(gap), true
+				}
+			}
+		}
+		if bad {
+			g.emitBad(rng, pos, end, col)
+		} else if g.pGood > 0 {
+			g.emitGood(rng, pos, end, col)
+		}
+		if flip {
+			bad = !bad
+		}
+		pos = end
+	}
+	if bad != g.isBad(l) {
+		g.flip(l)
+	}
+}
+
+// emitBad sets the failure bits for a Bad sojourn spanning epochs
+// [from, to): the whole run under the degenerate PBad = 1, otherwise one
+// Bernoulli per epoch.
+func (g *GilbertElliott) emitBad(rng *rand.Rand, from, to int, col []uint64) {
+	if g.pBad >= 1 {
+		for s := from; s < to; s++ {
+			col[s>>6] |= 1 << (s & 63)
+		}
+		return
+	}
+	for s := from; s < to; s++ {
+		if stats.Bernoulli(rng, g.pBad) {
+			col[s>>6] |= 1 << (s & 63)
+		}
+	}
+}
+
+// emitGood sets the (rare) failure bits of a Good sojourn, one Bernoulli
+// per epoch; callers skip it entirely when PGood = 0.
+func (g *GilbertElliott) emitGood(rng *rand.Rand, from, to int, col []uint64) {
+	for s := from; s < to; s++ {
+		if stats.Bernoulli(rng, g.pGood) {
+			col[s>>6] |= 1 << (s & 63)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+func mustGE(t *testing.T, cfg GEConfig) *GilbertElliott {
+	t.Helper()
+	g, err := NewGilbertElliott(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGEValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  GEConfig
+	}{
+		{"no links", GEConfig{MeanBurst: 4}},
+		{"burst below one epoch", GEConfig{Marginals: []float64{0.1}, MeanBurst: 0.5}},
+		{"marginal out of range", GEConfig{Marginals: []float64{1.2}, MeanBurst: 4}},
+		{"nan marginal", GEConfig{Marginals: []float64{math.NaN()}, MeanBurst: 4}},
+		{"marginal at PBad", GEConfig{Marginals: []float64{0.5}, MeanBurst: 4, PBad: 0.5}},
+		{"marginal below PGood", GEConfig{Marginals: []float64{0.01}, MeanBurst: 4, PGood: 0.05, PBad: 0.9}},
+		{"inverted emissions", GEConfig{Marginals: []float64{0.1}, MeanBurst: 4, PGood: 0.8, PBad: 0.3}},
+		// p = r·πB/(1−πB) = 1·(0.9/0.1) = 9 > 1: the chain cannot spend
+		// 90% of its time in one-epoch bursts.
+		{"unreachable marginal", GEConfig{Marginals: []float64{0.9}, MeanBurst: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := NewGilbertElliott(tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// Pinned acceptance test: the empirical failure rate of a long skip-sampled
+// panel must match the closed-form stationary marginal m = πG·PGood + πB·PBad
+// the chain is derived from. The Monte Carlo tolerance accounts for the
+// positive lag-1 autocorrelation ρ of the bursty process, which inflates the
+// variance of the empirical mean by (1+ρ)/(1−ρ) relative to i.i.d. draws.
+func TestGEStationaryMarginalClosedForm(t *testing.T) {
+	const n = 1 << 20
+	cases := []GEConfig{
+		{Marginals: []float64{0.02, 0.1, 0.3}, MeanBurst: 1, Seed: 11},
+		{Marginals: []float64{0.02, 0.1, 0.3}, MeanBurst: 8, Seed: 12},
+		{Marginals: []float64{0.05, 0.2}, MeanBurst: 16, PBad: 0.9, PGood: 0.01, Seed: 13},
+	}
+	for ci, cfg := range cases {
+		g := mustGE(t, cfg)
+		set, err := SampleScenarioSet(g, stats.NewRNG(42, uint64(ci)), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l, m := range g.Marginals() {
+			got := float64(CountBits(set.Col(l))) / n
+			rho := g.Autocorrelation(l)
+			sigma := math.Sqrt(m * (1 - m) * (1 + rho) / (1 - rho) / n)
+			if diff := math.Abs(got - m); diff > 4*sigma+1e-9 {
+				t.Errorf("case %d link %d: empirical marginal %.5f vs closed form %.5f (|diff| %.5f > 4σ = %.5f)",
+					ci, l, got, m, diff, 4*sigma)
+			}
+		}
+	}
+}
+
+// The epoch-major Sample path must reproduce the same stationary marginals
+// as the column path — it drives sim.Runner schedules.
+func TestGESampleMarginals(t *testing.T) {
+	const n = 200_000
+	g := mustGE(t, GEConfig{Marginals: []float64{0.05, 0.25}, MeanBurst: 4, Seed: 3})
+	rng := stats.NewRNG(7, 0)
+	counts := make([]int, g.Links())
+	for range n {
+		sc := g.Sample(rng)
+		for l, f := range sc.Failed {
+			if f {
+				counts[l]++
+			}
+		}
+	}
+	for l, m := range g.Marginals() {
+		got := float64(counts[l]) / n
+		rho := g.Autocorrelation(l)
+		sigma := math.Sqrt(m * (1 - m) * (1 + rho) / (1 - rho) / n)
+		if diff := math.Abs(got - m); diff > 4*sigma {
+			t.Errorf("link %d: empirical %.5f vs %.5f (> 4σ = %.5f)", l, got, m, 4*sigma)
+		}
+	}
+}
+
+// With the default degenerate emissions every maximal run of failed epochs
+// is one or more back-to-back Bad sojourns, so the mean observed burst
+// length must track MeanBurst (slightly above it, since re-entry within one
+// epoch merges bursts).
+func TestGEBurstLengths(t *testing.T) {
+	const n = 1 << 19
+	for _, L := range []float64{2, 8} {
+		g := mustGE(t, GEConfig{Marginals: []float64{0.1}, MeanBurst: L, Seed: 5})
+		set, err := SampleScenarioSet(g, stats.NewRNG(9, uint64(L)), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bursts, length, run := 0, 0, 0
+		for s := 0; s < n; s++ {
+			if set.Failed(0, s) {
+				run++
+			} else if run > 0 {
+				bursts++
+				length += run
+				run = 0
+			}
+		}
+		mean := float64(length) / float64(bursts)
+		if mean < L*0.95 || mean > L*1.25 {
+			t.Errorf("MeanBurst %v: observed mean burst %.3f out of [%.2f, %.2f]", L, mean, L*0.95, L*1.25)
+		}
+	}
+}
+
+// Snapshot/Restore must rewind the chain exactly: replaying from a snapshot
+// with an identically seeded rng reproduces the draw sequence bit for bit,
+// through both the epoch-major and the column paths.
+func TestGESnapshotRestoreDeterminism(t *testing.T) {
+	g := mustGE(t, GEConfig{Marginals: []float64{0.05, 0.2, 0.4}, MeanBurst: 6, Seed: 21})
+	// Advance past the initial state so the snapshot is mid-trajectory.
+	SampleScenarios(g, stats.NewRNG(1, 1), 137)
+
+	snap := g.Snapshot()
+	first := SampleScenarios(g, stats.NewRNG(2, 2), 301)
+	set1, err := SampleScenarioSet(g, stats.NewRNG(3, 3), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := g.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	second := SampleScenarios(g, stats.NewRNG(2, 2), 301)
+	set2, err := SampleScenarioSet(g, stats.NewRNG(3, 3), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range first {
+		for l := range first[i].Failed {
+			if first[i].Failed[l] != second[i].Failed[l] {
+				t.Fatalf("replay diverged at scenario %d link %d", i, l)
+			}
+		}
+	}
+	for l := 0; l < set1.Links(); l++ {
+		c1, c2 := set1.Col(l), set2.Col(l)
+		for w := range c1 {
+			if c1[w] != c2[w] {
+				t.Fatalf("column replay diverged at link %d word %d", l, w)
+			}
+		}
+	}
+}
+
+// Restore must reject snapshots from other source families or shapes.
+func TestGERestoreValidation(t *testing.T) {
+	g := mustGE(t, GEConfig{Marginals: []float64{0.1, 0.1}, MeanBurst: 2})
+	m, err := FromProbabilities([]float64{0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Restore(m.Snapshot()); err == nil {
+		t.Error("bernoulli snapshot accepted by gilbert-elliott source")
+	}
+	wide := mustGE(t, GEConfig{Marginals: make([]float64, 100), MeanBurst: 2})
+	// 100 links need 2 state words; the 2-link chain holds 1.
+	if err := g.Restore(wide.Snapshot()); err == nil {
+		t.Error("mismatched state width accepted")
+	}
+	if err := m.Restore(g.Snapshot()); err == nil {
+		t.Error("stateful snapshot accepted by stateless source")
+	}
+}
+
+// Construction is deterministic in the seed: same config, same initial
+// states and transition parameters.
+func TestGEDeterministicConstruction(t *testing.T) {
+	cfg := GEConfig{Marginals: []float64{0.1, 0.2, 0.3, 0.4}, MeanBurst: 5, Seed: 77}
+	a, b := mustGE(t, cfg), mustGE(t, cfg)
+	sa := SampleScenarios(a, stats.NewRNG(4, 4), 64)
+	sb := SampleScenarios(b, stats.NewRNG(4, 4), 64)
+	for i := range sa {
+		for l := range sa[i].Failed {
+			if sa[i].Failed[l] != sb[i].Failed[l] {
+				t.Fatalf("same seed diverged at scenario %d link %d", i, l)
+			}
+		}
+	}
+}
+
+// Autocorrelation is the analytic 1 − p − r and must grow with MeanBurst.
+func TestGEAutocorrelation(t *testing.T) {
+	short := mustGE(t, GEConfig{Marginals: []float64{0.1}, MeanBurst: 1})
+	long := mustGE(t, GEConfig{Marginals: []float64{0.1}, MeanBurst: 16})
+	if s, l := short.Autocorrelation(0), long.Autocorrelation(0); s >= l {
+		t.Errorf("autocorrelation did not grow with burst length: %.4f (L=1) vs %.4f (L=16)", s, l)
+	}
+	// L=1 ⇒ r=1, p = m/(1−m): ρ = 1 − p − r = −m/(1−m).
+	want := -0.1 / 0.9
+	if got := short.Autocorrelation(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("L=1 autocorrelation %.6f, want %.6f", got, want)
+	}
+}
+
+func TestGEIndependentApproximation(t *testing.T) {
+	g := mustGE(t, GEConfig{Marginals: []float64{0.05, 0.2}, MeanBurst: 4})
+	ind, err := g.IndependentApproximation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, m := range g.Marginals() {
+		if ind.Prob(l) != m {
+			t.Fatalf("link %d: independent approximation %.4f, marginal %.4f", l, ind.Prob(l), m)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"robusttomo/internal/stats"
+)
+
+// NodeFailureConfig parameterizes NewNodeFailureModel.
+type NodeFailureConfig struct {
+	// Links is the number of links in the network; defaults to
+	// Base.Links() when a base model is given (and must match it).
+	Links int
+	// Incidence lists, per node, the IDs of that node's incident links.
+	// A node event downs every listed link for the epoch.
+	Incidence [][]int
+	// NodeProbs are the per-epoch node-failure probabilities, one per
+	// node, each in [0, 1).
+	NodeProbs []float64
+	// Base is an optional independent per-link process layered under the
+	// node events (a link is down when its own draw fires or any incident
+	// node fails). Nil means node events are the only failure process.
+	Base *Model
+}
+
+// NodeFailureModel is the node-event ScenarioSource: whole-node failures
+// (router crash, power domain, maintenance reboot) that down every
+// incident link at once, optionally layered over an independent per-link
+// process. Node events are i.i.d. across epochs, so the source is
+// stateless; the cross-link correlation they induce is exactly what the
+// link-level diagnoser in internal/diagnose cannot see, which the
+// node-localization experiment measures.
+type NodeFailureModel struct {
+	links     int
+	incidence [][]int
+	nodeProbs []float64
+	nodesOf   [][]int // inverted index: per link, the nodes incident to it
+	base      *Model
+}
+
+// NewNodeFailureModel validates the incidence structure and probabilities.
+func NewNodeFailureModel(cfg NodeFailureConfig) (*NodeFailureModel, error) {
+	links := cfg.Links
+	if cfg.Base != nil {
+		if links != 0 && links != cfg.Base.Links() {
+			return nil, fmt.Errorf("failure: node model links %d but base model has %d", links, cfg.Base.Links())
+		}
+		links = cfg.Base.Links()
+	}
+	if links <= 0 {
+		return nil, fmt.Errorf("failure: node model needs at least one link, got %d", links)
+	}
+	if len(cfg.Incidence) == 0 {
+		return nil, fmt.Errorf("failure: node model needs at least one node")
+	}
+	if len(cfg.NodeProbs) != len(cfg.Incidence) {
+		return nil, fmt.Errorf("failure: %d nodes in incidence but %d node probabilities", len(cfg.Incidence), len(cfg.NodeProbs))
+	}
+	m := &NodeFailureModel{
+		links:     links,
+		incidence: make([][]int, len(cfg.Incidence)),
+		nodeProbs: make([]float64, len(cfg.NodeProbs)),
+		nodesOf:   make([][]int, links),
+		base:      cfg.Base,
+	}
+	for v, q := range cfg.NodeProbs {
+		if q < 0 || q >= 1 {
+			return nil, fmt.Errorf("failure: node %d probability %v out of [0,1)", v, q)
+		}
+		m.nodeProbs[v] = q
+	}
+	for v, inc := range cfg.Incidence {
+		// Deduplicate: a self-loop edge lists the same link twice, and a
+		// duplicate would double-count the node in Marginals (1−(1−q)²
+		// instead of q, silently overstating the blind view).
+		seen := make(map[int]bool, len(inc))
+		cp := make([]int, 0, len(inc))
+		for _, l := range inc {
+			if l < 0 || l >= links {
+				return nil, fmt.Errorf("failure: node %d incident link %d outside [0,%d)", v, l, links)
+			}
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			cp = append(cp, l)
+		}
+		m.incidence[v] = cp
+		for _, l := range cp {
+			m.nodesOf[l] = append(m.nodesOf[l], v)
+		}
+	}
+	return m, nil
+}
+
+// Links implements Sampler.
+func (m *NodeFailureModel) Links() int { return m.links }
+
+// Nodes returns the number of nodes in the model.
+func (m *NodeFailureModel) Nodes() int { return len(m.nodeProbs) }
+
+// Incidence returns a copy of node v's incident link IDs.
+func (m *NodeFailureModel) Incidence(v int) []int {
+	return append([]int(nil), m.incidence[v]...)
+}
+
+// SampleWithNodes draws one epoch and also reports which nodes failed
+// (ascending IDs) — the ground truth the node-localization experiments
+// score against. Node events are drawn first, in node order, then the
+// base link process; the draw order is fixed so the realization is
+// deterministic in the rng.
+func (m *NodeFailureModel) SampleWithNodes(rng *rand.Rand) (Scenario, []int) {
+	var downNodes []int
+	failed := make([]bool, m.links)
+	for v, q := range m.nodeProbs {
+		if stats.Bernoulli(rng, q) {
+			downNodes = append(downNodes, v)
+			for _, l := range m.incidence[v] {
+				failed[l] = true
+			}
+		}
+	}
+	if m.base != nil {
+		sc := m.base.Sample(rng)
+		for l, f := range sc.Failed {
+			if f {
+				failed[l] = true
+			}
+		}
+	}
+	return Scenario{Failed: failed}, downNodes
+}
+
+// Sample implements Sampler.
+func (m *NodeFailureModel) Sample(rng *rand.Rand) Scenario {
+	sc, _ := m.SampleWithNodes(rng)
+	return sc
+}
+
+// SourceName implements ScenarioSource.
+func (m *NodeFailureModel) SourceName() string { return SourceNode }
+
+// Marginals implements ScenarioSource: link l is up only when its own
+// draw (if any) and every incident node survive, so its marginal is
+// 1 − (1 − p_l)·Π_{v ∋ l}(1 − q_v). Feeding these into FromProbabilities
+// gives the correlation-blind independent view of the process.
+func (m *NodeFailureModel) Marginals() []float64 {
+	out := make([]float64, m.links)
+	for l := range out {
+		up := 1.0
+		if m.base != nil {
+			up = 1 - m.base.Prob(l)
+		}
+		for _, v := range m.nodesOf[l] {
+			up *= 1 - m.nodeProbs[v]
+		}
+		out[l] = 1 - up
+	}
+	return out
+}
+
+// IndependentApproximation returns the independent Model with this
+// process's marginals.
+func (m *NodeFailureModel) IndependentApproximation() (*Model, error) {
+	return FromProbabilities(m.Marginals())
+}
+
+// Snapshot implements ScenarioSource. Node events are i.i.d. across
+// epochs, so there is no cross-epoch state to capture.
+func (m *NodeFailureModel) Snapshot() SourceState { return SourceState{} }
+
+// Restore implements ScenarioSource.
+func (m *NodeFailureModel) Restore(s SourceState) error {
+	return s.restoreInto(SourceNode, nil)
+}

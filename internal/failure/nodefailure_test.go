@@ -1,0 +1,155 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+// A 4-node path topology: node v incident to the links on either side.
+func pathIncidence() [][]int {
+	return [][]int{{0}, {0, 1}, {1, 2}, {2}}
+}
+
+func mustNodeModel(t *testing.T, cfg NodeFailureConfig) *NodeFailureModel {
+	t.Helper()
+	m, err := NewNodeFailureModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNodeFailureValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  NodeFailureConfig
+	}{
+		{"no links", NodeFailureConfig{Incidence: [][]int{{0}}, NodeProbs: []float64{0.1}}},
+		{"no nodes", NodeFailureConfig{Links: 3}},
+		{"probs/incidence mismatch", NodeFailureConfig{Links: 3, Incidence: pathIncidence(), NodeProbs: []float64{0.1}}},
+		{"prob out of range", NodeFailureConfig{Links: 3, Incidence: pathIncidence(), NodeProbs: []float64{0.1, 0.1, 1.0, 0.1}}},
+		{"link out of range", NodeFailureConfig{Links: 2, Incidence: pathIncidence(), NodeProbs: []float64{0.1, 0.1, 0.1, 0.1}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewNodeFailureModel(tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	base, err := FromProbabilities([]float64{0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNodeFailureModel(NodeFailureConfig{
+		Links: 3, Base: base, Incidence: [][]int{{0}}, NodeProbs: []float64{0.1},
+	}); err == nil {
+		t.Error("links/base mismatch accepted")
+	}
+}
+
+// Every node event must down exactly its incident links (absent a base
+// process), and the reported ground-truth node set must explain the
+// scenario.
+func TestNodeFailureGroundTruth(t *testing.T) {
+	m := mustNodeModel(t, NodeFailureConfig{
+		Links:     3,
+		Incidence: pathIncidence(),
+		NodeProbs: []float64{0.2, 0.3, 0.1, 0.25},
+	})
+	rng := stats.NewRNG(1, 1)
+	for range 2000 {
+		sc, nodes := m.SampleWithNodes(rng)
+		want := make([]bool, 3)
+		for _, v := range nodes {
+			for _, l := range m.Incidence(v) {
+				want[l] = true
+			}
+		}
+		for l := range want {
+			if sc.Failed[l] != want[l] {
+				t.Fatalf("link %d state %v not explained by failed nodes %v", l, sc.Failed[l], nodes)
+			}
+		}
+	}
+}
+
+// Marginals must follow the closed form 1 − (1−p_l)·Π_{v ∋ l}(1−q_v), and a
+// long empirical run must agree with it.
+// A self-loop edge lists the same link twice in a node's incidence; the
+// duplicate must not double-count the node in Marginals.
+func TestNodeFailureDuplicateIncidence(t *testing.T) {
+	m := mustNodeModel(t, NodeFailureConfig{
+		Links: 1, Incidence: [][]int{{0, 0}}, NodeProbs: []float64{0.2},
+	})
+	if got := m.Marginals()[0]; math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("marginal with duplicate incidence = %v, want 0.2", got)
+	}
+	if got := m.Incidence(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Incidence(0) = %v, want [0]", got)
+	}
+}
+
+func TestNodeFailureMarginals(t *testing.T) {
+	base, err := FromProbabilities([]float64{0.05, 0.0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.2, 0.3, 0.1, 0.25}
+	m := mustNodeModel(t, NodeFailureConfig{Base: base, Incidence: pathIncidence(), NodeProbs: q})
+
+	want := []float64{
+		1 - (1-0.05)*(1-q[0])*(1-q[1]), // link 0: nodes 0,1
+		1 - (1-0.0)*(1-q[1])*(1-q[2]),  // link 1: nodes 1,2
+		1 - (1-0.1)*(1-q[2])*(1-q[3]),  // link 2: nodes 2,3
+	}
+	got := m.Marginals()
+	for l := range want {
+		if math.Abs(got[l]-want[l]) > 1e-12 {
+			t.Errorf("link %d marginal %.6f, want %.6f", l, got[l], want[l])
+		}
+	}
+
+	const n = 400_000
+	counts := make([]int, 3)
+	rng := stats.NewRNG(2, 2)
+	for range n {
+		sc := m.Sample(rng)
+		for l, f := range sc.Failed {
+			if f {
+				counts[l]++
+			}
+		}
+	}
+	for l := range want {
+		emp := float64(counts[l]) / n
+		sigma := math.Sqrt(want[l] * (1 - want[l]) / n)
+		if math.Abs(emp-want[l]) > 4*sigma {
+			t.Errorf("link %d empirical marginal %.5f vs closed form %.5f (> 4σ)", l, emp, want[l])
+		}
+	}
+
+	ind, err := m.IndependentApproximation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind.Links() != m.Links() {
+		t.Fatalf("independent approximation covers %d links, want %d", ind.Links(), m.Links())
+	}
+}
+
+// The source is stateless: zero-valued snapshots round-trip and foreign
+// snapshots are rejected.
+func TestNodeFailureSnapshot(t *testing.T) {
+	m := mustNodeModel(t, NodeFailureConfig{Links: 3, Incidence: pathIncidence(), NodeProbs: []float64{0.1, 0.1, 0.1, 0.1}})
+	if err := m.Restore(m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	ge := mustGE(t, GEConfig{Marginals: []float64{0.1}, MeanBurst: 2})
+	if err := m.Restore(ge.Snapshot()); err == nil {
+		t.Error("gilbert-elliott snapshot accepted by node source")
+	}
+	if m.SourceName() != SourceNode || m.Nodes() != 4 {
+		t.Errorf("SourceName=%q Nodes=%d", m.SourceName(), m.Nodes())
+	}
+}

@@ -1,0 +1,312 @@
+package failure
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// ScenarioSource is the first-class failure-process contract behind every
+// scenario consumer (Monte Carlo ER, the closed-loop simulator, the
+// experiment harness, the engine params of `tomo serve` jobs). It extends
+// the minimal Sampler with the three properties a pluggable process needs:
+//
+//   - Identity: SourceName returns the registered process-family name, so
+//     specs, metrics and cache keys can name the process.
+//   - Stationary marginals: Marginals returns each link's long-run
+//     failure probability, so a correlation-blind consumer (ProbRoMe fed
+//     an independent Model) can be handed the matched i.i.d. view of any
+//     process — the comparison the burstiness experiments are built on.
+//   - Snapshot/restore: stateful processes (the Gilbert–Elliott chains)
+//     evolve hidden state across Sample calls. Snapshot captures that
+//     state and Restore rewinds to it, so the deterministic trial-sharded
+//     experiment runner can draw a selection panel and an evaluation
+//     schedule from one source without the draws perturbing each other,
+//     and a replay from (snapshot, rng seed) is bit-identical.
+//
+// Sample must draw only from the rng it is handed; all cross-epoch state
+// must live in the source and be covered by Snapshot. Under that contract
+// (source snapshot, rng seed) fully determines any sampled schedule.
+type ScenarioSource interface {
+	Sampler
+	// SourceName returns the registered name of the process family
+	// (e.g. "bernoulli", "gilbert_elliott").
+	SourceName() string
+	// Marginals returns a copy of the per-link stationary marginal
+	// failure probabilities, each in [0, 1).
+	Marginals() []float64
+	// Snapshot captures the source's mutable cross-epoch state. Stateless
+	// (i.i.d.-across-epochs) sources return an empty state.
+	Snapshot() SourceState
+	// Restore rewinds the source to a state captured by Snapshot on a
+	// source of the same shape.
+	Restore(SourceState) error
+}
+
+// Compile-time checks: every built-in process is a full ScenarioSource.
+var (
+	_ ScenarioSource = (*Model)(nil)
+	_ ScenarioSource = (*CorrelatedModel)(nil)
+	_ ScenarioSource = (*GilbertElliott)(nil)
+	_ ScenarioSource = (*NodeFailureModel)(nil)
+)
+
+// SourceState is an opaque snapshot of a source's cross-epoch state. The
+// zero value is the state of any stateless source.
+type SourceState struct {
+	name  string
+	words []uint64
+}
+
+// newSourceState captures the given words (copied) under the source name.
+func newSourceState(name string, words []uint64) SourceState {
+	return SourceState{name: name, words: append([]uint64(nil), words...)}
+}
+
+// restoreInto validates a snapshot against the expected shape and copies
+// its words into dst. A zero-valued state is accepted by stateless
+// sources only (words == 0).
+func (s SourceState) restoreInto(name string, dst []uint64) error {
+	if s.name == "" && len(s.words) == 0 && len(dst) == 0 {
+		return nil
+	}
+	if s.name != name {
+		return fmt.Errorf("failure: snapshot from source %q cannot restore a %q source", s.name, name)
+	}
+	if len(s.words) != len(dst) {
+		return fmt.Errorf("failure: snapshot has %d state words, source needs %d", len(s.words), len(dst))
+	}
+	copy(dst, s.words)
+	return nil
+}
+
+// SourceSpec is the JSON-transportable parameterization of a registered
+// scenario source — what a `tomo serve` job or a sim config names instead
+// of constructing a process by hand. Exactly one process family is
+// selected by Source; each factory rejects knobs that do not belong to
+// its family, so a misdirected parameter fails loudly instead of being
+// silently ignored.
+//
+// The per-link marginal failure probabilities come from Probs when set;
+// otherwise the Markopoulou power-law Model is built from Links,
+// ExpectedFailures and ModelSeed (exactly NewModel's Config).
+type SourceSpec struct {
+	// Source is the registered process-family name: "bernoulli",
+	// "gilbert_elliott", "srlg" or "node".
+	Source string `json:"source"`
+	// Links is the link count; required when Probs is empty, and must
+	// match len(Probs) when both are given.
+	Links int `json:"links,omitempty"`
+	// Probs gives explicit per-link marginal failure probabilities.
+	Probs []float64 `json:"probs,omitempty"`
+	// ExpectedFailures and ModelSeed parameterize the power-law Model
+	// used when Probs is empty (see Config).
+	ExpectedFailures float64 `json:"expected_failures,omitempty"`
+	ModelSeed        uint64  `json:"model_seed,omitempty"`
+
+	// MeanBurst is the Gilbert–Elliott mean bad-state sojourn in epochs
+	// (≥ 1); PBad/PGood are the per-state loss probabilities (0 means the
+	// defaults: down always in bad, never in good). Seed drives the
+	// stationary initial-state draw.
+	MeanBurst float64 `json:"mean_burst,omitempty"`
+	PBad      float64 `json:"p_bad,omitempty"`
+	PGood     float64 `json:"p_good,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+
+	// Groups are the shared-risk link groups of the "srlg" source.
+	Groups []SRLG `json:"groups,omitempty"`
+
+	// Incidence lists, per node, the IDs of its incident links;
+	// NodeProbs the per-epoch node-failure probabilities ("node" source).
+	// A node event downs every incident link on top of the per-link
+	// marginal process.
+	Incidence [][]int   `json:"incidence,omitempty"`
+	NodeProbs []float64 `json:"node_probs,omitempty"`
+}
+
+// baseModel materializes the spec's per-link marginal model.
+func (s SourceSpec) baseModel() (*Model, error) {
+	if len(s.Probs) > 0 {
+		if s.Links != 0 && s.Links != len(s.Probs) {
+			return nil, fmt.Errorf("failure: spec links %d but %d probs", s.Links, len(s.Probs))
+		}
+		return FromProbabilities(s.Probs)
+	}
+	return NewModel(Config{Links: s.Links, ExpectedFailures: s.ExpectedFailures, Seed: s.ModelSeed})
+}
+
+// rejectFields errors when any of the named spec fields is set — each
+// factory calls it with the knobs foreign to its family.
+func (s SourceSpec) rejectFields(family string, ge, groups, node bool) error {
+	if ge && (s.MeanBurst != 0 || s.PBad != 0 || s.PGood != 0) {
+		return fmt.Errorf("failure: %s source takes no Gilbert–Elliott knobs (mean_burst, p_bad, p_good)", family)
+	}
+	if groups && len(s.Groups) > 0 {
+		return fmt.Errorf("failure: %s source takes no SRLG groups", family)
+	}
+	if node && (len(s.Incidence) > 0 || len(s.NodeProbs) > 0) {
+		return fmt.Errorf("failure: %s source takes no node fields (incidence, node_probs)", family)
+	}
+	return nil
+}
+
+// AppendCanonical appends an injective, fixed-width binary encoding of
+// the spec to dst: every variable-length section is length-prefixed and
+// every number is 8 bytes (floats by IEEE-754 bit pattern), so distinct
+// specs cannot collide by concatenation ambiguity. Cache keys that
+// incorporate a scenario source hash this encoding, never the raw JSON,
+// so reformatted submissions of the same spec share one key.
+func (s SourceSpec) AppendCanonical(dst []byte) []byte {
+	u64 := func(v uint64) { dst = binary.LittleEndian.AppendUint64(dst, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(len(s.Source)))
+	dst = append(dst, s.Source...)
+	u64(uint64(s.Links))
+	u64(uint64(len(s.Probs)))
+	for _, p := range s.Probs {
+		f64(p)
+	}
+	f64(s.ExpectedFailures)
+	u64(s.ModelSeed)
+	f64(s.MeanBurst)
+	f64(s.PBad)
+	f64(s.PGood)
+	u64(s.Seed)
+	u64(uint64(len(s.Groups)))
+	for _, g := range s.Groups {
+		u64(uint64(len(g.Links)))
+		for _, l := range g.Links {
+			u64(uint64(l))
+		}
+		f64(g.Prob)
+	}
+	u64(uint64(len(s.Incidence)))
+	for _, links := range s.Incidence {
+		u64(uint64(len(links)))
+		for _, l := range links {
+			u64(uint64(l))
+		}
+	}
+	u64(uint64(len(s.NodeProbs)))
+	for _, p := range s.NodeProbs {
+		f64(p)
+	}
+	return dst
+}
+
+// SourceFactory builds a source from a spec naming its family.
+type SourceFactory func(SourceSpec) (ScenarioSource, error)
+
+var (
+	sourcesMu sync.RWMutex
+	sources   = map[string]SourceFactory{}
+)
+
+// RegisterSource registers a source factory under a family name. It
+// panics on an empty name or a duplicate registration — registration is
+// an init-time, programmer-controlled act, exactly like engine.Register.
+func RegisterSource(name string, f SourceFactory) {
+	if name == "" {
+		panic("failure: RegisterSource with empty name")
+	}
+	if f == nil {
+		panic("failure: RegisterSource with nil factory")
+	}
+	sourcesMu.Lock()
+	defer sourcesMu.Unlock()
+	if _, dup := sources[name]; dup {
+		panic(fmt.Sprintf("failure: source %q registered twice", name))
+	}
+	sources[name] = f
+}
+
+// SourceNames returns the registered family names, sorted.
+func SourceNames() []string {
+	sourcesMu.RLock()
+	defer sourcesMu.RUnlock()
+	out := make([]string, 0, len(sources))
+	for name := range sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewSource resolves the spec's family in the registry and builds the
+// source. Unknown families report the registered names.
+func NewSource(spec SourceSpec) (ScenarioSource, error) {
+	sourcesMu.RLock()
+	f, ok := sources[spec.Source]
+	sourcesMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("failure: unknown scenario source %q (registered: %v)", spec.Source, SourceNames())
+	}
+	return f(spec)
+}
+
+// Built-in family names.
+const (
+	SourceBernoulli      = "bernoulli"
+	SourceGilbertElliott = "gilbert_elliott"
+	SourceSRLG           = "srlg"
+	SourceNode           = "node"
+)
+
+func init() {
+	RegisterSource(SourceBernoulli, func(s SourceSpec) (ScenarioSource, error) {
+		if err := s.rejectFields(SourceBernoulli, true, true, true); err != nil {
+			return nil, err
+		}
+		return s.baseModel()
+	})
+	RegisterSource(SourceGilbertElliott, func(s SourceSpec) (ScenarioSource, error) {
+		if err := s.rejectFields(SourceGilbertElliott, false, true, true); err != nil {
+			return nil, err
+		}
+		base, err := s.baseModel()
+		if err != nil {
+			return nil, err
+		}
+		return NewGilbertElliott(GEConfig{
+			Marginals: base.Probs(),
+			MeanBurst: s.MeanBurst,
+			PBad:      s.PBad,
+			PGood:     s.PGood,
+			Seed:      s.Seed,
+		})
+	})
+	RegisterSource(SourceSRLG, func(s SourceSpec) (ScenarioSource, error) {
+		if err := s.rejectFields(SourceSRLG, true, false, true); err != nil {
+			return nil, err
+		}
+		base, err := s.baseModel()
+		if err != nil {
+			return nil, err
+		}
+		return NewCorrelatedModel(base, s.Groups)
+	})
+	RegisterSource(SourceNode, func(s SourceSpec) (ScenarioSource, error) {
+		if err := s.rejectFields(SourceNode, true, true, false); err != nil {
+			return nil, err
+		}
+		cfg := NodeFailureConfig{
+			Links:     s.Links,
+			Incidence: s.Incidence,
+			NodeProbs: s.NodeProbs,
+		}
+		// A node spec with per-link marginals (or power-law parameters)
+		// layers node events over that independent link process; without
+		// them the process is node events alone.
+		if len(s.Probs) > 0 || s.ExpectedFailures > 0 {
+			base, err := s.baseModel()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Base = base
+			cfg.Links = base.Links()
+		}
+		return NewNodeFailureModel(cfg)
+	})
+}

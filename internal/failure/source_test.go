@@ -1,0 +1,194 @@
+package failure
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"robusttomo/internal/stats"
+)
+
+func TestSourceRegistryNames(t *testing.T) {
+	names := SourceNames()
+	want := map[string]bool{
+		SourceBernoulli: false, SourceGilbertElliott: false,
+		SourceSRLG: false, SourceNode: false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("built-in source %q not registered (have %v)", n, names)
+		}
+	}
+	if _, err := NewSource(SourceSpec{Source: "no-such-process"}); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+// Every built-in factory must build a working source from a minimal spec,
+// reporting the right family name and link count.
+func TestNewSourceBuiltins(t *testing.T) {
+	specs := []SourceSpec{
+		{Source: SourceBernoulli, Links: 10, ExpectedFailures: 1.5},
+		{Source: SourceBernoulli, Probs: []float64{0.1, 0.2}},
+		{Source: SourceGilbertElliott, Probs: []float64{0.1, 0.2}, MeanBurst: 4},
+		{Source: SourceGilbertElliott, Links: 10, ExpectedFailures: 1, MeanBurst: 8, Seed: 3},
+		{Source: SourceSRLG, Probs: []float64{0.1, 0.2, 0.3}, Groups: []SRLG{{Links: []int{0, 2}, Prob: 0.05}}},
+		{Source: SourceNode, Links: 3, Incidence: [][]int{{0}, {0, 1}, {1, 2}, {2}}, NodeProbs: []float64{0.1, 0.1, 0.1, 0.1}},
+		{Source: SourceNode, Probs: []float64{0.05, 0.05, 0.05}, Incidence: [][]int{{0, 1}, {1, 2}}, NodeProbs: []float64{0.1, 0.2}},
+	}
+	for i, spec := range specs {
+		src, err := NewSource(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if src.SourceName() != spec.Source {
+			t.Errorf("spec %d: SourceName %q, want %q", i, src.SourceName(), spec.Source)
+		}
+		if wantLinks := len(spec.Probs); wantLinks > 0 && src.Links() != wantLinks {
+			t.Errorf("spec %d: Links %d, want %d", i, src.Links(), wantLinks)
+		}
+		if got := src.Marginals(); len(got) != src.Links() {
+			t.Errorf("spec %d: %d marginals for %d links", i, len(got), src.Links())
+		}
+		sc := src.Sample(stats.NewRNG(1, uint64(i)))
+		if len(sc.Failed) != src.Links() {
+			t.Errorf("spec %d: scenario covers %d links, want %d", i, len(sc.Failed), src.Links())
+		}
+	}
+}
+
+// Factories must reject knobs that belong to another family, so a typo'd
+// spec fails loudly instead of silently sampling the wrong process.
+func TestNewSourceRejectsForeignFields(t *testing.T) {
+	bad := []SourceSpec{
+		{Source: SourceBernoulli, Links: 4, ExpectedFailures: 1, MeanBurst: 4},
+		{Source: SourceBernoulli, Links: 4, ExpectedFailures: 1, Groups: []SRLG{{Links: []int{0}, Prob: 0.1}}},
+		{Source: SourceBernoulli, Links: 4, ExpectedFailures: 1, NodeProbs: []float64{0.1}},
+		{Source: SourceGilbertElliott, Links: 4, ExpectedFailures: 1, MeanBurst: 4, Incidence: [][]int{{0}}},
+		{Source: SourceSRLG, Probs: []float64{0.1}, Groups: []SRLG{{Links: []int{0}, Prob: 0.1}}, PBad: 0.9},
+		{Source: SourceNode, Links: 2, Incidence: [][]int{{0, 1}}, NodeProbs: []float64{0.1}, MeanBurst: 2},
+		{Source: SourceBernoulli, Links: 3, ExpectedFailures: 1, Probs: []float64{0.1, 0.2}},
+	}
+	for i, spec := range bad {
+		if _, err := NewSource(spec); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestRegisterSourcePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty name", func() { RegisterSource("", func(SourceSpec) (ScenarioSource, error) { return nil, nil }) })
+	expectPanic("nil factory", func() { RegisterSource("x", nil) })
+	expectPanic("duplicate", func() {
+		RegisterSource(SourceBernoulli, func(SourceSpec) (ScenarioSource, error) { return nil, nil })
+	})
+}
+
+// The canonical encoding must be injective across specs that JSON or naive
+// concatenation could conflate — cache keys hang off it.
+func TestSourceSpecCanonicalInjective(t *testing.T) {
+	specs := []SourceSpec{
+		{Source: SourceBernoulli, Links: 4},
+		{Source: SourceBernoulli, Links: 5},
+		{Source: SourceGilbertElliott, Links: 4},
+		{Source: SourceGilbertElliott, Links: 4, MeanBurst: 4},
+		{Source: SourceGilbertElliott, Links: 4, MeanBurst: 4, Seed: 1},
+		{Source: SourceGilbertElliott, Links: 4, MeanBurst: 4, PBad: 0.9},
+		{Source: SourceBernoulli, Probs: []float64{0.1, 0.2}},
+		{Source: SourceBernoulli, Probs: []float64{0.2, 0.1}},
+		// Group splits that flatten to the same link multiset.
+		{Source: SourceSRLG, Links: 4, Groups: []SRLG{{Links: []int{0, 1}, Prob: 0.1}}},
+		{Source: SourceSRLG, Links: 4, Groups: []SRLG{{Links: []int{0}, Prob: 0.1}, {Links: []int{1}, Prob: 0.1}}},
+		// Incidence splits that flatten identically.
+		{Source: SourceNode, Links: 4, Incidence: [][]int{{0, 1}}, NodeProbs: []float64{0.1}},
+		{Source: SourceNode, Links: 4, Incidence: [][]int{{0}, {1}}, NodeProbs: []float64{0.1, 0.1}},
+		{Source: SourceNode, Links: 4, Incidence: [][]int{{0}, {1}}, NodeProbs: []float64{0.1, 0.2}},
+	}
+	seen := map[string]int{}
+	for i, spec := range specs {
+		key := string(spec.AppendCanonical(nil))
+		if j, dup := seen[key]; dup {
+			t.Errorf("specs %d and %d encode identically", j, i)
+		}
+		seen[key] = i
+	}
+	// Appending must extend dst, not restart it.
+	pre := []byte("prefix")
+	out := specs[0].AppendCanonical(pre)
+	if !bytes.HasPrefix(out, pre) {
+		t.Error("AppendCanonical dropped existing dst bytes")
+	}
+}
+
+// Specs must survive a JSON round-trip unchanged — they travel inside
+// engine params.
+func TestSourceSpecJSONRoundTrip(t *testing.T) {
+	spec := SourceSpec{
+		Source:    SourceGilbertElliott,
+		Probs:     []float64{0.1, 0.25},
+		MeanBurst: 8,
+		PBad:      0.95,
+		PGood:     0.01,
+		Seed:      42,
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt SourceSpec
+	if err := json.Unmarshal(blob, &rt); err != nil {
+		t.Fatal(err)
+	}
+	a := spec.AppendCanonical(nil)
+	b := rt.AppendCanonical(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round-tripped spec encodes differently:\n%q\n%q", a, b)
+	}
+}
+
+// Built-in sources must expand their packed panels identically to their
+// scenario-major expansion — the property the serial reference oracles
+// rely on.
+func TestSourcePanelExpansion(t *testing.T) {
+	specs := []SourceSpec{
+		{Source: SourceBernoulli, Links: 12, ExpectedFailures: 2, ModelSeed: 1},
+		{Source: SourceGilbertElliott, Probs: []float64{0.02, 0.1, 0.3, 0.05, 0.2, 0.01, 0.15, 0.08, 0.25, 0.12, 0.04, 0.18}, MeanBurst: 4},
+		{Source: SourceSRLG, Links: 12, ExpectedFailures: 2, ModelSeed: 1, Groups: []SRLG{{Links: []int{1, 5, 7}, Prob: 0.1}}},
+		{Source: SourceNode, Links: 3, Incidence: [][]int{{0}, {0, 1}, {1, 2}, {2}}, NodeProbs: []float64{0.1, 0.2, 0.1, 0.1}},
+	}
+	for i, spec := range specs {
+		src, err := NewSource(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := SampleScenarioSet(src, stats.NewRNG(5, uint64(i)), 130)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repacked, err := NewScenarioSet(set.Scenarios())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < set.Links(); l++ {
+			a, b := set.Col(l), repacked.Col(l)
+			for w := range a {
+				if a[w] != b[w] {
+					t.Fatalf("spec %d: packed column %d word %d differs after expansion round-trip", i, l, w)
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,11 @@
 package selection
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"robusttomo/internal/engine"
@@ -37,6 +41,23 @@ const DefaultMCRuns = 200
 // job's scenario stream depends only on its spec seed.
 const mcStream = 0x5e1ec7
 
+// scenarioKeyDomain domain-separates the keys of jobs carrying a
+// scenario source from the flat-field keys (which predate sources and
+// must stay bit-identical for existing caches), and versions the
+// scenario encoding.
+const scenarioKeyDomain = "selection/scenario/v1"
+
+// Params is the selection engine's optional JobSpec `params` payload.
+type Params struct {
+	// Scenario names a registered failure.ScenarioSource the Monte Carlo
+	// oracle should sample instead of the i.i.d. process the flat probs
+	// describe. When set, the flat probs (and links) may be omitted —
+	// they default to the source's stationary marginals — and probrome/
+	// matrome/selectpath jobs use exactly those marginals (the
+	// correlation-blind view), while monterome samples the source itself.
+	Scenario *failure.SourceSpec `json:"scenario"`
+}
+
 func init() { engine.Register(selEngine{}) }
 
 // selEngine implements engine.Engine over the four selection algorithms.
@@ -54,8 +75,32 @@ func (selEngine) ObsLabel() string { return "selection" }
 // bit-identical to the pre-engine service keys, so caches and clients
 // that recorded v1 job IDs keep hitting.
 func (selEngine) Normalize(spec engine.Spec) (engine.Job, error) {
+	var scenario *failure.SourceSpec
 	if len(spec.Params) > 0 {
-		return nil, fmt.Errorf("service: the selection engine takes its parameters from the flat job fields (links, paths, probs, costs, budget, algorithm, mc_runs, seed), not params")
+		dec := json.NewDecoder(bytes.NewReader(spec.Params))
+		dec.DisallowUnknownFields()
+		var p Params
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("service: decoding selection params: %w", err)
+		}
+		if p.Scenario == nil {
+			return nil, fmt.Errorf("service: selection params must name a scenario source")
+		}
+		src, err := failure.NewSource(*p.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("service: building scenario source: %w", err)
+		}
+		if spec.Links == 0 {
+			spec.Links = src.Links()
+		} else if spec.Links != src.Links() {
+			return nil, fmt.Errorf("service: job has %d links but scenario source has %d", spec.Links, src.Links())
+		}
+		if len(spec.Probs) == 0 {
+			spec.Probs = src.Marginals()
+		} else if len(spec.Probs) != src.Links() {
+			return nil, fmt.Errorf("service: %d probabilities for a %d-link scenario source", len(spec.Probs), src.Links())
+		}
+		scenario = p.Scenario
 	}
 	if spec.Links <= 0 {
 		return nil, fmt.Errorf("service: need a positive link count, got %d", spec.Links)
@@ -110,9 +155,14 @@ func (selEngine) Normalize(spec engine.Spec) (engine.Job, error) {
 		}
 	case AlgProbRoMe, AlgMatRoMe, AlgSelectPath:
 		// Deterministic in the instance alone: the scenario-stream knobs
-		// must not split the cache key.
+		// must not split the cache key. A scenario source likewise only
+		// reaches these algorithms through its stationary marginals, which
+		// are already folded into probs — dropping it here keeps the job
+		// key identical to the equivalent explicit-probs submission, so
+		// both hit the same cache entry.
 		spec.MCRuns = 0
 		spec.Seed = 0
+		scenario = nil
 	default:
 		return nil, fmt.Errorf("service: unknown algorithm %q (probrome, monterome, matrome, selectpath)", spec.Algorithm)
 	}
@@ -125,6 +175,7 @@ func (selEngine) Normalize(spec engine.Spec) (engine.Job, error) {
 		algorithm: spec.Algorithm,
 		mcRuns:    spec.MCRuns,
 		seed:      spec.Seed,
+		scenario:  scenario,
 	}, nil
 }
 
@@ -138,12 +189,19 @@ type selJob struct {
 	algorithm string
 	mcRuns    int
 	seed      uint64
+	// scenario is non-nil only for monterome jobs whose panel is drawn
+	// from a named scenario source rather than the i.i.d. probs.
+	scenario *failure.SourceSpec
 }
 
 // Key is the content-addressed job ID: the canonical hash of everything
-// the selection result depends on.
+// the selection result depends on. Jobs without a scenario source keep
+// the pre-source CanonicalInputs key bit-for-bit (existing caches and
+// recorded v1 job IDs stay valid); a scenario folds in under its own
+// domain tag so a source-driven panel can never collide with an i.i.d.
+// one over the same marginals.
 func (j *selJob) Key() string {
-	return CanonicalInputs{
+	base := CanonicalInputs{
 		Links:     j.links,
 		Paths:     j.paths,
 		Probs:     j.probs,
@@ -153,6 +211,16 @@ func (j *selJob) Key() string {
 		MCRuns:    j.mcRuns,
 		Seed:      j.seed,
 	}.Key()
+	if j.scenario == nil {
+		return base
+	}
+	h := sha256.New()
+	buf := make([]byte, 0, 256)
+	buf = append(buf, scenarioKeyDomain...)
+	buf = append(buf, base...)
+	buf = j.scenario.AppendCanonical(buf)
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Detail reports the normalized algorithm name.
@@ -202,8 +270,18 @@ func (j *selJob) Run(ctx context.Context, reg *obs.Registry) (engine.Result, err
 	case AlgProbRoMe:
 		res, err = RoMe(pm, j.costs, j.budget, er.NewProbBoundInc(pm, model), opts)
 	case AlgMonteRoMe:
+		sampler := failure.Sampler(model)
+		if j.scenario != nil {
+			// Rebuilding from the spec resets the source to its canonical
+			// initial state, so the panel depends only on the job key.
+			src, serr := failure.NewSource(*j.scenario)
+			if serr != nil {
+				return nil, fmt.Errorf("service: building scenario source: %w", serr)
+			}
+			sampler = src
+		}
 		rng := stats.NewRNG(j.seed, mcStream)
-		res, err = RoMe(pm, j.costs, j.budget, er.NewMonteCarloInc(pm, model, j.mcRuns, rng), opts)
+		res, err = RoMe(pm, j.costs, j.budget, er.NewMonteCarloInc(pm, sampler, j.mcRuns, rng), opts)
 	case AlgMatRoMe:
 		res, err = MatRoMe(pm, er.Availabilities(pm, model), int(j.budget), MatRoMeOptions{})
 	case AlgSelectPath:

@@ -69,10 +69,117 @@ func TestSelectionNormalizeRejectsParams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	for name, params := range map[string]string{
+		"unknown field":      `{"x":1}`,
+		"no scenario":        `{}`,
+		"null scenario":      `{"scenario":null}`,
+		"unknown source":     `{"scenario":{"source":"no-such-process","links":4}}`,
+		"foreign knob":       `{"scenario":{"source":"bernoulli","links":4,"mean_burst":3}}`,
+		"links mismatch":     `{"scenario":{"source":"bernoulli","probs":[0.1,0.2]}}`,
+		"probs len mismatch": `{"scenario":{"source":"bernoulli","probs":[0.1,0.2,0.3,0.4,0.5]}}`,
+	} {
+		spec := selSpec()
+		if name == "probs len mismatch" {
+			spec.Links = 0 // take links from the 5-link source; flat probs stay 4 long
+		}
+		spec.Params = []byte(params)
+		if _, err := e.Normalize(spec); err == nil {
+			t.Errorf("%s: Normalize accepted params %s", name, params)
+		}
+	}
+}
+
+// geParams is a scenario params payload over selSpec's four links with the
+// same marginals as its flat probs.
+const geParams = `{"scenario":{"source":"gilbert_elliott","probs":[0.1,0.05,0.2,0.1],"mean_burst":4,"seed":9}}`
+
+// TestSelectionScenarioParams pins the scenario-source normalization
+// rules: deterministic algorithms fold the source into its stationary
+// marginals (same key as the explicit-probs job — shared cache entry),
+// while monterome keeps the source and gets a domain-separated key.
+func TestSelectionScenarioParams(t *testing.T) {
+	e, err := engine.Lookup(EngineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// probrome + scenario: probs and links filled from the source, and the
+	// key collapses to the plain flat-field key.
 	spec := selSpec()
-	spec.Params = []byte(`{"x":1}`)
-	if _, err := e.Normalize(spec); err == nil {
-		t.Fatal("Normalize accepted a params payload")
+	spec.Links = 0
+	spec.Probs = nil
+	spec.Params = []byte(geParams)
+	j, err := e.Normalize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.Normalize(selSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Key() != plain.Key() {
+		t.Fatalf("probrome key split on scenario params: %s vs %s", j.Key(), plain.Key())
+	}
+
+	// monterome + scenario: key must differ from the marginal-equivalent
+	// i.i.d. monterome job, and must be stable across Normalize calls.
+	mc := selSpec()
+	mc.Algorithm = AlgMonteRoMe
+	mc.MCRuns = 64
+	mc.Params = []byte(geParams)
+	jmc, err := e.Normalize(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid := selSpec()
+	iid.Algorithm = AlgMonteRoMe
+	iid.MCRuns = 64
+	jiid, err := e.Normalize(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jmc.Key() == jiid.Key() {
+		t.Fatal("monterome scenario job collided with the i.i.d. job over the same marginals")
+	}
+	jmc2, err := e.Normalize(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jmc.Key() != jmc2.Key() {
+		t.Fatalf("monterome scenario key unstable: %s vs %s", jmc.Key(), jmc2.Key())
+	}
+}
+
+// TestSelectionScenarioRunDeterministic: a monterome job over a
+// Gilbert–Elliott source runs, selects paths, and repeats bit-identically
+// (the source is rebuilt from the spec each Run, so state cannot leak).
+func TestSelectionScenarioRunDeterministic(t *testing.T) {
+	e, err := engine.Lookup(EngineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := selSpec()
+	spec.Algorithm = AlgMonteRoMe
+	spec.MCRuns = 64
+	spec.Params = []byte(geParams)
+	j, err := e.Normalize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := res.(Result)
+	if !ok || len(sel.Selected) == 0 {
+		t.Fatalf("implausible scenario-driven result %+v", res)
+	}
+	again, err := j.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatalf("two scenario runs differ:\n%+v\n%+v", res, again)
 	}
 }
 

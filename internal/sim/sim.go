@@ -72,12 +72,20 @@ type Config struct {
 	Metrics []float64 // ground-truth link metrics
 	// Failures draws the per-epoch failure process; the schedule for
 	// Horizon epochs is fixed at construction so all components observe a
-	// consistent network.
+	// consistent network. A stateful failure.ScenarioSource is advanced
+	// Horizon epochs by that draw; snapshot first to replay it elsewhere.
 	Failures failure.Sampler
+	// Scenario names a registered scenario source instead of handing one
+	// in: when Failures is nil and Scenario is set, the source is built
+	// via failure.NewSource — how config-file and job-service callers
+	// pick a failure process.
+	Scenario *failure.SourceSpec
 	Horizon  int
 	Mode     Mode
-	// Model is required in Static mode (it drives the ProbRoMe
-	// selection); ignored in Learning mode.
+	// Model drives the ProbRoMe selection in Static mode; ignored in
+	// Learning mode. When nil and the failure process is a
+	// failure.ScenarioSource, the selection model is derived from the
+	// source's stationary marginals — the correlation-blind view.
 	Model *failure.Model
 	Seed  uint64
 	// Observer, when non-nil, receives loop metrics (epoch counts and
@@ -144,6 +152,13 @@ func New(cfg Config) (*Runner, error) {
 	if len(cfg.Metrics) != cfg.PM.NumLinks() {
 		return nil, fmt.Errorf("sim: %d metrics for %d links", len(cfg.Metrics), cfg.PM.NumLinks())
 	}
+	if cfg.Failures == nil && cfg.Scenario != nil {
+		src, err := failure.NewSource(*cfg.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building scenario source: %w", err)
+		}
+		cfg.Failures = src
+	}
 	if cfg.Failures == nil {
 		return nil, fmt.Errorf("sim: nil failure sampler")
 	}
@@ -174,7 +189,15 @@ func New(cfg Config) (*Runner, error) {
 	switch cfg.Mode {
 	case Static:
 		if cfg.Model == nil {
-			return nil, fmt.Errorf("sim: static mode needs a failure model")
+			src, ok := cfg.Failures.(failure.ScenarioSource)
+			if !ok {
+				return nil, fmt.Errorf("sim: static mode needs a failure model")
+			}
+			m, err := failure.FromProbabilities(src.Marginals())
+			if err != nil {
+				return nil, fmt.Errorf("sim: deriving selection model from %s marginals: %w", src.SourceName(), err)
+			}
+			cfg.Model = m
 		}
 		opts := selection.NewOptions()
 		opts.Observer = cfg.Observer

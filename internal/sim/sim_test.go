@@ -66,7 +66,17 @@ func TestNewValidation(t *testing.T) {
 		{"nil failures", func(c *Config) { c.Failures = nil }},
 		{"zero horizon", func(c *Config) { c.Horizon = 0 }},
 		{"bad mode", func(c *Config) { c.Mode = 0 }},
-		{"static without model", func(c *Config) { c.Model = nil }},
+		// A bare Sampler exposes no marginals, so Static mode cannot
+		// derive a selection model (a ScenarioSource could — see
+		// TestStaticModeDerivesModelFromSource).
+		{"static without model", func(c *Config) {
+			c.Model = nil
+			c.Failures = bareSampler{c.Failures}
+		}},
+		{"bad scenario spec", func(c *Config) {
+			c.Failures = nil
+			c.Scenario = &failure.SourceSpec{Source: "no-such-process"}
+		}},
 	}
 	for _, m := range mutations {
 		t.Run(m.name, func(t *testing.T) {

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"robusttomo/internal/failure"
+)
+
+// bareSampler strips the ScenarioSource methods off a failure process,
+// leaving the minimal Sampler the pre-source Runner accepted.
+type bareSampler struct{ failure.Sampler }
+
+// A bursty Gilbert–Elliott process drives the same closed loop as the
+// i.i.d. model, and Static mode derives its selection model from the
+// source's stationary marginals when none is given.
+func TestStaticModeDerivesModelFromSource(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	base := cfg.Model
+	ge, err := failure.NewGilbertElliott(failure.GEConfig{
+		Marginals: base.Probs(),
+		MeanBurst: 6,
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Failures = ge
+	cfg.Model = nil
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.StaticSelection()) == 0 {
+		t.Fatal("static selection empty")
+	}
+	reports, err := r.Run(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursty epochs must still satisfy the loop invariants.
+	for _, rep := range reports {
+		if rep.Survived > rep.Probed || rep.Rank > rep.Survived {
+			t.Fatalf("invariants violated: %+v", rep)
+		}
+	}
+}
+
+// The schedule a source-driven Runner fixes at construction is exactly
+// what the source + seed produce: restoring the source's snapshot and
+// rebuilding yields identical epoch reports.
+func TestSourceDrivenScheduleDeterministic(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	ge, err := failure.NewGilbertElliott(failure.GEConfig{
+		Marginals: cfg.Model.Probs(),
+		MeanBurst: 4,
+		Seed:      17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ge.Snapshot()
+	cfg.Failures = ge
+	cfg.Horizon = 60
+
+	run := func() []EpochReport {
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := r.Run(context.Background(), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports
+	}
+	first := run()
+	if err := ge.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	second := run()
+	for i := range first {
+		if first[i].Survived != second[i].Survived || first[i].Rank != second[i].Rank {
+			t.Fatalf("epoch %d diverged after snapshot restore: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+// A Runner built from a SourceSpec (the config-file path) runs the node
+// failure process end to end.
+func TestRunnerFromScenarioSpec(t *testing.T) {
+	cfg := exampleConfig(t, Static)
+	links := cfg.PM.NumLinks()
+	// A star incidence: node v owns links {v}, plus one hub node touching
+	// every link — crude but structurally valid for the example topology.
+	incidence := make([][]int, links+1)
+	probs := make([]float64, links+1)
+	hub := make([]int, links)
+	for l := 0; l < links; l++ {
+		incidence[l] = []int{l}
+		probs[l] = 0.03
+		hub[l] = l
+	}
+	incidence[links] = hub
+	probs[links] = 0.01
+	cfg.Failures = nil
+	cfg.Scenario = &failure.SourceSpec{
+		Source:    failure.SourceNode,
+		Links:     links,
+		Incidence: incidence,
+		NodeProbs: probs,
+	}
+	cfg.Model = nil
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := r.Run(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 50 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+}

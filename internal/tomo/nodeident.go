@@ -1,0 +1,101 @@
+package tomo
+
+import "fmt"
+
+// NodeIdent is the node-level identifiability profile of a selected path
+// set (Boolean tomography over nodes, after the vertex-separability
+// measures of Ma et al., arXiv:1509.06333, and the failure-localization
+// bounds of Bartolini et al., arXiv:1903.10636).
+type NodeIdent struct {
+	// Covered[v] is true when at least one selected path traverses a link
+	// incident to node v — an uncovered node's failure is invisible to
+	// the probe set.
+	Covered []bool
+	// Identifiable[v] is true when node v is covered and its failure
+	// signature (the set of selected paths a failure of v takes down) is
+	// distinct from every other covered node's signature, so a single
+	// node failure can be localized to v exactly. Nodes sharing a
+	// signature are confusable: monitoring sees the same path outcomes
+	// whichever of them failed.
+	Identifiable []bool
+	// NumCovered and NumIdentifiable count the true entries above.
+	NumCovered      int
+	NumIdentifiable int
+}
+
+// NodeIdentifiability computes the 1-identifiability of single node
+// failures under the selected paths idx. incidence lists, per node, the
+// IDs of that node's incident links (the same structure
+// failure.NodeFailureConfig takes); a node failure downs exactly those
+// links, so path i detects it iff the path traverses one of them.
+//
+// Per covered node the failure signature is the bitset of selected paths
+// traversing an incident link; signatures are grouped, and a node is
+// identifiable iff its group is a singleton — the Boolean analogue of the
+// link-level rank test RankAndIdentifiable runs on the linear system.
+func (pm *PathMatrix) NodeIdentifiability(idx []int, incidence [][]int) (NodeIdent, error) {
+	nodes := len(incidence)
+	if nodes == 0 {
+		return NodeIdent{}, fmt.Errorf("tomo: node identifiability needs at least one node")
+	}
+	// linkHit[l] = bitset over idx of selected paths traversing link l.
+	words := (len(idx) + 63) / 64
+	linkHit := make(map[int][]uint64, len(idx))
+	for k, i := range idx {
+		if i < 0 || i >= len(pm.paths) {
+			return NodeIdent{}, fmt.Errorf("tomo: path index %d outside [0,%d)", i, len(pm.paths))
+		}
+		for _, e := range pm.paths[i].Edges {
+			hit := linkHit[int(e)]
+			if hit == nil {
+				hit = make([]uint64, words)
+				linkHit[int(e)] = hit
+			}
+			hit[k>>6] |= 1 << (k & 63)
+		}
+	}
+	ni := NodeIdent{
+		Covered:      make([]bool, nodes),
+		Identifiable: make([]bool, nodes),
+	}
+	// Signature per covered node: OR of its incident links' path bitsets.
+	groups := make(map[string][]int, nodes)
+	sig := make([]uint64, words)
+	buf := make([]byte, 0, words*8)
+	for v, links := range incidence {
+		for i := range sig {
+			sig[i] = 0
+		}
+		covered := false
+		for _, l := range links {
+			if l < 0 || l >= pm.links {
+				return NodeIdent{}, fmt.Errorf("tomo: node %d incident link %d outside [0,%d)", v, l, pm.links)
+			}
+			if hit := linkHit[l]; hit != nil {
+				covered = true
+				for i := range sig {
+					sig[i] |= hit[i]
+				}
+			}
+		}
+		if !covered {
+			continue
+		}
+		ni.Covered[v] = true
+		ni.NumCovered++
+		buf = buf[:0]
+		for _, w := range sig {
+			buf = append(buf,
+				byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		groups[string(buf)] = append(groups[string(buf)], v)
+	}
+	for _, members := range groups {
+		if len(members) == 1 {
+			ni.Identifiable[members[0]] = true
+			ni.NumIdentifiable++
+		}
+	}
+	return ni, nil
+}

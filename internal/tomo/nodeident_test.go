@@ -1,0 +1,105 @@
+package tomo
+
+import (
+	"testing"
+
+	"robusttomo/internal/graph"
+	"robusttomo/internal/routing"
+)
+
+// A 4-node path graph 0—1—2—3 (links 0,1,2) with paths chosen so that the
+// endpoints are confusable but the interior nodes are not.
+func TestNodeIdentifiability(t *testing.T) {
+	paths := []routing.Path{
+		{Src: 0, Dst: 3, Edges: []graph.EdgeID{0, 1, 2}}, // path 0: whole chain
+		{Src: 1, Dst: 2, Edges: []graph.EdgeID{1}},       // path 1: middle link
+	}
+	pm, err := NewPathMatrix(paths, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incidence := [][]int{{0}, {0, 1}, {1, 2}, {2}}
+
+	ni, err := pm.NodeIdentifiability([]int{0, 1}, incidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signatures over (path0, path1): node 0 → {0}, node 1 → {0,1},
+	// node 2 → {0,1}, node 3 → {0}. All covered; all confusable in pairs.
+	if ni.NumCovered != 4 {
+		t.Fatalf("NumCovered = %d, want 4", ni.NumCovered)
+	}
+	if ni.NumIdentifiable != 0 {
+		t.Fatalf("NumIdentifiable = %d, want 0 (two confusable pairs)", ni.NumIdentifiable)
+	}
+
+	// Selecting only the chain path leaves every node with signature {0}:
+	// covered but fully confusable.
+	ni, err = pm.NodeIdentifiability([]int{0}, incidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.NumCovered != 4 || ni.NumIdentifiable != 0 {
+		t.Fatalf("chain only: covered %d identifiable %d, want 4/0", ni.NumCovered, ni.NumIdentifiable)
+	}
+
+	// Adding per-link probes separates every node: signatures become
+	// {0,p01}, {0,p01,p12}, {0,p12,p23}, {0,p23} — all distinct.
+	paths = append(paths,
+		routing.Path{Src: 0, Dst: 1, Edges: []graph.EdgeID{0}},
+		routing.Path{Src: 2, Dst: 3, Edges: []graph.EdgeID{2}},
+	)
+	pm, err = NewPathMatrix(paths, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, err = pm.NodeIdentifiability([]int{0, 1, 2, 3}, incidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.NumCovered != 4 || ni.NumIdentifiable != 4 {
+		t.Fatalf("full probes: covered %d identifiable %d, want 4/4", ni.NumCovered, ni.NumIdentifiable)
+	}
+	for v, id := range ni.Identifiable {
+		if !id || !ni.Covered[v] {
+			t.Fatalf("node %d: covered=%v identifiable=%v", v, ni.Covered[v], id)
+		}
+	}
+}
+
+// A node none of whose incident links is traversed stays uncovered and
+// unidentifiable.
+func TestNodeIdentifiabilityUncovered(t *testing.T) {
+	paths := []routing.Path{{Src: 0, Dst: 1, Edges: []graph.EdgeID{0}}}
+	pm, err := NewPathMatrix(paths, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incidence := [][]int{{0}, {0, 1}, {1, 2}, {2}}
+	ni, err := pm.NodeIdentifiability([]int{0}, incidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.Covered[3] || ni.Identifiable[3] {
+		t.Error("node 3 has no probed incident link but is covered")
+	}
+	if ni.NumCovered != 2 {
+		t.Fatalf("NumCovered = %d, want 2 (nodes 0 and 1)", ni.NumCovered)
+	}
+}
+
+func TestNodeIdentifiabilityValidation(t *testing.T) {
+	pm, err := NewPathMatrix([]routing.Path{{Edges: []graph.EdgeID{0}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.NodeIdentifiability([]int{0}, nil); err == nil {
+		t.Error("empty incidence accepted")
+	}
+	if _, err := pm.NodeIdentifiability([]int{5}, [][]int{{0}}); err == nil {
+		t.Error("out-of-range path index accepted")
+	}
+	if _, err := pm.NodeIdentifiability([]int{0}, [][]int{{7}}); err == nil {
+		t.Error("out-of-range incident link accepted")
+	}
+}

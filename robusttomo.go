@@ -97,6 +97,26 @@ type (
 	CorrelatedFailureModel = failure.CorrelatedModel
 	// SRLG is a shared-risk link group.
 	SRLG = failure.SRLG
+	// ScenarioSource is the pluggable failure-process contract: a
+	// FailureSampler that also names itself, exports its stationary
+	// marginals, and snapshots/restores cross-epoch state.
+	ScenarioSource = failure.ScenarioSource
+	// ScenarioSourceState is a ScenarioSource's opaque snapshot.
+	ScenarioSourceState = failure.SourceState
+	// ScenarioSourceSpec names and parameterizes a registered source
+	// (the JSON payload `tomo serve` monterome jobs accept).
+	ScenarioSourceSpec = failure.SourceSpec
+	// GilbertElliott is the bursty per-link two-state Markov source.
+	GilbertElliott = failure.GilbertElliott
+	// GilbertElliottConfig parameterizes NewGilbertElliott.
+	GilbertElliottConfig = failure.GEConfig
+	// NodeFailureModel downs every link incident to a failed node.
+	NodeFailureModel = failure.NodeFailureModel
+	// NodeFailureConfig parameterizes NewNodeFailureModel.
+	NodeFailureConfig = failure.NodeFailureConfig
+	// NodeIdent reports which nodes a probe set covers and can uniquely
+	// localize (tomo.PathMatrix.NodeIdentifiability).
+	NodeIdent = tomo.NodeIdent
 )
 
 // Selection and learning.
@@ -191,6 +211,16 @@ var (
 	NewCorrelatedFailureModel = failure.NewCorrelatedModel
 	// SampleScenarios draws scenarios from any failure sampler.
 	SampleScenarios = failure.SampleScenarios
+	// NewGilbertElliott builds the bursty two-state Markov source.
+	NewGilbertElliott = failure.NewGilbertElliott
+	// NewNodeFailureModel builds the node-event source.
+	NewNodeFailureModel = failure.NewNodeFailureModel
+	// NewScenarioSource builds any registered source from its spec.
+	NewScenarioSource = failure.NewSource
+	// RegisterScenarioSource registers a custom source factory by name.
+	RegisterScenarioSource = failure.RegisterSource
+	// ScenarioSourceNames lists the registered source names.
+	ScenarioSourceNames = failure.SourceNames
 )
 
 // Rank kernels for the Monte Carlo oracles.

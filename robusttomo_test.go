@@ -170,6 +170,73 @@ func TestFacadeCorrelatedModel(t *testing.T) {
 	var _ FailureSampler = corr
 }
 
+func TestFacadeScenarioSources(t *testing.T) {
+	ge, err := NewGilbertElliott(GilbertElliottConfig{
+		Marginals: []float64{0.1, 0.2, 0.05}, MeanBurst: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src ScenarioSource = ge
+	snap := src.Snapshot()
+	a := SampleScenarios(src, NewRNG(3, 3), 20)
+	if err := src.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	b := SampleScenarios(src, NewRNG(3, 3), 20)
+	for e := range a {
+		for l := range a[e].Failed {
+			if a[e].Failed[l] != b[e].Failed[l] {
+				t.Fatalf("epoch %d link %d diverged after restore", e, l)
+			}
+		}
+	}
+
+	nfm, err := NewNodeFailureModel(NodeFailureConfig{
+		Links: 3, Incidence: [][]int{{0, 1}, {1, 2}}, NodeProbs: []float64{0.1, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ ScenarioSource = nfm
+
+	built, err := NewScenarioSource(ScenarioSourceSpec{
+		Source: "gilbert_elliott", Probs: []float64{0.1, 0.2}, MeanBurst: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.SourceName() != "gilbert_elliott" {
+		t.Fatalf("SourceName = %q", built.SourceName())
+	}
+	names := ScenarioSourceNames()
+	if len(names) < 4 {
+		t.Fatalf("registered sources = %v", names)
+	}
+
+	ex := NewExampleNetwork()
+	paths, _ := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
+	pm, _ := NewPathMatrix(paths, ex.Graph.NumEdges())
+	idx := make([]int, pm.NumPaths())
+	for i := range idx {
+		idx[i] = i
+	}
+	incidence := make([][]int, ex.Graph.NumNodes())
+	for v := range incidence {
+		for _, e := range ex.Graph.IncidentEdges(NodeID(v)) {
+			incidence[v] = append(incidence[v], int(e))
+		}
+	}
+	var ni NodeIdent
+	ni, err = pm.NodeIdentifiability(idx, incidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.NumCovered == 0 {
+		t.Fatal("probe set covers no nodes")
+	}
+}
+
 func TestFacadeGreedyExplanation(t *testing.T) {
 	ex := NewExampleNetwork()
 	paths, _ := MonitorPairs(ex.Graph, ex.Monitors, ex.Monitors)
